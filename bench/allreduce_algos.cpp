@@ -1,0 +1,73 @@
+// Survey of every all-reduce schedule in the library: steps, total wire
+// traffic, single-port bottleneck, and simulated time on both substrates.
+// Situates Wrht in the classic latency/bandwidth trade-off space.
+#include <cstdio>
+
+#include "coll/algorithms.hpp"
+#include "coll/cost_model.hpp"
+#include "elec/alphabeta.hpp"
+#include "elec/schedule_runner.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+int main() {
+  using namespace wrht;
+  const std::uint32_t n = 64;
+  const util::Bytes payload(100'000'000);
+  std::printf("All-reduce algorithm survey — N=%u, payload %s\n\n", n,
+              util::to_string(payload).c_str());
+
+  const elec::ElectricalCluster cluster =
+      elec::ElectricalCluster::star(n, elec::ElectricalParams{});
+  const topo::RingTopology ring(n);
+  const optical::OpticalParams optical;
+
+  util::Table table({"algorithm", "steps", "traffic", "lambda need",
+                     "electrical", "optical"});
+
+  const coll::Schedule schedules[] = {
+      coll::ring_allreduce(n),   coll::recursive_doubling(n),
+      coll::halving_doubling(n), coll::binomial_tree(n),
+      coll::direct_allreduce(n), coll::naive_ring(n),
+      coll::hierarchical_allreduce(n, 8),
+  };
+  for (const coll::Schedule& schedule : schedules) {
+    const double electrical =
+        elec::run_on_electrical(schedule, cluster, payload).total.value();
+    const auto annotated = core::annotate_on_ring(
+        schedule, ring, optical.wdm.num_wavelengths);
+    std::string lambda = "> 64";
+    std::string optical_time = "(does not fit)";
+    if (annotated.has_value()) {
+      lambda = std::to_string(annotated->wavelengths_required);
+      optical_time = util::to_string(util::Seconds(
+          core::run_on_optical(*annotated, optical, payload).total.value()));
+    }
+    table.add_row({schedule.name(), std::to_string(schedule.num_steps()),
+                   util::to_string(schedule.total_traffic(payload)), lambda,
+                   util::to_string(util::Seconds(electrical)), optical_time});
+  }
+
+  // Wrht itself (native builder, not the generic annotator).
+  core::WrhtParams params;
+  params.num_wavelengths = optical.wdm.num_wavelengths;
+  const core::WrhtBuild build = core::build_wrht(n, params);
+  table.add_separator();
+  table.add_row(
+      {"wrht", std::to_string(build.annotated.schedule.num_steps()),
+       util::to_string(build.annotated.schedule.total_traffic(payload)),
+       std::to_string(build.annotated.wavelengths_required), "-",
+       util::to_string(util::Seconds(
+           core::run_on_optical(build.annotated, optical, payload)
+               .total.value()))});
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nChunked schedules (ring, halving-doubling) minimize traffic; tree "
+      "and direct schedules\nminimize steps.  On the optical ring the step "
+      "overhead makes the step count decisive,\nand only Wrht combines few "
+      "steps with a spectrum-feasible wavelength demand.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared driver for the four Figure-2 panel benches: run one model across
+// the paper's node sweep with the calibrated defaults, print the raw and
+// normalized table, and report this panel's reduction statistics.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/fig2.hpp"
+#include "harness/report.hpp"
+
+namespace wrht::bench {
+
+inline int run_fig2_panel_main(const dnn::Model& model,
+                               const char* csv_name) {
+  const harness::ExperimentConfig config = harness::paper_config();
+  std::printf("Reproducing Figure 2 — %s (%s gradients, %llu parameters)\n",
+              model.name().c_str(),
+              util::to_string(model.gradient_bytes(config.dtype)).c_str(),
+              static_cast<unsigned long long>(model.declared_params()));
+  std::printf("  optical: %u wavelengths x %s, step overhead %s\n",
+              config.optical.wdm.num_wavelengths,
+              util::to_string(config.optical.wdm.wavelength_bandwidth).c_str(),
+              util::to_string(config.optical.fixed_step_overhead()).c_str());
+  std::printf("  electrical: %s links, %s per hop\n\n",
+              util::to_string(config.electrical.link_bandwidth).c_str(),
+              util::to_string(config.electrical.link_latency).c_str());
+
+  const auto rows = harness::run_fig2_panel(model, config);
+  std::fputs(harness::render_panel(rows).c_str(), stdout);
+  std::fputs(
+      harness::render_headline(harness::headline_reductions(rows)).c_str(),
+      stdout);
+
+  if (csv_name != nullptr) {
+    std::ofstream csv(csv_name);
+    harness::write_csv(csv, rows);
+    std::printf("\nrows written to %s\n", csv_name);
+  }
+  return 0;
+}
+
+}  // namespace wrht::bench

@@ -1,0 +1,8 @@
+// Figure 2(c): ResNet50 all-reduce communication time, N in {128..1024}.
+#include "dnn/catalog.hpp"
+#include "fig2_panel.hpp"
+
+int main() {
+  return wrht::bench::run_fig2_panel_main(wrht::dnn::resnet50(),
+                                          "fig2_resnet50.csv");
+}

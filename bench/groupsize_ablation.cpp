@@ -1,0 +1,72 @@
+// Ablation: the group size m.  The builder defaults to the largest
+// spectrum-feasible group (m = 2w+1); this sweep forces smaller m at fixed
+// w = 64 and shows the step count and time penalty of deeper trees — the
+// design choice DESIGN.md calls out.
+#include <cstdio>
+
+#include "dnn/catalog.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+int main() {
+  using namespace wrht;
+  const std::uint32_t n = 1024;
+  const std::uint32_t w = 64;
+  const util::Bytes payload = dnn::alexnet().gradient_bytes();
+  std::printf("Wrht group-size ablation — N=%u, w=%u, AlexNet (%s)\n\n", n, w,
+              util::to_string(payload).c_str());
+
+  optical::OpticalParams optical;  // defaults: w=64
+  util::Table table({"m", "tree levels", "steps", "merged", "lambda used",
+                     "time", "vs best"});
+
+  struct Row {
+    std::uint32_t m;
+    double time;
+  };
+  std::vector<Row> rows;
+  double best = 1e100;
+  for (const std::uint32_t m : {3u, 5u, 9u, 17u, 33u, 65u, 129u}) {
+    core::WrhtParams params;
+    params.num_wavelengths = w;
+    params.forced_group_size = m;
+    const core::WrhtBuild build = core::build_wrht(n, params);
+    const double t =
+        core::run_on_optical(build.annotated, optical, payload).total.value();
+    best = std::min(best, t);
+    rows.push_back({m, t});
+    table.add_row(
+        {std::to_string(m),
+         std::to_string(build.reduce_levels.size()),
+         std::to_string(build.annotated.schedule.num_steps()),
+         build.merged_with_all_to_all ? "yes" : "no",
+         std::to_string(build.annotated.wavelengths_required),
+         util::to_string(util::Seconds(t)), ""});
+  }
+
+  // Re-render with the ratio column now that `best` is known.
+  util::Table final_table({"m", "tree levels", "steps", "merged",
+                           "lambda used", "time", "vs best"});
+  for (const Row& row : rows) {
+    core::WrhtParams params;
+    params.num_wavelengths = w;
+    params.forced_group_size = row.m;
+    const core::WrhtBuild build = core::build_wrht(n, params);
+    final_table.add_row(
+        {std::to_string(row.m),
+         std::to_string(build.reduce_levels.size()),
+         std::to_string(build.annotated.schedule.num_steps()),
+         build.merged_with_all_to_all ? "yes" : "no",
+         std::to_string(build.annotated.wavelengths_required),
+         util::to_string(util::Seconds(row.time)),
+         util::format_double(row.time / best, 2) + "x"});
+  }
+  std::fputs(final_table.render().c_str(), stdout);
+  std::printf(
+      "\nLargest feasible m wins: every halving of m adds a tree level, and "
+      "each level costs a full-payload serialization plus the step "
+      "overhead.\n");
+  return 0;
+}

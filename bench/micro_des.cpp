@@ -1,0 +1,74 @@
+// google-benchmark micro-benchmarks of the discrete-event kernel and the
+// optical ring network: transfer throughput of the simulation itself.
+#include <benchmark/benchmark.h>
+
+#include "optical/network.hpp"
+#include "sim/simulator.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto events = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    wrht::sim::Simulator simulator;
+    for (std::uint64_t i = 0; i < events; ++i) {
+      simulator.schedule_in(
+          wrht::util::Seconds(static_cast<double>(i % 97) * 1e-6), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run().value());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_OpticalRingStep(benchmark::State& state) {
+  // One Wrht-like gather step on a 256-ring: 255 concurrent transfers.
+  const std::uint32_t n = 256;
+  wrht::optical::OpticalParams params;
+  params.wdm.num_wavelengths = 128;
+  wrht::core::WrhtParams wp;
+  wp.num_wavelengths = 128;
+  const wrht::core::WrhtBuild build = wrht::core::build_wrht(n, wp);
+  for (auto _ : state) {
+    wrht::optical::OpticalRingNetwork network(n, params);
+    benchmark::DoNotOptimize(
+        wrht::core::run_on_optical(build.annotated, network,
+                                   wrht::util::megabytes(100))
+            .total.value());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          build.annotated.schedule.total_transfers());
+}
+BENCHMARK(BM_OpticalRingStep);
+
+void BM_OpticalChunkedRing(benchmark::State& state) {
+  // The O-Ring workload: many tiny steps (the harness's stress case).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  wrht::optical::OpticalParams params;
+  for (auto _ : state) {
+    wrht::optical::OpticalRingNetwork network(n, params);
+    const wrht::topo::RingTopology& ring = network.ring();
+    for (std::uint32_t s = 0; s + 1 < 2 * n; ++s) {
+      std::vector<wrht::optical::TimedTransfer> transfers;
+      transfers.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        transfers.push_back(wrht::optical::TimedTransfer{
+            i,
+            (i + 1) % n,
+            wrht::util::Bytes(1000),
+            ring.arc(i, (i + 1) % n, wrht::topo::Direction::kClockwise),
+            {0}});
+      }
+      network.execute_step(transfers);
+    }
+    benchmark::DoNotOptimize(network.now().value());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+}
+BENCHMARK(BM_OpticalChunkedRing)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// google-benchmark micro-benchmarks of the flow-level electrical simulator:
+// events per second for the patterns the Figure-2 harness runs.
+#include <benchmark/benchmark.h>
+
+#include "coll/algorithms.hpp"
+#include "elec/schedule_runner.hpp"
+
+namespace {
+
+void BM_FlowRingStep(benchmark::State& state) {
+  // One ring step: n simultaneous neighbour flows over the star.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const wrht::elec::ElectricalCluster cluster =
+      wrht::elec::ElectricalCluster::star(n, wrht::elec::ElectricalParams{});
+  for (auto _ : state) {
+    wrht::elec::FlowNetwork network = cluster.make_network();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      network.add_flow(cluster.route(i, (i + 1) % n),
+                       wrht::util::Bytes(1'000'000));
+    }
+    benchmark::DoNotOptimize(network.run().value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlowRingStep)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FlowIncast(benchmark::State& state) {
+  // Worst-case fairness recomputation: k flows into one host.
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const wrht::elec::ElectricalCluster cluster =
+      wrht::elec::ElectricalCluster::star(k + 1,
+                                          wrht::elec::ElectricalParams{});
+  for (auto _ : state) {
+    wrht::elec::FlowNetwork network = cluster.make_network();
+    for (std::uint32_t i = 1; i <= k; ++i) {
+      network.add_flow(cluster.route(i, 0), wrht::util::Bytes(1'000'000));
+    }
+    benchmark::DoNotOptimize(network.run().value());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_FlowIncast)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_FullRingAllReduceElectrical(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const wrht::elec::ElectricalCluster cluster =
+      wrht::elec::ElectricalCluster::star(n, wrht::elec::ElectricalParams{});
+  const wrht::coll::Schedule schedule = wrht::coll::ring_allreduce(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wrht::elec::run_on_electrical(schedule, cluster,
+                                      wrht::util::megabytes(100))
+            .total.value());
+  }
+  state.SetItemsProcessed(state.iterations() * schedule.total_transfers());
+}
+BENCHMARK(BM_FullRingAllReduceElectrical)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// google-benchmark micro-benchmarks of schedule construction: how fast can
+// the library build Wrht and baseline schedules?  Relevant because training
+// frameworks rebuild schedules when elasticity changes the world size.
+#include <benchmark/benchmark.h>
+
+#include "coll/algorithms.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/striping.hpp"
+
+namespace {
+
+void BM_BuildWrht(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  wrht::core::WrhtParams params;
+  params.num_wavelengths = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrht::core::build_wrht(n, params));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildWrht)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Complexity(benchmark::oN);
+
+void BM_BuildRingAllReduce(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrht::coll::ring_allreduce(n));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildRingAllReduce)->Arg(64)->Arg(256)->Arg(1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_BuildRecursiveDoubling(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrht::coll::recursive_doubling(n));
+  }
+}
+BENCHMARK(BM_BuildRecursiveDoubling)->Arg(64)->Arg(1024);
+
+void BM_PredictedSteps(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wrht::core::predicted_steps(n, wrht::core::default_group_size(n, 64),
+                                    64));
+  }
+}
+BENCHMARK(BM_PredictedSteps)->Arg(1024)->Arg(65536);
+
+void BM_ApplyStriping(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  wrht::core::WrhtParams params;
+  params.num_wavelengths = 64;
+  const wrht::core::WrhtBuild build = wrht::core::build_wrht(n, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wrht::core::apply_striping(
+        build.annotated, 64, wrht::util::megabytes(100)));
+  }
+}
+BENCHMARK(BM_ApplyStriping)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

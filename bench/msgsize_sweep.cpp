@@ -1,0 +1,45 @@
+// Ablation: message-size sweep at N = 256.  Wrht is a latency-optimal
+// (log-step) schedule that resends the full vector per level, while the
+// chunked rings are bandwidth-optimal; this sweep locates the crossover
+// where ring schedules catch back up as payloads grow — the regime analysis
+// behind the paper's Figure 2 operating point.
+#include <cstdio>
+
+#include "harness/fig2.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wrht;
+  const std::uint32_t n = 256;
+  harness::ExperimentConfig config = harness::paper_config();
+  std::printf("All-reduce time vs. payload size — N=%u\n\n", n);
+
+  util::Table table(
+      {"payload", "E-Ring", "RD", "O-Ring", "WRHT", "best"});
+  for (const std::uint64_t bytes :
+       {1'000ull, 10'000ull, 100'000ull, 1'000'000ull, 10'000'000ull,
+        100'000'000ull, 1'000'000'000ull, 4'000'000'000ull}) {
+    const util::Bytes payload(bytes);
+    double best_time = 1e100;
+    const char* best_name = "?";
+    std::vector<std::string> row{util::to_string(payload)};
+    for (const harness::Algo algo : harness::all_algos()) {
+      const double t =
+          harness::allreduce_time(algo, n, payload, config).value();
+      row.push_back(util::to_string(util::Seconds(t)));
+      if (t < best_time) {
+        best_time = t;
+        best_name = harness::algo_name(algo);
+      }
+    }
+    row.emplace_back(best_name);
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nSmall payloads: per-step overhead dominates and WRHT's 3 steps "
+      "crush the rings' 510.\nVery large payloads: bandwidth terms dominate "
+      "and chunked rings close the gap.\n");
+  return 0;
+}

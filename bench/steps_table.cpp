@@ -1,0 +1,45 @@
+// The step-count table behind §2 of the paper: communication steps of ring
+// all-reduce (2(N-1)) versus Wrht (2*ceil(log_m N) or -1), with the built
+// schedules' measured wavelength demand against the paper's bounds.
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "wrht/analysis.hpp"
+#include "wrht/builder.hpp"
+
+int main() {
+  using namespace wrht;
+  std::printf(
+      "Step counts and wavelength demand (paper §2 formulas vs. built "
+      "schedules)\n\n");
+
+  util::Table table({"N", "w", "m", "m*", "merged", "steps", "formula",
+                     "ring steps", "lambda used", "floor(m/2)",
+                     "ceil(m*^2/8)"});
+  for (const std::uint32_t w : {8u, 16u, 64u}) {
+    table.add_separator();
+    for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
+      core::WrhtParams params;
+      params.num_wavelengths = w;
+      const core::WrhtBuild build = core::build_wrht(n, params);
+      const core::WrhtAnalysis a = core::analyze(build, util::megabytes(100));
+      table.add_row({std::to_string(n), std::to_string(w),
+                     std::to_string(a.group_size_m),
+                     std::to_string(a.final_rep_count_mstar),
+                     a.merged_with_all_to_all ? "yes" : "no",
+                     std::to_string(a.total_steps),
+                     std::to_string(a.paper_formula_steps),
+                     std::to_string(a.ring_steps),
+                     std::to_string(a.max_lambda),
+                     std::to_string(a.group_lambda_bound),
+                     a.merged_with_all_to_all
+                         ? std::to_string(a.all_to_all_lambda_bound)
+                         : "-"});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\n'steps' is the built schedule; 'formula' is 2*ceil(log_m N) minus 1 "
+      "when merged.\nWrht needs 2-4 steps where the ring needs 2(N-1).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Compare all four Figure-2 algorithms for one DNN model at one scale, with
+// every physical parameter adjustable from the command line.
+//
+//   $ ./examples/dnn_allreduce --model resnet50 --nodes 256 --wavelengths 64
+//   $ ./examples/dnn_allreduce --model vgg16 --nodes 1024 --tune-us 10
+#include <cstdio>
+
+#include "dnn/catalog.hpp"
+#include "harness/fig2.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+wrht::dnn::Model pick_model(const std::string& name) {
+  using namespace wrht::dnn;
+  if (name == "alexnet") return alexnet();
+  if (name == "vgg16") return vgg16();
+  if (name == "resnet50") return resnet50();
+  if (name == "googlenet") return googlenet();
+  std::fprintf(stderr, "unknown model '%s' (use alexnet|vgg16|resnet50|googlenet)\n",
+               name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  util::CliParser cli(
+      "Compare E-Ring, RD, O-Ring and WRHT all-reduce times for one DNN.");
+  cli.add_flag("model", "alexnet", "alexnet|vgg16|resnet50|googlenet");
+  cli.add_flag("nodes", "256", "number of GPUs on the ring");
+  cli.add_flag("wavelengths", "64", "wavelengths per waveguide");
+  cli.add_flag("lambda-gbps", "25.0", "per-wavelength bandwidth, Gb/s");
+  cli.add_flag("tune-us", "1300.0", "micro-ring tuning time, microseconds");
+  cli.add_flag("elec-gbps", "10.0", "electrical link bandwidth, Gb/s");
+  cli.add_flag("fp16", "false", "use 2-byte gradients instead of fp32");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const dnn::Model model = pick_model(cli.get_string("model"));
+  const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+
+  harness::ExperimentConfig config;
+  config.optical.wdm.num_wavelengths =
+      static_cast<std::uint32_t>(cli.get_int("wavelengths"));
+  config.optical.wdm.wavelength_bandwidth =
+      util::gbps(cli.get_double("lambda-gbps"));
+  config.optical.tune_time = util::microseconds(cli.get_double("tune-us"));
+  config.electrical.link_bandwidth = util::gbps(cli.get_double("elec-gbps"));
+  config.dtype = cli.get_bool("fp16") ? dnn::DType::kF16 : dnn::DType::kF32;
+
+  const util::Bytes payload = model.gradient_bytes(config.dtype);
+  std::printf("%s, %u nodes, gradient %s (%s)\n\n", model.name().c_str(),
+              nodes, util::to_string(payload).c_str(),
+              dnn::dtype_name(config.dtype));
+
+  util::Table table({"algorithm", "network", "time", "vs WRHT"});
+  const double wrht_time =
+      harness::allreduce_time(harness::Algo::kWrht, nodes, payload, config)
+          .value();
+  for (const harness::Algo algo : harness::all_algos()) {
+    const double t =
+        algo == harness::Algo::kWrht
+            ? wrht_time
+            : harness::allreduce_time(algo, nodes, payload, config).value();
+    const bool electrical =
+        algo == harness::Algo::kERing || algo == harness::Algo::kRD;
+    table.add_row({harness::algo_name(algo),
+                   electrical ? "electrical" : "optical",
+                   util::to_string(util::Seconds(t)),
+                   util::format_double(t / wrht_time, 2) + "x"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Elastic failover: run all-reduce iterations on the optical ring while
+// nodes fail; after every failure the Wrht schedule is rebuilt over the
+// survivors (failed nodes stay physically on the ring as pass-through) and
+// each rebuilt schedule is re-verified before use.  Shows rebuild cost,
+// step counts, and per-iteration communication time as the world shrinks.
+//
+//   $ ./examples/elastic_failover --nodes 64 --failures 6
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+
+#include "coll/oracle.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  util::CliParser cli("Survive node failures by rebuilding the schedule.");
+  cli.add_flag("nodes", "64", "initial ring size");
+  cli.add_flag("failures", "6", "number of node failures to inject");
+  cli.add_flag("wavelengths", "16", "wavelengths per waveguide");
+  cli.add_flag("payload-mb", "100", "gradient size in MB");
+  cli.add_flag("seed", "42", "failure-order seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::uint32_t>(cli.get_int("nodes"));
+  const auto failures = static_cast<std::uint32_t>(cli.get_int("failures"));
+  const util::Bytes payload =
+      util::megabytes(static_cast<std::uint64_t>(cli.get_int("payload-mb")));
+
+  core::WrhtParams params;
+  params.num_wavelengths =
+      static_cast<std::uint32_t>(cli.get_int("wavelengths"));
+  optical::OpticalParams optical;
+  optical.wdm.num_wavelengths = params.num_wavelengths;
+
+  std::vector<topo::NodeId> alive(n);
+  std::iota(alive.begin(), alive.end(), 0);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::printf("Elastic Wrht — ring of %u, %s gradients, %u wavelengths\n\n",
+              n, util::to_string(payload).c_str(), params.num_wavelengths);
+  util::Table table({"event", "survivors", "steps", "verified",
+                     "rebuild time", "all-reduce time"});
+
+  for (std::uint32_t round = 0; round <= failures; ++round) {
+    if (round > 0) {
+      const std::size_t victim = rng.next_below(alive.size());
+      std::printf("node %u failed\n", alive[victim]);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const core::WrhtBuild build = core::build_wrht_among(alive, n, params);
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double rebuild_us =
+        std::chrono::duration<double, std::micro>(wall_end - wall_start)
+            .count();
+
+    const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
+        build.annotated.schedule, alive, 64);
+    const double comm =
+        core::run_on_optical(build.annotated, optical, payload).total.value();
+
+    table.add_row({round == 0 ? "initial" : "failure " + std::to_string(round),
+                   std::to_string(alive.size()),
+                   std::to_string(build.annotated.schedule.num_steps()),
+                   verdict.ok ? "PASS" : "FAIL",
+                   util::to_string(util::microseconds(rebuild_us)),
+                   util::to_string(util::Seconds(comm))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nRebuilds are microseconds (schedule construction is O(N)); failed "
+      "nodes stay on the ring\nas pass-through and the tree re-forms around "
+      "them.\n");
+  return 0;
+}

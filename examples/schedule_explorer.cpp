@@ -1,0 +1,66 @@
+// Dump a Wrht schedule step by step: every transfer with its ring arc,
+// direction, and wavelength, plus the DES trace of one execution.  The tool
+// for understanding (or debugging) what the builder produced.
+//
+//   $ ./examples/schedule_explorer --nodes 16 --wavelengths 4
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "wrht/analysis.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  util::CliParser cli("Print a Wrht schedule transfer by transfer.");
+  cli.add_flag("nodes", "16", "number of GPUs on the ring");
+  cli.add_flag("wavelengths", "4", "wavelengths per waveguide");
+  cli.add_flag("group-size", "0", "force group size m (0 = automatic)");
+  cli.add_flag("trace", "false", "also print the DES event trace");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+  core::WrhtParams params;
+  params.num_wavelengths =
+      static_cast<std::uint32_t>(cli.get_int("wavelengths"));
+  if (cli.get_int("group-size") > 0) {
+    params.forced_group_size =
+        static_cast<std::uint32_t>(cli.get_int("group-size"));
+  }
+
+  const core::WrhtBuild build = core::build_wrht(nodes, params);
+  std::fputs(core::analyze(build, util::megabytes(10)).report().c_str(),
+             stdout);
+  std::printf("\n");
+
+  const auto& schedule = build.annotated.schedule;
+  for (std::size_t s = 0; s < schedule.num_steps(); ++s) {
+    const bool is_reduce = s < build.reduce_levels.size();
+    const bool is_merge =
+        build.merged_with_all_to_all && s == build.reduce_levels.size();
+    std::printf("step %zu (%s, %u wavelengths):\n", s,
+                is_merge ? "all-to-all merge"
+                         : (is_reduce ? "reduce level" : "broadcast level"),
+                build.annotated.lambda_per_step[s]);
+    const auto& transfers = schedule.steps()[s].transfers;
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const coll::Transfer& t = transfers[i];
+      const core::PathAssignment& path = build.annotated.paths[s][i];
+      std::printf("  %3u -> %3u  %s  %s  %u hops  lambda %u\n", t.src, t.dst,
+                  t.op == coll::TransferOp::kReduce ? "reduce" : "copy  ",
+                  topo::direction_name(path.arc.direction), path.arc.length,
+                  path.lambdas[0]);
+    }
+  }
+
+  if (cli.get_bool("trace")) {
+    optical::OpticalParams optical;
+    optical.wdm.num_wavelengths =
+        std::max(params.num_wavelengths, build.annotated.wavelengths_required);
+    optical::OpticalRingNetwork network(nodes, optical);
+    network.trace().enable();
+    core::run_on_optical(build.annotated, network, util::megabytes(10));
+    std::printf("\nDES trace:\n%s", network.trace().to_string().c_str());
+  }
+  return 0;
+}

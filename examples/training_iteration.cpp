@@ -1,0 +1,95 @@
+// End-to-end data-parallel training iteration: forward, backward with
+// bucketed gradients, and overlapped all-reduce — with the communication
+// times coming from the Wrht optical model vs. the electrical ring.
+// Reproduces the paper's motivation numbers (communication at 50-90% of
+// iteration time on electrical networks) and shows what the optical
+// schedule does to them.
+//
+//   $ ./examples/training_iteration --model resnet50 --nodes 256
+#include <cstdio>
+
+#include "coll/cost_model.hpp"
+#include "dnn/catalog.hpp"
+#include "dnn/training.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/time_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrht;
+  util::CliParser cli("Simulate one training iteration with overlap.");
+  cli.add_flag("model", "resnet50", "alexnet|vgg16|resnet50|googlenet");
+  cli.add_flag("nodes", "256", "number of GPUs");
+  cli.add_flag("fwd-ms", "40", "forward pass time, milliseconds");
+  cli.add_flag("bwd-ms", "80", "backward pass time, milliseconds");
+  cli.add_flag("bucket-mb", "25", "gradient bucket capacity, MiB");
+  if (!cli.parse(argc, argv)) return 1;
+
+  dnn::Model model = dnn::resnet50();
+  for (const dnn::Model& candidate : dnn::paper_models()) {
+    std::string lower = candidate.name();
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == cli.get_string("model")) model = candidate;
+  }
+  const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+
+  dnn::TrainingParams training;
+  training.forward_time = util::milliseconds(cli.get_double("fwd-ms"));
+  training.backward_time = util::milliseconds(cli.get_double("bwd-ms"));
+  training.bucketing.capacity =
+      util::mebibytes(static_cast<std::uint64_t>(cli.get_int("bucket-mb")));
+
+  // Three communication backends for the same iteration.
+  core::WrhtParams wrht_params;
+  const optical::OpticalParams optical;
+  const auto wrht_comm = [&](util::Bytes bytes) {
+    return core::wrht_time_formula(nodes, bytes, optical, wrht_params);
+  };
+  const auto oring_comm = [&](util::Bytes bytes) {
+    return core::optical_ring_time_formula(nodes, bytes, optical);
+  };
+  const coll::AlphaBetaParams electrical{util::microseconds(50.0),
+                                         util::gbps(10.0)};
+  const auto ering_comm = [&](util::Bytes bytes) {
+    return coll::ring_allreduce_closed_form(nodes, bytes, electrical);
+  };
+
+  std::printf("%s on %u GPUs, %s gradients, buckets of %s\n\n",
+              model.name().c_str(), nodes,
+              util::to_string(model.gradient_bytes()).c_str(),
+              util::to_string(training.bucketing.capacity).c_str());
+
+  util::Table table({"backend", "overlap", "iteration", "exposed comm",
+                     "comm fraction", "buckets"});
+  struct Backend {
+    const char* name;
+    dnn::AllReduceTimeFn fn;
+  };
+  const Backend backends[] = {
+      {"electrical E-Ring", ering_comm},
+      {"optical O-Ring", oring_comm},
+      {"optical WRHT", wrht_comm},
+  };
+  for (const Backend& backend : backends) {
+    for (const bool overlap : {false, true}) {
+      dnn::TrainingParams params = training;
+      params.overlap = overlap;
+      const dnn::IterationTimeline timeline =
+          dnn::simulate_iteration(model, params, backend.fn);
+      table.add_row(
+          {backend.name, overlap ? "yes" : "no",
+           util::to_string(timeline.total_time),
+           util::to_string(timeline.exposed_comm_time),
+           util::format_double(dnn::comm_fraction(timeline) * 100.0, 1) + "%",
+           std::to_string(timeline.num_buckets)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nThe electrical rows reproduce the paper's motivation (comm takes "
+      "most of the iteration\nat scale); the WRHT rows show the schedule "
+      "pushing the iteration back toward compute-bound.\n");
+  return 0;
+}

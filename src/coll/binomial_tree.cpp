@@ -1,0 +1,42 @@
+#include "coll/algorithms.hpp"
+
+#include "util/math.hpp"
+
+namespace wrht::coll {
+
+// Binomial-tree all-reduce: reduce to root 0 in ceil(log2 N) rounds, then
+// broadcast back down the same tree.  Works for any N (senders that would
+// fall outside [0, N) simply do not exist).
+Schedule binomial_tree(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  const unsigned rounds = util::ceil_log2(n);
+
+  Schedule schedule("binomial_tree", n, 1);
+
+  // Reduce: in round r, every node whose low r+1 bits equal 2^r folds its
+  // partial into the node 2^r below it.
+  for (unsigned r = 0; r < rounds; ++r) {
+    const std::uint32_t bit = std::uint32_t{1} << r;
+    Step& step = schedule.add_step();
+    (void)step;
+    for (std::uint32_t i = bit; i < n; ++i) {
+      if ((i & ((bit << 1) - 1)) == bit) {
+        schedule.add_transfer(Transfer{i, i - bit, 0, TransferOp::kReduce});
+      }
+    }
+  }
+
+  // Broadcast: mirror rounds in reverse, copying down the tree.
+  for (unsigned r = rounds; r-- > 0;) {
+    const std::uint32_t bit = std::uint32_t{1} << r;
+    schedule.add_step();
+    for (std::uint32_t i = 0; i + bit < n; ++i) {
+      if ((i & ((bit << 1) - 1)) == 0) {
+        schedule.add_transfer(Transfer{i, i + bit, 0, TransferOp::kCopy});
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,41 @@
+#include "coll/cost_model.hpp"
+
+#include "util/math.hpp"
+
+namespace wrht::coll {
+
+CostBreakdown alpha_beta_cost(const Schedule& schedule, util::Bytes payload,
+                              const AlphaBetaParams& params) {
+  CostBreakdown out;
+  out.steps = schedule.num_steps();
+  out.latency_part =
+      util::Seconds(params.alpha.value() * static_cast<double>(out.steps));
+  for (std::size_t s = 0; s < schedule.num_steps(); ++s) {
+    const util::Bytes bottleneck = step_bottleneck_bytes(schedule, s, payload);
+    out.bandwidth_part += params.bandwidth.transfer_time(bottleneck);
+  }
+  out.total = out.latency_part + out.bandwidth_part;
+  out.total_traffic = schedule.total_traffic(payload);
+  return out;
+}
+
+util::Seconds ring_allreduce_closed_form(std::uint32_t num_nodes,
+                                         util::Bytes payload,
+                                         const AlphaBetaParams& p) {
+  const double steps = 2.0 * (num_nodes - 1);
+  const double chunk =
+      payload.as_double() / static_cast<double>(num_nodes);
+  return util::Seconds(steps *
+                       (p.alpha.value() + chunk / p.bandwidth.bytes_per_second()));
+}
+
+util::Seconds recursive_doubling_closed_form(std::uint32_t num_nodes,
+                                             util::Bytes payload,
+                                             const AlphaBetaParams& p) {
+  const double steps = util::ceil_log2(num_nodes);
+  return util::Seconds(
+      steps * (p.alpha.value() +
+               payload.as_double() / p.bandwidth.bytes_per_second()));
+}
+
+}  // namespace wrht::coll

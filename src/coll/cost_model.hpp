@@ -1,0 +1,41 @@
+// Analytic alpha-beta cost model for schedules on a generic network.
+//
+// Each step costs `alpha` (latency/synchronization) plus the serialization
+// time of the step's single-port bottleneck (the busiest node's send or
+// receive volume) at bandwidth `beta_bandwidth`.  This is the standard model
+// under which ring all-reduce is bandwidth-optimal and recursive doubling is
+// latency-optimal; the simulators refine it with topology and contention.
+#pragma once
+
+#include "coll/schedule.hpp"
+#include "coll/validation.hpp"
+#include "util/units.hpp"
+
+namespace wrht::coll {
+
+struct AlphaBetaParams {
+  util::Seconds alpha{25e-6};
+  util::Bandwidth bandwidth = util::gbps(10.0);
+};
+
+struct CostBreakdown {
+  util::Seconds total;
+  util::Seconds latency_part;   // steps * alpha
+  util::Seconds bandwidth_part; // sum of bottleneck serialization times
+  std::size_t steps = 0;
+  util::Bytes total_traffic;
+};
+
+[[nodiscard]] CostBreakdown alpha_beta_cost(const Schedule& schedule,
+                                            util::Bytes payload,
+                                            const AlphaBetaParams& params);
+
+/// Closed forms used to cross-check the model against the literature.
+/// Ring all-reduce: 2(N-1) * (alpha + D/(N*B)) (up to rounding of D/N).
+[[nodiscard]] util::Seconds ring_allreduce_closed_form(
+    std::uint32_t num_nodes, util::Bytes payload, const AlphaBetaParams& p);
+/// Recursive doubling (power of two): log2(N) * (alpha + D/B).
+[[nodiscard]] util::Seconds recursive_doubling_closed_form(
+    std::uint32_t num_nodes, util::Bytes payload, const AlphaBetaParams& p);
+
+}  // namespace wrht::coll

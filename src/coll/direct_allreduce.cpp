@@ -1,0 +1,21 @@
+#include "coll/algorithms.hpp"
+
+namespace wrht::coll {
+
+// Single-step all-to-all: every node sends its full contribution to every
+// other node, which accumulates all N-1 incoming vectors.  Minimal step
+// count (1), maximal traffic (N(N-1) full-vector transfers); the extreme
+// point of the latency/bandwidth trade-off space.
+Schedule direct_allreduce(std::uint32_t num_nodes) {
+  Schedule schedule("direct", num_nodes, 1);
+  schedule.add_step();
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    for (std::uint32_t j = 0; j < num_nodes; ++j) {
+      if (i == j) continue;
+      schedule.add_transfer(Transfer{i, j, 0, TransferOp::kReduce});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,122 @@
+#include "coll/executor.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/random.hpp"
+
+namespace wrht::coll {
+namespace {
+
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+ChunkRange chunk_range(const Schedule& schedule, std::size_t payload_len,
+                       ChunkId chunk) {
+  const std::uint64_t offset =
+      split_part_offset(payload_len, schedule.num_chunks(), chunk);
+  const std::uint64_t size =
+      split_part_size(payload_len, schedule.num_chunks(), chunk);
+  return ChunkRange{static_cast<std::size_t>(offset),
+                    static_cast<std::size_t>(offset + size)};
+}
+
+}  // namespace
+
+void FunctionalExecutor::run(const Schedule& schedule,
+                             std::vector<std::vector<double>>& node_data) {
+  if (node_data.size() != schedule.num_nodes()) {
+    std::fprintf(stderr, "FunctionalExecutor: %zu payload vectors for %u nodes\n",
+                 node_data.size(), schedule.num_nodes());
+    std::abort();
+  }
+  const std::size_t payload_len = node_data.empty() ? 0 : node_data[0].size();
+  for (const auto& v : node_data) {
+    if (v.size() != payload_len) {
+      std::fprintf(stderr, "FunctionalExecutor: ragged payload vectors\n");
+      std::abort();
+    }
+  }
+  if (payload_len < schedule.num_chunks()) {
+    std::fprintf(stderr,
+                 "FunctionalExecutor: payload length %zu < num_chunks %u\n",
+                 payload_len, schedule.num_chunks());
+    std::abort();
+  }
+
+  std::vector<double> staged;  // flattened pre-step copies of sent chunks
+  for (const Step& step : schedule.steps()) {
+    // Snapshot every sent chunk before mutating anything, so simultaneous
+    // exchanges (e.g. recursive doubling pairs) see pre-step values.
+    staged.clear();
+    std::vector<ChunkRange> ranges;
+    ranges.reserve(step.transfers.size());
+    for (const Transfer& t : step.transfers) {
+      const ChunkRange r = chunk_range(schedule, payload_len, t.chunk);
+      ranges.push_back(r);
+      const std::vector<double>& src = node_data[t.src];
+      staged.insert(staged.end(), src.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                    src.begin() + static_cast<std::ptrdiff_t>(r.end));
+    }
+
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < step.transfers.size(); ++k) {
+      const Transfer& t = step.transfers[k];
+      const ChunkRange r = ranges[k];
+      std::vector<double>& dst = node_data[t.dst];
+      if (t.op == TransferOp::kReduce) {
+        for (std::size_t e = r.begin; e < r.end; ++e) {
+          dst[e] += staged[cursor++];
+        }
+      } else {
+        for (std::size_t e = r.begin; e < r.end; ++e) {
+          dst[e] = staged[cursor++];
+        }
+      }
+    }
+  }
+}
+
+FunctionalExecutor::VerifyResult FunctionalExecutor::verify_allreduce_detailed(
+    const Schedule& schedule, std::size_t payload_len, std::uint64_t seed) {
+  const std::uint32_t n = schedule.num_nodes();
+  util::Rng rng(seed);
+
+  std::vector<std::vector<double>> data(n);
+  std::vector<double> expected(payload_len, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    data[i].resize(payload_len);
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      // Small integers: the sums are exact in double precision, so the
+      // comparison below can be exact too.
+      data[i][e] = static_cast<double>(rng.next_below(1000));
+      expected[e] += data[i][e];
+    }
+  }
+
+  run(schedule, data);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      if (data[i][e] != expected[e]) {
+        return VerifyResult{
+            false, "schedule '" + schedule.name() + "' N=" + std::to_string(n) +
+                       ": node " + std::to_string(i) + " element " +
+                       std::to_string(e) + " = " + std::to_string(data[i][e]) +
+                       ", expected " + std::to_string(expected[e])};
+      }
+    }
+  }
+  return VerifyResult{};
+}
+
+bool FunctionalExecutor::verify_allreduce(const Schedule& schedule,
+                                          std::size_t payload_len,
+                                          std::uint64_t seed) {
+  return verify_allreduce_detailed(schedule, payload_len, seed).ok;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,43 @@
+// Functional executor: runs a Schedule on real payload vectors.
+//
+// This is the correctness oracle for every algorithm in the repository,
+// including Wrht.  Each node holds a payload vector; transfers within a step
+// read the *pre-step* values (MPI superstep semantics: all sends of a step
+// are posted against the state at the start of the step), then reductions
+// and copies are applied.  After a correct all-reduce schedule, every node's
+// vector equals the element-wise sum of all initial vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coll/schedule.hpp"
+
+namespace wrht::coll {
+
+class FunctionalExecutor {
+ public:
+  /// Executes `schedule` in place on `node_data` (one vector per node, all
+  /// the same length, length >= num_chunks).  Aborts on shape mismatch.
+  static void run(const Schedule& schedule,
+                  std::vector<std::vector<double>>& node_data);
+
+  /// Convenience oracle: generates deterministic pseudo-random payloads of
+  /// `payload_len` elements, runs the schedule, and returns true iff every
+  /// node ends with the element-wise sum (within floating-point tolerance).
+  [[nodiscard]] static bool verify_allreduce(const Schedule& schedule,
+                                             std::size_t payload_len,
+                                             std::uint64_t seed = 12345);
+
+  /// Like verify_allreduce but reports the first mismatch found.
+  struct VerifyResult {
+    bool ok = true;
+    std::string message;
+  };
+  [[nodiscard]] static VerifyResult verify_allreduce_detailed(
+      const Schedule& schedule, std::size_t payload_len,
+      std::uint64_t seed = 12345);
+};
+
+}  // namespace wrht::coll

@@ -1,0 +1,88 @@
+#include "coll/algorithms.hpp"
+
+#include "util/math.hpp"
+
+namespace wrht::coll {
+namespace {
+
+// Emits the recursive-halving reduce-scatter rounds for the power-of-two
+// core.  Invariant on exit: chunk c is fully reduced (over the core and any
+// folded extras) at node c.
+void emit_reduce_scatter(Schedule& schedule, std::uint32_t core) {
+  for (std::uint32_t g = core; g > 1; g /= 2) {
+    schedule.add_step();
+    const std::uint32_t half = g / 2;
+    for (std::uint32_t block = 0; block < core; block += g) {
+      for (std::uint32_t i = block; i < block + half; ++i) {
+        const std::uint32_t partner = i + half;
+        // The lower node hands the upper chunk sub-range to its partner and
+        // vice versa; both accumulate.
+        for (std::uint32_t c = block + half; c < block + g; ++c) {
+          schedule.add_transfer(Transfer{i, partner, c, TransferOp::kReduce});
+        }
+        for (std::uint32_t c = block; c < block + half; ++c) {
+          schedule.add_transfer(Transfer{partner, i, c, TransferOp::kReduce});
+        }
+      }
+    }
+  }
+}
+
+// All-gather by recursive doubling: mirrors the halving rounds in reverse
+// with copies, growing each node's fully-reduced range from its own chunk to
+// the whole vector.
+void emit_all_gather(Schedule& schedule, std::uint32_t core) {
+  for (std::uint32_t g = 2; g <= core; g *= 2) {
+    schedule.add_step();
+    const std::uint32_t half = g / 2;
+    for (std::uint32_t block = 0; block < core; block += g) {
+      for (std::uint32_t i = block; i < block + half; ++i) {
+        const std::uint32_t partner = i + half;
+        for (std::uint32_t c = block; c < block + half; ++c) {
+          schedule.add_transfer(Transfer{i, partner, c, TransferOp::kCopy});
+        }
+        for (std::uint32_t c = block + half; c < block + g; ++c) {
+          schedule.add_transfer(Transfer{partner, i, c, TransferOp::kCopy});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// Rabenseifner's algorithm: reduce-scatter by recursive halving followed by
+// all-gather by recursive doubling.  Chunk granularity equals the
+// power-of-two core size; non-powers of two fold/unfold their extras exactly
+// like recursive_doubling does.
+Schedule halving_doubling(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  const std::uint32_t core = std::uint32_t{1} << util::floor_log2(n);
+  const std::uint32_t extras = n - core;
+
+  Schedule schedule("halving_doubling", n, core);
+
+  if (extras > 0) {
+    schedule.add_step();
+    for (std::uint32_t j = 0; j < extras; ++j) {
+      for (std::uint32_t c = 0; c < core; ++c) {
+        schedule.add_transfer(Transfer{core + j, j, c, TransferOp::kReduce});
+      }
+    }
+  }
+
+  emit_reduce_scatter(schedule, core);
+  emit_all_gather(schedule, core);
+
+  if (extras > 0) {
+    schedule.add_step();
+    for (std::uint32_t j = 0; j < extras; ++j) {
+      for (std::uint32_t c = 0; c < core; ++c) {
+        schedule.add_transfer(Transfer{j, core + j, c, TransferOp::kCopy});
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,116 @@
+#include <algorithm>
+
+#include "coll/algorithms.hpp"
+#include "coll/primitives.hpp"
+#include "util/math.hpp"
+
+namespace wrht::coll {
+namespace {
+
+// Append `source`'s steps to `target`, mapping node ids through `id_of` and
+// aligning step s of the source with target step `first_step + s` (creating
+// steps as needed).  This is how per-group sub-schedules run in parallel:
+// every group's round r lands in the same global step.
+void splice(Schedule& target, const Schedule& source, std::size_t first_step,
+            const std::vector<NodeId>& id_of) {
+  for (std::size_t s = 0; s < source.num_steps(); ++s) {
+    while (target.num_steps() < first_step + s + 1) {
+      target.add_step();
+    }
+    // add_transfer appends to the most recent step; since we splice groups
+    // one after another over the same step range, we must index steps
+    // explicitly — so extend Schedule usage: append to the back only.
+    // To keep the IR simple, splice is only called with first_step + s ==
+    // target.num_steps() - 1 (callers iterate rounds outermost).
+    for (const Transfer& t : source.steps()[s].transfers) {
+      target.add_transfer(Transfer{id_of[t.src], id_of[t.dst], t.chunk, t.op});
+    }
+  }
+}
+
+}  // namespace
+
+Schedule hierarchical_allreduce(std::uint32_t num_nodes,
+                                std::uint32_t group_size) {
+  const std::uint32_t n = num_nodes;
+  const std::uint32_t g = std::max(1u, std::min(group_size, n));
+  const std::uint32_t num_groups =
+      static_cast<std::uint32_t>(util::ceil_div(n, g));
+
+  Schedule schedule("hierarchical_g" + std::to_string(g), n, 1);
+
+  struct GroupInfo {
+    std::uint32_t start = 0;
+    std::uint32_t size = 0;
+    std::vector<NodeId> ids;  // logical -> physical
+  };
+  std::vector<GroupInfo> groups;
+  std::vector<NodeId> leaders;
+  for (std::uint32_t start = 0; start < n; start += g) {
+    GroupInfo info;
+    info.start = start;
+    info.size = std::min(g, n - start);
+    for (std::uint32_t i = 0; i < info.size; ++i) {
+      info.ids.push_back(start + i);
+    }
+    leaders.push_back(start);
+    groups.push_back(std::move(info));
+  }
+
+  // Phase A: intra-group reduce to each leader, groups in parallel.  All
+  // sub-schedules are generated once; rounds are interleaved so that round
+  // r of every group shares a global step.
+  std::vector<Schedule> intra_reduce;
+  std::size_t reduce_rounds = 0;
+  for (const GroupInfo& group : groups) {
+    if (group.size < 2) {
+      intra_reduce.emplace_back("noop", 2, 1);  // placeholder, no steps
+      continue;
+    }
+    intra_reduce.push_back(reduce_binomial(group.size, 0));
+    reduce_rounds = std::max(reduce_rounds, intra_reduce.back().num_steps());
+  }
+  for (std::size_t r = 0; r < reduce_rounds; ++r) {
+    schedule.add_step();
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const Schedule& sub = intra_reduce[gi];
+      if (groups[gi].size < 2 || r >= sub.num_steps()) continue;
+      for (const Transfer& t : sub.steps()[r].transfers) {
+        schedule.add_transfer(Transfer{groups[gi].ids[t.src],
+                                       groups[gi].ids[t.dst], 0, t.op});
+      }
+    }
+  }
+
+  // Phase B: leaders all-reduce among themselves by recursive doubling.
+  if (num_groups > 1) {
+    const Schedule among_leaders = recursive_doubling(num_groups);
+    splice(schedule, among_leaders, schedule.num_steps(), leaders);
+  }
+
+  // Phase C: intra-group broadcast from each leader, groups in parallel.
+  std::vector<Schedule> intra_bcast;
+  std::size_t bcast_rounds = 0;
+  for (const GroupInfo& group : groups) {
+    if (group.size < 2) {
+      intra_bcast.emplace_back("noop", 2, 1);
+      continue;
+    }
+    intra_bcast.push_back(broadcast_binomial(group.size, 0));
+    bcast_rounds = std::max(bcast_rounds, intra_bcast.back().num_steps());
+  }
+  for (std::size_t r = 0; r < bcast_rounds; ++r) {
+    schedule.add_step();
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const Schedule& sub = intra_bcast[gi];
+      if (groups[gi].size < 2 || r >= sub.num_steps()) continue;
+      for (const Transfer& t : sub.steps()[r].transfers) {
+        schedule.add_transfer(Transfer{groups[gi].ids[t.src],
+                                       groups[gi].ids[t.dst], 0, t.op});
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,25 @@
+#include "coll/algorithms.hpp"
+
+namespace wrht::coll {
+
+// Unchunked sequential ring: accumulate the full vector hop by hop around
+// the ring (N-1 steps), then circulate the result back (N-1 steps).  This is
+// the textbook "bad" ring all-reduce used as a lower baseline: same step
+// count as the chunked ring but N x the bytes per step and no pipelining.
+Schedule naive_ring(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  Schedule schedule("naive_ring", n, 1);
+
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    schedule.add_step();
+    schedule.add_transfer(Transfer{s, s + 1, 0, TransferOp::kReduce});
+  }
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    schedule.add_step();
+    const std::uint32_t src = (n - 1 + s) % n;
+    schedule.add_transfer(Transfer{src, (src + 1) % n, 0, TransferOp::kCopy});
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

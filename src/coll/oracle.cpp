@@ -1,0 +1,187 @@
+#include "coll/oracle.hpp"
+
+#include <vector>
+
+#include "coll/executor.hpp"
+#include "util/random.hpp"
+
+namespace wrht::coll {
+namespace {
+
+std::vector<std::vector<double>> random_payloads(std::uint32_t num_nodes,
+                                                 std::size_t payload_len,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> data(num_nodes);
+  for (auto& vector : data) {
+    vector.resize(payload_len);
+    for (double& x : vector) {
+      x = static_cast<double>(rng.next_below(1000));
+    }
+  }
+  return data;
+}
+
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+ChunkRange chunk_range(const Schedule& schedule, std::size_t payload_len,
+                       ChunkId chunk) {
+  const std::uint64_t offset =
+      split_part_offset(payload_len, schedule.num_chunks(), chunk);
+  const std::uint64_t size =
+      split_part_size(payload_len, schedule.num_chunks(), chunk);
+  return ChunkRange{static_cast<std::size_t>(offset),
+                    static_cast<std::size_t>(offset + size)};
+}
+
+OracleResult mismatch(const Schedule& schedule, const std::string& what,
+                      NodeId node, std::size_t element) {
+  return OracleResult{
+      false, "schedule '" + schedule.name() + "': " + what + " at node " +
+                 std::to_string(node) + " element " + std::to_string(element)};
+}
+
+}  // namespace
+
+OracleResult Oracle::verify_broadcast(const Schedule& schedule, NodeId root,
+                                      std::size_t payload_len,
+                                      std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  const std::vector<double> expected = data[root];
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      if (data[node][e] != expected[e]) {
+        return mismatch(schedule, "broadcast mismatch", node, e);
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+OracleResult Oracle::verify_reduce(const Schedule& schedule, NodeId root,
+                                   std::size_t payload_len,
+                                   std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  std::vector<double> expected(payload_len, 0.0);
+  for (const auto& vector : data) {
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      expected[e] += vector[e];
+    }
+  }
+  FunctionalExecutor::run(schedule, data);
+  for (std::size_t e = 0; e < payload_len; ++e) {
+    if (data[root][e] != expected[e]) {
+      return mismatch(schedule, "reduce mismatch", root, e);
+    }
+  }
+  return OracleResult{};
+}
+
+OracleResult Oracle::verify_scatter(const Schedule& schedule, NodeId root,
+                                    std::size_t payload_len,
+                                    std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  const std::vector<double> root_initial = data[root];
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+    const ChunkRange r = chunk_range(schedule, payload_len, node);
+    for (std::size_t e = r.begin; e < r.end; ++e) {
+      if (data[node][e] != root_initial[e]) {
+        return mismatch(schedule, "scatter mismatch", node, e);
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+OracleResult Oracle::verify_gather(const Schedule& schedule, NodeId root,
+                                   std::size_t payload_len,
+                                   std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  const auto initial = data;
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+    const ChunkRange r = chunk_range(schedule, payload_len, node);
+    for (std::size_t e = r.begin; e < r.end; ++e) {
+      if (data[root][e] != initial[node][e]) {
+        return mismatch(schedule, "gather mismatch", node, e);
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+OracleResult Oracle::verify_allgather(const Schedule& schedule,
+                                      std::size_t payload_len,
+                                      std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  const auto initial = data;
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId owner = 0; owner < schedule.num_nodes(); ++owner) {
+    const ChunkRange r = chunk_range(schedule, payload_len, owner);
+    for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+      for (std::size_t e = r.begin; e < r.end; ++e) {
+        if (data[node][e] != initial[owner][e]) {
+          return mismatch(schedule, "allgather mismatch", node, e);
+        }
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+OracleResult Oracle::verify_reduce_scatter(const Schedule& schedule,
+                                           std::size_t payload_len,
+                                           std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  std::vector<double> expected(payload_len, 0.0);
+  for (const auto& vector : data) {
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      expected[e] += vector[e];
+    }
+  }
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+    const ChunkRange r = chunk_range(schedule, payload_len, node);
+    for (std::size_t e = r.begin; e < r.end; ++e) {
+      if (data[node][e] != expected[e]) {
+        return mismatch(schedule, "reduce-scatter mismatch", node, e);
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+OracleResult Oracle::verify_allreduce_among(
+    const Schedule& schedule, const std::vector<NodeId>& participants,
+    std::size_t payload_len, std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  const auto initial = data;
+  std::vector<double> expected(payload_len, 0.0);
+  std::vector<bool> is_participant(schedule.num_nodes(), false);
+  for (const NodeId node : participants) {
+    is_participant[node] = true;
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      expected[e] += data[node][e];
+    }
+  }
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      if (is_participant[node]) {
+        if (data[node][e] != expected[e]) {
+          return mismatch(schedule, "subset all-reduce mismatch", node, e);
+        }
+      } else if (data[node][e] != initial[node][e]) {
+        return mismatch(schedule, "non-participant was written", node, e);
+      }
+    }
+  }
+  return OracleResult{};
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,178 @@
+#include "coll/primitives.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace wrht::coll {
+namespace {
+
+// All tree builders work on logical ranks with the root at 0 and map back
+// to physical ids at emission time.
+class Rotation {
+ public:
+  Rotation(std::uint32_t num_nodes, NodeId root)
+      : n_(num_nodes), root_(root) {}
+  [[nodiscard]] NodeId physical(std::uint32_t logical) const {
+    return (logical + root_) % n_;
+  }
+
+ private:
+  std::uint32_t n_;
+  NodeId root_;
+};
+
+}  // namespace
+
+Schedule broadcast_binomial(std::uint32_t num_nodes, NodeId root) {
+  const std::uint32_t n = num_nodes;
+  const Rotation rotate(n, root);
+  Schedule schedule("broadcast_binomial", n, 1);
+  const unsigned rounds = util::ceil_log2(n);
+  for (unsigned r = rounds; r-- > 0;) {
+    const std::uint32_t bit = std::uint32_t{1} << r;
+    schedule.add_step();
+    for (std::uint32_t i = 0; i + bit < n; ++i) {
+      if ((i & ((bit << 1) - 1)) == 0) {
+        schedule.add_transfer(Transfer{rotate.physical(i),
+                                       rotate.physical(i + bit), 0,
+                                       TransferOp::kCopy});
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule broadcast_ring_pipelined(std::uint32_t num_nodes, NodeId root) {
+  const std::uint32_t n = num_nodes;
+  const Rotation rotate(n, root);
+  Schedule schedule("broadcast_ring_pipelined", n, n);
+  // Chunk c departs the root at step c; the frontier of chunk c at step t
+  // is logical node t - c, which forwards to its successor while
+  // 0 <= t - c <= n - 2.
+  const std::uint32_t last_step = (n - 2) + (n - 1);
+  for (std::uint32_t t = 0; t <= last_step; ++t) {
+    schedule.add_step();
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (t < c) break;  // chunk not yet departed
+      const std::uint32_t hop = t - c;
+      if (hop > n - 2) continue;  // chunk already delivered everywhere
+      schedule.add_transfer(Transfer{rotate.physical(hop),
+                                     rotate.physical(hop + 1), c,
+                                     TransferOp::kCopy});
+    }
+  }
+  return schedule;
+}
+
+Schedule reduce_binomial(std::uint32_t num_nodes, NodeId root) {
+  const std::uint32_t n = num_nodes;
+  const Rotation rotate(n, root);
+  Schedule schedule("reduce_binomial", n, 1);
+  const unsigned rounds = util::ceil_log2(n);
+  for (unsigned r = 0; r < rounds; ++r) {
+    const std::uint32_t bit = std::uint32_t{1} << r;
+    schedule.add_step();
+    for (std::uint32_t i = bit; i < n; ++i) {
+      if ((i & ((bit << 1) - 1)) == bit) {
+        schedule.add_transfer(Transfer{rotate.physical(i),
+                                       rotate.physical(i - bit), 0,
+                                       TransferOp::kReduce});
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule scatter_binomial(std::uint32_t num_nodes, NodeId root) {
+  const std::uint32_t n = num_nodes;
+  const Rotation rotate(n, root);
+  Schedule schedule("scatter_binomial", n, n);
+  // Chunks are indexed by *physical* destination; logical rank j is due the
+  // chunk of physical node rotate.physical(j).  Each round passes the upper
+  // half of a subtree root's range to the subtree at distance 2^r.
+  const unsigned rounds = util::ceil_log2(n);
+  for (unsigned r = rounds; r-- > 0;) {
+    const std::uint32_t bit = std::uint32_t{1} << r;
+    schedule.add_step();
+    for (std::uint32_t i = 0; i + bit < n; ++i) {
+      if ((i & ((bit << 1) - 1)) != 0) continue;
+      const std::uint32_t range_end = std::min(n, i + (bit << 1));
+      for (std::uint32_t j = i + bit; j < range_end; ++j) {
+        schedule.add_transfer(Transfer{rotate.physical(i),
+                                       rotate.physical(i + bit),
+                                       rotate.physical(j), TransferOp::kCopy});
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule gather_binomial(std::uint32_t num_nodes, NodeId root) {
+  const std::uint32_t n = num_nodes;
+  const Rotation rotate(n, root);
+  Schedule schedule("gather_binomial", n, n);
+  const unsigned rounds = util::ceil_log2(n);
+  for (unsigned r = 0; r < rounds; ++r) {
+    const std::uint32_t bit = std::uint32_t{1} << r;
+    schedule.add_step();
+    for (std::uint32_t i = bit; i < n; ++i) {
+      if ((i & ((bit << 1) - 1)) != bit) continue;
+      // Logical i has accumulated the chunks of logical [i, i + bit).
+      const std::uint32_t range_end = std::min(n, i + bit);
+      for (std::uint32_t j = i; j < range_end; ++j) {
+        schedule.add_transfer(Transfer{rotate.physical(i),
+                                       rotate.physical(i - bit),
+                                       rotate.physical(j), TransferOp::kCopy});
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule allgather_ring(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  Schedule schedule("allgather_ring", n, n);
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    schedule.add_step();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      schedule.add_transfer(Transfer{i, (i + 1) % n, (i + n - s % n) % n,
+                                     TransferOp::kCopy});
+    }
+  }
+  return schedule;
+}
+
+Schedule allgather_bruck(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  Schedule schedule("allgather_bruck", n, n);
+  for (std::uint32_t block = 1; block < n; block <<= 1) {
+    schedule.add_step();
+    const std::uint32_t send_count = std::min(block, n - block);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId dst = (i + n - block % n) % n;
+      for (std::uint32_t j = 0; j < send_count; ++j) {
+        schedule.add_transfer(
+            Transfer{i, dst, (i + j) % n, TransferOp::kCopy});
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule reduce_scatter_ring(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  Schedule schedule("reduce_scatter_ring", n, n);
+  // Shifted ring reduce-scatter: the fully reduced chunk i lands on node i.
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    schedule.add_step();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t chunk = (i + n - (s + 1) % n) % n;
+      schedule.add_transfer(
+          Transfer{i, (i + 1) % n, chunk, TransferOp::kReduce});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

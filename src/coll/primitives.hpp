@@ -1,0 +1,53 @@
+// Schedule builders for the full family of collective primitives, in the
+// same IR as the all-reduce algorithms.  A collectives library is more than
+// all-reduce; distributed training also broadcasts initial weights,
+// reduce-scatters optimizer states (ZeRO), and all-gathers parameters.
+// Every builder here is proven against its mathematical definition by the
+// oracles in coll/oracle.hpp.
+//
+// Placement conventions (what the oracles check):
+//   broadcast_*   every node ends with the root's vector
+//   reduce_*      the root ends with the element-wise sum
+//   scatter_*     node i ends with the root's chunk i         (chunks = N)
+//   gather_*      the root ends with node i's chunk i in slot i
+//   allgather_*   every node ends with node i's chunk i in slot i
+//   reduce_scatter_ring   node i ends with the fully reduced chunk i
+#pragma once
+
+#include "coll/schedule.hpp"
+
+namespace wrht::coll {
+
+/// Binomial-tree broadcast from `root`: ceil(log2 N) steps, full vector.
+[[nodiscard]] Schedule broadcast_binomial(std::uint32_t num_nodes,
+                                          NodeId root);
+
+/// Pipelined ring broadcast from `root`: N chunks flow around the ring;
+/// N - 1 + (N - 1) steps but only one chunk per link per step, so the
+/// bandwidth term is ~D instead of D log N.
+[[nodiscard]] Schedule broadcast_ring_pipelined(std::uint32_t num_nodes,
+                                                NodeId root);
+
+/// Binomial-tree reduce to `root`: ceil(log2 N) steps, full vector.
+[[nodiscard]] Schedule reduce_binomial(std::uint32_t num_nodes, NodeId root);
+
+/// Binomial scatter from `root` (chunks = N): the root's chunk i reaches
+/// node i; each round halves the range a subtree root is responsible for.
+[[nodiscard]] Schedule scatter_binomial(std::uint32_t num_nodes, NodeId root);
+
+/// Binomial gather to `root` (chunks = N): node i's chunk i reaches the
+/// root's slot i.
+[[nodiscard]] Schedule gather_binomial(std::uint32_t num_nodes, NodeId root);
+
+/// Ring all-gather (chunks = N): N - 1 neighbour steps.
+[[nodiscard]] Schedule allgather_ring(std::uint32_t num_nodes);
+
+/// Bruck all-gather (chunks = N): ceil(log2 N) steps, works for any N;
+/// step k moves 2^k chunks per node.
+[[nodiscard]] Schedule allgather_bruck(std::uint32_t num_nodes);
+
+/// Ring reduce-scatter (chunks = N): N - 1 neighbour steps; node i ends
+/// with the fully reduced chunk i.
+[[nodiscard]] Schedule reduce_scatter_ring(std::uint32_t num_nodes);
+
+}  // namespace wrht::coll

@@ -1,0 +1,47 @@
+#include "coll/algorithms.hpp"
+
+#include "util/math.hpp"
+
+namespace wrht::coll {
+
+// Recursive-doubling all-reduce on the full vector (single chunk).
+//
+// For N = 2^k: in round r, node i exchanges its running partial sum with
+// partner i XOR 2^r; both accumulate.  After k rounds every node holds the
+// total.  For non-powers of two, the standard fold: the top r = N - 2^k
+// "extra" nodes first fold their contribution into their partner below, the
+// power-of-two core runs recursive doubling, and a final unfold copies the
+// result back out.
+Schedule recursive_doubling(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  const std::uint32_t core =
+      std::uint32_t{1} << util::floor_log2(n);  // largest power of two <= n
+  const std::uint32_t extras = n - core;
+
+  Schedule schedule("recursive_doubling", n, 1);
+
+  if (extras > 0) {
+    schedule.add_step();
+    for (std::uint32_t j = 0; j < extras; ++j) {
+      schedule.add_transfer(
+          Transfer{core + j, j, 0, TransferOp::kReduce});
+    }
+  }
+
+  for (std::uint32_t bit = 1; bit < core; bit <<= 1) {
+    schedule.add_step();
+    for (std::uint32_t i = 0; i < core; ++i) {
+      schedule.add_transfer(Transfer{i, i ^ bit, 0, TransferOp::kReduce});
+    }
+  }
+
+  if (extras > 0) {
+    schedule.add_step();
+    for (std::uint32_t j = 0; j < extras; ++j) {
+      schedule.add_transfer(Transfer{j, core + j, 0, TransferOp::kCopy});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,41 @@
+#include "coll/algorithms.hpp"
+
+namespace wrht::coll {
+
+// Bandwidth-optimal ring all-reduce (Patarasuk & Yuan, JPDC'09).
+//
+// The payload is split into N chunks.  Reduce-scatter phase: in step
+// s (0 <= s < N-1) node i sends chunk (i - s) mod N to node (i + 1) mod N,
+// which accumulates it.  After N-1 steps node i holds the fully reduced
+// chunk (i + 1) mod N.  All-gather phase: in step s node i forwards chunk
+// (i + 1 - s) mod N to node (i + 1) mod N, which overwrites its copy.
+Schedule ring_allreduce(std::uint32_t num_nodes) {
+  const std::uint32_t n = num_nodes;
+  Schedule schedule("ring", n, n);
+
+  const auto chunk_at = [n](std::uint32_t node, std::uint32_t back) {
+    return (node + n - back % n) % n;
+  };
+
+  // Reduce-scatter.
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    schedule.add_step();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      schedule.add_transfer(Transfer{
+          i, (i + 1) % n, chunk_at(i, s), TransferOp::kReduce});
+    }
+  }
+  // All-gather.
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    schedule.add_step();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Node i holds fully-reduced chunk (i+1) after reduce-scatter and has
+      // received chunks (i+1-1), (i+1-2), ... in earlier all-gather steps.
+      const std::uint32_t chunk = (i + 1 + n - s % n) % n;
+      schedule.add_transfer(Transfer{i, (i + 1) % n, chunk, TransferOp::kCopy});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,92 @@
+#include "coll/validation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace wrht::coll {
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const ValidationIssue& e : errors) {
+    out += "ERROR step " + std::to_string(e.step) + ": " + e.description + "\n";
+  }
+  for (const ValidationIssue& w : warnings) {
+    out += "WARN step " + std::to_string(w.step) + ": " + w.description + "\n";
+  }
+  if (out.empty()) out = "ok\n";
+  return out;
+}
+
+ValidationReport validate(const Schedule& schedule, std::uint32_t warn_fan_in) {
+  ValidationReport report;
+  for (std::size_t s = 0; s < schedule.steps().size(); ++s) {
+    const Step& step = schedule.steps()[s];
+
+    std::set<std::tuple<NodeId, NodeId, ChunkId, TransferOp>> seen;
+    // (dst, chunk) -> has_copy, has_reduce
+    std::map<std::pair<NodeId, ChunkId>, std::pair<bool, bool>> writers;
+    std::map<NodeId, std::uint32_t> fan_in;
+
+    for (const Transfer& t : step.transfers) {
+      if (!seen.insert({t.src, t.dst, t.chunk, t.op}).second) {
+        report.errors.push_back(
+            {s, "duplicate transfer " + std::to_string(t.src) + "->" +
+                    std::to_string(t.dst) + " chunk " + std::to_string(t.chunk)});
+      }
+      auto& [has_copy, has_reduce] = writers[{t.dst, t.chunk}];
+      if (t.op == TransferOp::kCopy) {
+        if (has_copy) {
+          report.errors.push_back(
+              {s, "two copies write node " + std::to_string(t.dst) +
+                      " chunk " + std::to_string(t.chunk)});
+        }
+        if (has_reduce) {
+          report.errors.push_back(
+              {s, "copy and reduce both write node " + std::to_string(t.dst) +
+                      " chunk " + std::to_string(t.chunk)});
+        }
+        has_copy = true;
+      } else {
+        if (has_copy) {
+          report.errors.push_back(
+              {s, "reduce and copy both write node " + std::to_string(t.dst) +
+                      " chunk " + std::to_string(t.chunk)});
+        }
+        has_reduce = true;
+      }
+      fan_in[t.dst]++;
+    }
+
+    for (const auto& [node, count] : fan_in) {
+      if (count > warn_fan_in) {
+        report.warnings.push_back(
+            {s, "node " + std::to_string(node) + " receives " +
+                    std::to_string(count) + " concurrent transfers"});
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<NodeLoad> step_loads(const Schedule& schedule, std::size_t step,
+                                 util::Bytes payload) {
+  std::vector<NodeLoad> loads(schedule.num_nodes());
+  for (const Transfer& t : schedule.steps()[step].transfers) {
+    const util::Bytes bytes = schedule.chunk_bytes(payload, t.chunk);
+    loads[t.src].sent += bytes;
+    loads[t.dst].received += bytes;
+  }
+  return loads;
+}
+
+util::Bytes step_bottleneck_bytes(const Schedule& schedule, std::size_t step,
+                                  util::Bytes payload) {
+  util::Bytes worst;
+  for (const NodeLoad& load : step_loads(schedule, step, payload)) {
+    worst = std::max({worst, load.sent, load.received});
+  }
+  return worst;
+}
+
+}  // namespace wrht::coll

@@ -1,0 +1,56 @@
+// Structural schedule validation and per-step load accounting.
+//
+// The functional executor proves semantic correctness; these checks catch
+// *physical* nonsense that would still compute the right answer: two copies
+// racing into the same buffer, a node exceeding its port count, etc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coll/schedule.hpp"
+
+namespace wrht::coll {
+
+struct ValidationIssue {
+  std::size_t step = 0;
+  std::string description;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> errors;
+  std::vector<ValidationIssue> warnings;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks, per step:
+///  * no two kCopy transfers write the same (dst, chunk)  -> error
+///  * no kCopy and kReduce both write the same (dst, chunk) -> error
+///    (the result would depend on apply order)
+///  * no duplicate identical transfer                      -> error
+/// And reports as warnings:
+///  * fan-in > warn_fan_in concurrent incoming transfers at one node
+[[nodiscard]] ValidationReport validate(const Schedule& schedule,
+                                        std::uint32_t warn_fan_in = 64);
+
+/// Per-node byte load of one step under a single-port model: how many bytes
+/// the node sends and receives in that step.
+struct NodeLoad {
+  util::Bytes sent;
+  util::Bytes received;
+};
+
+/// Load matrix for step `step` of `schedule` with payload `payload`.
+[[nodiscard]] std::vector<NodeLoad> step_loads(const Schedule& schedule,
+                                               std::size_t step,
+                                               util::Bytes payload);
+
+/// The largest single-node send or receive volume in the step (the
+/// single-port bottleneck that determines the step's serialization time).
+[[nodiscard]] util::Bytes step_bottleneck_bytes(const Schedule& schedule,
+                                                std::size_t step,
+                                                util::Bytes payload);
+
+}  // namespace wrht::coll

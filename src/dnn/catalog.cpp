@@ -1,0 +1,188 @@
+#include "dnn/catalog.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace wrht::dnn {
+namespace {
+
+// Parameter count of a conv layer with bias: (kh*kw*cin + 1) * cout.
+constexpr std::uint64_t conv(std::uint64_t kh, std::uint64_t kw,
+                             std::uint64_t cin, std::uint64_t cout) {
+  return (kh * kw * cin + 1) * cout;
+}
+// Conv without bias (ResNet convention: BN provides the affine terms).
+constexpr std::uint64_t conv_nb(std::uint64_t kh, std::uint64_t kw,
+                                std::uint64_t cin, std::uint64_t cout) {
+  return kh * kw * cin * cout;
+}
+// BatchNorm learnable parameters (gamma, beta).
+constexpr std::uint64_t bn(std::uint64_t channels) { return 2 * channels; }
+// Fully connected with bias.
+constexpr std::uint64_t fc(std::uint64_t in, std::uint64_t out) {
+  return (in + 1) * out;
+}
+
+}  // namespace
+
+Model alexnet() {
+  Model model("AlexNet", 62'300'000);  // paper: "62.3M parameters"
+  model.add_layer({"conv1", LayerKind::kConvolution, conv(11, 11, 3, 96)});
+  model.add_layer({"conv2", LayerKind::kConvolution, conv(5, 5, 96, 256)});
+  model.add_layer({"conv3", LayerKind::kConvolution, conv(3, 3, 256, 384)});
+  model.add_layer({"conv4", LayerKind::kConvolution, conv(3, 3, 384, 384)});
+  model.add_layer({"conv5", LayerKind::kConvolution, conv(3, 3, 384, 256)});
+  model.add_layer({"fc6", LayerKind::kFullyConnected, fc(6 * 6 * 256, 4096)});
+  model.add_layer({"fc7", LayerKind::kFullyConnected, fc(4096, 4096)});
+  model.add_layer({"fc8", LayerKind::kFullyConnected, fc(4096, 1000)});
+  return model;
+}
+
+namespace {
+
+// Shared VGG builder: `extra_convs` > 0 adds the fourth conv in stages
+// 3/4/5 (turning VGG16 into VGG19).
+Model make_vgg(const char* name, std::uint64_t declared, bool deep) {
+  Model model(name, declared);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cfg = {
+      {3, 64},   {64, 64},   {64, 128},  {128, 128},
+      {128, 256}, {256, 256}, {256, 256},
+  };
+  if (deep) cfg.emplace_back(256, 256);
+  cfg.insert(cfg.end(), {{256, 512}, {512, 512}, {512, 512}});
+  if (deep) cfg.emplace_back(512, 512);
+  cfg.insert(cfg.end(), {{512, 512}, {512, 512}, {512, 512}});
+  if (deep) cfg.emplace_back(512, 512);
+
+  int index = 1;
+  for (const auto& [cin, cout] : cfg) {
+    model.add_layer({"conv" + std::to_string(index++),
+                     LayerKind::kConvolution, conv(3, 3, cin, cout)});
+  }
+  model.add_layer({"fc" + std::to_string(index++),
+                   LayerKind::kFullyConnected, fc(7 * 7 * 512, 4096)});
+  model.add_layer({"fc" + std::to_string(index++),
+                   LayerKind::kFullyConnected, fc(4096, 4096)});
+  model.add_layer({"fc" + std::to_string(index),
+                   LayerKind::kFullyConnected, fc(4096, 1000)});
+  return model;
+}
+
+// Shared bottleneck-ResNet builder (ResNet-50/101/152 differ only in the
+// per-stage block counts).
+Model make_resnet(const char* name, std::uint64_t declared,
+                  const int (&blocks)[4]) {
+  Model model(name, declared);
+  model.add_layer({"conv1", LayerKind::kConvolution,
+                   conv_nb(7, 7, 3, 64) + bn(64)});
+
+  // Bottleneck block: 1x1 (in->mid) + 3x3 (mid->mid) + 1x1 (mid->out), each
+  // followed by BN; the first block of each stage adds a 1x1 projection on
+  // the shortcut.
+  const auto bottleneck = [](std::uint64_t in, std::uint64_t mid,
+                             std::uint64_t out, bool downsample) {
+    std::uint64_t p = conv_nb(1, 1, in, mid) + bn(mid) +
+                      conv_nb(3, 3, mid, mid) + bn(mid) +
+                      conv_nb(1, 1, mid, out) + bn(out);
+    if (downsample) p += conv_nb(1, 1, in, out) + bn(out);
+    return p;
+  };
+
+  const std::uint64_t mids[4] = {64, 128, 256, 512};
+  std::uint64_t in = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::uint64_t mid = mids[stage];
+    const std::uint64_t out = mid * 4;
+    for (int b = 0; b < blocks[stage]; ++b) {
+      model.add_layer({"layer" + std::to_string(stage + 1) + ".block" +
+                           std::to_string(b),
+                       LayerKind::kBlock, bottleneck(in, mid, out, b == 0)});
+      in = out;
+    }
+  }
+  model.add_layer({"fc", LayerKind::kFullyConnected, fc(2048, 1000)});
+  return model;
+}
+
+}  // namespace
+
+Model vgg16() {
+  return make_vgg("VGG16", 138'000'000, /*deep=*/false);  // paper: "138M"
+}
+
+Model vgg19() {
+  // declared == table: 143,667,240 (torchvision).
+  return make_vgg("VGG19", 143'667'240, /*deep=*/true);
+}
+
+Model resnet50() {
+  return make_resnet("ResNet50", 25'000'000, {3, 4, 6, 3});  // paper: "25M"
+}
+
+Model resnet101() {
+  return make_resnet("ResNet101", 44'549'160, {3, 4, 23, 3});
+}
+
+Model resnet152() {
+  return make_resnet("ResNet152", 60'192'808, {3, 8, 36, 3});
+}
+
+Model googlenet() {
+  Model model("GoogLeNet", 6'797'700);  // paper: "6.7977M parameters"
+  model.add_layer({"conv1", LayerKind::kConvolution, conv(7, 7, 3, 64)});
+  model.add_layer({"conv2_reduce", LayerKind::kConvolution,
+                   conv(1, 1, 64, 64)});
+  model.add_layer({"conv2", LayerKind::kConvolution, conv(3, 3, 64, 192)});
+
+  // Inception module: four parallel branches (1x1; 1x1->3x3; 1x1->5x5;
+  // pool->1x1 projection).  Channel table from Szegedy et al., Table 1.
+  const auto inception = [](std::uint64_t in, std::uint64_t c1,
+                            std::uint64_t r3, std::uint64_t c3,
+                            std::uint64_t r5, std::uint64_t c5,
+                            std::uint64_t pp) {
+    return conv(1, 1, in, c1) + conv(1, 1, in, r3) + conv(3, 3, r3, c3) +
+           conv(1, 1, in, r5) + conv(5, 5, r5, c5) + conv(1, 1, in, pp);
+  };
+
+  struct Module {
+    const char* name;
+    std::uint64_t in, c1, r3, c3, r5, c5, pp;
+  };
+  const Module modules[] = {
+      {"inception3a", 192, 64, 96, 128, 16, 32, 32},
+      {"inception3b", 256, 128, 128, 192, 32, 96, 64},
+      {"inception4a", 480, 192, 96, 208, 16, 48, 64},
+      {"inception4b", 512, 160, 112, 224, 24, 64, 64},
+      {"inception4c", 512, 128, 128, 256, 24, 64, 64},
+      {"inception4d", 512, 112, 144, 288, 32, 64, 64},
+      {"inception4e", 528, 256, 160, 320, 32, 128, 128},
+      {"inception5a", 832, 256, 160, 320, 32, 128, 128},
+      {"inception5b", 832, 384, 192, 384, 48, 128, 128},
+  };
+  for (const Module& mod : modules) {
+    model.add_layer({mod.name, LayerKind::kInception,
+                     inception(mod.in, mod.c1, mod.r3, mod.c3, mod.r5, mod.c5,
+                               mod.pp)});
+  }
+  model.add_layer({"fc", LayerKind::kFullyConnected, fc(1024, 1000)});
+  return model;
+}
+
+std::vector<Model> paper_models() {
+  std::vector<Model> models;
+  models.push_back(alexnet());
+  models.push_back(vgg16());
+  models.push_back(resnet50());
+  models.push_back(googlenet());
+  return models;
+}
+
+std::vector<Model> all_models() {
+  std::vector<Model> models = paper_models();
+  models.push_back(vgg19());
+  models.push_back(resnet101());
+  models.push_back(resnet152());
+  return models;
+}
+
+}  // namespace wrht::dnn

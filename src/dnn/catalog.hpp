@@ -1,0 +1,39 @@
+// The four ImageNet networks the paper evaluates (Figure 2), with
+// layer-level parameter tables.
+//
+//   AlexNet    declared 62.3 M  (table: 62,378,344 — the original
+//              Krizhevsky architecture counted with biases)
+//   VGG16      declared 138 M   (table: 138,357,544 — exact)
+//   ResNet50   declared 25 M    (table: 25,557,032 — conv+BN+fc, exact)
+//   GoogLeNet  declared 6.7977 M (table: original Inception-v1 with biases,
+//              no auxiliary heads; within ~3% of the declared figure)
+//
+// `declared_params()` returns the paper's number (what the Figure-2 benches
+// transfer); `table_params()` sums the layer table (what layer-wise
+// bucketing uses).  Tests pin both.
+#pragma once
+
+#include <vector>
+
+#include "dnn/model.hpp"
+
+namespace wrht::dnn {
+
+[[nodiscard]] Model alexnet();
+[[nodiscard]] Model vgg16();
+[[nodiscard]] Model resnet50();
+[[nodiscard]] Model googlenet();
+
+/// Beyond the paper's four: deeper variants with published parameter
+/// counts, for scaling studies (declared == table for these).
+[[nodiscard]] Model vgg19();      // 143,667,240
+[[nodiscard]] Model resnet101();  // 44,549,160
+[[nodiscard]] Model resnet152();  // 60,192,808
+
+/// The Figure-2 model set in the paper's order.
+[[nodiscard]] std::vector<Model> paper_models();
+
+/// Everything in the catalog (paper models + extras).
+[[nodiscard]] std::vector<Model> all_models();
+
+}  // namespace wrht::dnn

@@ -1,0 +1,41 @@
+#include "dnn/gradient.hpp"
+
+namespace wrht::dnn {
+
+util::Bytes layer_gradient_bytes(const Layer& layer, DType dtype) {
+  return util::Bytes(layer.params * dtype_bytes(dtype));
+}
+
+std::vector<Bucket> bucketize(const Model& model,
+                              const BucketingOptions& options) {
+  std::vector<Bucket> buckets;
+  Bucket current;
+  // Reverse layer order: the last layer's gradient is ready first.
+  for (std::size_t i = model.layers().size(); i-- > 0;) {
+    const util::Bytes bytes =
+        layer_gradient_bytes(model.layers()[i], options.dtype);
+    if (bytes.count() == 0) {
+      // Parameter-free layers (pooling) ride along in the current bucket so
+      // indices stay complete.
+      current.layer_indices.push_back(i);
+      continue;
+    }
+    if (!current.layer_indices.empty() &&
+        current.bytes + bytes > options.capacity) {
+      buckets.push_back(std::move(current));
+      current = Bucket{};
+    }
+    current.layer_indices.push_back(i);
+    current.bytes += bytes;
+  }
+  if (!current.layer_indices.empty()) buckets.push_back(std::move(current));
+  return buckets;
+}
+
+util::Bytes total_bucket_bytes(const std::vector<Bucket>& buckets) {
+  util::Bytes total;
+  for (const Bucket& bucket : buckets) total += bucket.bytes;
+  return total;
+}
+
+}  // namespace wrht::dnn

@@ -1,0 +1,39 @@
+// Gradient sizing and bucketing.
+//
+// DDP-style training fuses per-layer gradients into fixed-capacity buckets,
+// filled in reverse layer order (gradients become ready back-to-front during
+// backprop).  The bucket list is what the overlap-aware training model and
+// the layer-wise all-reduce examples consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/model.hpp"
+#include "util/units.hpp"
+
+namespace wrht::dnn {
+
+struct Bucket {
+  std::vector<std::size_t> layer_indices;  // into Model::layers()
+  util::Bytes bytes;
+};
+
+struct BucketingOptions {
+  util::Bytes capacity = util::mebibytes(25);
+  DType dtype = DType::kF32;
+};
+
+/// Greedy reverse-order bucketing: walk layers back-to-front, close a bucket
+/// when adding the next layer would exceed capacity (a single oversized
+/// layer gets a bucket of its own).  Never returns an empty bucket.
+[[nodiscard]] std::vector<Bucket> bucketize(const Model& model,
+                                            const BucketingOptions& options);
+
+/// Gradient bytes of one layer at the given precision.
+[[nodiscard]] util::Bytes layer_gradient_bytes(const Layer& layer, DType dtype);
+
+/// Sum of all bucket sizes == table_params * dtype size.
+[[nodiscard]] util::Bytes total_bucket_bytes(const std::vector<Bucket>& buckets);
+
+}  // namespace wrht::dnn

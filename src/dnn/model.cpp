@@ -1,0 +1,74 @@
+#include "dnn/model.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::dnn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConvolution:
+      return "conv";
+    case LayerKind::kFullyConnected:
+      return "fc";
+    case LayerKind::kNormalization:
+      return "norm";
+    case LayerKind::kPooling:
+      return "pool";
+    case LayerKind::kInception:
+      return "inception";
+    case LayerKind::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+std::uint32_t dtype_bytes(DType dtype) {
+  switch (dtype) {
+    case DType::kF64:
+      return 8;
+    case DType::kF32:
+      return 4;
+    case DType::kF16:
+    case DType::kBF16:
+      return 2;
+  }
+  return 4;
+}
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF64:
+      return "f64";
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kBF16:
+      return "bf16";
+  }
+  return "?";
+}
+
+Model::Model(std::string name, std::uint64_t declared_params)
+    : name_(std::move(name)), declared_params_(declared_params) {
+  if (declared_params_ == 0) {
+    std::fprintf(stderr, "Model '%s': declared params must be positive\n",
+                 name_.c_str());
+    std::abort();
+  }
+}
+
+void Model::add_layer(Layer layer) { layers_.push_back(std::move(layer)); }
+
+std::uint64_t Model::table_params() const {
+  std::uint64_t sum = 0;
+  for (const Layer& layer : layers_) sum += layer.params;
+  return sum;
+}
+
+util::Bytes Model::gradient_bytes(DType dtype) const {
+  return util::Bytes(declared_params_ * dtype_bytes(dtype));
+}
+
+}  // namespace wrht::dnn

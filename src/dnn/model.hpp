@@ -1,0 +1,68 @@
+// Layer-level DNN model descriptions.
+//
+// Distributed data-parallel training only exposes one property of the model
+// to the communication layer: the per-layer gradient sizes.  A Model is a
+// list of layers with parameter counts; the catalog (catalog.hpp) provides
+// the four networks the paper evaluates with parameter tables that sum to
+// the published totals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wrht::dnn {
+
+enum class LayerKind : std::uint8_t {
+  kConvolution,
+  kFullyConnected,
+  kNormalization,
+  kPooling,     // no parameters; kept so layer indices match the paper nets
+  kInception,   // composite (GoogLeNet); params aggregated over branches
+  kBlock,       // composite (ResNet bottleneck)
+};
+
+[[nodiscard]] const char* layer_kind_name(LayerKind kind);
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kConvolution;
+  std::uint64_t params = 0;
+};
+
+enum class DType : std::uint8_t { kF64, kF32, kF16, kBF16 };
+
+[[nodiscard]] std::uint32_t dtype_bytes(DType dtype);
+[[nodiscard]] const char* dtype_name(DType dtype);
+
+class Model {
+ public:
+  Model(std::string name, std::uint64_t declared_params);
+
+  void add_layer(Layer layer);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Sum of the layer table.
+  [[nodiscard]] std::uint64_t table_params() const;
+
+  /// The parameter count the paper states for this model (used by the
+  /// Figure-2 benches so gradient sizes match the paper exactly).
+  [[nodiscard]] std::uint64_t declared_params() const {
+    return declared_params_;
+  }
+
+  /// Gradient bytes for one replica at the given precision, using the
+  /// declared parameter count.
+  [[nodiscard]] util::Bytes gradient_bytes(DType dtype = DType::kF32) const;
+
+ private:
+  std::string name_;
+  std::uint64_t declared_params_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace wrht::dnn

@@ -1,0 +1,66 @@
+#include "dnn/training.hpp"
+
+#include <algorithm>
+
+namespace wrht::dnn {
+
+IterationTimeline simulate_iteration(const Model& model,
+                                     const TrainingParams& params,
+                                     const AllReduceTimeFn& allreduce_time) {
+  IterationTimeline timeline;
+  timeline.compute_time = params.forward_time + params.backward_time;
+
+  if (!params.overlap) {
+    const util::Seconds comm =
+        allreduce_time(model.gradient_bytes(params.bucketing.dtype));
+    timeline.num_buckets = 1;
+    timeline.bucket_ready = {timeline.compute_time};
+    timeline.bucket_done = {timeline.compute_time + comm};
+    timeline.total_time = timeline.bucket_done.back();
+    timeline.exposed_comm_time = comm;
+    return timeline;
+  }
+
+  const std::vector<Bucket> buckets = bucketize(model, params.bucketing);
+  timeline.num_buckets = buckets.size();
+
+  // Backward progress is proportional to parameter mass processed; bucket k
+  // (built back-to-front) is ready once the cumulative mass through it has
+  // been backpropagated.
+  const double total_params = static_cast<double>(model.table_params());
+  const double bwd = params.backward_time.value();
+  const util::Seconds bwd_start = params.forward_time;
+
+  double cumulative = 0.0;
+  util::Seconds network_free = util::Seconds(0.0);
+  for (const Bucket& bucket : buckets) {
+    double bucket_params = 0.0;
+    for (const std::size_t layer : bucket.layer_indices) {
+      bucket_params += static_cast<double>(model.layers()[layer].params);
+    }
+    cumulative += bucket_params;
+    const util::Seconds ready =
+        bwd_start +
+        util::Seconds(total_params > 0.0 ? bwd * cumulative / total_params
+                                         : bwd);
+    const util::Seconds start = std::max(ready, network_free);
+    const util::Seconds done = start + allreduce_time(bucket.bytes);
+    network_free = done;
+    timeline.bucket_ready.push_back(ready);
+    timeline.bucket_done.push_back(done);
+  }
+
+  timeline.total_time =
+      std::max(timeline.compute_time,
+               timeline.bucket_done.empty() ? timeline.compute_time
+                                            : timeline.bucket_done.back());
+  timeline.exposed_comm_time = timeline.total_time - timeline.compute_time;
+  return timeline;
+}
+
+double comm_fraction(const IterationTimeline& timeline) {
+  if (timeline.total_time.value() <= 0.0) return 0.0;
+  return timeline.exposed_comm_time.value() / timeline.total_time.value();
+}
+
+}  // namespace wrht::dnn

@@ -1,0 +1,56 @@
+// Training-iteration timeline model with compute/communication overlap.
+//
+// One data-parallel iteration: forward pass, then backward pass during which
+// gradient buckets become ready back-to-front; each ready bucket is
+// all-reduced.  Communication of bucket k can start only when (a) the bucket
+// is ready and (b) the previous all-reduce finished (collectives serialize
+// on the network).  The iteration ends when the last all-reduce completes.
+//
+// The model takes an abstract per-bucket all-reduce time function, so the
+// same timeline logic runs over the optical Wrht executor, the electrical
+// flow simulator, or an analytic cost model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dnn/gradient.hpp"
+#include "dnn/model.hpp"
+#include "util/units.hpp"
+
+namespace wrht::dnn {
+
+struct TrainingParams {
+  util::Seconds forward_time = util::milliseconds(40);
+  util::Seconds backward_time = util::milliseconds(80);
+  BucketingOptions bucketing{};
+  /// When false, all communication happens after the backward pass
+  /// (no overlap; one all-reduce over the full gradient).
+  bool overlap = true;
+};
+
+/// Maps a gradient payload size to the all-reduce completion time.
+using AllReduceTimeFn = std::function<util::Seconds(util::Bytes)>;
+
+struct IterationTimeline {
+  util::Seconds compute_time;        // forward + backward
+  util::Seconds total_time;          // end of last all-reduce
+  util::Seconds exposed_comm_time;   // total - compute (>= 0)
+  std::vector<util::Seconds> bucket_ready;   // when each bucket was ready
+  std::vector<util::Seconds> bucket_done;    // when its all-reduce finished
+  std::size_t num_buckets = 0;
+};
+
+/// Simulate one iteration.  Bucket readiness is spread across the backward
+/// pass proportionally to the parameter mass *behind* each bucket (layers
+/// produce gradients back-to-front at a uniform params/second rate).
+[[nodiscard]] IterationTimeline simulate_iteration(
+    const Model& model, const TrainingParams& params,
+    const AllReduceTimeFn& allreduce_time);
+
+/// Communication-to-total ratio of a timeline (the paper's motivation cites
+/// 50-90% at scale).
+[[nodiscard]] double comm_fraction(const IterationTimeline& timeline);
+
+}  // namespace wrht::dnn

@@ -1,0 +1,16 @@
+#include "elec/alphabeta.hpp"
+
+namespace wrht::elec {
+
+coll::AlphaBetaParams alpha_beta_for(const ElectricalCluster& cluster) {
+  coll::AlphaBetaParams params;
+  // Alpha: the end-to-end latency between two hosts (host 0 to host 1 is
+  // representative — all topologies built here give hosts identical access
+  // links, and the alpha-beta view ignores path diversity anyway).
+  params.alpha = cluster.route_latency(0, 1 % cluster.num_hosts());
+  // Beta: the host access link is the single-port bottleneck.
+  params.bandwidth = cluster.host_params().link_bandwidth;
+  return params;
+}
+
+}  // namespace wrht::elec

@@ -1,0 +1,18 @@
+// Bridges the electrical cluster parameters to the generic alpha-beta cost
+// model: alpha is the host-to-host route latency, beta the host link rate.
+// Used to sanity-check the flow simulation (on contention-free patterns the
+// two agree exactly) and for quick analytic sweeps.
+#pragma once
+
+#include "coll/cost_model.hpp"
+#include "elec/topology.hpp"
+
+namespace wrht::elec {
+
+/// Alpha-beta parameters equivalent to `cluster` for patterns whose flows
+/// are contention-free (each host sends to and receives from at most one
+/// peer, e.g. ring steps and pairwise exchanges).
+[[nodiscard]] coll::AlphaBetaParams alpha_beta_for(
+    const ElectricalCluster& cluster);
+
+}  // namespace wrht::elec

@@ -1,0 +1,203 @@
+#include "elec/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::elec {
+namespace {
+
+// Residual bytes below this threshold count as delivered; keeps the fluid
+// arithmetic robust against double rounding without affecting timing at any
+// realistic message size.
+constexpr double kEpsilonBytes = 1e-6;
+
+}  // namespace
+
+LinkId FlowNetwork::add_link(LinkSpec spec) {
+  if (spec.capacity.bytes_per_second() <= 0.0) {
+    std::fprintf(stderr, "FlowNetwork: link capacity must be positive\n");
+    std::abort();
+  }
+  links_.push_back(Link{spec, 0.0});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+FlowId FlowNetwork::add_flow(std::vector<LinkId> route, util::Bytes bytes) {
+  util::Seconds latency{0.0};
+  for (const LinkId link : route) {
+    if (link >= links_.size()) {
+      std::fprintf(stderr, "FlowNetwork: route uses unknown link %u\n", link);
+      std::abort();
+    }
+    latency += links_[link].spec.latency;
+  }
+  Flow flow;
+  flow.route = std::move(route);
+  flow.remaining = bytes.as_double();
+  flow.activation = now_ + latency;
+  flows_.push_back(std::move(flow));
+  const FlowId id = static_cast<FlowId>(flows_.size() - 1);
+  live_.push_back(id);
+  return id;
+}
+
+void FlowNetwork::recompute_rates() {
+  // Progressive filling over the active flows.
+  std::vector<double> residual(links_.size());
+  std::vector<std::uint32_t> crossing(links_.size(), 0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    residual[l] = links_[l].spec.capacity.bytes_per_second();
+  }
+
+  std::vector<FlowId> unfixed;
+  for (const FlowId f : live_) {
+    Flow& flow = flows_[f];
+    if (flow.state != FlowState::kActive) continue;
+    flow.rate = 0.0;
+    unfixed.push_back(f);
+    for (const LinkId link : flow.route) ++crossing[link];
+  }
+
+  while (!unfixed.empty()) {
+    // The bottleneck link offers the smallest fair share.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (crossing[l] == 0) continue;
+      min_share = std::min(min_share, residual[l] / crossing[l]);
+    }
+    if (!std::isfinite(min_share)) {
+      // Flows with empty routes have no constraining link; "infinitely
+      // fast" is unphysical, so forbid them instead.
+      std::fprintf(stderr, "FlowNetwork: active flow with empty route\n");
+      std::abort();
+    }
+
+    // Freeze every unfixed flow that crosses a bottleneck link.
+    std::vector<FlowId> still_unfixed;
+    for (const FlowId f : unfixed) {
+      Flow& flow = flows_[f];
+      bool bottlenecked = false;
+      for (const LinkId link : flow.route) {
+        if (residual[link] / crossing[link] <= min_share * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (bottlenecked) {
+        flow.rate = min_share;
+      } else {
+        still_unfixed.push_back(f);
+      }
+    }
+    // Charge frozen flows against their links.
+    for (const FlowId f : unfixed) {
+      const Flow& flow = flows_[f];
+      if (flow.rate == 0.0) continue;
+      for (const LinkId link : flow.route) {
+        residual[link] -= flow.rate;
+        if (residual[link] < 0.0) residual[link] = 0.0;
+        --crossing[link];
+      }
+    }
+    if (still_unfixed.size() == unfixed.size()) {
+      std::fprintf(stderr, "FlowNetwork: progressive filling stalled\n");
+      std::abort();
+    }
+    unfixed = std::move(still_unfixed);
+  }
+}
+
+util::Seconds FlowNetwork::next_event_time() const {
+  util::Seconds next{std::numeric_limits<double>::infinity()};
+  for (const FlowId f : live_) {
+    const Flow& flow = flows_[f];
+    if (flow.state == FlowState::kWaiting) {
+      next = std::min(next, flow.activation);
+    } else if (flow.state == FlowState::kActive && flow.rate > 0.0) {
+      next = std::min(next, now_ + util::Seconds(flow.remaining / flow.rate));
+    }
+  }
+  return next;
+}
+
+void FlowNetwork::advance_to(util::Seconds when) {
+  const double dt = (when - now_).value();
+  for (const FlowId f : live_) {
+    Flow& flow = flows_[f];
+    if (flow.state != FlowState::kActive) continue;
+    const double moved = flow.rate * dt;
+    flow.remaining -= moved;
+    for (const LinkId link : flow.route) {
+      links_[link].carried_bytes += moved;
+    }
+  }
+  now_ = when;
+}
+
+util::Seconds FlowNetwork::run() {
+  while (!live_.empty()) {
+    recompute_rates();
+    const util::Seconds when = next_event_time();
+    if (!std::isfinite(when.value())) {
+      std::fprintf(stderr, "FlowNetwork: deadlock — live flows, no events\n");
+      std::abort();
+    }
+    advance_to(when);
+
+    bool any_done = false;
+    for (const FlowId f : live_) {
+      Flow& flow = flows_[f];
+      if (flow.state == FlowState::kWaiting && flow.activation <= now_) {
+        flow.state = FlowState::kActive;
+      }
+      if (flow.state == FlowState::kActive &&
+          flow.remaining <= kEpsilonBytes) {
+        flow.state = FlowState::kDone;
+        flow.completion = now_;
+        flow.rate = 0.0;
+        any_done = true;
+      }
+    }
+    if (any_done) {
+      live_.erase(std::remove_if(live_.begin(), live_.end(),
+                                 [&](FlowId f) {
+                                   return flows_[f].state == FlowState::kDone;
+                                 }),
+                  live_.end());
+    }
+  }
+  return now_;
+}
+
+bool FlowNetwork::completed(FlowId flow) const {
+  return flows_[flow].state == FlowState::kDone;
+}
+
+util::Seconds FlowNetwork::completion_time(FlowId flow) const {
+  if (!completed(flow)) {
+    std::fprintf(stderr, "FlowNetwork: flow %u has not completed\n", flow);
+    std::abort();
+  }
+  return flows_[flow].completion;
+}
+
+util::Bytes FlowNetwork::link_bytes(LinkId link) const {
+  return util::Bytes(
+      static_cast<std::uint64_t>(links_[link].carried_bytes + 0.5));
+}
+
+double FlowNetwork::current_rate(FlowId flow) const {
+  const Flow& f = flows_[flow];
+  return f.state == FlowState::kActive ? f.rate : 0.0;
+}
+
+void FlowNetwork::reset() {
+  flows_.clear();
+  live_.clear();
+  now_ = util::Seconds(0.0);
+  for (Link& link : links_) link.carried_bytes = 0.0;
+}
+
+}  // namespace wrht::elec

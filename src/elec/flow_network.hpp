@@ -1,0 +1,84 @@
+// Flow-level network simulator with max-min fair bandwidth sharing — the
+// substitute for SimGrid's fluid TCP model (DESIGN.md §3).
+//
+// A flow traverses a fixed route of links.  At any instant, active flows
+// receive the max-min fair allocation computed by progressive filling: the
+// most contended link determines the fair share of the flows crossing it,
+// those flows are frozen, residual capacity propagates, repeat.  Rates are
+// recomputed whenever a flow activates or completes, so completion times are
+// exact for the fluid model (no time-stepping error).
+//
+// Latency is modelled as an activation delay: a flow placed at time t with
+// route latency L starts consuming bandwidth at t + L.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wrht::elec {
+
+using LinkId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+struct LinkSpec {
+  util::Bandwidth capacity = util::gbps(10.0);
+  util::Seconds latency = util::microseconds(25.0);
+};
+
+class FlowNetwork {
+ public:
+  LinkId add_link(LinkSpec spec);
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  /// Place a flow of `bytes` over `route` starting at the current time.
+  FlowId add_flow(std::vector<LinkId> route, util::Bytes bytes);
+
+  /// Advance the fluid simulation until every flow has completed.
+  /// Returns the simulated time reached.
+  util::Seconds run();
+
+  [[nodiscard]] util::Seconds now() const { return now_; }
+  [[nodiscard]] bool completed(FlowId flow) const;
+  [[nodiscard]] util::Seconds completion_time(FlowId flow) const;
+  /// Cumulative bytes carried by a link since construction/reset.
+  [[nodiscard]] util::Bytes link_bytes(LinkId link) const;
+
+  /// Current max-min rate of an active flow (0 while waiting/finished).
+  [[nodiscard]] double current_rate(FlowId flow) const;
+
+  /// Drop all flows (completed or not) and zero the clock; links persist.
+  void reset();
+
+ private:
+  enum class FlowState : std::uint8_t { kWaiting, kActive, kDone };
+
+  struct Link {
+    LinkSpec spec;
+    double carried_bytes = 0.0;
+  };
+  struct Flow {
+    std::vector<LinkId> route;
+    double remaining = 0.0;  // bytes
+    double rate = 0.0;       // bytes/second while active
+    util::Seconds activation{0.0};
+    util::Seconds completion{0.0};
+    FlowState state = FlowState::kWaiting;
+  };
+
+  void recompute_rates();
+  [[nodiscard]] util::Seconds next_event_time() const;
+  void advance_to(util::Seconds when);
+
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;
+  /// Indices of flows not yet done.  Keeps the event loop linear in the
+  /// number of *live* flows, not all flows ever added (the Figure-2 harness
+  /// pushes millions of flows through one network).
+  std::vector<FlowId> live_;
+  util::Seconds now_{0.0};
+};
+
+}  // namespace wrht::elec

@@ -1,0 +1,36 @@
+#include "elec/schedule_runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::elec {
+
+ElecRunResult run_on_electrical(const coll::Schedule& schedule,
+                                const ElectricalCluster& cluster,
+                                util::Bytes payload) {
+  if (schedule.num_nodes() > cluster.num_hosts()) {
+    std::fprintf(stderr,
+                 "run_on_electrical: schedule needs %u hosts, cluster has %u\n",
+                 schedule.num_nodes(), cluster.num_hosts());
+    std::abort();
+  }
+
+  ElecRunResult result;
+  FlowNetwork network = cluster.make_network();
+  for (const coll::Step& step : schedule.steps()) {
+    // Steps are separated by a barrier, so each runs on a quiet network;
+    // resetting between steps keeps memory bounded by one step's flows even
+    // for the 2(N-1)-step ring schedules.
+    network.reset();
+    for (const coll::Transfer& t : step.transfers) {
+      network.add_flow(cluster.route(t.src, t.dst),
+                       schedule.chunk_bytes(payload, t.chunk));
+    }
+    const util::Seconds step_duration = network.run();
+    result.step_durations.push_back(step_duration);
+    result.total += step_duration;
+  }
+  return result;
+}
+
+}  // namespace wrht::elec

@@ -1,0 +1,26 @@
+// Executes a collective Schedule on an electrical cluster with the flow
+// simulator: each schedule step becomes a batch of concurrent flows; the
+// step's duration is the batch makespan under max-min fair sharing, and
+// steps are separated by a synchronization barrier (the next step's flows
+// start only when the previous step fully completes — BSP semantics, the
+// same model the optical side uses).
+#pragma once
+
+#include <vector>
+
+#include "coll/schedule.hpp"
+#include "elec/topology.hpp"
+#include "util/units.hpp"
+
+namespace wrht::elec {
+
+struct ElecRunResult {
+  util::Seconds total;
+  std::vector<util::Seconds> step_durations;
+};
+
+[[nodiscard]] ElecRunResult run_on_electrical(const coll::Schedule& schedule,
+                                              const ElectricalCluster& cluster,
+                                              util::Bytes payload);
+
+}  // namespace wrht::elec

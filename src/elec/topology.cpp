@@ -1,0 +1,131 @@
+#include "elec/topology.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/math.hpp"
+
+namespace wrht::elec {
+namespace {
+
+void add_duplex(topo::Graph& graph, std::vector<LinkSpec>& specs,
+                topo::VertexId a, topo::VertexId b, const LinkSpec& spec) {
+  graph.add_bidirectional_edge(a, b, /*weight=*/1.0);
+  specs.push_back(spec);  // forward edge
+  specs.push_back(spec);  // backward edge
+}
+
+}  // namespace
+
+ElectricalCluster ElectricalCluster::star(std::uint32_t num_hosts,
+                                          const ElectricalParams& params) {
+  if (num_hosts < 2) {
+    std::fprintf(stderr, "ElectricalCluster::star needs >= 2 hosts\n");
+    std::abort();
+  }
+  ElectricalCluster cluster;
+  cluster.host_params_ = params;
+  const topo::VertexId sw = cluster.graph_.add_vertex("switch");
+  const LinkSpec spec{params.link_bandwidth, params.link_latency};
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    const topo::VertexId v =
+        cluster.graph_.add_vertex("host" + std::to_string(h));
+    cluster.hosts_.push_back(v);
+    add_duplex(cluster.graph_, cluster.link_specs_, v, sw, spec);
+  }
+  return cluster;
+}
+
+ElectricalCluster ElectricalCluster::ring(std::uint32_t num_hosts,
+                                          const ElectricalParams& params) {
+  if (num_hosts < 2) {
+    std::fprintf(stderr, "ElectricalCluster::ring needs >= 2 hosts\n");
+    std::abort();
+  }
+  ElectricalCluster cluster;
+  cluster.host_params_ = params;
+  const LinkSpec spec{params.link_bandwidth, params.link_latency};
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    cluster.hosts_.push_back(
+        cluster.graph_.add_vertex("host" + std::to_string(h)));
+  }
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    add_duplex(cluster.graph_, cluster.link_specs_, cluster.hosts_[h],
+               cluster.hosts_[(h + 1) % num_hosts], spec);
+  }
+  return cluster;
+}
+
+ElectricalCluster ElectricalCluster::two_level_tree(
+    std::uint32_t num_hosts, std::uint32_t hosts_per_tor,
+    double oversubscription, const ElectricalParams& params) {
+  if (num_hosts < 2 || hosts_per_tor == 0 || oversubscription <= 0.0) {
+    std::fprintf(stderr, "ElectricalCluster::two_level_tree: bad shape\n");
+    std::abort();
+  }
+  ElectricalCluster cluster;
+  cluster.host_params_ = params;
+  const topo::VertexId core = cluster.graph_.add_vertex("core");
+  const LinkSpec host_spec{params.link_bandwidth, params.link_latency};
+  const std::uint32_t num_tors = static_cast<std::uint32_t>(
+      util::ceil_div(num_hosts, hosts_per_tor));
+  std::vector<topo::VertexId> tors;
+  for (std::uint32_t t = 0; t < num_tors; ++t) {
+    const topo::VertexId tor =
+        cluster.graph_.add_vertex("tor" + std::to_string(t));
+    tors.push_back(tor);
+    // Uplink sized for the ToR's hosts, divided by the oversubscription.
+    const std::uint32_t tor_hosts =
+        std::min(hosts_per_tor, num_hosts - t * hosts_per_tor);
+    const LinkSpec uplink{
+        params.link_bandwidth * (tor_hosts / oversubscription),
+        params.link_latency};
+    add_duplex(cluster.graph_, cluster.link_specs_, tor, core, uplink);
+  }
+  for (std::uint32_t h = 0; h < num_hosts; ++h) {
+    const topo::VertexId v =
+        cluster.graph_.add_vertex("host" + std::to_string(h));
+    cluster.hosts_.push_back(v);
+    add_duplex(cluster.graph_, cluster.link_specs_, v, tors[h / hosts_per_tor],
+               host_spec);
+  }
+  return cluster;
+}
+
+const std::vector<LinkId>& ElectricalCluster::route(
+    std::uint32_t host_a, std::uint32_t host_b) const {
+  if (host_a >= num_hosts() || host_b >= num_hosts() || host_a == host_b) {
+    std::fprintf(stderr, "ElectricalCluster::route: bad hosts %u,%u\n", host_a,
+                 host_b);
+    std::abort();
+  }
+  const auto key = std::make_pair(host_a, host_b);
+  const auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+
+  const auto path = graph_.shortest_path(hosts_[host_a], hosts_[host_b]);
+  if (!path.has_value()) {
+    std::fprintf(stderr, "ElectricalCluster::route: hosts unreachable\n");
+    std::abort();
+  }
+  return route_cache_.emplace(key, *path).first->second;
+}
+
+FlowNetwork ElectricalCluster::make_network() const {
+  FlowNetwork network;
+  for (const LinkSpec& spec : link_specs_) {
+    network.add_link(spec);
+  }
+  return network;
+}
+
+util::Seconds ElectricalCluster::route_latency(std::uint32_t host_a,
+                                               std::uint32_t host_b) const {
+  util::Seconds total{0.0};
+  for (const LinkId link : route(host_a, host_b)) {
+    total += link_specs_[link].latency;
+  }
+  return total;
+}
+
+}  // namespace wrht::elec

@@ -1,0 +1,21 @@
+#include "harness/experiment.hpp"
+
+namespace wrht::harness {
+
+ExperimentConfig paper_config() {
+  ExperimentConfig config;
+  config.node_counts = {128, 256, 512, 1024};
+  // Optical and electrical defaults come from the structs themselves
+  // (64 wavelengths x 25 Gb/s, millisecond-scale thermal MRR retuning;
+  // 10 Gb/s electrical links, 25 us per hop) — see DESIGN.md §3.
+  return config;
+}
+
+ExperimentConfig smoke_config() {
+  ExperimentConfig config;
+  config.node_counts = {8, 16, 32};
+  config.optical.wdm.num_wavelengths = 8;
+  return config;
+}
+
+}  // namespace wrht::harness

@@ -1,0 +1,33 @@
+// Shared experiment configuration for the benchmark harness.
+//
+// One ExperimentConfig fixes every knob of a Figure-2 style run: the node
+// scales, the optical fabric (wavelengths, bandwidth, overheads), the
+// electrical cluster, and the gradient precision.  DESIGN.md §3 documents
+// the calibration of the defaults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/model.hpp"
+#include "elec/topology.hpp"
+#include "optical/params.hpp"
+
+namespace wrht::harness {
+
+struct ExperimentConfig {
+  std::vector<std::uint32_t> node_counts{128, 256, 512, 1024};
+  optical::OpticalParams optical{};
+  elec::ElectricalParams electrical{};
+  dnn::DType dtype = dnn::DType::kF32;
+};
+
+/// The configuration used by the Figure-2 reproduction benches (library
+/// defaults; a single place to recalibrate).
+[[nodiscard]] ExperimentConfig paper_config();
+
+/// A scaled-down configuration for tests and smoke runs: small node counts,
+/// same physics.
+[[nodiscard]] ExperimentConfig smoke_config();
+
+}  // namespace wrht::harness

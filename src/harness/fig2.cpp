@@ -1,0 +1,146 @@
+#include "harness/fig2.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "coll/algorithms.hpp"
+#include "elec/schedule_runner.hpp"
+#include "optical/network.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+namespace wrht::harness {
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kERing:
+      return "E-Ring";
+    case Algo::kRD:
+      return "RD";
+    case Algo::kORing:
+      return "O-Ring";
+    case Algo::kWrht:
+      return "WRHT";
+  }
+  return "?";
+}
+
+const std::vector<Algo>& all_algos() {
+  static const std::vector<Algo> algos{Algo::kERing, Algo::kRD, Algo::kORing,
+                                       Algo::kWrht};
+  return algos;
+}
+
+namespace {
+
+util::Seconds time_electrical(const coll::Schedule& schedule,
+                              std::uint32_t num_nodes, util::Bytes payload,
+                              const ExperimentConfig& config) {
+  const elec::ElectricalCluster cluster =
+      elec::ElectricalCluster::star(num_nodes, config.electrical);
+  return elec::run_on_electrical(schedule, cluster, payload).total;
+}
+
+// Chunked ring all-reduce on the optical ring.  Every transfer goes one hop
+// clockwise, so a single wavelength carries the whole algorithm (the paper's
+// point: O-Ring cannot exploit WDM).  Steps stream into the DES without
+// materializing the annotation, which matters at N=1024 (2(N-1) steps of N
+// transfers each).
+util::Seconds time_optical_ring(std::uint32_t num_nodes, util::Bytes payload,
+                                const ExperimentConfig& config) {
+  const coll::Schedule schedule = coll::ring_allreduce(num_nodes);
+  optical::OpticalRingNetwork network(num_nodes, config.optical);
+  const topo::RingTopology& ring = network.ring();
+
+  for (const coll::Step& step : schedule.steps()) {
+    std::vector<optical::TimedTransfer> transfers;
+    transfers.reserve(step.transfers.size());
+    for (const coll::Transfer& t : step.transfers) {
+      transfers.push_back(optical::TimedTransfer{
+          t.src, t.dst, schedule.chunk_bytes(payload, t.chunk),
+          ring.arc(t.src, t.dst, topo::Direction::kClockwise), {0}});
+    }
+    network.execute_step(transfers);
+  }
+  return network.now();
+}
+
+util::Seconds time_wrht(std::uint32_t num_nodes, util::Bytes payload,
+                        const ExperimentConfig& config) {
+  core::WrhtParams params;
+  params.num_wavelengths = config.optical.wdm.num_wavelengths;
+  const core::WrhtBuild build = core::build_wrht(num_nodes, params);
+  return core::run_on_optical(build.annotated, config.optical, payload).total;
+}
+
+}  // namespace
+
+util::Seconds allreduce_time(Algo algo, std::uint32_t num_nodes,
+                             util::Bytes payload,
+                             const ExperimentConfig& config) {
+  switch (algo) {
+    case Algo::kERing:
+      return time_electrical(coll::ring_allreduce(num_nodes), num_nodes,
+                             payload, config);
+    case Algo::kRD:
+      return time_electrical(coll::recursive_doubling(num_nodes), num_nodes,
+                             payload, config);
+    case Algo::kORing:
+      return time_optical_ring(num_nodes, payload, config);
+    case Algo::kWrht:
+      return time_wrht(num_nodes, payload, config);
+  }
+  std::fprintf(stderr, "allreduce_time: unknown algorithm\n");
+  std::abort();
+}
+
+std::vector<Fig2Row> run_fig2_panel(const dnn::Model& model,
+                                    const ExperimentConfig& config) {
+  const util::Bytes payload = model.gradient_bytes(config.dtype);
+  std::vector<Fig2Row> rows;
+  for (const std::uint32_t n : config.node_counts) {
+    for (const Algo algo : all_algos()) {
+      rows.push_back(Fig2Row{model.name(), n, algo,
+                             allreduce_time(algo, n, payload, config)});
+    }
+  }
+  return rows;
+}
+
+HeadlineReductions headline_reductions(const std::vector<Fig2Row>& rows) {
+  // Pair every WRHT row with its same-(model, N) baselines and average the
+  // relative reductions.
+  double electrical_sum = 0.0;
+  double oring_sum = 0.0;
+  std::size_t electrical_count = 0;
+  std::size_t oring_count = 0;
+
+  for (const Fig2Row& wrht : rows) {
+    if (wrht.algo != Algo::kWrht) continue;
+    for (const Fig2Row& other : rows) {
+      if (other.model != wrht.model || other.nodes != wrht.nodes) continue;
+      if (other.time.value() <= 0.0) continue;
+      const double reduction =
+          1.0 - wrht.time.value() / other.time.value();
+      if (other.algo == Algo::kERing || other.algo == Algo::kRD) {
+        electrical_sum += reduction;
+        ++electrical_count;
+      } else if (other.algo == Algo::kORing) {
+        oring_sum += reduction;
+        ++oring_count;
+      }
+    }
+  }
+
+  HeadlineReductions out;
+  if (electrical_count > 0) {
+    out.vs_electrical_pct = 100.0 * electrical_sum /
+                            static_cast<double>(electrical_count);
+  }
+  if (oring_count > 0) {
+    out.vs_oring_pct = 100.0 * oring_sum / static_cast<double>(oring_count);
+  }
+  return out;
+}
+
+}  // namespace wrht::harness

@@ -1,0 +1,49 @@
+// The Figure-2 experiment: all-reduce communication time of
+//   E-Ring  — chunked ring all-reduce on the electrical cluster (flow sim)
+//   RD      — recursive doubling on the electrical cluster (flow sim)
+//   O-Ring  — chunked ring all-reduce on the optical ring, one wavelength
+//   WRHT    — the paper's schedule on the optical ring
+// for one DNN model across the node-count sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/model.hpp"
+#include "harness/experiment.hpp"
+#include "util/units.hpp"
+
+namespace wrht::harness {
+
+enum class Algo : std::uint8_t { kERing, kRD, kORing, kWrht };
+
+[[nodiscard]] const char* algo_name(Algo algo);
+[[nodiscard]] const std::vector<Algo>& all_algos();
+
+struct Fig2Row {
+  std::string model;
+  std::uint32_t nodes = 0;
+  Algo algo = Algo::kWrht;
+  util::Seconds time;
+};
+
+/// Simulated all-reduce time of one (algorithm, scale, payload) point.
+[[nodiscard]] util::Seconds allreduce_time(Algo algo, std::uint32_t num_nodes,
+                                           util::Bytes payload,
+                                           const ExperimentConfig& config);
+
+/// All rows of one panel of Figure 2 (one model, all algorithms x scales).
+[[nodiscard]] std::vector<Fig2Row> run_fig2_panel(
+    const dnn::Model& model, const ExperimentConfig& config);
+
+/// Headline numbers: average relative reduction of WRHT's time versus the
+/// electrical algorithms (E-Ring, RD) and versus O-Ring, over all rows.
+/// (The paper reports 75.76% and 91.86%.)
+struct HeadlineReductions {
+  double vs_electrical_pct = 0.0;
+  double vs_oring_pct = 0.0;
+};
+[[nodiscard]] HeadlineReductions headline_reductions(
+    const std::vector<Fig2Row>& rows);
+
+}  // namespace wrht::harness

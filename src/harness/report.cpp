@@ -1,0 +1,88 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace wrht::harness {
+namespace {
+
+double normalization_base(const std::vector<Fig2Row>& rows) {
+  // WRHT at the smallest node count in the panel.
+  double base = 0.0;
+  std::uint32_t smallest = 0;
+  for (const Fig2Row& row : rows) {
+    if (row.algo != Algo::kWrht) continue;
+    if (smallest == 0 || row.nodes < smallest) {
+      smallest = row.nodes;
+      base = row.time.value();
+    }
+  }
+  if (base <= 0.0) {
+    std::fprintf(stderr, "render_panel: no WRHT row to normalize against\n");
+    std::abort();
+  }
+  return base;
+}
+
+}  // namespace
+
+std::string render_panel(const std::vector<Fig2Row>& rows) {
+  if (rows.empty()) return "(no rows)\n";
+  const double base = normalization_base(rows);
+
+  // Group by node count (rows arrive model-major, nodes-major, algo-minor).
+  std::vector<std::uint32_t> node_counts;
+  for (const Fig2Row& row : rows) {
+    if (std::find(node_counts.begin(), node_counts.end(), row.nodes) ==
+        node_counts.end()) {
+      node_counts.push_back(row.nodes);
+    }
+  }
+  std::sort(node_counts.begin(), node_counts.end());
+
+  util::Table table({"nodes", "algorithm", "time", "normalized"});
+  for (const std::uint32_t n : node_counts) {
+    bool first = true;
+    for (const Algo algo : all_algos()) {
+      for (const Fig2Row& row : rows) {
+        if (row.nodes != n || row.algo != algo) continue;
+        if (first) table.add_separator();
+        first = false;
+        table.add_row({std::to_string(n), algo_name(algo),
+                       util::to_string(row.time),
+                       util::format_double(row.time.value() / base, 2)});
+      }
+    }
+  }
+  return "Figure 2 panel — " + rows.front().model +
+         " (normalized to WRHT @ N=" + std::to_string(node_counts.front()) +
+         ")\n" + table.render();
+}
+
+std::string render_headline(const HeadlineReductions& measured) {
+  util::Table table({"comparison", "paper", "measured"});
+  table.add_row({"WRHT vs electrical (E-Ring, RD avg)", "75.76%",
+                 util::format_double(measured.vs_electrical_pct, 2) + "%"});
+  table.add_row({"WRHT vs optical ring (O-Ring)", "91.86%",
+                 util::format_double(measured.vs_oring_pct, 2) + "%"});
+  return "Headline communication-time reduction\n" + table.render();
+}
+
+void write_csv(std::ostream& out, const std::vector<Fig2Row>& rows) {
+  util::CsvWriter csv(out);
+  csv.write_header({"model", "nodes", "algo", "seconds", "normalized"});
+  if (rows.empty()) return;
+  const double base = normalization_base(rows);
+  for (const Fig2Row& row : rows) {
+    csv.write_row({row.model, std::to_string(row.nodes), algo_name(row.algo),
+                   util::format_double(row.time.value(), 9),
+                   util::format_double(row.time.value() / base, 4)});
+  }
+}
+
+}  // namespace wrht::harness

@@ -1,0 +1,25 @@
+// Rendering of Figure-2 results: the human-readable panel table (raw and
+// normalized times, matching the paper's normalized-time bars) and the CSV
+// dump for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/fig2.hpp"
+
+namespace wrht::harness {
+
+/// Renders one panel (one model) as a table.  Normalization divides every
+/// time by the panel's WRHT time at the smallest node count, mirroring the
+/// paper's "normalized time" axis.
+[[nodiscard]] std::string render_panel(const std::vector<Fig2Row>& rows);
+
+/// Renders the headline summary with the paper's claimed numbers alongside.
+[[nodiscard]] std::string render_headline(const HeadlineReductions& measured);
+
+/// CSV with columns model,nodes,algo,seconds,normalized.
+void write_csv(std::ostream& out, const std::vector<Fig2Row>& rows);
+
+}  // namespace wrht::harness

@@ -1,0 +1,58 @@
+// Wavelength assignment for a set of concurrent transfers (arcs).
+//
+// First Fit and Best Fit are the two policies the paper cites for assigning
+// wavelengths within Wrht subgroups.  Both are greedy over the arcs in the
+// given order; Best Fit prefers already-busy wavelengths (packing the
+// spectrum), First Fit simply takes the lowest feasible index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "optical/spectrum.hpp"
+#include "topo/ring.hpp"
+
+namespace wrht::optical {
+
+enum class FitPolicy : std::uint8_t { kFirstFit, kBestFit };
+
+[[nodiscard]] const char* fit_policy_name(FitPolicy policy);
+
+struct AssignmentResult {
+  /// lambda[i] is the wavelength of arcs[i]; valid only when ok.
+  std::vector<WavelengthId> lambda;
+  /// Number of distinct wavelengths used (max index + 1).
+  std::uint32_t wavelengths_used = 0;
+  /// False when some arc could not be placed within max_wavelengths.
+  bool ok = false;
+  /// Index of the first arc that failed (when !ok).
+  std::optional<std::size_t> failed_arc;
+};
+
+/// Assign wavelengths to `arcs` so that no two arcs sharing a span on the
+/// same waveguide get the same wavelength, using at most `max_wavelengths`.
+[[nodiscard]] AssignmentResult assign_wavelengths(
+    const topo::RingTopology& ring, const std::vector<topo::Arc>& arcs,
+    std::uint32_t max_wavelengths, FitPolicy policy = FitPolicy::kFirstFit);
+
+/// Same, but processes arcs longest-first (a standard improvement for
+/// interval coloring); the result's lambda[] is still indexed by the
+/// original arc order.
+[[nodiscard]] AssignmentResult assign_wavelengths_longest_first(
+    const topo::RingTopology& ring, const std::vector<topo::Arc>& arcs,
+    std::uint32_t max_wavelengths, FitPolicy policy = FitPolicy::kFirstFit);
+
+/// Direction-balanced routing for all-to-all exchange among `nodes` (the
+/// Wrht merge step; Liang & Shen's setting).  Plain shortest-path routing
+/// overloads one waveguide (opposite pairs tie, nested arcs stack), blowing
+/// the paper's ceil(k^2/8) wavelength budget.  This router assigns each
+/// ordered pair a direction greedily — longest pairs first, choosing the
+/// waveguide that minimizes the resulting maximum span load — which matches
+/// the load bound on the symmetric instances the merge step produces.
+/// Returns one arc per ordered pair (i, j), i != j, in row-major order of
+/// (index of i, index of j) within `nodes`.
+[[nodiscard]] std::vector<topo::Arc> balanced_all_to_all_arcs(
+    const topo::RingTopology& ring, const std::vector<topo::NodeId>& nodes);
+
+}  // namespace wrht::optical

@@ -1,0 +1,82 @@
+#include "optical/conflict.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::optical {
+
+ConflictGraph::ConflictGraph(const topo::RingTopology& ring,
+                             const std::vector<topo::Arc>& arcs) {
+  adjacency_.resize(arcs.size());
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
+    for (std::size_t b = a + 1; b < arcs.size(); ++b) {
+      if (ring.arcs_conflict(arcs[a], arcs[b])) {
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+        ++pairs_;
+      }
+    }
+  }
+}
+
+bool ConflictGraph::conflicts(std::size_t a, std::size_t b) const {
+  const auto& nbrs = adjacency_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+std::uint32_t max_link_load(const topo::RingTopology& ring,
+                            const std::vector<topo::Arc>& arcs) {
+  std::vector<std::uint32_t> load(std::size_t{2} * ring.num_spans(), 0);
+  for (const topo::Arc& arc : arcs) {
+    for (const topo::SpanId span : ring.spans(arc)) {
+      ++load[static_cast<std::size_t>(arc.direction) * ring.num_spans() + span];
+    }
+  }
+  std::uint32_t worst = 0;
+  for (const std::uint32_t l : load) worst = std::max(worst, l);
+  return worst;
+}
+
+namespace {
+
+// Classic branch-and-bound graph coloring: try to color with k colors for
+// increasing k starting at the clique-ish lower bound (max link load).
+bool color_with(const ConflictGraph& graph, std::uint32_t k,
+                std::vector<std::uint32_t>& color, std::size_t index) {
+  if (index == graph.num_arcs()) return true;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    bool feasible = true;
+    for (const std::size_t nbr : graph.neighbors(index)) {
+      if (nbr < index && color[nbr] == c) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    color[index] = c;
+    if (color_with(graph, k, color, index + 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t optimal_wavelength_count(const topo::RingTopology& ring,
+                                       const std::vector<topo::Arc>& arcs) {
+  if (arcs.empty()) return 0;
+  if (arcs.size() > 24) {
+    std::fprintf(stderr,
+                 "optimal_wavelength_count: %zu arcs is too large for exact "
+                 "coloring\n",
+                 arcs.size());
+    std::abort();
+  }
+  const ConflictGraph graph(ring, arcs);
+  std::vector<std::uint32_t> color(arcs.size(), 0);
+  for (std::uint32_t k = std::max(1u, max_link_load(ring, arcs));; ++k) {
+    if (color_with(graph, k, color, 0)) return k;
+  }
+}
+
+}  // namespace wrht::optical

@@ -1,0 +1,44 @@
+// Conflict analysis between concurrent arcs on the WDM ring.
+//
+// Two arcs conflict iff they traverse a common span on the same waveguide;
+// conflicting arcs need distinct wavelengths.  The conflict graph drives the
+// assignment heuristics, and the maximum per-(direction, span) load is the
+// classic lower bound on the number of wavelengths any assignment needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/ring.hpp"
+
+namespace wrht::optical {
+
+class ConflictGraph {
+ public:
+  ConflictGraph(const topo::RingTopology& ring,
+                const std::vector<topo::Arc>& arcs);
+
+  [[nodiscard]] std::size_t num_arcs() const { return adjacency_.size(); }
+  [[nodiscard]] bool conflicts(std::size_t a, std::size_t b) const;
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(
+      std::size_t a) const {
+    return adjacency_[a];
+  }
+  [[nodiscard]] std::size_t num_conflict_pairs() const { return pairs_; }
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t pairs_ = 0;
+};
+
+/// max over (direction, span) of the number of arcs covering it; a lower
+/// bound for the wavelengths required by any conflict-free assignment.
+[[nodiscard]] std::uint32_t max_link_load(const topo::RingTopology& ring,
+                                          const std::vector<topo::Arc>& arcs);
+
+/// Exact chromatic number of the conflict graph by branch-and-bound.
+/// Exponential; intended for test instances (num_arcs <= ~24).
+[[nodiscard]] std::uint32_t optimal_wavelength_count(
+    const topo::RingTopology& ring, const std::vector<topo::Arc>& arcs);
+
+}  // namespace wrht::optical

@@ -1,0 +1,97 @@
+#include "optical/spectrum.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::optical {
+
+SpectrumMap::SpectrumMap(const topo::RingTopology& ring,
+                         std::uint32_t num_wavelengths)
+    : ring_(&ring), num_wavelengths_(num_wavelengths) {
+  if (num_wavelengths == 0) {
+    std::fprintf(stderr, "SpectrumMap: need at least one wavelength\n");
+    std::abort();
+  }
+  occupied_.assign(std::size_t{2} * ring.num_spans() * num_wavelengths, false);
+  usage_.assign(num_wavelengths, 0);
+}
+
+std::size_t SpectrumMap::cell(topo::Direction dir, topo::SpanId span,
+                              WavelengthId lambda) const {
+  return (static_cast<std::size_t>(dir) * ring_->num_spans() + span) *
+             num_wavelengths_ +
+         lambda;
+}
+
+bool SpectrumMap::is_free(const topo::Arc& arc, WavelengthId lambda) const {
+  if (lambda >= num_wavelengths_) return false;
+  for (const topo::SpanId span : ring_->spans(arc)) {
+    if (occupied_[cell(arc.direction, span, lambda)]) return false;
+  }
+  return true;
+}
+
+std::optional<WavelengthId> SpectrumMap::first_free(
+    const topo::Arc& arc) const {
+  for (WavelengthId lambda = 0; lambda < num_wavelengths_; ++lambda) {
+    if (is_free(arc, lambda)) return lambda;
+  }
+  return std::nullopt;
+}
+
+void SpectrumMap::reserve(const topo::Arc& arc, WavelengthId lambda) {
+  for (const topo::SpanId span : ring_->spans(arc)) {
+    const std::size_t c = cell(arc.direction, span, lambda);
+    if (occupied_[c]) {
+      std::fprintf(stderr,
+                   "SpectrumMap: wavelength %u already taken on span %u (%s)\n",
+                   lambda, span, topo::direction_name(arc.direction));
+      std::abort();
+    }
+    occupied_[c] = true;
+    ++usage_[lambda];
+  }
+}
+
+void SpectrumMap::release(const topo::Arc& arc, WavelengthId lambda) {
+  for (const topo::SpanId span : ring_->spans(arc)) {
+    const std::size_t c = cell(arc.direction, span, lambda);
+    if (!occupied_[c]) {
+      std::fprintf(stderr,
+                   "SpectrumMap: releasing free wavelength %u on span %u\n",
+                   lambda, span);
+      std::abort();
+    }
+    occupied_[c] = false;
+    --usage_[lambda];
+  }
+}
+
+std::uint32_t SpectrumMap::wavelengths_in_use() const {
+  std::uint32_t used = 0;
+  for (WavelengthId lambda = 0; lambda < num_wavelengths_; ++lambda) {
+    if (usage_[lambda] > 0) ++used;
+  }
+  return used;
+}
+
+std::uint64_t SpectrumMap::occupied_cells(topo::Direction dir) const {
+  std::uint64_t count = 0;
+  for (topo::SpanId span = 0; span < ring_->num_spans(); ++span) {
+    for (WavelengthId lambda = 0; lambda < num_wavelengths_; ++lambda) {
+      if (occupied_[cell(dir, span, lambda)]) ++count;
+    }
+  }
+  return count;
+}
+
+std::uint32_t SpectrumMap::usage(WavelengthId lambda) const {
+  return lambda < num_wavelengths_ ? usage_[lambda] : 0;
+}
+
+void SpectrumMap::clear() {
+  occupied_.assign(occupied_.size(), false);
+  usage_.assign(usage_.size(), 0);
+}
+
+}  // namespace wrht::optical

@@ -1,0 +1,61 @@
+// Per-span, per-wavelength occupancy of the two counter-rotating waveguides.
+//
+// A transfer claims one wavelength on every span of its arc; the map rejects
+// double-booking, which is exactly the wavelength-conflict rule of a WDM
+// ring without wavelength conversion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/ring.hpp"
+
+namespace wrht::optical {
+
+using WavelengthId = std::uint32_t;
+
+class SpectrumMap {
+ public:
+  SpectrumMap(const topo::RingTopology& ring, std::uint32_t num_wavelengths);
+
+  [[nodiscard]] std::uint32_t num_wavelengths() const {
+    return num_wavelengths_;
+  }
+
+  /// Is `lambda` free on every span of `arc`?
+  [[nodiscard]] bool is_free(const topo::Arc& arc, WavelengthId lambda) const;
+
+  /// Smallest wavelength free along the whole arc, if any (First Fit probe).
+  [[nodiscard]] std::optional<WavelengthId> first_free(
+      const topo::Arc& arc) const;
+
+  /// Claim `lambda` along `arc`.  Aborts if any span is already taken
+  /// (callers must check is_free first; a conflict here is a logic error).
+  void reserve(const topo::Arc& arc, WavelengthId lambda);
+
+  /// Release `lambda` along `arc`.  Aborts if any span was not reserved.
+  void release(const topo::Arc& arc, WavelengthId lambda);
+
+  /// Number of wavelengths with at least one occupied span.
+  [[nodiscard]] std::uint32_t wavelengths_in_use() const;
+
+  /// Occupied (span, lambda) pairs on the given waveguide direction.
+  [[nodiscard]] std::uint64_t occupied_cells(topo::Direction dir) const;
+
+  /// Total usage count of `lambda` across both waveguides (for Best Fit).
+  [[nodiscard]] std::uint32_t usage(WavelengthId lambda) const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t cell(topo::Direction dir, topo::SpanId span,
+                                 WavelengthId lambda) const;
+
+  const topo::RingTopology* ring_;
+  std::uint32_t num_wavelengths_;
+  std::vector<bool> occupied_;          // [dir][span][lambda]
+  std::vector<std::uint32_t> usage_;    // per lambda, both directions
+};
+
+}  // namespace wrht::optical

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace wrht::sim {
+
+std::uint64_t EventQueue::push(util::Seconds when, EventCallback callback) {
+  const std::uint64_t handle = callbacks_.size();
+  callbacks_.push_back(std::move(callback));
+  cancelled_.push_back(false);
+  heap_.push(Entry{when, next_sequence_++, handle});
+  ++live_;
+  return handle;
+}
+
+bool EventQueue::cancel(std::uint64_t handle) {
+  if (handle >= cancelled_.size() || cancelled_[handle] ||
+      !callbacks_[handle]) {
+    return false;
+  }
+  cancelled_[handle] = true;
+  callbacks_[handle] = nullptr;
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_entries() const {
+  while (!heap_.empty() && cancelled_[heap_.top().handle]) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead_entries();
+  return heap_.empty();
+}
+
+util::Seconds EventQueue::next_time() const {
+  drop_dead_entries();
+  if (heap_.empty()) {
+    std::fprintf(stderr, "EventQueue::next_time on empty queue\n");
+    std::abort();
+  }
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_entries();
+  if (heap_.empty()) {
+    std::fprintf(stderr, "EventQueue::pop on empty queue\n");
+    std::abort();
+  }
+  const Entry entry = heap_.top();
+  heap_.pop();
+  --live_;
+  Popped popped{entry.time, std::move(callbacks_[entry.handle])};
+  callbacks_[entry.handle] = nullptr;
+  cancelled_[entry.handle] = true;
+  return popped;
+}
+
+}  // namespace wrht::sim

@@ -1,0 +1,65 @@
+// Priority queue of timestamped events with deterministic tie-breaking.
+//
+// Two events at the same simulated time fire in insertion order (FIFO), which
+// makes every simulation in this repository bit-reproducible regardless of
+// heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wrht::sim {
+
+using EventCallback = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Enqueue `callback` to fire at absolute time `when`.
+  /// Returns a handle usable with `cancel`.
+  std::uint64_t push(util::Seconds when, EventCallback callback);
+
+  /// Mark an event as cancelled.  Cancelled events are skipped on pop.
+  /// Returns false if the handle was already popped or cancelled.
+  bool cancel(std::uint64_t handle);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event.  Requires !empty().
+  [[nodiscard]] util::Seconds next_time() const;
+
+  struct Popped {
+    util::Seconds time;
+    EventCallback callback;
+  };
+  /// Remove and return the earliest live event.  Requires !empty().
+  Popped pop();
+
+ private:
+  struct Entry {
+    util::Seconds time;
+    std::uint64_t sequence;
+    // Shared index into callbacks_ storage; the heap entry stays lightweight.
+    std::uint64_t handle;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return b.time < a.time;
+      return b.sequence < a.sequence;
+    }
+  };
+
+  void drop_dead_entries() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventCallback> callbacks_;  // indexed by handle
+  std::vector<bool> cancelled_;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace wrht::sim

@@ -1,0 +1,49 @@
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace wrht::sim {
+
+std::uint64_t Simulator::schedule_in(util::Seconds delay,
+                                     EventCallback callback) {
+  if (delay.value() < 0.0) {
+    std::fprintf(stderr, "Simulator: negative delay %g\n", delay.value());
+    std::abort();
+  }
+  return queue_.push(now_ + delay, std::move(callback));
+}
+
+std::uint64_t Simulator::schedule_at(util::Seconds when,
+                                     EventCallback callback) {
+  if (when < now_) {
+    std::fprintf(stderr, "Simulator: scheduling into the past (%g < %g)\n",
+                 when.value(), now_.value());
+    std::abort();
+  }
+  return queue_.push(when, std::move(callback));
+}
+
+void Simulator::step() {
+  EventQueue::Popped event = queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.callback();
+}
+
+util::Seconds Simulator::run() {
+  while (!queue_.empty()) step();
+  return now_;
+}
+
+util::Seconds Simulator::run_until(util::Seconds horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) step();
+  if (now_ < horizon && queue_.empty()) {
+    // Nothing left to do before the horizon; the clock does not jump ahead
+    // of the last processed event.
+  }
+  return now_;
+}
+
+}  // namespace wrht::sim

@@ -1,0 +1,61 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::sim {
+
+void Summary::record(double x) {
+  ++count_;
+  total_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double first_bound, double growth,
+                     std::size_t num_buckets) {
+  if (first_bound <= 0.0 || growth <= 1.0 || num_buckets == 0) {
+    std::fprintf(stderr, "Histogram: invalid parameters\n");
+    std::abort();
+  }
+  bounds_.resize(num_buckets);
+  counts_.assign(num_buckets + 1, 0);  // +1 overflow bucket
+  double bound = first_bound;
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    bounds_[i] = bound;
+    bound *= growth;
+  }
+}
+
+void Histogram::record(double x) {
+  ++count_;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += static_cast<double>(counts_[i]);
+    if (seen >= target) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+}  // namespace wrht::sim

@@ -1,0 +1,49 @@
+#include "sim/trace.hpp"
+
+#include <utility>
+
+namespace wrht::sim {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kStepBegin:
+      return "step_begin";
+    case TraceKind::kStepEnd:
+      return "step_end";
+    case TraceKind::kTransferBegin:
+      return "transfer_begin";
+    case TraceKind::kTransferEnd:
+      return "transfer_end";
+    case TraceKind::kTune:
+      return "tune";
+    case TraceKind::kFlowBegin:
+      return "flow_begin";
+    case TraceKind::kFlowEnd:
+      return "flow_end";
+    case TraceKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+void Trace::record(util::Seconds time, TraceKind kind, std::int64_t a,
+                   std::int64_t b, std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, kind, a, b, std::move(detail)});
+}
+
+std::string Trace::to_string() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += "t=" + util::to_string(e.time);
+    out += ' ';
+    out += trace_kind_name(e.kind);
+    if (e.a >= 0) out += " a=" + std::to_string(e.a);
+    if (e.b >= 0) out += " b=" + std::to_string(e.b);
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wrht::sim

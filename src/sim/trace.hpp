@@ -1,0 +1,59 @@
+// Optional event tracing.  A network model records (time, kind, subject)
+// triples; tests assert on them and the schedule explorer example prints
+// them.  Tracing is off unless a sink is installed, and recording into a
+// disabled trace is a no-op with no allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wrht::sim {
+
+enum class TraceKind : std::uint8_t {
+  kStepBegin,
+  kStepEnd,
+  kTransferBegin,
+  kTransferEnd,
+  kTune,
+  kFlowBegin,
+  kFlowEnd,
+  kCustom,
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  util::Seconds time;
+  TraceKind kind;
+  // Meaning depends on kind: step index, transfer id, node id...
+  std::int64_t a = -1;
+  std::int64_t b = -1;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(util::Seconds time, TraceKind kind, std::int64_t a = -1,
+              std::int64_t b = -1, std::string detail = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  /// One line per event, "t=12.5us transfer_begin a=3 b=7 (detail)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wrht::sim

@@ -1,0 +1,85 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+
+namespace wrht::topo {
+
+VertexId Graph::add_vertex(std::string label) {
+  labels_.push_back(std::move(label));
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+EdgeId Graph::add_edge(VertexId from, VertexId to, double weight) {
+  if (from >= num_vertices() || to >= num_vertices()) {
+    std::fprintf(stderr, "Graph::add_edge: vertex out of range\n");
+    std::abort();
+  }
+  edges_.push_back(Edge{from, to, weight});
+  const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  adjacency_[from].push_back(id);
+  return id;
+}
+
+EdgeId Graph::add_bidirectional_edge(VertexId a, VertexId b, double weight) {
+  const EdgeId forward = add_edge(a, b, weight);
+  add_edge(b, a, weight);
+  return forward;
+}
+
+std::optional<std::vector<EdgeId>> Graph::shortest_path(VertexId from,
+                                                        VertexId to) const {
+  if (from >= num_vertices() || to >= num_vertices()) return std::nullopt;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_vertices(), kInf);
+  std::vector<EdgeId> via(num_vertices(),
+                          std::numeric_limits<EdgeId>::max());
+
+  using QueueEntry = std::pair<double, VertexId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  dist[from] = 0.0;
+  frontier.emplace(0.0, from);
+
+  while (!frontier.empty()) {
+    const auto [d, v] = frontier.top();
+    frontier.pop();
+    if (d > dist[v]) continue;
+    if (v == to) break;
+    for (const EdgeId eid : out_edges(v)) {
+      const Edge& e = edges_[eid];
+      const double nd = d + e.weight;
+      // Strict improvement, or equal distance via a smaller edge id, keeps
+      // the routing deterministic across runs.
+      if (nd < dist[e.to] || (nd == dist[e.to] && eid < via[e.to])) {
+        dist[e.to] = nd;
+        via[e.to] = eid;
+        frontier.emplace(nd, e.to);
+      }
+    }
+  }
+
+  if (dist[to] == kInf) return std::nullopt;
+  std::vector<EdgeId> path;
+  VertexId v = to;
+  while (v != from) {
+    const EdgeId eid = via[v];
+    path.push_back(eid);
+    v = edges_[eid].from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<std::size_t> Graph::hop_distance(VertexId from,
+                                               VertexId to) const {
+  const auto path = shortest_path(from, to);
+  if (!path.has_value()) return std::nullopt;
+  return path->size();
+}
+
+}  // namespace wrht::topo

@@ -1,0 +1,60 @@
+// Generic directed graph with weighted edges and shortest-path routing.
+// The electrical network builders (star/switch, ring, fat-tree) produce one
+// of these; the flow simulator routes over its edge ids.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wrht::topo {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+struct Edge {
+  VertexId from = 0;
+  VertexId to = 0;
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  VertexId add_vertex(std::string label = {});
+  /// Adds a single directed edge.  Returns its id.
+  EdgeId add_edge(VertexId from, VertexId to, double weight = 1.0);
+  /// Adds both directions; returns the id of the forward edge (the backward
+  /// edge id is forward+1).
+  EdgeId add_bidirectional_edge(VertexId a, VertexId b, double weight = 1.0);
+
+  [[nodiscard]] std::size_t num_vertices() const { return labels_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_[id]; }
+  [[nodiscard]] const std::string& label(VertexId v) const {
+    return labels_[v];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  /// Dijkstra shortest path by edge weight.  Returns the edge ids along the
+  /// path from `from` to `to`, or nullopt if unreachable.  Deterministic:
+  /// ties are broken by smaller edge id.
+  [[nodiscard]] std::optional<std::vector<EdgeId>> shortest_path(
+      VertexId from, VertexId to) const;
+
+  /// Hop count of the shortest path, or nullopt if unreachable.
+  [[nodiscard]] std::optional<std::size_t> hop_distance(VertexId from,
+                                                        VertexId to) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace wrht::topo

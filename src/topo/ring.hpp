@@ -1,0 +1,83 @@
+// Ring topology of N nodes connected sequentially, as in TeraRack: node i is
+// physically adjacent to node (i+1) mod N.  The optical fabric consists of
+// two counter-rotating waveguides; a transfer travels either clockwise
+// (increasing indices) or counter-clockwise, passing through the micro-ring
+// resonators of intermediate nodes without being dropped.
+//
+// Terminology used throughout the repo:
+//  * span s   — the physical fiber span between node s and node s+1 (mod N).
+//  * arc      — a contiguous run of spans traversed in one direction.
+//  * distance — number of spans a transfer crosses (= hop count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wrht::topo {
+
+using NodeId = std::uint32_t;
+using SpanId = std::uint32_t;
+
+enum class Direction : std::uint8_t { kClockwise = 0, kCounterClockwise = 1 };
+
+[[nodiscard]] constexpr Direction opposite(Direction d) {
+  return d == Direction::kClockwise ? Direction::kCounterClockwise
+                                    : Direction::kClockwise;
+}
+
+[[nodiscard]] const char* direction_name(Direction d);
+
+/// A contiguous run of spans on one waveguide.  `first` is the span id at
+/// which the arc begins *in traversal order*: a clockwise arc covers spans
+/// first, first+1, ..., first+length-1 (mod N); a counter-clockwise arc
+/// covers first, first-1, ..., first-length+1 (mod N).
+struct Arc {
+  Direction direction = Direction::kClockwise;
+  SpanId first = 0;
+  std::uint32_t length = 0;
+
+  [[nodiscard]] bool empty() const { return length == 0; }
+};
+
+class RingTopology {
+ public:
+  explicit RingTopology(std::uint32_t num_nodes);
+
+  [[nodiscard]] std::uint32_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::uint32_t num_spans() const { return num_nodes_; }
+
+  /// Hops from src to dst travelling clockwise (0 when src == dst).
+  [[nodiscard]] std::uint32_t distance_cw(NodeId src, NodeId dst) const;
+  /// Hops from src to dst in the given direction.
+  [[nodiscard]] std::uint32_t distance(NodeId src, NodeId dst,
+                                       Direction dir) const;
+  /// min over both directions.
+  [[nodiscard]] std::uint32_t shortest_distance(NodeId src, NodeId dst) const;
+  /// The direction realizing shortest_distance; ties broken clockwise.
+  [[nodiscard]] Direction shortest_direction(NodeId src, NodeId dst) const;
+
+  /// The arc a transfer from src to dst occupies in direction `dir`.
+  /// Requires src != dst.
+  [[nodiscard]] Arc arc(NodeId src, NodeId dst, Direction dir) const;
+
+  /// Span ids covered by an arc, in traversal order.
+  [[nodiscard]] std::vector<SpanId> spans(const Arc& arc) const;
+
+  /// Whether two arcs share at least one span *on the same waveguide*.
+  /// Arcs on opposite directions never conflict (separate waveguides).
+  [[nodiscard]] bool arcs_conflict(const Arc& a, const Arc& b) const;
+
+  /// Whether `span` is covered by `arc`.
+  [[nodiscard]] bool arc_covers(const Arc& arc, SpanId span) const;
+
+  /// The node reached after `hops` spans from `src` in direction `dir`.
+  [[nodiscard]] NodeId advance(NodeId src, std::uint32_t hops,
+                               Direction dir) const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::uint32_t num_nodes_;
+};
+
+}  // namespace wrht::topo

@@ -1,0 +1,96 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_utils.hpp"
+
+namespace wrht::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{default_value, help, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (const std::size_t eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!value.has_value()) {
+      // "--flag value" form, unless the flag is boolean-like and the next
+      // token is another flag (or absent), in which case it means "true".
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = std::string(argv[++i]);
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = std::move(value);
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::require(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "CliParser: flag --%s was never declared\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag& flag = require(name);
+  return flag.value.value_or(flag.default_value);
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get_string(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get_string(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::usage() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.default_value + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace wrht::util

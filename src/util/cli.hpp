@@ -1,0 +1,53 @@
+// Tiny command-line flag parser for examples and bench binaries.
+// Supports --flag=value, --flag value, and boolean --flag forms, with typed
+// accessors and an auto-generated --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wrht::util {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Declare a flag before parsing.  `default_value` doubles as the
+  /// documentation of the flag's type.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv.  Returns false (after printing usage) on unknown flags or
+  /// when --help was requested.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  const Flag& require(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wrht::util

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::util {
+namespace {
+
+void write_fields(std::ostream& out, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out << ',';
+    out << CsvWriter::escape(fields[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  columns_ = columns.size();
+  write_fields(*out_, columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (columns_ != 0 && fields.size() != columns_) {
+    std::fprintf(stderr,
+                 "CsvWriter: row has %zu fields, header declared %zu\n",
+                 fields.size(), columns_);
+    std::abort();
+  }
+  write_fields(*out_, fields);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace wrht::util

@@ -1,0 +1,31 @@
+// CSV emission for benchmark results.  Every bench binary can dump its rows
+// to a machine-readable file alongside the human-readable table.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wrht::util {
+
+/// Streams rows of comma-separated values with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// The writer does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Quote a field if it contains a comma, quote, or newline.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace wrht::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger.  Simulation codes print a lot of diagnostics while
+// being debugged and none in production sweeps; a global level switch keeps
+// both modes cheap (disabled levels skip formatting entirely).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wrht::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log level.  Defaults to kWarn so tests and benches are quiet.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a single log line (newline appended) if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace wrht::util
+
+#define WRHT_LOG(level)                                       \
+  if (static_cast<int>(level) <                               \
+      static_cast<int>(::wrht::util::log_level())) {          \
+  } else                                                      \
+    ::wrht::util::detail::LogStream(level)
+
+#define WRHT_DEBUG() WRHT_LOG(::wrht::util::LogLevel::kDebug)
+#define WRHT_INFO() WRHT_LOG(::wrht::util::LogLevel::kInfo)
+#define WRHT_WARN() WRHT_LOG(::wrht::util::LogLevel::kWarn)
+#define WRHT_ERROR() WRHT_LOG(::wrht::util::LogLevel::kError)

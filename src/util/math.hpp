@@ -1,0 +1,38 @@
+// Small integer-math helpers shared by schedule builders and cost models.
+// All helpers are total functions over their documented domains and abort on
+// precondition violations (schedule construction is setup-time code, so
+// defensive checks cost nothing).
+#pragma once
+
+#include <cstdint>
+
+namespace wrht::util {
+
+/// ceil(a / b) for non-negative a, positive b.
+[[nodiscard]] std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] unsigned floor_log2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] unsigned ceil_log2(std::uint64_t x);
+
+/// true iff x is a power of two (x >= 1).
+[[nodiscard]] bool is_pow2(std::uint64_t x);
+
+/// base^exp with overflow abort; exp small (schedule level counts).
+[[nodiscard]] std::uint64_t ipow(std::uint64_t base, unsigned exp);
+
+/// Smallest L >= 0 such that base^L >= x, i.e. ceil(log_base(x)).
+/// Computed with pure integer arithmetic so the schedule math never
+/// inherits floating point rounding (log(1000)/log(10) style bugs).
+/// Requires base >= 2 and x >= 1.
+[[nodiscard]] unsigned ceil_log(std::uint64_t base, std::uint64_t x);
+
+/// floor(sqrt(x)) by integer Newton iteration.
+[[nodiscard]] std::uint64_t isqrt(std::uint64_t x);
+
+/// Positive modulo: result in [0, m) even for negative a. m > 0.
+[[nodiscard]] std::int64_t pos_mod(std::int64_t a, std::int64_t m);
+
+}  // namespace wrht::util

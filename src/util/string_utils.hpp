@@ -1,0 +1,27 @@
+// String helpers shared by the CSV/table writers and CLI parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wrht::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view separator);
+
+/// printf-style number formatting used by report tables.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// true if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace wrht::util

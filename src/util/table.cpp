@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::util {
+
+Table::Table(std::vector<std::string> header, std::vector<Align> alignment)
+    : header_(std::move(header)), alignment_(std::move(alignment)) {
+  if (alignment_.empty()) {
+    alignment_.assign(header_.size(), Align::kRight);
+    if (!alignment_.empty()) alignment_[0] = Align::kLeft;
+  }
+  if (alignment_.size() != header_.size()) {
+    std::fprintf(stderr, "Table: alignment/header size mismatch\n");
+    std::abort();
+  }
+}
+
+void Table::add_row(std::vector<std::string> fields) {
+  if (fields.size() != header_.size()) {
+    std::fprintf(stderr, "Table: row has %zu fields, header has %zu\n",
+                 fields.size(), header_.size());
+    std::abort();
+  }
+  rows_.push_back(Row{std::move(fields), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.fields.size(); ++c) {
+      width[c] = std::max(width[c], row.fields[c].size());
+    }
+  }
+
+  const auto render_rule = [&](std::string& out) {
+    for (const std::size_t w : width) {
+      out += '+';
+      out.append(w + 2, '-');
+    }
+    out += "+\n";
+  };
+  const auto render_cells = [&](std::string& out,
+                                const std::vector<std::string>& fields) {
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      const std::size_t pad = width[c] - fields[c].size();
+      out += "| ";
+      if (alignment_[c] == Align::kRight) out.append(pad, ' ');
+      out += fields[c];
+      if (alignment_[c] == Align::kLeft) out.append(pad, ' ');
+      out += ' ';
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  render_rule(out);
+  render_cells(out, header_);
+  render_rule(out);
+  for (const Row& row : rows_) {
+    if (row.separator_before) render_rule(out);
+    render_cells(out, row.fields);
+  }
+  render_rule(out);
+  return out;
+}
+
+}  // namespace wrht::util

@@ -1,0 +1,38 @@
+// ASCII table rendering for the benchmark harness.  The Figure-2 benches
+// print the same rows the paper plots; a fixed-width table keeps the output
+// diffable run-to-run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wrht::util {
+
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders them with per-column widths.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header,
+                 std::vector<Align> alignment = {});
+
+  void add_row(std::vector<std::string> fields);
+  /// Inserts a horizontal rule before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> fields;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace wrht::util

@@ -1,0 +1,43 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace wrht::util {
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.4g %s", value, unit);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string to_string(Bytes b) {
+  const double v = b.as_double();
+  if (v >= 1e9) return format_scaled(v / 1e9, "GB");
+  if (v >= 1e6) return format_scaled(v / 1e6, "MB");
+  if (v >= 1e3) return format_scaled(v / 1e3, "KB");
+  return format_scaled(v, "B");
+}
+
+std::string to_string(Seconds s) {
+  const double v = s.value();
+  const double mag = std::fabs(v);
+  if (mag >= 1.0) return format_scaled(v, "s");
+  if (mag >= 1e-3) return format_scaled(v * 1e3, "ms");
+  if (mag >= 1e-6) return format_scaled(v * 1e6, "us");
+  return format_scaled(v * 1e9, "ns");
+}
+
+std::string to_string(Bandwidth b) {
+  const double bits = b.bits_per_second();
+  if (bits >= 1e12) return format_scaled(bits / 1e12, "Tb/s");
+  if (bits >= 1e9) return format_scaled(bits / 1e9, "Gb/s");
+  if (bits >= 1e6) return format_scaled(bits / 1e6, "Mb/s");
+  return format_scaled(bits, "b/s");
+}
+
+}  // namespace wrht::util

@@ -1,0 +1,143 @@
+// Strong unit types used throughout the library.
+//
+// The simulators mix quantities with very different scales (nanosecond
+// propagation delays vs. millisecond tuning times; kilobyte chunks vs.
+// gigabyte gradients).  Wrapping them in distinct types catches unit mix-ups
+// at compile time and gives every quantity a self-describing formatter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wrht::util {
+
+/// A byte count.  Plain integral wrapper with checked helpers.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.count_ + b.count_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.count_ - b.count_);
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes(a.count_ * k);
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) {
+    return Bytes(a.count_ * k);
+  }
+  friend constexpr Bytes operator/(Bytes a, std::uint64_t k) {
+    return Bytes(a.count_ / k);
+  }
+  friend constexpr auto operator<=>(Bytes a, Bytes b) = default;
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+constexpr Bytes kilobytes(std::uint64_t k) { return Bytes(k * 1000ULL); }
+constexpr Bytes megabytes(std::uint64_t m) { return Bytes(m * 1000'000ULL); }
+constexpr Bytes gigabytes(std::uint64_t g) { return Bytes(g * 1000'000'000ULL); }
+constexpr Bytes kibibytes(std::uint64_t k) { return Bytes(k << 10); }
+constexpr Bytes mebibytes(std::uint64_t m) { return Bytes(m << 20); }
+constexpr Bytes gibibytes(std::uint64_t g) { return Bytes(g << 30); }
+
+/// Simulated time in seconds (double; simulations never need sub-femtosecond
+/// resolution and a double keeps the event queue arithmetic simple).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Seconds& operator+=(Seconds other) {
+    value_ += other.value_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds(a.value_ + b.value_);
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds(a.value_ - b.value_);
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds(a.value_ * k);
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) {
+    return Seconds(a.value_ * k);
+  }
+  friend constexpr double operator/(Seconds a, Seconds b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Seconds a, Seconds b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Seconds milliseconds(double ms) { return Seconds(ms * 1e-3); }
+constexpr Seconds microseconds(double us) { return Seconds(us * 1e-6); }
+constexpr Seconds nanoseconds(double ns) { return Seconds(ns * 1e-9); }
+
+/// Link/wavelength bandwidth in bytes per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bytes_per_second)
+      : bytes_per_second_(bytes_per_second) {}
+
+  [[nodiscard]] constexpr double bytes_per_second() const {
+    return bytes_per_second_;
+  }
+  [[nodiscard]] constexpr double bits_per_second() const {
+    return bytes_per_second_ * 8.0;
+  }
+
+  /// Serialization delay of `bytes` at this rate.
+  [[nodiscard]] constexpr Seconds transfer_time(Bytes bytes) const {
+    return Seconds(bytes.as_double() / bytes_per_second_);
+  }
+
+  friend constexpr Bandwidth operator*(Bandwidth b, double k) {
+    return Bandwidth(b.bytes_per_second_ * k);
+  }
+  friend constexpr Bandwidth operator/(Bandwidth b, double k) {
+    return Bandwidth(b.bytes_per_second_ / k);
+  }
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) = default;
+
+ private:
+  double bytes_per_second_ = 0.0;
+};
+
+constexpr Bandwidth gbps(double gigabits_per_second) {
+  return Bandwidth(gigabits_per_second * 1e9 / 8.0);
+}
+constexpr Bandwidth gBps(double gigabytes_per_second) {
+  return Bandwidth(gigabytes_per_second * 1e9);
+}
+
+/// Human-readable formatting: "249.2 MB", "1.35 ms", "25.0 Gb/s".
+[[nodiscard]] std::string to_string(Bytes b);
+[[nodiscard]] std::string to_string(Seconds s);
+[[nodiscard]] std::string to_string(Bandwidth b);
+
+}  // namespace wrht::util

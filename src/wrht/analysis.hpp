@@ -1,0 +1,41 @@
+// Post-hoc analysis of a Wrht build: the quantities §2 of the paper derives
+// (step counts, wavelength demand, m*), plus traffic accounting and the
+// comparison against the ring's 2(N-1) steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+#include "wrht/builder.hpp"
+
+namespace wrht::core {
+
+struct WrhtAnalysis {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t group_size_m = 0;
+  std::uint32_t final_rep_count_mstar = 0;
+  bool merged_with_all_to_all = false;
+  std::uint32_t tree_levels = 0;
+  std::uint32_t total_steps = 0;
+  /// The paper's formula value 2*ceil(log_m N) (minus 1 when merged).
+  std::uint32_t paper_formula_steps = 0;
+  /// Ring all-reduce step count 2(N-1) for comparison.
+  std::uint32_t ring_steps = 0;
+  std::vector<std::uint32_t> lambda_per_step;
+  std::uint32_t max_lambda = 0;
+  /// floor(m/2): the per-group wavelength bound of §2.
+  std::uint32_t group_lambda_bound = 0;
+  /// ceil(m*^2 / 8): the all-to-all wavelength bound of §2.
+  std::uint32_t all_to_all_lambda_bound = 0;
+  util::Bytes total_traffic;  // for the probe payload below
+  util::Bytes probe_payload;
+
+  [[nodiscard]] std::string report() const;
+};
+
+[[nodiscard]] WrhtAnalysis analyze(const WrhtBuild& build,
+                                   util::Bytes probe_payload);
+
+}  // namespace wrht::core

@@ -1,0 +1,37 @@
+#include "wrht/annotated.hpp"
+
+#include <algorithm>
+
+namespace wrht::core {
+
+std::optional<AnnotatedSchedule> annotate_on_ring(
+    coll::Schedule schedule, const topo::RingTopology& ring,
+    std::uint32_t max_wavelengths, optical::FitPolicy policy) {
+  AnnotatedSchedule annotated{std::move(schedule), {}, 0, {}};
+
+  for (const coll::Step& step : annotated.schedule.steps()) {
+    std::vector<topo::Arc> arcs;
+    arcs.reserve(step.transfers.size());
+    for (const coll::Transfer& t : step.transfers) {
+      arcs.push_back(ring.arc(t.src, t.dst, ring.shortest_direction(t.src, t.dst)));
+    }
+
+    const optical::AssignmentResult assignment =
+        optical::assign_wavelengths_longest_first(ring, arcs, max_wavelengths,
+                                                  policy);
+    if (!assignment.ok) return std::nullopt;
+
+    std::vector<PathAssignment> paths;
+    paths.reserve(arcs.size());
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      paths.push_back(PathAssignment{arcs[i], {assignment.lambda[i]}});
+    }
+    annotated.paths.push_back(std::move(paths));
+    annotated.lambda_per_step.push_back(assignment.wavelengths_used);
+    annotated.wavelengths_required =
+        std::max(annotated.wavelengths_required, assignment.wavelengths_used);
+  }
+  return annotated;
+}
+
+}  // namespace wrht::core

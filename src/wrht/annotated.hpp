@@ -1,0 +1,43 @@
+// A collective schedule annotated with optical routing: every transfer of
+// every step carries its ring arc and wavelength set.  This is the object
+// the optical DES executes, and the meeting point between the generic
+// schedule IR (coll::) and the WDM ring substrate (optical::).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/schedule.hpp"
+#include "optical/assign.hpp"
+#include "optical/spectrum.hpp"
+#include "topo/ring.hpp"
+
+namespace wrht::core {
+
+struct PathAssignment {
+  topo::Arc arc;
+  /// One wavelength normally; several after striping.
+  std::vector<optical::WavelengthId> lambdas;
+};
+
+struct AnnotatedSchedule {
+  coll::Schedule schedule;
+  /// paths[step][i] annotates schedule.steps()[step].transfers[i].
+  std::vector<std::vector<PathAssignment>> paths;
+  /// Max wavelength index + 1 used in any step.
+  std::uint32_t wavelengths_required = 0;
+  /// Wavelengths used per step (diagnostics / analysis).
+  std::vector<std::uint32_t> lambda_per_step;
+};
+
+/// Route an arbitrary schedule onto the optical ring: each transfer takes
+/// the shortest-direction arc and gets a wavelength per `policy`, assigned
+/// step-locally.  Returns nullopt if some step cannot be colored within
+/// `max_wavelengths` (the caller may retry with more wavelengths or another
+/// algorithm).
+[[nodiscard]] std::optional<AnnotatedSchedule> annotate_on_ring(
+    coll::Schedule schedule, const topo::RingTopology& ring,
+    std::uint32_t max_wavelengths,
+    optical::FitPolicy policy = optical::FitPolicy::kFirstFit);
+
+}  // namespace wrht::core

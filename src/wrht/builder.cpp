@@ -1,0 +1,247 @@
+#include "wrht/builder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/math.hpp"
+
+namespace wrht::core {
+namespace {
+
+struct StepAssembly {
+  std::vector<coll::Transfer> transfers;
+  std::vector<topo::Arc> arcs;
+};
+
+// Assign wavelengths for one assembled step and append it to the schedule.
+// Returns the number of wavelengths used; aborts if the step does not fit
+// (the builder only assembles steps it has proven feasible).
+std::uint32_t commit_step(AnnotatedSchedule& annotated,
+                          const topo::RingTopology& ring, StepAssembly step,
+                          std::uint32_t max_wavelengths,
+                          optical::FitPolicy policy) {
+  const optical::AssignmentResult assignment =
+      optical::assign_wavelengths_longest_first(ring, step.arcs,
+                                                max_wavelengths, policy);
+  if (!assignment.ok) {
+    std::fprintf(stderr,
+                 "build_wrht: internal error — feasible step failed "
+                 "wavelength assignment (%zu arcs, %u wavelengths)\n",
+                 step.arcs.size(), max_wavelengths);
+    std::abort();
+  }
+  annotated.schedule.add_step();
+  std::vector<PathAssignment> paths;
+  paths.reserve(step.arcs.size());
+  for (std::size_t i = 0; i < step.transfers.size(); ++i) {
+    annotated.schedule.add_transfer(step.transfers[i]);
+    paths.push_back(PathAssignment{step.arcs[i], {assignment.lambda[i]}});
+  }
+  annotated.paths.push_back(std::move(paths));
+  annotated.lambda_per_step.push_back(assignment.wavelengths_used);
+  annotated.wavelengths_required =
+      std::max(annotated.wavelengths_required, assignment.wavelengths_used);
+  return assignment.wavelengths_used;
+}
+
+// Assemble the all-to-all exchange among `active` nodes (direction-balanced
+// routing, per the Liang & Shen bound) and test whether it colors within
+// `max_wavelengths`.
+std::optional<StepAssembly> try_all_to_all(const topo::RingTopology& ring,
+                                           const std::vector<topo::NodeId>& active,
+                                           std::uint32_t max_wavelengths,
+                                           optical::FitPolicy policy) {
+  StepAssembly step;
+  for (const topo::NodeId i : active) {
+    for (const topo::NodeId j : active) {
+      if (i == j) continue;
+      step.transfers.push_back(
+          coll::Transfer{i, j, 0, coll::TransferOp::kReduce});
+    }
+  }
+  step.arcs = optical::balanced_all_to_all_arcs(ring, active);
+  const optical::AssignmentResult probe =
+      optical::assign_wavelengths_longest_first(ring, step.arcs,
+                                                max_wavelengths, policy);
+  if (!probe.ok) return std::nullopt;
+  return step;
+}
+
+}  // namespace
+
+std::uint32_t default_group_size(std::uint32_t num_nodes,
+                                 std::uint32_t num_wavelengths) {
+  // floor(m/2) <= w  <=>  m <= 2w + 1; never larger than the node count and
+  // never below the minimum useful group of 2.
+  const std::uint32_t cap = 2 * num_wavelengths + 1;
+  return std::max(2u, std::min(num_nodes, cap));
+}
+
+std::uint32_t all_to_all_wavelength_bound(std::uint32_t k) {
+  return static_cast<std::uint32_t>(
+      util::ceil_div(std::uint64_t{k} * k, 8));
+}
+
+bool all_to_all_merge_fits(const topo::RingTopology& ring,
+                           const std::vector<topo::NodeId>& active,
+                           std::uint32_t num_wavelengths,
+                           optical::FitPolicy policy) {
+  const std::vector<topo::Arc> arcs =
+      optical::balanced_all_to_all_arcs(ring, active);
+  return optical::assign_wavelengths_longest_first(ring, arcs,
+                                                   num_wavelengths, policy)
+      .ok;
+}
+
+std::uint32_t predicted_steps(std::uint32_t num_nodes,
+                              std::uint32_t group_size,
+                              std::uint32_t num_wavelengths,
+                              bool allow_merge) {
+  if (num_nodes < 2 || group_size < 2) {
+    std::fprintf(stderr, "predicted_steps: need N >= 2, m >= 2\n");
+    std::abort();
+  }
+  const topo::RingTopology ring(num_nodes);
+  std::vector<topo::NodeId> active(num_nodes);
+  std::iota(active.begin(), active.end(), 0);
+  std::uint32_t tree_levels = 0;
+  while (active.size() > 1) {
+    if (allow_merge &&
+        all_to_all_wavelength_bound(
+            static_cast<std::uint32_t>(active.size())) <= num_wavelengths &&
+        all_to_all_merge_fits(ring, active, num_wavelengths,
+                              optical::FitPolicy::kFirstFit)) {
+      return 2 * tree_levels + 1;  // merge: levels + all-to-all + levels
+    }
+    std::vector<topo::NodeId> reps;
+    for (const Group& group : partition_into_groups(active, group_size)) {
+      reps.push_back(group.rep());
+    }
+    active = std::move(reps);
+    ++tree_levels;
+  }
+  return 2 * tree_levels;  // reduce to root + mirrored broadcast
+}
+
+WrhtBuild build_wrht_among(const std::vector<topo::NodeId>& participants,
+                           std::uint32_t ring_size, const WrhtParams& params) {
+  if (participants.size() < 2) {
+    std::fprintf(stderr, "build_wrht: need at least 2 participants\n");
+    std::abort();
+  }
+  if (!std::is_sorted(participants.begin(), participants.end()) ||
+      std::adjacent_find(participants.begin(), participants.end()) !=
+          participants.end() ||
+      participants.back() >= ring_size) {
+    std::fprintf(stderr,
+                 "build_wrht: participants must be ascending, unique ring "
+                 "positions\n");
+    std::abort();
+  }
+  if (params.num_wavelengths == 0) {
+    std::fprintf(stderr, "build_wrht: need at least 1 wavelength\n");
+    std::abort();
+  }
+  const std::uint32_t m = params.forced_group_size.value_or(
+      default_group_size(static_cast<std::uint32_t>(participants.size()),
+                         params.num_wavelengths));
+  if (m < 2) {
+    std::fprintf(stderr, "build_wrht: group size must be >= 2\n");
+    std::abort();
+  }
+  if (m / 2 > params.num_wavelengths) {
+    std::fprintf(stderr,
+                 "build_wrht: group size %u needs floor(m/2)=%u wavelengths "
+                 "but only %u available\n",
+                 m, m / 2, params.num_wavelengths);
+    std::abort();
+  }
+
+  const topo::RingTopology ring(ring_size);
+  WrhtBuild build{
+      AnnotatedSchedule{coll::Schedule("wrht", ring_size, 1), {}, 0, {}},
+      {},
+      m,
+      0,
+      false};
+
+  std::vector<topo::NodeId> active = participants;
+
+  // ---- Reduce stage -------------------------------------------------------
+  while (active.size() > 1) {
+    if (params.allow_all_to_all_merge &&
+        all_to_all_wavelength_bound(
+            static_cast<std::uint32_t>(active.size())) <=
+            params.num_wavelengths) {
+      std::optional<StepAssembly> merge = try_all_to_all(
+          ring, active, params.num_wavelengths, params.fit_policy);
+      if (merge.has_value()) {
+        build.final_rep_count_mstar =
+            static_cast<std::uint32_t>(active.size());
+        commit_step(build.annotated, ring, std::move(*merge),
+                    params.num_wavelengths, params.fit_policy);
+        build.merged_with_all_to_all = true;
+        break;
+      }
+      // The bound admitted the step but the heuristic coloring did not fit;
+      // fall through to another tree level (never wrong, possibly slower).
+    }
+
+    WrhtLevel level;
+    level.groups = partition_into_groups(active, m);
+
+    StepAssembly step;
+    std::vector<topo::NodeId> reps;
+    reps.reserve(level.groups.size());
+    for (const Group& group : level.groups) {
+      const topo::NodeId rep = group.rep();
+      reps.push_back(rep);
+      for (const topo::NodeId member : group.members) {
+        if (member == rep) continue;
+        step.transfers.push_back(
+            coll::Transfer{member, rep, 0, coll::TransferOp::kReduce});
+        step.arcs.push_back(intra_group_arc(ring, member, rep));
+      }
+    }
+    commit_step(build.annotated, ring, std::move(step),
+                params.num_wavelengths, params.fit_policy);
+    build.reduce_levels.push_back(std::move(level));
+    active = std::move(reps);
+  }
+  if (!build.merged_with_all_to_all) build.final_rep_count_mstar = 1;
+
+  // ---- Broadcast stage ----------------------------------------------------
+  // Mirror every tree level top-down; the all-to-all merge step (if any)
+  // needs no mirror because it leaves all its participants with the result.
+  for (auto level = build.reduce_levels.rbegin();
+       level != build.reduce_levels.rend(); ++level) {
+    StepAssembly step;
+    for (const Group& group : level->groups) {
+      const topo::NodeId rep = group.rep();
+      for (const topo::NodeId member : group.members) {
+        if (member == rep) continue;
+        step.transfers.push_back(
+            coll::Transfer{rep, member, 0, coll::TransferOp::kCopy});
+        step.arcs.push_back(intra_group_arc(ring, rep, member));
+      }
+    }
+    commit_step(build.annotated, ring, std::move(step),
+                params.num_wavelengths, params.fit_policy);
+  }
+
+  return build;
+}
+
+WrhtBuild build_wrht(std::uint32_t num_nodes, const WrhtParams& params) {
+  if (num_nodes < 2) {
+    std::fprintf(stderr, "build_wrht: need at least 2 nodes\n");
+    std::abort();
+  }
+  std::vector<topo::NodeId> everyone(num_nodes);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  return build_wrht_among(everyone, num_nodes, params);
+}
+
+}  // namespace wrht::core

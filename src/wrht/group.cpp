@@ -1,0 +1,46 @@
+#include "wrht/group.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::core {
+
+std::vector<Group> partition_into_groups(
+    const std::vector<topo::NodeId>& active, std::uint32_t group_size) {
+  if (group_size < 2) {
+    std::fprintf(stderr, "partition_into_groups: group_size must be >= 2\n");
+    std::abort();
+  }
+  if (!std::is_sorted(active.begin(), active.end())) {
+    std::fprintf(stderr, "partition_into_groups: active nodes not ascending\n");
+    std::abort();
+  }
+
+  std::vector<Group> groups;
+  for (std::size_t begin = 0; begin < active.size(); begin += group_size) {
+    const std::size_t end = std::min(begin + group_size, active.size());
+    Group group;
+    group.members.assign(active.begin() + static_cast<std::ptrdiff_t>(begin),
+                         active.begin() + static_cast<std::ptrdiff_t>(end));
+    // Middle member: size/2 puts floor(size/2) members on the left and
+    // ceil(size/2)-1 on the right, so the per-side maximum is floor(size/2).
+    group.rep_index = group.members.size() / 2;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::uint32_t group_wavelength_demand(const Group& group) {
+  return static_cast<std::uint32_t>(
+      std::max(group.left_count(), group.right_count()));
+}
+
+topo::Arc intra_group_arc(const topo::RingTopology& ring, topo::NodeId from,
+                          topo::NodeId to) {
+  const topo::Direction dir = from < to ? topo::Direction::kClockwise
+                                        : topo::Direction::kCounterClockwise;
+  return ring.arc(from, to, dir);
+}
+
+}  // namespace wrht::core

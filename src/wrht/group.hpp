@@ -1,0 +1,52 @@
+// Group partitioning for the Wrht hierarchical tree.
+//
+// Active nodes (listed in ascending ring position) are cut into runs of m
+// consecutive nodes; the *middle* member of each run is its representative.
+// With the middle choice, a group of size g needs max(#left, #right) =
+// floor(g/2) wavelengths for its intra-group transfers — the bound §2 of the
+// paper states — because the two sides of the representative use the two
+// counter-rotating waveguides and each side's paths all share the span next
+// to the representative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/ring.hpp"
+
+namespace wrht::core {
+
+struct Group {
+  /// Ascending ring positions; never wraps (partitioning starts at the
+  /// lowest active node).
+  std::vector<topo::NodeId> members;
+  std::size_t rep_index = 0;
+
+  [[nodiscard]] topo::NodeId rep() const { return members[rep_index]; }
+  [[nodiscard]] std::size_t size() const { return members.size(); }
+  /// Members strictly below the representative in ring position.
+  [[nodiscard]] std::size_t left_count() const { return rep_index; }
+  /// Members strictly above.
+  [[nodiscard]] std::size_t right_count() const {
+    return members.size() - rep_index - 1;
+  }
+};
+
+/// Split `active` (ascending node ids) into ceil(|active| / group_size)
+/// consecutive groups; the last group may be smaller.  group_size >= 2.
+[[nodiscard]] std::vector<Group> partition_into_groups(
+    const std::vector<topo::NodeId>& active, std::uint32_t group_size);
+
+/// Wavelengths this group needs for its gather (or mirrored broadcast) step:
+/// max(left, right) = floor(size/2) for the middle representative.
+[[nodiscard]] std::uint32_t group_wavelength_demand(const Group& group);
+
+/// Arc for an intra-group transfer.  Members below the representative reach
+/// it clockwise (ascending ids), members above counter-clockwise — and the
+/// mirrored broadcast reverses both — so the two sides of a group live on
+/// the two counter-rotating waveguides and a path never leaves the group's
+/// slice of the ring.
+[[nodiscard]] topo::Arc intra_group_arc(const topo::RingTopology& ring,
+                                        topo::NodeId from, topo::NodeId to);
+
+}  // namespace wrht::core

@@ -1,0 +1,168 @@
+#include "wrht/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/math.hpp"
+
+namespace wrht::core {
+namespace {
+
+// One (stage, transfer) template: the pipeline instantiates it once per
+// segment with the segment id as the chunk.
+struct StageTransfer {
+  coll::Transfer transfer;  // chunk filled in per segment
+  topo::Arc arc;
+};
+using Stage = std::vector<StageTransfer>;
+
+// Build the 2L stage templates (reduce levels bottom-up, then broadcast
+// levels top-down) for group size m.
+std::vector<Stage> build_stages(const topo::RingTopology& ring,
+                                std::uint32_t num_nodes, std::uint32_t m) {
+  std::vector<std::vector<Group>> levels;
+  std::vector<topo::NodeId> active(num_nodes);
+  std::iota(active.begin(), active.end(), 0);
+  while (active.size() > 1) {
+    std::vector<Group> groups = partition_into_groups(active, m);
+    std::vector<topo::NodeId> reps;
+    reps.reserve(groups.size());
+    for (const Group& group : groups) reps.push_back(group.rep());
+    levels.push_back(std::move(groups));
+    active = std::move(reps);
+  }
+
+  std::vector<Stage> stages;
+  for (const std::vector<Group>& level : levels) {
+    Stage stage;
+    for (const Group& group : level) {
+      for (const topo::NodeId member : group.members) {
+        if (member == group.rep()) continue;
+        stage.push_back(StageTransfer{
+            coll::Transfer{member, group.rep(), 0, coll::TransferOp::kReduce},
+            intra_group_arc(ring, member, group.rep())});
+      }
+    }
+    stages.push_back(std::move(stage));
+  }
+  for (auto level = levels.rbegin(); level != levels.rend(); ++level) {
+    Stage stage;
+    for (const Group& group : *level) {
+      for (const topo::NodeId member : group.members) {
+        if (member == group.rep()) continue;
+        stage.push_back(StageTransfer{
+            coll::Transfer{group.rep(), member, 0, coll::TransferOp::kCopy},
+            intra_group_arc(ring, group.rep(), member)});
+      }
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+// Try to realize the pipeline for a fixed m; nullopt if some step does not
+// color within the spectrum.
+std::optional<WrhtPipelineBuild> try_build(std::uint32_t num_nodes,
+                                           std::uint32_t m,
+                                           const WrhtPipelineParams& params) {
+  const topo::RingTopology ring(num_nodes);
+  const std::vector<Stage> stages = build_stages(ring, num_nodes, m);
+  const auto num_stages = static_cast<std::uint32_t>(stages.size());
+  const std::uint32_t segments = params.num_segments;
+
+  WrhtPipelineBuild build{
+      AnnotatedSchedule{
+          coll::Schedule("wrht_pipelined", num_nodes, segments), {}, 0, {}},
+      m, num_stages / 2, segments};
+
+  const std::uint32_t total_steps = num_stages + segments - 1;
+  for (std::uint32_t t = 0; t < total_steps; ++t) {
+    std::vector<coll::Transfer> transfers;
+    std::vector<topo::Arc> arcs;
+    const std::uint32_t k_begin = t >= segments - 1 ? t - (segments - 1) : 0;
+    const std::uint32_t k_end = std::min(num_stages - 1, t);
+    for (std::uint32_t k = k_begin; k <= k_end; ++k) {
+      const std::uint32_t segment = t - k;
+      for (const StageTransfer& st : stages[k]) {
+        coll::Transfer transfer = st.transfer;
+        transfer.chunk = segment;
+        transfers.push_back(transfer);
+        arcs.push_back(st.arc);
+      }
+    }
+
+    const optical::AssignmentResult assignment =
+        optical::assign_wavelengths_longest_first(
+            ring, arcs, params.num_wavelengths, params.fit_policy);
+    if (!assignment.ok) return std::nullopt;
+
+    build.annotated.schedule.add_step();
+    std::vector<PathAssignment> paths;
+    paths.reserve(arcs.size());
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      build.annotated.schedule.add_transfer(transfers[i]);
+      paths.push_back(PathAssignment{arcs[i], {assignment.lambda[i]}});
+    }
+    build.annotated.paths.push_back(std::move(paths));
+    build.annotated.lambda_per_step.push_back(assignment.wavelengths_used);
+    build.annotated.wavelengths_required = std::max(
+        build.annotated.wavelengths_required, assignment.wavelengths_used);
+  }
+  return build;
+}
+
+}  // namespace
+
+WrhtPipelineBuild build_wrht_pipelined(std::uint32_t num_nodes,
+                                       const WrhtPipelineParams& params) {
+  if (num_nodes < 2 || params.num_segments == 0 ||
+      params.num_wavelengths == 0) {
+    std::fprintf(stderr, "build_wrht_pipelined: invalid parameters\n");
+    std::abort();
+  }
+  const std::uint32_t initial_m = params.initial_group_size.value_or(
+      std::max(2u, std::min(num_nodes, 2 * params.num_wavelengths + 1)));
+
+  // Two degradation axes: shallower groups halve the per-level wavelength
+  // demand (more levels, same concurrency), and fewer segments shrink the
+  // window of co-active stages.  S = 1 with small m is always feasible
+  // (one stage active per step, demand floor(m/2) <= w), so this
+  // terminates with a valid schedule.
+  WrhtPipelineParams attempt = params;
+  while (true) {
+    std::uint32_t m = initial_m;
+    while (true) {
+      const std::optional<WrhtPipelineBuild> build =
+          try_build(num_nodes, m, attempt);
+      if (build.has_value()) return *build;
+      if (m <= 2) break;
+      m = std::max(2u, m / 2);
+    }
+    if (attempt.num_segments == 1) {
+      std::fprintf(stderr,
+                   "build_wrht_pipelined: N=%u does not fit in %u "
+                   "wavelengths even unpipelined at m=2\n",
+                   num_nodes, params.num_wavelengths);
+      std::abort();
+    }
+    attempt.num_segments = std::max(1u, attempt.num_segments / 2);
+  }
+}
+
+std::uint32_t optimal_segments(std::uint32_t num_nodes,
+                               std::uint32_t group_size, util::Bytes payload,
+                               const optical::OpticalParams& p) {
+  const double levels = util::ceil_log(group_size, num_nodes);
+  const double overhead = p.fixed_step_overhead().value();
+  const double serialization =
+      payload.as_double() / p.wdm.wavelength_bandwidth.bytes_per_second();
+  const double s_star =
+      std::sqrt(std::max(1.0, (2 * levels - 1) * serialization / overhead));
+  return static_cast<std::uint32_t>(
+      std::clamp(std::round(s_star), 1.0, 4096.0));
+}
+
+}  // namespace wrht::core

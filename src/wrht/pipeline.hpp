@@ -1,0 +1,63 @@
+// Pipelined Wrht — an extension beyond the paper.
+//
+// Plain Wrht resends the full vector at every tree level, so for very large
+// gradients the bandwidth term (2L-1) * D/B lets chunked rings catch up
+// (see bench/msgsize_sweep).  The classic fix is segment pipelining: split
+// the payload into S segments and stream them through the tree stages.
+// Segment s enters stage k at step k + s; all stages work on different
+// segments concurrently, so the schedule finishes in 2L + S - 1 steps of
+// size D/S instead of 2L steps of size D:
+//
+//   T(S) ~ (2L + S - 1) * t_o  +  (2L + S - 1) * D / (S B)
+//
+// minimized near S* = sqrt((2L - 1) D / (B t_o)).
+//
+// Concurrent stages share the ring, so the wavelength demand grows to
+// roughly the sum of the co-active levels' demands.  The builder degrades
+// along two axes until the whole pipeline colors within the spectrum:
+// shallower groups (smaller m) reduce per-level demand, and fewer segments
+// shrink the co-active window.  S = 1 with m = 2 is always feasible, so the
+// search terminates; the result records the segment count actually used.
+// Every step remains conflict-checked cell by cell.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "optical/params.hpp"
+#include "wrht/annotated.hpp"
+#include "wrht/group.hpp"
+
+namespace wrht::core {
+
+struct WrhtPipelineParams {
+  std::uint32_t num_wavelengths = 64;
+  /// Number of payload segments S (>= 1).  1 degenerates to the unmerged
+  /// Wrht schedule.
+  std::uint32_t num_segments = 8;
+  /// Initial group size; the builder halves it until the pipeline fits the
+  /// spectrum.  Defaults to the plain-Wrht choice min(N, 2w+1).
+  std::optional<std::uint32_t> initial_group_size;
+  optical::FitPolicy fit_policy = optical::FitPolicy::kFirstFit;
+};
+
+struct WrhtPipelineBuild {
+  AnnotatedSchedule annotated;  // num_chunks == num_segments
+  std::uint32_t group_size_m = 0;
+  std::uint32_t tree_levels = 0;
+  /// Effective segment count (<= the requested one when the spectrum forced
+  /// a degradation).
+  std::uint32_t num_segments = 0;
+};
+
+[[nodiscard]] WrhtPipelineBuild build_wrht_pipelined(
+    std::uint32_t num_nodes, const WrhtPipelineParams& params);
+
+/// The analytically optimal segment count for the pipeline trade-off (at
+/// least 1, at most 4096), given the tree depth the group size implies.
+[[nodiscard]] std::uint32_t optimal_segments(std::uint32_t num_nodes,
+                                             std::uint32_t group_size,
+                                             util::Bytes payload,
+                                             const optical::OpticalParams& p);
+
+}  // namespace wrht::core

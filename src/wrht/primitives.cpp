@@ -1,0 +1,103 @@
+#include "wrht/primitives.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::core {
+namespace {
+
+// Truncate a full Wrht build (merge disabled) to its reduce stage.
+AnnotatedSchedule take_reduce_stage(const WrhtBuild& full,
+                                    const std::string& name) {
+  const std::size_t levels = full.reduce_levels.size();
+  AnnotatedSchedule out{
+      coll::Schedule(name, full.annotated.schedule.num_nodes(), 1),
+      {},
+      0,
+      {}};
+  for (std::size_t s = 0; s < levels; ++s) {
+    out.schedule.add_step();
+    for (const coll::Transfer& t :
+         full.annotated.schedule.steps()[s].transfers) {
+      out.schedule.add_transfer(t);
+    }
+    out.paths.push_back(full.annotated.paths[s]);
+    out.lambda_per_step.push_back(full.annotated.lambda_per_step[s]);
+    out.wavelengths_required =
+        std::max(out.wavelengths_required, full.annotated.lambda_per_step[s]);
+  }
+  return out;
+}
+
+}  // namespace
+
+WrhtReduceBuild build_wrht_reduce(std::uint32_t num_nodes,
+                                  const WrhtParams& params) {
+  WrhtParams no_merge = params;
+  no_merge.allow_all_to_all_merge = false;
+  WrhtBuild full = build_wrht(num_nodes, no_merge);
+  if (full.reduce_levels.empty() ||
+      full.reduce_levels.back().groups.size() != 1) {
+    std::fprintf(stderr,
+                 "build_wrht_reduce: tree did not converge to one root\n");
+    std::abort();
+  }
+  WrhtReduceBuild build{take_reduce_stage(full, "wrht_reduce"),
+                        full.reduce_levels.back().groups[0].rep(),
+                        full.group_size_m,
+                        std::move(full.reduce_levels)};
+  return build;
+}
+
+WrhtBroadcastBuild build_wrht_broadcast(std::uint32_t num_nodes,
+                                        topo::NodeId root,
+                                        const WrhtParams& params) {
+  // Build the tree on logical ring positions, then rotate the whole
+  // schedule so the tree's root lands on the requested physical node.  A
+  // rotation maps arcs to arcs and preserves every span overlap, so the
+  // wavelength assignment carries over unchanged.
+  WrhtParams no_merge = params;
+  no_merge.allow_all_to_all_merge = false;
+  const WrhtBuild full = build_wrht(num_nodes, no_merge);
+  const topo::NodeId logical_root =
+      full.reduce_levels.back().groups[0].rep();
+  const std::uint32_t shift =
+      (root + num_nodes - logical_root) % num_nodes;
+  const auto physical = [&](topo::NodeId logical) {
+    return (logical + shift) % num_nodes;
+  };
+
+  WrhtBroadcastBuild build{
+      AnnotatedSchedule{coll::Schedule("wrht_broadcast", num_nodes, 1),
+                        {},
+                        0,
+                        {}},
+      root, full.group_size_m};
+
+  // The broadcast stage of `full` is its second half (levels reversed);
+  // rotate ids and arcs, keep wavelengths.
+  const std::size_t levels = full.reduce_levels.size();
+  for (std::size_t s = levels; s < full.annotated.schedule.num_steps(); ++s) {
+    build.annotated.schedule.add_step();
+    std::vector<PathAssignment> paths;
+    const auto& transfers = full.annotated.schedule.steps()[s].transfers;
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      const coll::Transfer& t = transfers[i];
+      build.annotated.schedule.add_transfer(coll::Transfer{
+          physical(t.src), physical(t.dst), t.chunk, t.op});
+      PathAssignment path = full.annotated.paths[s][i];
+      path.arc.first = (path.arc.first + shift) % num_nodes;
+      paths.push_back(std::move(path));
+    }
+    build.annotated.paths.push_back(std::move(paths));
+    build.annotated.lambda_per_step.push_back(
+        full.annotated.lambda_per_step[s]);
+    build.annotated.wavelengths_required =
+        std::max(build.annotated.wavelengths_required,
+                 full.annotated.lambda_per_step[s]);
+  }
+  return build;
+}
+
+}  // namespace wrht::core

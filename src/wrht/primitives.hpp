@@ -1,0 +1,37 @@
+// Wrht-style reduce and broadcast primitives on the optical ring.
+//
+// The all-reduce of the paper is a reduce stage mirrored by a broadcast
+// stage; each half is useful on its own — reduce for gradient aggregation
+// to a parameter server node, broadcast for weight distribution.  Both use
+// the same hierarchical grouping and wavelength reuse, needing
+// ceil(log_m N) steps and floor(m/2) wavelengths.
+#pragma once
+
+#include "wrht/builder.hpp"
+
+namespace wrht::core {
+
+/// Hierarchical-tree reduce: the element-wise sum ends at the returned
+/// root (the top-level representative).  ceil(log_m N) steps.
+struct WrhtReduceBuild {
+  AnnotatedSchedule annotated;
+  topo::NodeId root = 0;
+  std::uint32_t group_size_m = 0;
+  std::vector<WrhtLevel> levels;
+};
+[[nodiscard]] WrhtReduceBuild build_wrht_reduce(std::uint32_t num_nodes,
+                                                const WrhtParams& params);
+
+/// Hierarchical-tree broadcast from `root`: every node ends with the root's
+/// vector.  ceil(log_m N) steps.  The tree is built over ring positions
+/// rotated so that `root` is a top-level representative.
+struct WrhtBroadcastBuild {
+  AnnotatedSchedule annotated;
+  topo::NodeId root = 0;
+  std::uint32_t group_size_m = 0;
+};
+[[nodiscard]] WrhtBroadcastBuild build_wrht_broadcast(std::uint32_t num_nodes,
+                                                      topo::NodeId root,
+                                                      const WrhtParams& params);
+
+}  // namespace wrht::core

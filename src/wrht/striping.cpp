@@ -1,0 +1,79 @@
+#include "wrht/striping.hpp"
+
+#include <algorithm>
+
+#include "optical/spectrum.hpp"
+
+namespace wrht::core {
+
+AnnotatedSchedule apply_striping(const AnnotatedSchedule& annotated,
+                                 std::uint32_t num_wavelengths,
+                                 util::Bytes payload, StripingStats* stats) {
+  AnnotatedSchedule out = annotated;
+  const topo::RingTopology ring(annotated.schedule.num_nodes());
+
+  for (std::size_t s = 0; s < out.schedule.num_steps(); ++s) {
+    std::vector<PathAssignment>& paths = out.paths[s];
+    const coll::Step& step = out.schedule.steps()[s];
+
+    // Rebuild this step's spectrum occupancy from the base assignment.
+    optical::SpectrumMap spectrum(ring, num_wavelengths);
+    for (const PathAssignment& p : paths) {
+      for (const optical::WavelengthId lambda : p.lambdas) {
+        spectrum.reserve(p.arc, lambda);
+      }
+    }
+
+    // Serialization time of transfer i with its current stripe count.
+    const auto duration = [&](std::size_t i) {
+      const double bytes =
+          out.schedule.chunk_bytes(payload, step.transfers[i].chunk)
+              .as_double();
+      return bytes / static_cast<double>(paths[i].lambdas.size());
+    };
+
+    // Greedy: always relieve the current bottleneck transfer; stop when the
+    // bottleneck has no free wavelength along its arc (any slower transfer
+    // would not change the makespan anyway, but relieving non-bottlenecks
+    // still helps total occupancy, so we fall through the sorted order).
+    std::vector<std::size_t> order(paths.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return duration(a) > duration(b);
+                       });
+      for (const std::size_t i : order) {
+        const std::optional<optical::WavelengthId> lambda =
+            spectrum.first_free(paths[i].arc);
+        if (!lambda.has_value()) continue;
+        spectrum.reserve(paths[i].arc, *lambda);
+        paths[i].lambdas.push_back(*lambda);
+        out.wavelengths_required =
+            std::max(out.wavelengths_required, *lambda + 1);
+        if (stats != nullptr) {
+          ++stats->extra_lambdas_granted;
+          stats->max_stripes_on_one_transfer =
+              std::max(stats->max_stripes_on_one_transfer,
+                       static_cast<std::uint32_t>(paths[i].lambdas.size()));
+        }
+        progress = true;
+        break;  // re-rank after each grant
+      }
+    }
+    if (!paths.empty()) {
+      std::uint32_t used = out.lambda_per_step[s];
+      for (const PathAssignment& p : paths) {
+        for (const optical::WavelengthId lambda : p.lambdas) {
+          used = std::max(used, lambda + 1);
+        }
+      }
+      out.lambda_per_step[s] = used;
+    }
+  }
+  return out;
+}
+
+}  // namespace wrht::core

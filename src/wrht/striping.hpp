@@ -1,0 +1,34 @@
+// Wavelength striping — an extension beyond the paper.
+//
+// A Wrht step leaves part of the spectrum idle: only the span next to each
+// representative is fully loaded; farther spans carry fewer nested paths.
+// Striping greedily grants idle wavelengths (free along a transfer's whole
+// arc) to the transfers that currently dominate the step makespan, splitting
+// their bytes across the granted set.  Bounded by the same conflict rules,
+// validated by the same DES.  The striping_ablation bench quantifies the
+// benefit.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/ring.hpp"
+#include "util/units.hpp"
+#include "wrht/annotated.hpp"
+
+namespace wrht::core {
+
+struct StripingStats {
+  std::uint64_t extra_lambdas_granted = 0;
+  std::uint32_t max_stripes_on_one_transfer = 1;
+};
+
+/// Returns a copy of `annotated` where each step's transfers may carry
+/// multiple wavelengths.  `payload` guides which transfers are on the
+/// critical path (larger chunks first).  The result stays conflict-free and
+/// uses at most `num_wavelengths` wavelengths.
+[[nodiscard]] AnnotatedSchedule apply_striping(const AnnotatedSchedule& annotated,
+                                               std::uint32_t num_wavelengths,
+                                               util::Bytes payload,
+                                               StripingStats* stats = nullptr);
+
+}  // namespace wrht::core

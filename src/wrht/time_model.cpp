@@ -1,0 +1,106 @@
+#include "wrht/time_model.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace wrht::core {
+
+util::Seconds analytic_schedule_time(const AnnotatedSchedule& annotated,
+                                     util::Bytes payload,
+                                     const optical::OpticalParams& params) {
+  util::Seconds total{0.0};
+  const double bw = params.wdm.wavelength_bandwidth.bytes_per_second();
+  for (std::size_t s = 0; s < annotated.schedule.num_steps(); ++s) {
+    const coll::Step& step = annotated.schedule.steps()[s];
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < step.transfers.size(); ++i) {
+      const coll::Transfer& t = step.transfers[i];
+      const PathAssignment& path = annotated.paths[s][i];
+      const double bytes =
+          annotated.schedule.chunk_bytes(payload, t.chunk).as_double();
+      const double stripes = static_cast<double>(path.lambdas.size());
+      const double duration =
+          params.tune_time.value() + params.transceiver_time.value() +
+          params.propagation_per_hop.value() *
+              static_cast<double>(path.arc.length) +
+          bytes / (bw * stripes);
+      slowest = std::max(slowest, duration);
+    }
+    total += util::Seconds(slowest) + params.sync_time;
+  }
+  return total;
+}
+
+util::Seconds wrht_time_formula(std::uint32_t num_nodes, util::Bytes payload,
+                                const optical::OpticalParams& p,
+                                const WrhtParams& params) {
+  const std::uint32_t m = params.forced_group_size.value_or(
+      default_group_size(num_nodes, params.num_wavelengths));
+  const double overhead = p.fixed_step_overhead().value();
+  const double serialization =
+      payload.as_double() / p.wdm.wavelength_bandwidth.bytes_per_second();
+
+  // Walk the level structure the builder would produce, tracking the node
+  // spacing so propagation uses the true worst-case hop distance.
+  double total = 0.0;
+  std::uint32_t active = num_nodes;
+  std::uint64_t spacing = 1;  // ring hops between consecutive active nodes
+  std::uint32_t tree_levels = 0;
+  bool merged = false;
+  while (active > 1) {
+    if (params.allow_all_to_all_merge &&
+        all_to_all_wavelength_bound(active) <= params.num_wavelengths) {
+      // All-to-all among `active` nodes spaced `spacing` apart: the longest
+      // shortest-direction arc is about half the populated circumference.
+      const double hops = static_cast<double>(
+          std::min<std::uint64_t>(num_nodes / 2,
+                                  spacing * active / 2 + spacing));
+      total += overhead + serialization +
+               p.propagation_per_hop.value() * hops;
+      merged = true;
+      break;
+    }
+    // Tree level: the farthest member sits floor(m/2) active slots from the
+    // representative, each slot `spacing` ring hops wide.
+    const std::uint32_t group = std::min(active, m);
+    const double hops =
+        static_cast<double>(spacing * (group / 2));
+    total +=
+        overhead + serialization + p.propagation_per_hop.value() * hops;
+    active = static_cast<std::uint32_t>(util::ceil_div(active, m));
+    spacing *= m;
+    ++tree_levels;
+  }
+
+  // Broadcast mirrors the tree levels; recompute their per-level costs by
+  // replaying the same walk (identical transfers, reversed direction).
+  active = num_nodes;
+  spacing = 1;
+  for (std::uint32_t level = 0; level < tree_levels; ++level) {
+    const std::uint32_t group = std::min(active, m);
+    const double hops = static_cast<double>(spacing * (group / 2));
+    total +=
+        overhead + serialization + p.propagation_per_hop.value() * hops;
+    active = static_cast<std::uint32_t>(util::ceil_div(active, m));
+    spacing *= m;
+  }
+  (void)merged;
+  return util::Seconds(total);
+}
+
+util::Seconds optical_ring_time_formula(std::uint32_t num_nodes,
+                                        util::Bytes payload,
+                                        const optical::OpticalParams& p) {
+  const double steps = 2.0 * (num_nodes - 1);
+  // The largest chunk is ceil(D / N) bytes; every step moves one chunk one
+  // hop on a single wavelength.
+  const double chunk = static_cast<double>(
+      util::ceil_div(payload.count(), num_nodes));
+  const double per_step =
+      p.fixed_step_overhead().value() + p.propagation_per_hop.value() +
+      chunk / p.wdm.wavelength_bandwidth.bytes_per_second();
+  return util::Seconds(steps * per_step);
+}
+
+}  // namespace wrht::core

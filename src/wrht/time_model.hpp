@@ -1,0 +1,39 @@
+// Closed-form communication-time models for the optical ring.
+//
+// `analytic_schedule_time` mirrors OpticalRingNetwork exactly (the DES and
+// the formula must agree to double precision — a test enforces it); the
+// `*_formula` helpers are the paper-style expressions that need no schedule
+// object at all, used for large parameter sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "optical/params.hpp"
+#include "wrht/annotated.hpp"
+#include "wrht/builder.hpp"
+
+namespace wrht::core {
+
+/// Per-step: (tune + transceiver, charged per the retune policy) +
+/// max over transfers of (hops * t_prop + bytes / (#lambdas * B)) + sync.
+/// Assumes every step retunes (OpticalParams::retune_every_step == true).
+[[nodiscard]] util::Seconds analytic_schedule_time(
+    const AnnotatedSchedule& annotated, util::Bytes payload,
+    const optical::OpticalParams& params);
+
+/// The paper's Wrht time: steps(N, m, w) fixed-overhead charges plus one
+/// full-payload serialization per step (every Wrht transfer carries the
+/// whole vector on one wavelength).  Propagation uses the exact worst-case
+/// hop distance per level.
+[[nodiscard]] util::Seconds wrht_time_formula(std::uint32_t num_nodes,
+                                              util::Bytes payload,
+                                              const optical::OpticalParams& p,
+                                              const WrhtParams& params);
+
+/// Chunked ring all-reduce on the optical ring, single wavelength:
+/// 2(N-1) steps, each paying the fixed overhead + one chunk (~D/N) + 1 hop.
+[[nodiscard]] util::Seconds optical_ring_time_formula(
+    std::uint32_t num_nodes, util::Bytes payload,
+    const optical::OpticalParams& p);
+
+}  // namespace wrht::core

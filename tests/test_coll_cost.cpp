@@ -1,0 +1,102 @@
+#include "coll/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coll/algorithms.hpp"
+
+namespace wrht::coll {
+namespace {
+
+using util::Bytes;
+
+AlphaBetaParams test_params() {
+  AlphaBetaParams p;
+  p.alpha = util::microseconds(50.0);
+  p.bandwidth = util::gBps(1.0);
+  return p;
+}
+
+TEST(AlphaBeta, RingMatchesClosedForm) {
+  const std::uint32_t n = 8;
+  const Bytes payload(8'000'000);  // divisible: chunks uniform
+  const CostBreakdown cost =
+      alpha_beta_cost(ring_allreduce(n), payload, test_params());
+  const util::Seconds closed =
+      ring_allreduce_closed_form(n, payload, test_params());
+  EXPECT_NEAR(cost.total.value(), closed.value(), 1e-12);
+  EXPECT_EQ(cost.steps, 14u);
+}
+
+TEST(AlphaBeta, RecursiveDoublingMatchesClosedForm) {
+  const std::uint32_t n = 16;
+  const Bytes payload(1'000'000);
+  const CostBreakdown cost =
+      alpha_beta_cost(recursive_doubling(n), payload, test_params());
+  const util::Seconds closed =
+      recursive_doubling_closed_form(n, payload, test_params());
+  EXPECT_NEAR(cost.total.value(), closed.value(), 1e-12);
+}
+
+TEST(AlphaBeta, LatencyBandwidthDecomposition) {
+  const CostBreakdown cost =
+      alpha_beta_cost(binomial_tree(8), Bytes(1'000'000), test_params());
+  EXPECT_NEAR(cost.total.value(),
+              cost.latency_part.value() + cost.bandwidth_part.value(), 1e-15);
+  EXPECT_NEAR(cost.latency_part.value(), 6 * 50e-6, 1e-12);
+  // Each step moves the full vector through the busiest node.
+  EXPECT_NEAR(cost.bandwidth_part.value(), 6 * 1e-3, 1e-9);
+}
+
+TEST(AlphaBeta, CrossoverRingVsRecursiveDoubling) {
+  // Small payloads: RD (few steps) wins.  Large payloads: ring (small
+  // bottleneck per step) wins.  The crossover is the textbook property the
+  // msgsize_sweep bench plots.
+  const std::uint32_t n = 32;
+  const AlphaBetaParams p = test_params();
+  const Bytes small(1'000);
+  const Bytes large(100'000'000);
+
+  const double ring_small =
+      alpha_beta_cost(ring_allreduce(n), small, p).total.value();
+  const double rd_small =
+      alpha_beta_cost(recursive_doubling(n), small, p).total.value();
+  EXPECT_LT(rd_small, ring_small);
+
+  const double ring_large =
+      alpha_beta_cost(ring_allreduce(n), large, p).total.value();
+  const double rd_large =
+      alpha_beta_cost(recursive_doubling(n), large, p).total.value();
+  EXPECT_LT(ring_large, rd_large);
+}
+
+TEST(AlphaBeta, HalvingDoublingBeatsRecursiveDoublingOnBandwidth) {
+  const std::uint32_t n = 16;
+  const Bytes payload(16'000'000);
+  const AlphaBetaParams p = test_params();
+  const double hd =
+      alpha_beta_cost(halving_doubling(n), payload, p).total.value();
+  const double rd =
+      alpha_beta_cost(recursive_doubling(n), payload, p).total.value();
+  EXPECT_LT(hd, rd);
+}
+
+TEST(AlphaBeta, DirectAllReduceIncastDominates) {
+  const std::uint32_t n = 16;
+  const Bytes payload(1'000'000);
+  const CostBreakdown cost =
+      alpha_beta_cost(direct_allreduce(n), payload, test_params());
+  // Busiest node receives (n-1) full vectors in the single step.
+  EXPECT_NEAR(cost.bandwidth_part.value(), 15e-3, 1e-9);
+  EXPECT_NEAR(cost.latency_part.value(), 50e-6, 1e-12);
+}
+
+TEST(AlphaBeta, TotalTrafficReported) {
+  const std::uint32_t n = 4;
+  const Bytes payload(4000);
+  const CostBreakdown cost =
+      alpha_beta_cost(ring_allreduce(n), payload, test_params());
+  EXPECT_EQ(cost.total_traffic.count(), 2ull * (n - 1) * payload.count());
+}
+
+}  // namespace
+}  // namespace wrht::coll

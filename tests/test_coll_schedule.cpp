@@ -1,0 +1,116 @@
+#include "coll/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::coll {
+namespace {
+
+using util::Bytes;
+
+TEST(Schedule, BasicConstruction) {
+  Schedule schedule("test", 4, 2);
+  EXPECT_EQ(schedule.name(), "test");
+  EXPECT_EQ(schedule.num_nodes(), 4u);
+  EXPECT_EQ(schedule.num_chunks(), 2u);
+  EXPECT_EQ(schedule.num_steps(), 0u);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});
+  schedule.add_transfer({2, 3, 1, TransferOp::kCopy});
+  EXPECT_EQ(schedule.num_steps(), 1u);
+  EXPECT_EQ(schedule.total_transfers(), 2u);
+}
+
+TEST(Schedule, ChunkBytesEvenSplit) {
+  const Schedule schedule("test", 4, 4);
+  const Bytes payload(1000);
+  for (ChunkId c = 0; c < 4; ++c) {
+    EXPECT_EQ(schedule.chunk_bytes(payload, c).count(), 250u);
+  }
+}
+
+TEST(Schedule, ChunkBytesRemainderSpread) {
+  const Schedule schedule("test", 4, 4);
+  const Bytes payload(1002);
+  EXPECT_EQ(schedule.chunk_bytes(payload, 0).count(), 251u);
+  EXPECT_EQ(schedule.chunk_bytes(payload, 1).count(), 251u);
+  EXPECT_EQ(schedule.chunk_bytes(payload, 2).count(), 250u);
+  EXPECT_EQ(schedule.chunk_bytes(payload, 3).count(), 250u);
+}
+
+TEST(Schedule, ChunksSumToPayload) {
+  const Schedule schedule("test", 8, 7);
+  for (const std::uint64_t payload : {0ULL, 1ULL, 6ULL, 7ULL, 100ULL,
+                                      249'200'000ULL}) {
+    Bytes sum;
+    for (ChunkId c = 0; c < 7; ++c) {
+      sum += schedule.chunk_bytes(Bytes(payload), c);
+    }
+    EXPECT_EQ(sum.count(), payload);
+  }
+}
+
+TEST(Schedule, TotalTraffic) {
+  Schedule schedule("test", 4, 2);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});  // 500 B
+  schedule.add_transfer({2, 3, 1, TransferOp::kReduce});  // 500 B
+  schedule.add_step();
+  schedule.add_transfer({1, 2, 0, TransferOp::kCopy});  // 500 B
+  EXPECT_EQ(schedule.total_traffic(Bytes(1000)).count(), 1500u);
+}
+
+TEST(Schedule, ToStringContainsTransfers) {
+  Schedule schedule("demo", 3, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 2, 0, TransferOp::kReduce});
+  const std::string text = schedule.to_string();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("0->2"), std::string::npos);
+  EXPECT_NE(text.find("R"), std::string::npos);
+}
+
+TEST(SplitHelpers, SizeAndOffsetConsistent) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 10ULL, 97ULL, 1000ULL}) {
+    for (const std::uint32_t parts : {1u, 2u, 3u, 7u, 16u}) {
+      std::uint64_t expected_offset = 0;
+      for (std::uint32_t i = 0; i < parts; ++i) {
+        EXPECT_EQ(split_part_offset(total, parts, i), expected_offset);
+        expected_offset += split_part_size(total, parts, i);
+      }
+      EXPECT_EQ(expected_offset, total);
+    }
+  }
+}
+
+TEST(SplitHelpers, LargerPartsComeFirst) {
+  // 10 into 4: 3,3,2,2.
+  EXPECT_EQ(split_part_size(10, 4, 0), 3u);
+  EXPECT_EQ(split_part_size(10, 4, 1), 3u);
+  EXPECT_EQ(split_part_size(10, 4, 2), 2u);
+  EXPECT_EQ(split_part_size(10, 4, 3), 2u);
+}
+
+TEST(Schedule, InvalidTransferAborts) {
+  Schedule schedule("test", 4, 2);
+  schedule.add_step();
+  EXPECT_DEATH(schedule.add_transfer({0, 0, 0, TransferOp::kReduce}),
+               "invalid transfer");
+  EXPECT_DEATH(schedule.add_transfer({0, 9, 0, TransferOp::kReduce}),
+               "invalid transfer");
+  EXPECT_DEATH(schedule.add_transfer({0, 1, 5, TransferOp::kReduce}),
+               "invalid transfer");
+}
+
+TEST(Schedule, TransferBeforeStepAborts) {
+  Schedule schedule("test", 4, 2);
+  EXPECT_DEATH(schedule.add_transfer({0, 1, 0, TransferOp::kReduce}),
+               "before add_step");
+}
+
+TEST(TransferOpNames, Stable) {
+  EXPECT_STREQ(transfer_op_name(TransferOp::kReduce), "reduce");
+  EXPECT_STREQ(transfer_op_name(TransferOp::kCopy), "copy");
+}
+
+}  // namespace
+}  // namespace wrht::coll

@@ -1,0 +1,127 @@
+#include "coll/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coll/algorithms.hpp"
+
+namespace wrht::coll {
+namespace {
+
+using util::Bytes;
+
+TEST(Validate, CleanScheduleOk) {
+  Schedule schedule("ok", 4, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});
+  schedule.add_transfer({2, 3, 0, TransferOp::kReduce});
+  const ValidationReport report = validate(schedule);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.warnings.empty());
+  EXPECT_EQ(report.to_string(), "ok\n");
+}
+
+TEST(Validate, DuplicateTransferIsError) {
+  Schedule schedule("dup", 4, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});
+  const ValidationReport report = validate(schedule);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].description.find("duplicate"),
+            std::string::npos);
+}
+
+TEST(Validate, TwoCopiesSameDestinationIsError) {
+  Schedule schedule("race", 4, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 3, 0, TransferOp::kCopy});
+  schedule.add_transfer({1, 3, 0, TransferOp::kCopy});
+  EXPECT_FALSE(validate(schedule).ok());
+}
+
+TEST(Validate, CopyPlusReduceSameDestinationIsError) {
+  Schedule schedule("mixed", 4, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 3, 0, TransferOp::kCopy});
+  schedule.add_transfer({1, 3, 0, TransferOp::kReduce});
+  EXPECT_FALSE(validate(schedule).ok());
+
+  Schedule reversed("mixed2", 4, 1);
+  reversed.add_step();
+  reversed.add_transfer({1, 3, 0, TransferOp::kReduce});
+  reversed.add_transfer({0, 3, 0, TransferOp::kCopy});
+  EXPECT_FALSE(validate(reversed).ok());
+}
+
+TEST(Validate, ManyReducesSameDestinationAllowed) {
+  Schedule schedule("fanin", 8, 1);
+  schedule.add_step();
+  for (NodeId src = 1; src < 8; ++src) {
+    schedule.add_transfer({src, 0, 0, TransferOp::kReduce});
+  }
+  EXPECT_TRUE(validate(schedule).ok());
+}
+
+TEST(Validate, HighFanInWarns) {
+  Schedule schedule("incast", 8, 1);
+  schedule.add_step();
+  for (NodeId src = 1; src < 8; ++src) {
+    schedule.add_transfer({src, 0, 0, TransferOp::kReduce});
+  }
+  const ValidationReport report = validate(schedule, /*warn_fan_in=*/4);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].description.find("receives 7"),
+            std::string::npos);
+}
+
+TEST(Validate, SameChunkDifferentDestinationsOk) {
+  Schedule schedule("bcast", 4, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kCopy});
+  schedule.add_transfer({0, 2, 0, TransferOp::kCopy});
+  schedule.add_transfer({0, 3, 0, TransferOp::kCopy});
+  EXPECT_TRUE(validate(schedule).ok());
+}
+
+TEST(Validate, AllBaselineAlgorithmsClean) {
+  for (const std::uint32_t n : {4u, 7u, 16u}) {
+    EXPECT_TRUE(validate(ring_allreduce(n)).ok());
+    EXPECT_TRUE(validate(recursive_doubling(n)).ok());
+    EXPECT_TRUE(validate(halving_doubling(n)).ok());
+    EXPECT_TRUE(validate(binomial_tree(n)).ok());
+    EXPECT_TRUE(validate(direct_allreduce(n)).ok());
+    EXPECT_TRUE(validate(naive_ring(n)).ok());
+  }
+}
+
+TEST(StepLoads, CountsSentAndReceived) {
+  Schedule schedule("loads", 4, 2);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});  // 500 B
+  schedule.add_transfer({0, 2, 1, TransferOp::kReduce});  // 500 B
+  schedule.add_transfer({3, 1, 1, TransferOp::kReduce});  // 500 B
+  const auto loads = step_loads(schedule, 0, Bytes(1000));
+  EXPECT_EQ(loads[0].sent.count(), 1000u);
+  EXPECT_EQ(loads[0].received.count(), 0u);
+  EXPECT_EQ(loads[1].received.count(), 1000u);
+  EXPECT_EQ(loads[2].received.count(), 500u);
+  EXPECT_EQ(loads[3].sent.count(), 500u);
+}
+
+TEST(StepBottleneck, PicksBusiestNode) {
+  Schedule schedule("bottleneck", 4, 2);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, TransferOp::kReduce});
+  schedule.add_transfer({0, 2, 1, TransferOp::kReduce});
+  EXPECT_EQ(step_bottleneck_bytes(schedule, 0, Bytes(1000)).count(), 1000u);
+}
+
+TEST(StepBottleneck, RingStepIsOneChunk) {
+  const std::uint32_t n = 8;
+  const Schedule schedule = ring_allreduce(n);
+  EXPECT_EQ(step_bottleneck_bytes(schedule, 0, Bytes(8000)).count(), 1000u);
+}
+
+}  // namespace
+}  // namespace wrht::coll

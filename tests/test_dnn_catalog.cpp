@@ -1,0 +1,156 @@
+#include "dnn/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wrht::dnn {
+namespace {
+
+TEST(AlexNet, ExactLayerTable) {
+  const Model model = alexnet();
+  // The original Krizhevsky architecture counted with biases.
+  EXPECT_EQ(model.table_params(), 62'378'344u);
+  EXPECT_EQ(model.declared_params(), 62'300'000u);
+  EXPECT_EQ(model.layers().size(), 8u);
+}
+
+TEST(AlexNet, KnownLayerValues) {
+  const Model model = alexnet();
+  EXPECT_EQ(model.layers()[0].params, 34'944u);       // conv1
+  EXPECT_EQ(model.layers()[5].params, 37'752'832u);   // fc6
+  EXPECT_EQ(model.layers()[7].params, 4'097'000u);    // fc8
+}
+
+TEST(Vgg16, ExactLayerTable) {
+  const Model model = vgg16();
+  EXPECT_EQ(model.table_params(), 138'357'544u);
+  EXPECT_EQ(model.declared_params(), 138'000'000u);
+  EXPECT_EQ(model.layers().size(), 16u);
+}
+
+TEST(Vgg16, FcDominatesParameterMass) {
+  const Model model = vgg16();
+  std::uint64_t conv = 0;
+  std::uint64_t fc = 0;
+  for (const Layer& layer : model.layers()) {
+    (layer.kind == LayerKind::kFullyConnected ? fc : conv) += layer.params;
+  }
+  EXPECT_EQ(conv, 14'714'688u);
+  EXPECT_EQ(fc, 123'642'856u);
+}
+
+TEST(ResNet50, ExactTorchvisionCount) {
+  const Model model = resnet50();
+  EXPECT_EQ(model.table_params(), 25'557'032u);
+  EXPECT_EQ(model.declared_params(), 25'000'000u);
+  // conv1 + 16 bottleneck blocks + fc.
+  EXPECT_EQ(model.layers().size(), 18u);
+}
+
+TEST(ResNet50, FinalFcSize) {
+  const Model model = resnet50();
+  EXPECT_EQ(model.layers().back().params, 2'049'000u);
+}
+
+TEST(GoogLeNet, TableNearDeclared) {
+  const Model model = googlenet();
+  EXPECT_EQ(model.declared_params(), 6'797'700u);
+  // Original Inception-v1 with biases and no aux heads: 6,998,552.
+  EXPECT_EQ(model.table_params(), 6'998'552u);
+  const double deviation =
+      std::abs(static_cast<double>(model.table_params()) -
+               static_cast<double>(model.declared_params())) /
+      static_cast<double>(model.declared_params());
+  EXPECT_LT(deviation, 0.035);
+  // 3 stem convs + 9 inception modules + fc.
+  EXPECT_EQ(model.layers().size(), 13u);
+}
+
+TEST(GoogLeNet, InceptionModuleValues) {
+  const Model model = googlenet();
+  // inception3a is layer index 3.
+  EXPECT_EQ(model.layers()[3].name, "inception3a");
+  EXPECT_EQ(model.layers()[3].params, 163'696u);
+  EXPECT_EQ(model.layers()[11].name, "inception5b");
+  EXPECT_EQ(model.layers()[11].params, 1'444'080u);
+}
+
+TEST(ExtendedCatalog, Vgg19ExactCount) {
+  const Model model = vgg19();
+  EXPECT_EQ(model.table_params(), 143'667'240u);
+  EXPECT_EQ(model.declared_params(), 143'667'240u);
+  EXPECT_EQ(model.layers().size(), 19u);
+}
+
+TEST(ExtendedCatalog, ResNet101ExactCount) {
+  const Model model = resnet101();
+  EXPECT_EQ(model.table_params(), 44'549'160u);
+  EXPECT_EQ(model.declared_params(), 44'549'160u);
+  // conv1 + (3+4+23+3) blocks + fc.
+  EXPECT_EQ(model.layers().size(), 35u);
+}
+
+TEST(ExtendedCatalog, ResNet152ExactCount) {
+  const Model model = resnet152();
+  EXPECT_EQ(model.table_params(), 60'192'808u);
+  EXPECT_EQ(model.layers().size(), 52u);
+}
+
+TEST(ExtendedCatalog, DeeperVariantsAreLarger) {
+  EXPECT_GT(vgg19().table_params(), vgg16().table_params());
+  EXPECT_GT(resnet101().table_params(), resnet50().table_params());
+  EXPECT_GT(resnet152().table_params(), resnet101().table_params());
+}
+
+TEST(ExtendedCatalog, AllModelsListsSeven) {
+  const auto models = all_models();
+  ASSERT_EQ(models.size(), 7u);
+  EXPECT_EQ(models[4].name(), "VGG19");
+  EXPECT_EQ(models[6].name(), "ResNet152");
+}
+
+TEST(PaperModels, OrderAndSizes) {
+  const std::vector<Model> models = paper_models();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name(), "AlexNet");
+  EXPECT_EQ(models[1].name(), "VGG16");
+  EXPECT_EQ(models[2].name(), "ResNet50");
+  EXPECT_EQ(models[3].name(), "GoogLeNet");
+  // The ordering the paper's panels rely on: VGG16 largest, GoogLeNet
+  // smallest.
+  EXPECT_GT(models[1].declared_params(), models[0].declared_params());
+  EXPECT_GT(models[0].declared_params(), models[2].declared_params());
+  EXPECT_GT(models[2].declared_params(), models[3].declared_params());
+}
+
+TEST(PaperModels, DeclaredWithinFivePercentOfTable) {
+  for (const Model& model : paper_models()) {
+    const double table = static_cast<double>(model.table_params());
+    const double declared = static_cast<double>(model.declared_params());
+    EXPECT_LT(std::abs(table - declared) / declared, 0.05) << model.name();
+  }
+}
+
+TEST(GradientBytes, Fp32AndFp16) {
+  const Model model = alexnet();
+  EXPECT_EQ(model.gradient_bytes(DType::kF32).count(), 62'300'000ull * 4);
+  EXPECT_EQ(model.gradient_bytes(DType::kF16).count(), 62'300'000ull * 2);
+  EXPECT_EQ(model.gradient_bytes(DType::kF64).count(), 62'300'000ull * 8);
+}
+
+TEST(DtypeHelpers, SizesAndNames) {
+  EXPECT_EQ(dtype_bytes(DType::kF32), 4u);
+  EXPECT_EQ(dtype_bytes(DType::kBF16), 2u);
+  EXPECT_STREQ(dtype_name(DType::kF32), "f32");
+  EXPECT_STREQ(dtype_name(DType::kBF16), "bf16");
+}
+
+TEST(LayerKindNames, Stable) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConvolution), "conv");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kInception), "inception");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kBlock), "block");
+}
+
+}  // namespace
+}  // namespace wrht::dnn

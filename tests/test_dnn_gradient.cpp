@@ -1,0 +1,104 @@
+#include "dnn/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/catalog.hpp"
+
+namespace wrht::dnn {
+namespace {
+
+TEST(Bucketize, TotalBytesPreserved) {
+  for (const Model& model : paper_models()) {
+    BucketingOptions options;
+    options.capacity = util::mebibytes(25);
+    const auto buckets = bucketize(model, options);
+    EXPECT_EQ(total_bucket_bytes(buckets).count(),
+              model.table_params() * 4)
+        << model.name();
+  }
+}
+
+TEST(Bucketize, EveryLayerExactlyOnce) {
+  const Model model = vgg16();
+  const auto buckets = bucketize(model, BucketingOptions{});
+  std::vector<int> seen(model.layers().size(), 0);
+  for (const Bucket& bucket : buckets) {
+    for (const std::size_t layer : bucket.layer_indices) {
+      ++seen[layer];
+    }
+  }
+  for (const int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(Bucketize, ReverseLayerOrder) {
+  const Model model = alexnet();
+  const auto buckets = bucketize(model, BucketingOptions{});
+  // The first bucket must contain the last layer (gradients arrive
+  // back-to-front).
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.front().layer_indices.front(),
+            model.layers().size() - 1);
+}
+
+TEST(Bucketize, RespectsCapacityExceptForOversizedLayers) {
+  const Model model = vgg16();
+  BucketingOptions options;
+  options.capacity = util::mebibytes(25);
+  for (const Bucket& bucket : bucketize(model, options)) {
+    if (bucket.layer_indices.size() > 1) {
+      EXPECT_LE(bucket.bytes.count(), options.capacity.count());
+    }
+  }
+}
+
+TEST(Bucketize, OversizedLayerGetsOwnBucket) {
+  // VGG16's fc6 is ~411 MB in fp32 — far over a 25 MB cap.
+  const Model model = vgg16();
+  BucketingOptions options;
+  options.capacity = util::mebibytes(25);
+  const auto buckets = bucketize(model, options);
+  bool found_fc6_alone = false;
+  for (const Bucket& bucket : buckets) {
+    for (const std::size_t layer : bucket.layer_indices) {
+      if (model.layers()[layer].name == "fc14") {
+        EXPECT_EQ(bucket.layer_indices.size(), 1u);
+        found_fc6_alone = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_fc6_alone);
+}
+
+TEST(Bucketize, LargeCapacityGivesOneBucket) {
+  const Model model = googlenet();
+  BucketingOptions options;
+  options.capacity = util::gibibytes(1);
+  EXPECT_EQ(bucketize(model, options).size(), 1u);
+}
+
+TEST(Bucketize, TinyCapacityGivesPerLayerBuckets) {
+  const Model model = alexnet();
+  BucketingOptions options;
+  options.capacity = util::Bytes(1);
+  EXPECT_EQ(bucketize(model, options).size(), model.layers().size());
+}
+
+TEST(Bucketize, HalfPrecisionHalvesBytes) {
+  const Model model = resnet50();
+  BucketingOptions f32;
+  BucketingOptions f16;
+  f16.dtype = DType::kF16;
+  EXPECT_EQ(total_bucket_bytes(bucketize(model, f16)).count() * 2,
+            total_bucket_bytes(bucketize(model, f32)).count());
+}
+
+TEST(LayerGradientBytes, MatchesDtype) {
+  const Layer layer{"conv", LayerKind::kConvolution, 1000};
+  EXPECT_EQ(layer_gradient_bytes(layer, DType::kF32).count(), 4000u);
+  EXPECT_EQ(layer_gradient_bytes(layer, DType::kF16).count(), 2000u);
+}
+
+}  // namespace
+}  // namespace wrht::dnn

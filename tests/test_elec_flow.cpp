@@ -1,0 +1,193 @@
+#include "elec/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::elec {
+namespace {
+
+using util::Bytes;
+using util::Seconds;
+
+LinkSpec link_1gBps_no_latency() {
+  return LinkSpec{util::gBps(1.0), Seconds(0.0)};
+}
+
+TEST(FlowNetwork, SingleFlowFullBandwidth) {
+  FlowNetwork network;
+  const LinkId link = network.add_link(link_1gBps_no_latency());
+  const FlowId flow = network.add_flow({link}, Bytes(500'000'000));
+  network.run();
+  EXPECT_NEAR(network.completion_time(flow).value(), 0.5, 1e-9);
+}
+
+TEST(FlowNetwork, LatencyDelaysCompletion) {
+  FlowNetwork network;
+  const LinkId link =
+      network.add_link({util::gBps(1.0), util::microseconds(100.0)});
+  const FlowId flow = network.add_flow({link}, Bytes(1'000'000));
+  network.run();
+  EXPECT_NEAR(network.completion_time(flow).value(), 100e-6 + 1e-3, 1e-12);
+}
+
+TEST(FlowNetwork, TwoFlowsShareFairly) {
+  FlowNetwork network;
+  const LinkId link = network.add_link(link_1gBps_no_latency());
+  const FlowId a = network.add_flow({link}, Bytes(1'000'000'000));
+  const FlowId b = network.add_flow({link}, Bytes(1'000'000'000));
+  network.run();
+  // Both get 0.5 GB/s: each 1 GB flow takes 2 s.
+  EXPECT_NEAR(network.completion_time(a).value(), 2.0, 1e-9);
+  EXPECT_NEAR(network.completion_time(b).value(), 2.0, 1e-9);
+}
+
+TEST(FlowNetwork, ShortFlowFinishesThenLongSpeedsUp) {
+  FlowNetwork network;
+  const LinkId link = network.add_link(link_1gBps_no_latency());
+  const FlowId small = network.add_flow({link}, Bytes(250'000'000));
+  const FlowId large = network.add_flow({link}, Bytes(750'000'000));
+  network.run();
+  // Phase 1: both at 0.5 GB/s until small (0.25 GB) finishes at t=0.5.
+  // Phase 2: large has 0.5 GB left at 1 GB/s -> finishes at t=1.0.
+  EXPECT_NEAR(network.completion_time(small).value(), 0.5, 1e-9);
+  EXPECT_NEAR(network.completion_time(large).value(), 1.0, 1e-9);
+}
+
+TEST(FlowNetwork, MaxMinDemandConstrainedFlow) {
+  // Classic max-min example: two links A (1 GB/s) and B (1 GB/s).
+  //   flow1 uses A only, flow2 uses B only, flow3 uses A and B.
+  // Fair share: flow3 gets 0.5 on both, flows 1-2 get 0.5... then residual
+  // rises: actually A carries flow1+flow3, B carries flow2+flow3; max-min
+  // gives every flow 0.5 GB/s.
+  FlowNetwork network;
+  const LinkId link_a = network.add_link(link_1gBps_no_latency());
+  const LinkId link_b = network.add_link(link_1gBps_no_latency());
+  const FlowId f1 = network.add_flow({link_a}, Bytes(500'000'000));
+  const FlowId f2 = network.add_flow({link_b}, Bytes(500'000'000));
+  const FlowId f3 = network.add_flow({link_a, link_b}, Bytes(500'000'000));
+  EXPECT_NEAR(network.current_rate(f1), 0.0, 1e-9);  // not yet running
+  network.run();
+  EXPECT_NEAR(network.completion_time(f1).value(), 1.0, 1e-6);
+  EXPECT_NEAR(network.completion_time(f2).value(), 1.0, 1e-6);
+  EXPECT_NEAR(network.completion_time(f3).value(), 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, BottleneckAndFreeLink) {
+  // flow1 crosses the shared link and a private link; flow2 only the shared
+  // link.  Shared link is the bottleneck: both get 0.5 GB/s.
+  FlowNetwork network;
+  const LinkId shared = network.add_link(link_1gBps_no_latency());
+  const LinkId private_link = network.add_link(link_1gBps_no_latency());
+  const FlowId f1 =
+      network.add_flow({shared, private_link}, Bytes(500'000'000));
+  const FlowId f2 = network.add_flow({shared}, Bytes(500'000'000));
+  network.run();
+  EXPECT_NEAR(network.completion_time(f1).value(), 1.0, 1e-6);
+  EXPECT_NEAR(network.completion_time(f2).value(), 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, UnequalCapacitiesMaxMin) {
+  // Slow link 0.2 GB/s shared by f1; fast link 1.0 GB/s shared by f1 and f2.
+  // f1 is capped at 0.2 by its slow link; f2 then gets the residual 0.8.
+  FlowNetwork network;
+  const LinkId slow = network.add_link({util::gBps(0.2), Seconds(0.0)});
+  const LinkId fast = network.add_link(link_1gBps_no_latency());
+  const FlowId f1 = network.add_flow({slow, fast}, Bytes(200'000'000));
+  const FlowId f2 = network.add_flow({fast}, Bytes(800'000'000));
+  network.run();
+  EXPECT_NEAR(network.completion_time(f1).value(), 1.0, 1e-6);
+  EXPECT_NEAR(network.completion_time(f2).value(), 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, IncastCongestion) {
+  // 8 flows into one destination link: each gets 1/8 of the capacity.
+  FlowNetwork network;
+  const LinkId dst = network.add_link(link_1gBps_no_latency());
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 8; ++i) {
+    flows.push_back(network.add_flow({dst}, Bytes(125'000'000)));
+  }
+  network.run();
+  for (const FlowId f : flows) {
+    EXPECT_NEAR(network.completion_time(f).value(), 1.0, 1e-6);
+  }
+}
+
+TEST(FlowNetwork, StaggeredStartTimes) {
+  FlowNetwork network;
+  const LinkId link = network.add_link(link_1gBps_no_latency());
+  const FlowId first = network.add_flow({link}, Bytes(1'000'000'000));
+  network.run();  // completes at t=1
+  const FlowId second = network.add_flow({link}, Bytes(500'000'000));
+  network.run();
+  EXPECT_NEAR(network.completion_time(first).value(), 1.0, 1e-9);
+  EXPECT_NEAR(network.completion_time(second).value(), 1.5, 1e-9);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletesAtLatency) {
+  FlowNetwork network;
+  const LinkId link =
+      network.add_link({util::gBps(1.0), util::microseconds(50.0)});
+  const FlowId flow = network.add_flow({link}, Bytes(0));
+  network.run();
+  EXPECT_NEAR(network.completion_time(flow).value(), 50e-6, 1e-12);
+}
+
+TEST(FlowNetwork, LinkBytesAccounting) {
+  FlowNetwork network;
+  const LinkId a = network.add_link(link_1gBps_no_latency());
+  const LinkId b = network.add_link(link_1gBps_no_latency());
+  network.add_flow({a, b}, Bytes(1'000'000));
+  network.add_flow({a}, Bytes(2'000'000));
+  network.run();
+  EXPECT_EQ(network.link_bytes(a).count(), 3'000'000u);
+  EXPECT_EQ(network.link_bytes(b).count(), 1'000'000u);
+}
+
+TEST(FlowNetwork, ResetClearsFlowsKeepsLinks) {
+  FlowNetwork network;
+  const LinkId link = network.add_link(link_1gBps_no_latency());
+  network.add_flow({link}, Bytes(1'000'000));
+  network.run();
+  network.reset();
+  EXPECT_DOUBLE_EQ(network.now().value(), 0.0);
+  EXPECT_EQ(network.link_bytes(link).count(), 0u);
+  const FlowId flow = network.add_flow({link}, Bytes(1'000'000));
+  network.run();
+  EXPECT_NEAR(network.completion_time(flow).value(), 1e-3, 1e-9);
+}
+
+TEST(FlowNetwork, RunWithNoFlowsReturnsNow) {
+  FlowNetwork network;
+  network.add_link(link_1gBps_no_latency());
+  EXPECT_DOUBLE_EQ(network.run().value(), 0.0);
+}
+
+TEST(FlowNetwork, ManyFlowsRingPatternNoContention) {
+  // Ring neighbour pattern over a star: every host sends to the next host.
+  // Each flow crosses (uplink_i, downlink_{i+1}); no two flows share a link,
+  // so all run at full rate — the property that makes E-Ring's step time
+  // equal the alpha-beta prediction.
+  FlowNetwork network;
+  const int n = 16;
+  std::vector<LinkId> up(static_cast<std::size_t>(n));
+  std::vector<LinkId> down(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    up[static_cast<std::size_t>(i)] = network.add_link(link_1gBps_no_latency());
+    down[static_cast<std::size_t>(i)] =
+        network.add_link(link_1gBps_no_latency());
+  }
+  std::vector<FlowId> flows;
+  for (int i = 0; i < n; ++i) {
+    flows.push_back(network.add_flow(
+        {up[static_cast<std::size_t>(i)],
+         down[static_cast<std::size_t>((i + 1) % n)]},
+        Bytes(100'000'000)));
+  }
+  network.run();
+  for (const FlowId f : flows) {
+    EXPECT_NEAR(network.completion_time(f).value(), 0.1, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace wrht::elec

@@ -1,0 +1,101 @@
+#include "elec/schedule_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coll/algorithms.hpp"
+#include "elec/alphabeta.hpp"
+
+namespace wrht::elec {
+namespace {
+
+using util::Bytes;
+
+ElectricalParams test_params() {
+  ElectricalParams p;
+  p.link_bandwidth = util::gBps(1.0);
+  p.link_latency = util::microseconds(25.0);
+  return p;
+}
+
+TEST(Runner, RingAllReduceOnStarMatchesClosedForm) {
+  const std::uint32_t n = 8;
+  const Bytes payload(8'000'000);  // divisible by 8: uniform chunks
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const coll::Schedule schedule = coll::ring_allreduce(n);
+  const ElecRunResult result = run_on_electrical(schedule, cluster, payload);
+
+  ASSERT_EQ(result.step_durations.size(), 2u * (n - 1));
+  // Each step: 1 MB chunk at 1 GB/s + 2x25us route latency = 1.05 ms.
+  const double expected_step = 1e-3 + 50e-6;
+  for (const util::Seconds& step : result.step_durations) {
+    EXPECT_NEAR(step.value(), expected_step, 1e-9);
+  }
+  EXPECT_NEAR(result.total.value(), 14 * expected_step, 1e-8);
+}
+
+TEST(Runner, RecursiveDoublingOnStarMatchesClosedForm) {
+  const std::uint32_t n = 8;
+  const Bytes payload(1'000'000);
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const coll::Schedule schedule = coll::recursive_doubling(n);
+  const ElecRunResult result = run_on_electrical(schedule, cluster, payload);
+
+  ASSERT_EQ(result.step_durations.size(), 3u);
+  // Pairwise exchange, full duplex: full vector at line rate + latency.
+  const double expected_step = 1e-3 + 50e-6;
+  EXPECT_NEAR(result.total.value(), 3 * expected_step, 1e-8);
+}
+
+TEST(Runner, MatchesAlphaBetaOnContentionFreePatterns) {
+  const std::uint32_t n = 16;
+  const Bytes payload(16'000'000);
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const coll::AlphaBetaParams ab = alpha_beta_for(cluster);
+  EXPECT_NEAR(ab.alpha.value(), 50e-6, 1e-9);
+  EXPECT_NEAR(ab.bandwidth.bytes_per_second(), 1e9, 1e3);
+
+  for (const coll::Schedule& schedule :
+       {coll::ring_allreduce(n), coll::recursive_doubling(n)}) {
+    const ElecRunResult sim = run_on_electrical(schedule, cluster, payload);
+    const coll::CostBreakdown analytic =
+        coll::alpha_beta_cost(schedule, payload, ab);
+    EXPECT_NEAR(sim.total.value(), analytic.total.value(),
+                analytic.total.value() * 1e-6)
+        << schedule.name();
+  }
+}
+
+TEST(Runner, DirectAllReduceCongestsReceivers) {
+  // All-to-all of full vectors on a star: each host receives (n-1) x D on
+  // its downlink, so the step takes (n-1) x D / B (plus latency), not D / B.
+  const std::uint32_t n = 4;
+  const Bytes payload(100'000'000);
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const ElecRunResult result =
+      run_on_electrical(coll::direct_allreduce(n), cluster, payload);
+  EXPECT_NEAR(result.total.value(), 0.3 + 50e-6, 1e-3);
+}
+
+TEST(Runner, NaiveRingIsSlowerThanChunkedRing) {
+  const std::uint32_t n = 8;
+  const Bytes payload(8'000'000);
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const double chunked =
+      run_on_electrical(coll::ring_allreduce(n), cluster, payload)
+          .total.value();
+  const double naive =
+      run_on_electrical(coll::naive_ring(n), cluster, payload).total.value();
+  EXPECT_GT(naive, chunked * 3.0);
+}
+
+TEST(Runner, StepCountPreserved) {
+  const std::uint32_t n = 6;
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const coll::Schedule schedule = coll::binomial_tree(n);
+  const ElecRunResult result =
+      run_on_electrical(schedule, cluster, Bytes(1000));
+  EXPECT_EQ(result.step_durations.size(), schedule.num_steps());
+}
+
+}  // namespace
+}  // namespace wrht::elec

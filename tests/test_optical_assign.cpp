@@ -1,0 +1,218 @@
+#include "optical/assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "optical/conflict.hpp"
+
+namespace wrht::optical {
+namespace {
+
+using topo::Arc;
+using topo::Direction;
+using topo::RingTopology;
+
+// Any valid assignment must give conflicting arcs distinct wavelengths.
+void expect_conflict_free(const RingTopology& ring,
+                          const std::vector<Arc>& arcs,
+                          const AssignmentResult& result) {
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.lambda.size(), arcs.size());
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
+    for (std::size_t b = a + 1; b < arcs.size(); ++b) {
+      if (ring.arcs_conflict(arcs[a], arcs[b])) {
+        EXPECT_NE(result.lambda[a], result.lambda[b])
+            << "arcs " << a << " and " << b << " share a wavelength";
+      }
+    }
+  }
+}
+
+TEST(FirstFit, DisjointArcsShareLambdaZero) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 2, Direction::kClockwise),
+      ring.arc(2, 4, Direction::kClockwise),
+      ring.arc(4, 6, Direction::kClockwise),
+  };
+  const AssignmentResult result = assign_wavelengths(ring, arcs, 4);
+  expect_conflict_free(ring, arcs, result);
+  EXPECT_EQ(result.wavelengths_used, 1u);
+  for (const WavelengthId lambda : result.lambda) {
+    EXPECT_EQ(lambda, 0u);
+  }
+}
+
+TEST(FirstFit, NestedArcsGetDistinctLambdas) {
+  const RingTopology ring(16);
+  // Wrht left side: 4 members at distances 1..4 from the representative.
+  std::vector<Arc> arcs;
+  for (topo::NodeId member = 4; member < 8; ++member) {
+    arcs.push_back(ring.arc(member, 8, Direction::kClockwise));
+  }
+  const AssignmentResult result = assign_wavelengths(ring, arcs, 8);
+  expect_conflict_free(ring, arcs, result);
+  EXPECT_EQ(result.wavelengths_used, 4u);
+}
+
+TEST(FirstFit, FailsWhenSpectrumTooSmall) {
+  const RingTopology ring(16);
+  std::vector<Arc> arcs;
+  for (topo::NodeId member = 2; member < 8; ++member) {
+    arcs.push_back(ring.arc(member, 8, Direction::kClockwise));
+  }
+  const AssignmentResult result = assign_wavelengths(ring, arcs, 3);
+  EXPECT_FALSE(result.ok);
+  ASSERT_TRUE(result.failed_arc.has_value());
+  EXPECT_LT(*result.failed_arc, arcs.size());
+}
+
+TEST(FirstFit, OppositeDirectionsIndependent) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 4, Direction::kClockwise),
+      ring.arc(4, 0, Direction::kCounterClockwise),
+  };
+  const AssignmentResult result = assign_wavelengths(ring, arcs, 1);
+  expect_conflict_free(ring, arcs, result);
+  EXPECT_EQ(result.wavelengths_used, 1u);
+}
+
+TEST(BestFit, ProducesConflictFreeAssignment) {
+  const RingTopology ring(12);
+  std::vector<Arc> arcs;
+  for (topo::NodeId i = 0; i < 12; i += 2) {
+    arcs.push_back(ring.arc(i, (i + 3) % 12, Direction::kClockwise));
+  }
+  const AssignmentResult result =
+      assign_wavelengths(ring, arcs, 6, FitPolicy::kBestFit);
+  expect_conflict_free(ring, arcs, result);
+}
+
+TEST(BestFit, PrefersBusyWavelengths) {
+  const RingTopology ring(12);
+  // First arc occupies lambda 0 over a long stretch; a later disjoint arc
+  // should pack onto lambda 0 rather than open lambda 1 (both policies do
+  // here), and a conflicting arc must open lambda 1.
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 6, Direction::kClockwise),
+      ring.arc(6, 9, Direction::kClockwise),   // disjoint
+      ring.arc(3, 8, Direction::kClockwise),   // conflicts with both
+  };
+  const AssignmentResult result =
+      assign_wavelengths(ring, arcs, 4, FitPolicy::kBestFit);
+  expect_conflict_free(ring, arcs, result);
+  EXPECT_EQ(result.lambda[0], result.lambda[1]);
+  EXPECT_EQ(result.wavelengths_used, 2u);
+}
+
+TEST(LongestFirst, LambdaIndexedByOriginalOrder) {
+  const RingTopology ring(16);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 1, Direction::kClockwise),   // short
+      ring.arc(2, 10, Direction::kClockwise),  // long
+  };
+  const AssignmentResult result =
+      assign_wavelengths_longest_first(ring, arcs, 4);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.lambda.size(), 2u);
+  // Disjoint: both on lambda 0 regardless of processing order.
+  EXPECT_EQ(result.lambda[0], 0u);
+  EXPECT_EQ(result.lambda[1], 0u);
+}
+
+TEST(Assignment, AllToAllOnRingWithinPaperBound) {
+  // The paper allocates ceil(k^2/8) wavelengths for all-to-all among k
+  // evenly spaced nodes (Liang & Shen).  With direction-balanced routing the
+  // heuristic must stay within the bound for the k values the Wrht merge
+  // step actually sees.
+  for (const std::uint32_t k : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 22u}) {
+    const std::uint32_t n = k * 8;  // evenly spaced on a larger ring
+    const RingTopology ring(n);
+    std::vector<topo::NodeId> nodes;
+    for (std::uint32_t i = 0; i < k; ++i) nodes.push_back(i * 8);
+    const std::vector<Arc> arcs = balanced_all_to_all_arcs(ring, nodes);
+    ASSERT_EQ(arcs.size(), std::size_t{k} * (k - 1));
+
+    // The exact Liang & Shen construction meets ceil(k^2/8); our greedy
+    // routing + longest-first coloring is measured within 10% of it
+    // (assignment_ablation bench prints the table).  Enforce that envelope.
+    const std::uint32_t bound = (k * k + 7) / 8;
+    const std::uint32_t slack = bound + bound / 10 + 1;
+    EXPECT_LE(max_link_load(ring, arcs), slack) << "k=" << k;
+    const AssignmentResult result =
+        assign_wavelengths_longest_first(ring, arcs, slack);
+    ASSERT_TRUE(result.ok) << "k=" << k
+                           << ": heuristic exceeded 1.1 x ceil(k^2/8), slack="
+                           << slack;
+    expect_conflict_free(ring, arcs, result);
+    // Small instances should meet the bound exactly.
+    if (k <= 8) {
+      EXPECT_LE(result.wavelengths_used, bound) << "k=" << k;
+    }
+  }
+}
+
+TEST(Assignment, BalancedAllToAllBeatsNaiveShortestPath) {
+  // The motivating case: 4 evenly spaced nodes.  Naive shortest-direction
+  // routing needs 3 wavelengths on the clockwise waveguide; balanced
+  // routing meets the bound of 2.
+  const RingTopology ring(32);
+  const std::vector<topo::NodeId> nodes = {0, 8, 16, 24};
+  std::vector<Arc> naive;
+  for (const topo::NodeId a : nodes) {
+    for (const topo::NodeId b : nodes) {
+      if (a == b) continue;
+      naive.push_back(ring.arc(a, b, ring.shortest_direction(a, b)));
+    }
+  }
+  const std::vector<Arc> balanced = balanced_all_to_all_arcs(ring, nodes);
+  EXPECT_GT(max_link_load(ring, naive), max_link_load(ring, balanced));
+  EXPECT_EQ(max_link_load(ring, balanced), 2u);
+}
+
+TEST(Assignment, BalancedAllToAllArcsConnectRightEndpoints) {
+  const RingTopology ring(40);
+  const std::vector<topo::NodeId> nodes = {3, 11, 25, 31, 38};
+  const std::vector<Arc> arcs = balanced_all_to_all_arcs(ring, nodes);
+  std::size_t index = 0;
+  for (const topo::NodeId a : nodes) {
+    for (const topo::NodeId b : nodes) {
+      if (a == b) continue;
+      const Arc& arc = arcs[index++];
+      EXPECT_EQ(ring.advance(a, arc.length,
+                             arc.direction),
+                b)
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(Assignment, MatchesOptimalOnSmallInstances) {
+  // On instances small enough for exact coloring, longest-first First Fit
+  // should stay within one wavelength of optimal.
+  const RingTopology ring(10);
+  std::vector<Arc> arcs;
+  for (topo::NodeId i = 0; i < 10; ++i) {
+    arcs.push_back(ring.arc(i, (i + 3) % 10, Direction::kClockwise));
+  }
+  const std::uint32_t optimal = optimal_wavelength_count(ring, arcs);
+  const AssignmentResult result =
+      assign_wavelengths_longest_first(ring, arcs, 16);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LE(result.wavelengths_used, optimal + 1);
+}
+
+TEST(Assignment, EmptyInput) {
+  const RingTopology ring(4);
+  const AssignmentResult result = assign_wavelengths(ring, {}, 4);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.wavelengths_used, 0u);
+}
+
+TEST(PolicyNames, Stable) {
+  EXPECT_STREQ(fit_policy_name(FitPolicy::kFirstFit), "first_fit");
+  EXPECT_STREQ(fit_policy_name(FitPolicy::kBestFit), "best_fit");
+}
+
+}  // namespace
+}  // namespace wrht::optical

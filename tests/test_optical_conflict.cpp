@@ -1,0 +1,107 @@
+#include "optical/conflict.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::optical {
+namespace {
+
+using topo::Arc;
+using topo::Direction;
+using topo::RingTopology;
+
+TEST(ConflictGraph, BuildsAdjacency) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 3, Direction::kClockwise),  // spans 0,1,2
+      ring.arc(2, 5, Direction::kClockwise),  // spans 2,3,4
+      ring.arc(5, 7, Direction::kClockwise),  // spans 5,6
+  };
+  const ConflictGraph graph(ring, arcs);
+  EXPECT_EQ(graph.num_arcs(), 3u);
+  EXPECT_TRUE(graph.conflicts(0, 1));
+  EXPECT_FALSE(graph.conflicts(0, 2));
+  EXPECT_FALSE(graph.conflicts(1, 2));
+  EXPECT_EQ(graph.num_conflict_pairs(), 1u);
+  EXPECT_EQ(graph.neighbors(0), (std::vector<std::size_t>{1}));
+}
+
+TEST(MaxLinkLoad, CountsCoveringArcs) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 4, Direction::kClockwise),  // 0,1,2,3
+      ring.arc(1, 3, Direction::kClockwise),  // 1,2
+      ring.arc(2, 6, Direction::kClockwise),  // 2,3,4,5
+  };
+  // Span 2 is covered by all three.
+  EXPECT_EQ(max_link_load(ring, arcs), 3u);
+}
+
+TEST(MaxLinkLoad, DirectionsCountedSeparately) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 4, Direction::kClockwise),
+      ring.arc(4, 0, Direction::kCounterClockwise),
+  };
+  EXPECT_EQ(max_link_load(ring, arcs), 1u);
+}
+
+TEST(MaxLinkLoad, EmptyInput) {
+  const RingTopology ring(4);
+  EXPECT_EQ(max_link_load(ring, {}), 0u);
+}
+
+TEST(OptimalColoring, IntervalChainNeedsTwo) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 2, Direction::kClockwise),
+      ring.arc(1, 3, Direction::kClockwise),
+      ring.arc(2, 4, Direction::kClockwise),
+      ring.arc(3, 5, Direction::kClockwise),
+  };
+  // A chain of pairwise-overlapping neighbours is 2-colorable.
+  EXPECT_EQ(optimal_wavelength_count(ring, arcs), 2u);
+}
+
+TEST(OptimalColoring, CliqueNeedsItsSize) {
+  const RingTopology ring(8);
+  // All arcs cover span 3.
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 4, Direction::kClockwise),
+      ring.arc(1, 5, Direction::kClockwise),
+      ring.arc(2, 6, Direction::kClockwise),
+      ring.arc(3, 7, Direction::kClockwise),
+  };
+  EXPECT_EQ(optimal_wavelength_count(ring, arcs), 4u);
+}
+
+TEST(OptimalColoring, DisjointArcsNeedOne) {
+  const RingTopology ring(8);
+  const std::vector<Arc> arcs = {
+      ring.arc(0, 2, Direction::kClockwise),
+      ring.arc(2, 4, Direction::kClockwise),
+      ring.arc(4, 6, Direction::kClockwise),
+  };
+  EXPECT_EQ(optimal_wavelength_count(ring, arcs), 1u);
+}
+
+TEST(OptimalColoring, CircularArcsCanExceedLoad) {
+  // The classic odd cycle: 5 arcs around a 5-ring, each overlapping its two
+  // neighbours.  Max link load is 2 but the chromatic number is 3 — this is
+  // exactly why wavelength assignment on rings is not plain interval
+  // coloring.
+  const RingTopology ring(5);
+  std::vector<Arc> arcs;
+  for (topo::NodeId i = 0; i < 5; ++i) {
+    arcs.push_back(ring.arc(i, (i + 2) % 5, Direction::kClockwise));
+  }
+  EXPECT_EQ(max_link_load(ring, arcs), 2u);
+  EXPECT_EQ(optimal_wavelength_count(ring, arcs), 3u);
+}
+
+TEST(OptimalColoring, EmptyNeedsZero) {
+  const RingTopology ring(4);
+  EXPECT_EQ(optimal_wavelength_count(ring, {}), 0u);
+}
+
+}  // namespace
+}  // namespace wrht::optical

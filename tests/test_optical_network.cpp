@@ -1,0 +1,183 @@
+#include "optical/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::optical {
+namespace {
+
+using topo::Direction;
+using util::Bytes;
+using util::Seconds;
+
+OpticalParams test_params() {
+  OpticalParams p;
+  p.wdm.num_wavelengths = 4;
+  p.wdm.wavelength_bandwidth = util::gBps(1.0);  // 1 GB/s: easy arithmetic
+  p.tune_time = util::microseconds(100.0);
+  p.sync_time = util::microseconds(10.0);
+  p.transceiver_time = util::microseconds(5.0);
+  p.propagation_per_hop = util::microseconds(1.0);
+  return p;
+}
+
+TimedTransfer make_transfer(const OpticalRingNetwork& network,
+                            topo::NodeId src, topo::NodeId dst, Bytes bytes,
+                            WavelengthId lambda) {
+  const topo::Direction dir = network.ring().shortest_direction(src, dst);
+  return TimedTransfer{src, dst, bytes, network.ring().arc(src, dst, dir),
+                       {lambda}};
+}
+
+TEST(OpticalNetwork, SingleTransferTiming) {
+  OpticalRingNetwork network(8, test_params());
+  // 1 MB over 1 GB/s = 1 ms; + tune 100us + transceiver 5us + 2 hops * 1us
+  // + sync 10us.
+  const StepResult result = network.execute_step(
+      {make_transfer(network, 0, 2, Bytes(1'000'000), 0)});
+  EXPECT_NEAR(result.duration.value(), 1e-3 + 100e-6 + 5e-6 + 2e-6 + 10e-6,
+              1e-12);
+  EXPECT_EQ(result.retunes, 1u);
+  EXPECT_NEAR(network.now().value(), result.duration.value(), 1e-12);
+}
+
+TEST(OpticalNetwork, StepMakespanIsSlowestTransfer) {
+  OpticalRingNetwork network(8, test_params());
+  const StepResult result = network.execute_step({
+      make_transfer(network, 0, 1, Bytes(1'000'000), 0),  // 1 ms
+      make_transfer(network, 4, 5, Bytes(3'000'000), 0),  // 3 ms, reused λ
+  });
+  EXPECT_NEAR(result.duration.value(), 3e-3 + 100e-6 + 5e-6 + 1e-6 + 10e-6,
+              1e-12);
+  EXPECT_NEAR(result.slowest_data.value(), 3e-3, 1e-12);
+}
+
+TEST(OpticalNetwork, StripedTransferRunsFaster) {
+  OpticalRingNetwork network(8, test_params());
+  TimedTransfer striped = make_transfer(network, 0, 2, Bytes(2'000'000), 0);
+  striped.lambdas = {0, 1};  // 2 GB/s effective
+  const StepResult result = network.execute_step({striped});
+  EXPECT_NEAR(result.slowest_data.value(), 1e-3, 1e-12);
+}
+
+TEST(OpticalNetwork, StepsAccumulateTime) {
+  OpticalRingNetwork network(8, test_params());
+  const std::vector<std::vector<TimedTransfer>> steps = {
+      {make_transfer(network, 0, 1, Bytes(1'000'000), 0)},
+      {make_transfer(network, 1, 2, Bytes(1'000'000), 0)},
+  };
+  const RunResult run = network.execute_steps(steps);
+  ASSERT_EQ(run.steps.size(), 2u);
+  EXPECT_NEAR(run.total.value(),
+              run.steps[0].duration.value() + run.steps[1].duration.value(),
+              1e-12);
+}
+
+TEST(OpticalNetwork, ConflictingWavelengthAborts) {
+  OpticalRingNetwork network(8, test_params());
+  const std::vector<TimedTransfer> bad = {
+      make_transfer(network, 0, 3, Bytes(1000), 0),
+      make_transfer(network, 2, 5, Bytes(1000), 0),  // overlaps span 2 on λ0
+  };
+  EXPECT_DEATH(network.execute_step(bad), "already taken");
+}
+
+TEST(OpticalNetwork, SpectrumReleasedBetweenSteps) {
+  OpticalRingNetwork network(8, test_params());
+  // Same arc and wavelength in consecutive steps must be fine.
+  const TimedTransfer t = make_transfer(network, 0, 3, Bytes(1000), 0);
+  network.execute_step({t});
+  network.execute_step({t});
+  EXPECT_GT(network.now().value(), 0.0);
+}
+
+TEST(OpticalNetwork, RetuneTrackingWithoutForcedRetune) {
+  OpticalParams p = test_params();
+  p.retune_every_step = false;
+  OpticalRingNetwork network(8, p);
+  const TimedTransfer t = make_transfer(network, 0, 3, Bytes(1'000'000), 2);
+  const StepResult first = network.execute_step({t});
+  const StepResult second = network.execute_step({t});
+  EXPECT_EQ(first.retunes, 1u);
+  EXPECT_EQ(second.retunes, 0u);
+  // The second step skips tune + transceiver time.
+  EXPECT_NEAR(first.duration.value() - second.duration.value(),
+              p.tune_time.value() + p.transceiver_time.value(), 1e-12);
+}
+
+TEST(OpticalNetwork, ForcedRetuneChargesEveryStep) {
+  OpticalRingNetwork network(8, test_params());  // retune_every_step = true
+  const TimedTransfer t = make_transfer(network, 0, 3, Bytes(1'000'000), 2);
+  const StepResult first = network.execute_step({t});
+  const StepResult second = network.execute_step({t});
+  EXPECT_EQ(first.retunes, 1u);
+  EXPECT_EQ(second.retunes, 1u);
+  EXPECT_NEAR(first.duration.value(), second.duration.value(), 1e-12);
+}
+
+TEST(OpticalNetwork, ResetZerosClock) {
+  OpticalRingNetwork network(8, test_params());
+  network.execute_step({make_transfer(network, 0, 1, Bytes(1000), 0)});
+  EXPECT_GT(network.now().value(), 0.0);
+  network.reset();
+  EXPECT_DOUBLE_EQ(network.now().value(), 0.0);
+  EXPECT_EQ(network.transfer_times().count(), 0u);
+}
+
+TEST(OpticalNetwork, TraceRecordsStepLifecycle) {
+  OpticalRingNetwork network(8, test_params());
+  network.trace().enable();
+  network.execute_step({make_transfer(network, 0, 2, Bytes(1000), 0)});
+  const auto& events = network.trace().events();
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events.front().kind, sim::TraceKind::kStepBegin);
+  EXPECT_EQ(events.back().kind, sim::TraceKind::kStepEnd);
+}
+
+TEST(OpticalNetwork, SpectrumCellSecondsAccounting) {
+  OpticalRingNetwork network(8, test_params());
+  // One transfer over 2 hops on 1 wavelength, duration d: hold = d * 1 * 2.
+  const StepResult result = network.execute_step(
+      {make_transfer(network, 0, 2, Bytes(1'000'000), 0)});
+  const double duration = result.duration.value() - 10e-6;  // minus sync
+  EXPECT_NEAR(network.spectrum_cell_seconds(), duration * 2.0, 1e-12);
+}
+
+TEST(OpticalNetwork, UtilizationBounded) {
+  OpticalRingNetwork network(8, test_params());
+  network.execute_step({
+      make_transfer(network, 0, 2, Bytes(1'000'000), 0),
+      make_transfer(network, 4, 6, Bytes(1'000'000), 0),
+  });
+  const double utilization = network.spectrum_utilization();
+  EXPECT_GT(utilization, 0.0);
+  EXPECT_LT(utilization, 1.0);
+}
+
+TEST(OpticalNetwork, UtilizationZeroBeforeAnyStep) {
+  const OpticalRingNetwork network(8, test_params());
+  EXPECT_DOUBLE_EQ(network.spectrum_utilization(), 0.0);
+}
+
+TEST(OpticalNetwork, ResetClearsUtilization) {
+  OpticalRingNetwork network(8, test_params());
+  network.execute_step({make_transfer(network, 0, 2, Bytes(1000), 0)});
+  EXPECT_GT(network.spectrum_cell_seconds(), 0.0);
+  network.reset();
+  EXPECT_DOUBLE_EQ(network.spectrum_cell_seconds(), 0.0);
+}
+
+TEST(OpticalNetwork, EmptyStepCostsOnlySync) {
+  OpticalRingNetwork network(8, test_params());
+  const StepResult result = network.execute_step({});
+  EXPECT_NEAR(result.duration.value(), 10e-6, 1e-12);
+}
+
+TEST(OpticalNetwork, ZeroByteTransferStillPaysOverheads) {
+  OpticalRingNetwork network(8, test_params());
+  const StepResult result =
+      network.execute_step({make_transfer(network, 0, 1, Bytes(0), 0)});
+  EXPECT_NEAR(result.duration.value(), 100e-6 + 5e-6 + 1e-6 + 10e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace wrht::optical

@@ -1,0 +1,113 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wrht::sim {
+namespace {
+
+using wrht::util::Seconds;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.push(Seconds(3.0), [&] { fired.push_back(3); });
+  queue.push(Seconds(1.0), [&] { fired.push_back(1); });
+  queue.push(Seconds(2.0), [&] { fired.push_back(2); });
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtSameTimestamp) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(Seconds(5.0), [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, SizeAndEmptyTrackLiveEvents) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  queue.push(Seconds(1.0), [] {});
+  queue.push(Seconds(2.0), [] {});
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.size(), 2u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue queue;
+  queue.push(Seconds(9.0), [] {});
+  queue.push(Seconds(4.0), [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time().value(), 4.0);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.push(Seconds(1.0), [&] { fired.push_back(1); });
+  const auto handle = queue.push(Seconds(2.0), [&] { fired.push_back(2); });
+  queue.push(Seconds(3.0), [&] { fired.push_back(3); });
+  EXPECT_TRUE(queue.cancel(handle));
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const auto handle = queue.push(Seconds(1.0), [] {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue queue;
+  const auto handle = queue.push(Seconds(1.0), [] {});
+  queue.pop();
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
+  EventQueue queue;
+  const auto handle = queue.push(Seconds(1.0), [] {});
+  queue.push(Seconds(2.0), [] {});
+  queue.cancel(handle);
+  EXPECT_DOUBLE_EQ(queue.next_time().value(), 2.0);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue queue;
+  int fired = 0;
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(
+        queue.push(Seconds(static_cast<double>(i % 17)), [&] { ++fired; }));
+  }
+  // Cancel every third event.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); i += 3) {
+    if (queue.cancel(handles[i])) ++cancelled;
+  }
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  EXPECT_EQ(fired + cancelled, 1000);
+}
+
+}  // namespace
+}  // namespace wrht::sim

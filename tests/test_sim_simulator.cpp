@@ -1,0 +1,93 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wrht::sim {
+namespace {
+
+using wrht::util::Seconds;
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator simulator;
+  std::vector<double> observed;
+  simulator.schedule_in(Seconds(2.0),
+                        [&] { observed.push_back(simulator.now().value()); });
+  simulator.schedule_in(Seconds(1.0),
+                        [&] { observed.push_back(simulator.now().value()); });
+  const Seconds end = simulator.run();
+  EXPECT_EQ(observed, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(end.value(), 2.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  // A chain of 10 events, each scheduling the next 0.5s later.
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) simulator.schedule_in(Seconds(0.5), chain);
+  };
+  simulator.schedule_in(Seconds(0.5), chain);
+  simulator.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(simulator.now().value(), 5.0);
+  EXPECT_EQ(simulator.events_processed(), 10u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator simulator;
+  double when = -1.0;
+  simulator.schedule_at(Seconds(7.5), [&] { when = simulator.now().value(); });
+  simulator.run();
+  EXPECT_DOUBLE_EQ(when, 7.5);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_in(Seconds(1.0), [&] { ++fired; });
+  simulator.schedule_in(Seconds(5.0), [&] { ++fired; });
+  simulator.run_until(Seconds(3.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(simulator.idle());
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(simulator.idle());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  int fired = 0;
+  const auto handle = simulator.schedule_in(Seconds(1.0), [&] { ++fired; });
+  simulator.schedule_in(Seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(simulator.cancel(handle));
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_in(Seconds(0.0), [&] {
+    order.push_back(1);
+    simulator.schedule_in(Seconds(0.0), [&] { order.push_back(2); });
+  });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(simulator.now().value(), 0.0);
+}
+
+TEST(Simulator, DeterministicTieBreaking) {
+  // Two events at identical times fire in scheduling order.
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(Seconds(1.0), [&] { order.push_back(1); });
+  simulator.schedule_at(Seconds(1.0), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace wrht::sim

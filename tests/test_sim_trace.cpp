@@ -1,0 +1,66 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::sim {
+namespace {
+
+using wrht::util::Seconds;
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.record(Seconds(1.0), TraceKind::kStepBegin, 0);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, EnabledRecordsEvents) {
+  Trace trace;
+  trace.enable();
+  trace.record(Seconds(1.0), TraceKind::kStepBegin, 0);
+  trace.record(Seconds(2.0), TraceKind::kTransferBegin, 3, 7, "chunk 2");
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[1].a, 3);
+  EXPECT_EQ(trace.events()[1].b, 7);
+  EXPECT_EQ(trace.events()[1].detail, "chunk 2");
+}
+
+TEST(Trace, DisableStopsRecording) {
+  Trace trace;
+  trace.enable();
+  trace.record(Seconds(1.0), TraceKind::kTune, 1);
+  trace.disable();
+  trace.record(Seconds(2.0), TraceKind::kTune, 2);
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace trace;
+  trace.enable();
+  trace.record(Seconds(1.0), TraceKind::kStepEnd, 0);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, ToStringFormatsEvents) {
+  Trace trace;
+  trace.enable();
+  trace.record(Seconds(12.5e-6), TraceKind::kTransferBegin, 3, 7);
+  trace.record(Seconds(1.0), TraceKind::kStepEnd, 0);
+  const std::string text = trace.to_string();
+  EXPECT_NE(text.find("transfer_begin"), std::string::npos);
+  EXPECT_NE(text.find("a=3"), std::string::npos);
+  EXPECT_NE(text.find("b=7"), std::string::npos);
+  EXPECT_NE(text.find("step_end"), std::string::npos);
+  EXPECT_NE(text.find("12.5 us"), std::string::npos);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::kStepBegin), "step_begin");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kTune), "tune");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kFlowEnd), "flow_end");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kCustom), "custom");
+}
+
+}  // namespace
+}  // namespace wrht::sim

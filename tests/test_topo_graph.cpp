@@ -1,0 +1,129 @@
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::topo {
+namespace {
+
+TEST(Graph, AddVerticesAndEdges) {
+  Graph graph;
+  const VertexId a = graph.add_vertex("a");
+  const VertexId b = graph.add_vertex("b");
+  const EdgeId e = graph.add_edge(a, b, 2.5);
+  EXPECT_EQ(graph.num_vertices(), 2u);
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_EQ(graph.edge(e).from, a);
+  EXPECT_EQ(graph.edge(e).to, b);
+  EXPECT_DOUBLE_EQ(graph.edge(e).weight, 2.5);
+  EXPECT_EQ(graph.label(a), "a");
+}
+
+TEST(Graph, BidirectionalEdgeIds) {
+  Graph graph;
+  const VertexId a = graph.add_vertex();
+  const VertexId b = graph.add_vertex();
+  const EdgeId forward = graph.add_bidirectional_edge(a, b);
+  EXPECT_EQ(graph.edge(forward).from, a);
+  EXPECT_EQ(graph.edge(forward + 1).from, b);
+}
+
+TEST(Graph, ShortestPathDirect) {
+  Graph graph;
+  const VertexId a = graph.add_vertex();
+  const VertexId b = graph.add_vertex();
+  const VertexId c = graph.add_vertex();
+  graph.add_edge(a, b, 1.0);
+  const EdgeId bc = graph.add_edge(b, c, 1.0);
+  const EdgeId ac = graph.add_edge(a, c, 5.0);
+  (void)bc;
+  (void)ac;
+  const auto path = graph.shortest_path(a, c);
+  ASSERT_TRUE(path.has_value());
+  // a->b->c (cost 2) beats a->c (cost 5).
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ(graph.edge((*path)[0]).to, b);
+  EXPECT_EQ(graph.edge((*path)[1]).to, c);
+}
+
+TEST(Graph, ShortestPathUnreachable) {
+  Graph graph;
+  const VertexId a = graph.add_vertex();
+  const VertexId b = graph.add_vertex();
+  EXPECT_FALSE(graph.shortest_path(a, b).has_value());
+  EXPECT_FALSE(graph.hop_distance(a, b).has_value());
+}
+
+TEST(Graph, SelfPathIsEmpty) {
+  Graph graph;
+  const VertexId a = graph.add_vertex();
+  const auto path = graph.shortest_path(a, a);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(Graph, HopDistanceOnStar) {
+  // hosts <-> switch: any host pair is exactly 2 hops.
+  Graph graph;
+  const VertexId sw = graph.add_vertex("switch");
+  std::vector<VertexId> hosts;
+  for (int i = 0; i < 5; ++i) {
+    hosts.push_back(graph.add_vertex());
+    graph.add_bidirectional_edge(hosts.back(), sw);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(graph.hop_distance(hosts[i], hosts[j]).value(), 2u);
+    }
+  }
+}
+
+TEST(Graph, WeightedRouteAvoidsSlowLink) {
+  // Diamond: a-b-d cheap, a-c-d expensive.
+  Graph graph;
+  const VertexId a = graph.add_vertex();
+  const VertexId b = graph.add_vertex();
+  const VertexId c = graph.add_vertex();
+  const VertexId d = graph.add_vertex();
+  graph.add_edge(a, b, 1.0);
+  graph.add_edge(b, d, 1.0);
+  graph.add_edge(a, c, 1.0);
+  graph.add_edge(c, d, 10.0);
+  const auto path = graph.shortest_path(a, d);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(graph.edge((*path)[0]).to, b);
+}
+
+TEST(Graph, DeterministicTieBreaking) {
+  // Two equal-cost routes: the one through smaller edge ids wins, always.
+  Graph graph;
+  const VertexId a = graph.add_vertex();
+  const VertexId b1 = graph.add_vertex();
+  const VertexId b2 = graph.add_vertex();
+  const VertexId c = graph.add_vertex();
+  const EdgeId ab1 = graph.add_edge(a, b1, 1.0);
+  graph.add_edge(a, b2, 1.0);
+  graph.add_edge(b1, c, 1.0);
+  graph.add_edge(b2, c, 1.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto path = graph.shortest_path(a, c);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ((*path)[0], ab1);
+  }
+}
+
+TEST(Graph, LargeRingHopDistance) {
+  Graph graph;
+  const int n = 100;
+  std::vector<VertexId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(graph.add_vertex());
+  for (int i = 0; i < n; ++i) {
+    graph.add_bidirectional_edge(nodes[static_cast<std::size_t>(i)],
+                                 nodes[static_cast<std::size_t>((i + 1) % n)]);
+  }
+  EXPECT_EQ(graph.hop_distance(nodes[0], nodes[50]).value(), 50u);
+  EXPECT_EQ(graph.hop_distance(nodes[0], nodes[99]).value(), 1u);
+}
+
+}  // namespace
+}  // namespace wrht::topo

@@ -1,0 +1,87 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test program");
+  parser.add_flag("nodes", "128", "node count");
+  parser.add_flag("rate", "25.0", "bandwidth in Gb/s");
+  parser.add_flag("verbose", "false", "enable verbose output");
+  parser.add_flag("model", "alexnet", "model name");
+  return parser;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("nodes"), 128);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 25.0);
+  EXPECT_FALSE(parser.get_bool("verbose"));
+  EXPECT_EQ(parser.get_string("model"), "alexnet");
+}
+
+TEST(Cli, EqualsForm) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--nodes=512", "--rate=12.5"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("nodes"), 512);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 12.5);
+}
+
+TEST(Cli, SpaceForm) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--model", "vgg16"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_string("model"), "vgg16");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(Cli, BooleanFollowedByFlag) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose", "--nodes=4"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+  EXPECT_EQ(parser.get_int("nodes"), 4);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Cli, PositionalArguments) {
+  CliParser parser = make_parser();
+  const char* argv[] = {"prog", "input.csv", "--nodes=8", "out.csv"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.csv");
+  EXPECT_EQ(parser.positional()[1], "out.csv");
+}
+
+TEST(Cli, UsageMentionsFlagsAndDefaults) {
+  CliParser parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("default: 128"), std::string::npos);
+  EXPECT_NE(usage.find("node count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrht::util

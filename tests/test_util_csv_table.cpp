@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace wrht::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_header({"model", "nodes", "time"});
+  csv.write_row({"AlexNet", "128", "0.5"});
+  csv.write_row({"VGG16", "256", "1.25"});
+  EXPECT_EQ(out.str(),
+            "model,nodes,time\nAlexNet,128,0.5\nVGG16,256,1.25\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWithEscapedField) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string rendered = table.render();
+  // Header present, both rows present, every line same width.
+  EXPECT_NE(rendered.find("| name"), std::string::npos);
+  EXPECT_NE(rendered.find("12345"), std::string::npos);
+  std::size_t line_length = 0;
+  std::size_t start = 0;
+  while (start < rendered.size()) {
+    const std::size_t end = rendered.find('\n', start);
+    const std::size_t len = end - start;
+    if (line_length == 0) line_length = len;
+    EXPECT_EQ(len, line_length);
+    start = end + 1;
+  }
+}
+
+TEST(Table, DefaultAlignmentFirstColumnLeft) {
+  Table table({"k", "v"});
+  table.add_row({"x", "1"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("| x "), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string rendered = table.render();
+  // 3 rules around header + 1 separator = 4 horizontal rules.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = rendered.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, CountsRows) {
+  Table table({"a", "b"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace wrht::util

@@ -1,0 +1,74 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::util {
+namespace {
+
+// Restore the default level after every test so ordering cannot leak.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EnabledLevelWritesToStderr) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  WRHT_INFO() << "hello " << 42;
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("hello 42"), std::string::npos);
+  EXPECT_NE(captured.find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DisabledLevelIsSilent) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  WRHT_DEBUG() << "invisible";
+  WRHT_INFO() << "also invisible";
+  WRHT_WARN() << "still invisible";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, DisabledLevelSkipsFormatting) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&]() {
+    ++evaluations;
+    return "expensive";
+  };
+  WRHT_DEBUG() << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysVisibleBelowOff) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  WRHT_ERROR() << "boom";
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("ERROR"), std::string::npos);
+  EXPECT_NE(captured.find("boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogLineRespectsLevelDirectly) {
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "dropped");
+  log_line(LogLevel::kWarn, "kept");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("dropped"), std::string::npos);
+  EXPECT_NE(captured.find("kept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrht::util

@@ -1,0 +1,128 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wrht::util {
+namespace {
+
+TEST(CeilDiv, ExactDivision) {
+  EXPECT_EQ(ceil_div(12, 4), 3u);
+  EXPECT_EQ(ceil_div(0, 7), 0u);
+  EXPECT_EQ(ceil_div(7, 7), 1u);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(13, 4), 4u);
+  EXPECT_EQ(ceil_div(1, 1000), 1u);
+  EXPECT_EQ(ceil_div(1024, 129), 8u);
+}
+
+TEST(CeilDiv, NoOverflowNearMax) {
+  const std::uint64_t big = ~std::uint64_t{0};
+  EXPECT_EQ(ceil_div(big, 1), big);
+  EXPECT_EQ(ceil_div(big, big), 1u);
+}
+
+TEST(FloorLog2, PowersOfTwo) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(FloorLog2, BetweenPowers) {
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1000), 9u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(IsPow2, Classification) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Ipow, SmallCases) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(129, 2), 16641u);
+  EXPECT_EQ(ipow(7, 0), 1u);
+  EXPECT_EQ(ipow(1, 100), 1u);
+  EXPECT_EQ(ipow(0, 3), 0u);
+}
+
+TEST(CeilLog, MatchesDefinition) {
+  // ceil_log(b, x) is the smallest L with b^L >= x.
+  for (std::uint64_t base : {2ULL, 3ULL, 10ULL, 129ULL}) {
+    for (std::uint64_t x : {1ULL, 2ULL, 7ULL, 128ULL, 129ULL, 130ULL, 1024ULL,
+                            16641ULL, 1000000ULL}) {
+      const unsigned level = ceil_log(base, x);
+      if (level > 0) {
+        EXPECT_LT(ipow(base, level - 1), x)
+            << "base=" << base << " x=" << x;
+      }
+      EXPECT_GE(ipow(base, level), x) << "base=" << base << " x=" << x;
+    }
+  }
+}
+
+TEST(CeilLog, AvoidsFloatingPointPitfall) {
+  // log(1000)/log(10) = 2.9999... would floor to the wrong value; the
+  // integer version must be exact.
+  EXPECT_EQ(ceil_log(10, 1000), 3u);
+  EXPECT_EQ(ceil_log(10, 1001), 4u);
+  EXPECT_EQ(ceil_log(129, 16641), 2u);
+  EXPECT_EQ(ceil_log(129, 16642), 3u);
+}
+
+TEST(Isqrt, MatchesFloor) {
+  for (std::uint64_t x = 0; x < 2000; ++x) {
+    const auto expected =
+        static_cast<std::uint64_t>(std::floor(std::sqrt(static_cast<double>(x))));
+    EXPECT_EQ(isqrt(x), expected) << "x=" << x;
+  }
+  EXPECT_EQ(isqrt(8ULL * 64), 22u);  // the m* merge threshold at w=64
+}
+
+TEST(Isqrt, LargeValues) {
+  EXPECT_EQ(isqrt(1ULL << 62), 1ULL << 31);
+  EXPECT_EQ(isqrt((1ULL << 62) - 1), (1ULL << 31) - 1);
+}
+
+TEST(PosMod, NegativeOperands) {
+  EXPECT_EQ(pos_mod(-1, 5), 4);
+  EXPECT_EQ(pos_mod(-5, 5), 0);
+  EXPECT_EQ(pos_mod(7, 5), 2);
+  EXPECT_EQ(pos_mod(-12, 5), 3);
+}
+
+class CeilLogSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CeilLogSweep, ConsistentWithPow) {
+  const std::uint64_t x = GetParam();
+  for (std::uint64_t base = 2; base <= 20; ++base) {
+    const unsigned level = ceil_log(base, x);
+    EXPECT_GE(ipow(base, level), x);
+    if (level > 0) EXPECT_LT(ipow(base, level - 1), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, CeilLogSweep,
+                         ::testing::Values(1, 2, 3, 15, 16, 17, 128, 255, 256,
+                                           257, 999, 1000, 1024, 4097,
+                                           1000000));
+
+}  // namespace
+}  // namespace wrht::util

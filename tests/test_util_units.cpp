@@ -1,0 +1,88 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::util {
+namespace {
+
+TEST(Bytes, ArithmeticAndComparison) {
+  const Bytes a(1000);
+  const Bytes b(24);
+  EXPECT_EQ((a + b).count(), 1024u);
+  EXPECT_EQ((a - b).count(), 976u);
+  EXPECT_EQ((a * 3).count(), 3000u);
+  EXPECT_EQ((3 * a).count(), 3000u);
+  EXPECT_EQ((a / 10).count(), 100u);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(Bytes(5), Bytes(5));
+}
+
+TEST(Bytes, Constructors) {
+  EXPECT_EQ(kilobytes(3).count(), 3000u);
+  EXPECT_EQ(megabytes(2).count(), 2'000'000u);
+  EXPECT_EQ(gigabytes(1).count(), 1'000'000'000u);
+  EXPECT_EQ(kibibytes(1).count(), 1024u);
+  EXPECT_EQ(mebibytes(1).count(), 1048576u);
+  EXPECT_EQ(gibibytes(1).count(), 1073741824u);
+}
+
+TEST(Seconds, Arithmetic) {
+  const Seconds a(1.5);
+  const Seconds b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Seconds, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(milliseconds(2.0).value(), 2e-3);
+  EXPECT_DOUBLE_EQ(microseconds(25.0).value(), 25e-6);
+  EXPECT_DOUBLE_EQ(nanoseconds(5.0).value(), 5e-9);
+}
+
+TEST(Bandwidth, TransferTime) {
+  const Bandwidth b = gbps(10.0);  // 1.25 GB/s
+  EXPECT_DOUBLE_EQ(b.bytes_per_second(), 1.25e9);
+  EXPECT_DOUBLE_EQ(b.bits_per_second(), 1e10);
+  EXPECT_DOUBLE_EQ(b.transfer_time(Bytes(1'250'000'000)).value(), 1.0);
+  EXPECT_DOUBLE_EQ(b.transfer_time(Bytes(0)).value(), 0.0);
+}
+
+TEST(Bandwidth, Scaling) {
+  const Bandwidth one = gbps(25.0);
+  const Bandwidth many = one * 64.0;
+  EXPECT_DOUBLE_EQ(many.bits_per_second(), 1.6e12);
+  EXPECT_DOUBLE_EQ((many / 64.0).bits_per_second(), 25e9);
+}
+
+TEST(Formatting, Bytes) {
+  EXPECT_EQ(to_string(Bytes(512)), "512 B");
+  EXPECT_EQ(to_string(kilobytes(2)), "2 KB");
+  EXPECT_EQ(to_string(megabytes(250)), "250 MB");
+  EXPECT_EQ(to_string(gigabytes(3)), "3 GB");
+}
+
+TEST(Formatting, Seconds) {
+  EXPECT_EQ(to_string(Seconds(2.0)), "2 s");
+  EXPECT_EQ(to_string(milliseconds(1.35)), "1.35 ms");
+  EXPECT_EQ(to_string(microseconds(25)), "25 us");
+  EXPECT_EQ(to_string(nanoseconds(5)), "5 ns");
+}
+
+TEST(Formatting, Bandwidth) {
+  EXPECT_EQ(to_string(gbps(25.0)), "25 Gb/s");
+  EXPECT_EQ(to_string(gbps(1600.0)), "1.6 Tb/s");
+}
+
+TEST(Units, GradientSizeOfAlexNetScale) {
+  // 62.3M fp32 parameters ~ 249.2 MB: the magnitude the benches move.
+  const Bytes gradient(62'300'000ull * 4);
+  const Bandwidth lambda = gbps(25.0);
+  const Seconds t = lambda.transfer_time(gradient);
+  EXPECT_NEAR(t.value(), 0.079744, 1e-6);
+}
+
+}  // namespace
+}  // namespace wrht::util

@@ -1,0 +1,85 @@
+#include "wrht/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/builder.hpp"
+
+namespace wrht::core {
+namespace {
+
+WrhtParams params_with(std::uint32_t w) {
+  WrhtParams params;
+  params.num_wavelengths = w;
+  return params;
+}
+
+TEST(Analysis, FieldsForPaperPoint) {
+  const WrhtBuild build = build_wrht(1024, params_with(64));
+  const WrhtAnalysis a = analyze(build, util::megabytes(100));
+  EXPECT_EQ(a.num_nodes, 1024u);
+  EXPECT_EQ(a.group_size_m, 129u);
+  EXPECT_EQ(a.final_rep_count_mstar, 8u);
+  EXPECT_TRUE(a.merged_with_all_to_all);
+  EXPECT_EQ(a.tree_levels, 1u);
+  EXPECT_EQ(a.total_steps, 3u);
+  EXPECT_EQ(a.paper_formula_steps, 3u);  // 2*ceil(log_129 1024) - 1
+  EXPECT_EQ(a.ring_steps, 2046u);
+  EXPECT_EQ(a.group_lambda_bound, 64u);
+  EXPECT_EQ(a.all_to_all_lambda_bound, 8u);
+  EXPECT_EQ(a.lambda_per_step.size(), 3u);
+  EXPECT_EQ(a.max_lambda, build.annotated.wavelengths_required);
+}
+
+TEST(Analysis, TrafficAccountsEveryTransfer) {
+  // Traffic = (total transfers) x payload for the single-chunk schedule.
+  const WrhtBuild build = build_wrht(64, params_with(8));
+  const util::Bytes payload(1000);
+  const WrhtAnalysis a = analyze(build, payload);
+  EXPECT_EQ(a.total_traffic.count(),
+            build.annotated.schedule.total_transfers() * 1000);
+  EXPECT_EQ(a.probe_payload.count(), 1000u);
+}
+
+TEST(Analysis, UnmergedFormulaDropsTheMinusOne) {
+  WrhtParams params = params_with(64);
+  params.allow_all_to_all_merge = false;
+  const WrhtBuild build = build_wrht(1024, params);
+  const WrhtAnalysis a = analyze(build, util::Bytes(1));
+  EXPECT_FALSE(a.merged_with_all_to_all);
+  EXPECT_EQ(a.paper_formula_steps, 4u);  // 2*ceil(log_129 1024)
+  EXPECT_EQ(a.total_steps, 4u);
+  EXPECT_EQ(a.all_to_all_lambda_bound, 0u);
+}
+
+TEST(Analysis, ReportMentionsEveryHeadline) {
+  const WrhtBuild build = build_wrht(256, params_with(64));
+  const std::string report = analyze(build, util::megabytes(1)).report();
+  for (const char* needle :
+       {"N=256", "group size m", "final reps (m*)", "steps", "wavelengths",
+        "paper formula", "ring: 510", "lambdas per step", "traffic",
+        "merged via all-to-all"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Analysis, ReportShowsRootWhenUnmerged) {
+  WrhtParams params = params_with(4);
+  params.allow_all_to_all_merge = false;
+  const WrhtBuild build = build_wrht(32, params);
+  const std::string report = analyze(build, util::Bytes(8)).report();
+  EXPECT_NE(report.find("reduced to root"), std::string::npos);
+}
+
+TEST(Analysis, LambdaPerStepMatchesAnnotation) {
+  const WrhtBuild build = build_wrht(200, params_with(16));
+  const WrhtAnalysis a = analyze(build, util::Bytes(64));
+  ASSERT_EQ(a.lambda_per_step, build.annotated.lambda_per_step);
+  std::uint32_t max_seen = 0;
+  for (const std::uint32_t l : a.lambda_per_step) {
+    max_seen = std::max(max_seen, l);
+  }
+  EXPECT_EQ(a.max_lambda, max_seen);
+}
+
+}  // namespace
+}  // namespace wrht::core

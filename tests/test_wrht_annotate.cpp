@@ -1,0 +1,104 @@
+#include "wrht/annotated.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coll/algorithms.hpp"
+#include "optical/spectrum.hpp"
+
+namespace wrht::core {
+namespace {
+
+TEST(Annotate, RingScheduleFitsOneWavelength) {
+  // Neighbour transfers occupy disjoint spans: the whole chunked ring
+  // all-reduce needs a single wavelength (why O-Ring wastes WDM).
+  const std::uint32_t n = 16;
+  const topo::RingTopology ring(n);
+  const auto annotated = annotate_on_ring(coll::ring_allreduce(n), ring, 1);
+  ASSERT_TRUE(annotated.has_value());
+  EXPECT_EQ(annotated->wavelengths_required, 1u);
+  for (const auto& step : annotated->lambda_per_step) {
+    EXPECT_EQ(step, 1u);
+  }
+}
+
+TEST(Annotate, ShapeMatchesSchedule) {
+  const std::uint32_t n = 8;
+  const topo::RingTopology ring(n);
+  const auto annotated =
+      annotate_on_ring(coll::recursive_doubling(n), ring, 16);
+  ASSERT_TRUE(annotated.has_value());
+  ASSERT_EQ(annotated->paths.size(), annotated->schedule.num_steps());
+  for (std::size_t s = 0; s < annotated->paths.size(); ++s) {
+    EXPECT_EQ(annotated->paths[s].size(),
+              annotated->schedule.steps()[s].transfers.size());
+    for (const PathAssignment& path : annotated->paths[s]) {
+      EXPECT_EQ(path.lambdas.size(), 1u);
+      EXPECT_GT(path.arc.length, 0u);
+    }
+  }
+}
+
+TEST(Annotate, UsesShortestDirection) {
+  const std::uint32_t n = 16;
+  const topo::RingTopology ring(n);
+  coll::Schedule schedule("probe", n, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 2, 0, coll::TransferOp::kReduce});   // cw
+  schedule.add_transfer({0, 14, 0, coll::TransferOp::kReduce});  // ccw
+  const auto annotated = annotate_on_ring(std::move(schedule), ring, 4);
+  ASSERT_TRUE(annotated.has_value());
+  EXPECT_EQ(annotated->paths[0][0].arc.direction,
+            topo::Direction::kClockwise);
+  EXPECT_EQ(annotated->paths[0][0].arc.length, 2u);
+  EXPECT_EQ(annotated->paths[0][1].arc.direction,
+            topo::Direction::kCounterClockwise);
+  EXPECT_EQ(annotated->paths[0][1].arc.length, 2u);
+}
+
+TEST(Annotate, ConflictFreePerStep) {
+  const std::uint32_t n = 12;
+  const topo::RingTopology ring(n);
+  const auto annotated =
+      annotate_on_ring(coll::halving_doubling(n), ring, 64);
+  ASSERT_TRUE(annotated.has_value());
+  for (const auto& step : annotated->paths) {
+    optical::SpectrumMap spectrum(ring, annotated->wavelengths_required);
+    for (const PathAssignment& path : step) {
+      ASSERT_TRUE(spectrum.is_free(path.arc, path.lambdas[0]));
+      spectrum.reserve(path.arc, path.lambdas[0]);
+    }
+  }
+}
+
+TEST(Annotate, FailsWhenSpectrumTooSmall) {
+  // Direct all-reduce at n=16 needs far more than 2 wavelengths.
+  const std::uint32_t n = 16;
+  const topo::RingTopology ring(n);
+  EXPECT_FALSE(
+      annotate_on_ring(coll::direct_allreduce(n), ring, 2).has_value());
+}
+
+TEST(Annotate, DirectAllReduceFitsWithGenerousSpectrum) {
+  const std::uint32_t n = 8;
+  const topo::RingTopology ring(n);
+  const auto annotated =
+      annotate_on_ring(coll::direct_allreduce(n), ring, 64);
+  ASSERT_TRUE(annotated.has_value());
+  // Liang-Shen style bound: about n^2/8 per step.
+  EXPECT_LE(annotated->wavelengths_required, 16u);
+}
+
+TEST(Annotate, RecursiveDoublingNeedsManyWavelengths) {
+  // The first RD round pairs i with i+8 on a 16-ring: eight arcs of length
+  // 8 in parallel; they stack heavily on the spans.  This quantifies why
+  // nonlocal electrical algorithms do not map well onto the optical ring.
+  const std::uint32_t n = 16;
+  const topo::RingTopology ring(n);
+  const auto annotated =
+      annotate_on_ring(coll::recursive_doubling(n), ring, 64);
+  ASSERT_TRUE(annotated.has_value());
+  EXPECT_GE(annotated->wavelengths_required, 4u);
+}
+
+}  // namespace
+}  // namespace wrht::core

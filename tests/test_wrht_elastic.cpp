@@ -1,0 +1,140 @@
+// Elastic membership: Wrht schedules over arbitrary subsets of the ring —
+// the failure/straggler-exclusion story.  Non-participants must be
+// untouched, correctness must hold for any subset shape, and the wavelength
+// budget must still be respected.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "coll/oracle.hpp"
+#include "optical/spectrum.hpp"
+#include "util/math.hpp"
+#include "util/random.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+namespace wrht::core {
+namespace {
+
+WrhtParams params_with(std::uint32_t w) {
+  WrhtParams params;
+  params.num_wavelengths = w;
+  return params;
+}
+
+void expect_valid_subset_build(const std::vector<topo::NodeId>& participants,
+                               std::uint32_t ring_size, std::uint32_t w) {
+  const WrhtBuild build =
+      build_wrht_among(participants, ring_size, params_with(w));
+  EXPECT_EQ(build.annotated.schedule.num_nodes(), ring_size);
+  EXPECT_LE(build.annotated.wavelengths_required, w);
+
+  const coll::OracleResult result = coll::Oracle::verify_allreduce_among(
+      build.annotated.schedule, participants, 32);
+  EXPECT_TRUE(result.ok) << result.message;
+
+  // Physical conflict-freedom on the full ring.
+  const topo::RingTopology ring(ring_size);
+  for (const auto& step : build.annotated.paths) {
+    optical::SpectrumMap spectrum(
+        ring, std::max(1u, build.annotated.wavelengths_required));
+    for (const PathAssignment& path : step) {
+      ASSERT_TRUE(spectrum.is_free(path.arc, path.lambdas[0]));
+      spectrum.reserve(path.arc, path.lambdas[0]);
+    }
+  }
+
+  // Step bound: the tree over k participants is at most as deep as the
+  // paper's formula for k nodes.
+  const auto k = static_cast<std::uint32_t>(participants.size());
+  EXPECT_LE(build.annotated.schedule.num_steps(),
+            2 * util::ceil_log(build.group_size_m, k));
+}
+
+TEST(Elastic, EveryOtherNode) {
+  std::vector<topo::NodeId> evens;
+  for (topo::NodeId i = 0; i < 64; i += 2) evens.push_back(i);
+  expect_valid_subset_build(evens, 64, 8);
+}
+
+TEST(Elastic, DenseClusterInLargeRing) {
+  std::vector<topo::NodeId> cluster;
+  for (topo::NodeId i = 40; i < 72; ++i) cluster.push_back(i);
+  expect_valid_subset_build(cluster, 256, 16);
+}
+
+TEST(Elastic, TwoFarApartClusters) {
+  std::vector<topo::NodeId> nodes;
+  for (topo::NodeId i = 0; i < 10; ++i) nodes.push_back(i);
+  for (topo::NodeId i = 100; i < 110; ++i) nodes.push_back(i);
+  expect_valid_subset_build(nodes, 128, 8);
+}
+
+TEST(Elastic, JustTwoSurvivors) {
+  expect_valid_subset_build({17, 93}, 128, 4);
+}
+
+TEST(Elastic, VeryUnevenSpacing) {
+  expect_valid_subset_build({0, 1, 2, 3, 60, 61, 126, 127}, 128, 8);
+}
+
+TEST(Elastic, FullSetMatchesPlainBuilder) {
+  const std::uint32_t n = 100;
+  std::vector<topo::NodeId> everyone(n);
+  std::iota(everyone.begin(), everyone.end(), 0);
+  const WrhtBuild subset = build_wrht_among(everyone, n, params_with(16));
+  const WrhtBuild plain = build_wrht(n, params_with(16));
+  EXPECT_EQ(subset.annotated.schedule.num_steps(),
+            plain.annotated.schedule.num_steps());
+  EXPECT_EQ(subset.group_size_m, plain.group_size_m);
+  EXPECT_EQ(subset.merged_with_all_to_all, plain.merged_with_all_to_all);
+}
+
+class ElasticRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElasticRandomSweep, RandomSubsetsStayCorrect) {
+  util::Rng rng(GetParam());
+  const std::uint32_t ring_size = 96;
+  // Random subset of 2..96 participants.
+  std::vector<topo::NodeId> participants;
+  const std::uint64_t keep_permille = 100 + rng.next_below(900);
+  for (topo::NodeId i = 0; i < ring_size; ++i) {
+    if (rng.next_below(1000) < keep_permille) participants.push_back(i);
+  }
+  while (participants.size() < 2) {
+    participants.push_back(
+        static_cast<topo::NodeId>(participants.size()));
+  }
+  expect_valid_subset_build(participants, ring_size,
+                            1 + static_cast<std::uint32_t>(rng.next_below(64)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElasticRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(Elastic, ProgressiveFailureRebuild) {
+  // Shrinking-world scenario: nodes fail one by one; after every failure
+  // the schedule is rebuilt over the survivors and must stay correct.
+  util::Rng rng(404);
+  std::vector<topo::NodeId> alive(48);
+  std::iota(alive.begin(), alive.end(), 0);
+  while (alive.size() > 2) {
+    alive.erase(alive.begin() +
+                static_cast<std::ptrdiff_t>(rng.next_below(alive.size())));
+    const WrhtBuild build = build_wrht_among(alive, 48, params_with(8));
+    const coll::OracleResult result = coll::Oracle::verify_allreduce_among(
+        build.annotated.schedule, alive, 16);
+    ASSERT_TRUE(result.ok) << "survivors=" << alive.size() << ": "
+                           << result.message;
+  }
+}
+
+TEST(Elastic, RejectsBadParticipantLists) {
+  EXPECT_DEATH(build_wrht_among({5}, 16, params_with(4)), "2 participants");
+  EXPECT_DEATH(build_wrht_among({3, 2}, 16, params_with(4)), "ascending");
+  EXPECT_DEATH(build_wrht_among({2, 2}, 16, params_with(4)), "ascending");
+  EXPECT_DEATH(build_wrht_among({2, 16}, 16, params_with(4)), "ascending");
+}
+
+}  // namespace
+}  // namespace wrht::core

@@ -1,0 +1,112 @@
+#include "wrht/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace wrht::core {
+namespace {
+
+std::vector<topo::NodeId> iota_nodes(std::uint32_t n) {
+  std::vector<topo::NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  return nodes;
+}
+
+TEST(Partition, ExactGroups) {
+  const auto groups = partition_into_groups(iota_nodes(12), 4);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const Group& group : groups) {
+    EXPECT_EQ(group.size(), 4u);
+  }
+  EXPECT_EQ(groups[0].members, (std::vector<topo::NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[2].members, (std::vector<topo::NodeId>{8, 9, 10, 11}));
+}
+
+TEST(Partition, LastGroupSmaller) {
+  const auto groups = partition_into_groups(iota_nodes(10), 4);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[2].size(), 2u);
+}
+
+TEST(Partition, GroupCountIsCeilDiv) {
+  for (const std::uint32_t n : {2u, 7u, 16u, 100u, 1024u}) {
+    for (const std::uint32_t m : {2u, 3u, 5u, 129u}) {
+      const auto groups = partition_into_groups(iota_nodes(n), m);
+      EXPECT_EQ(groups.size(), (n + m - 1) / m);
+    }
+  }
+}
+
+TEST(Representative, MiddleMember) {
+  const auto groups = partition_into_groups(iota_nodes(5), 5);
+  ASSERT_EQ(groups.size(), 1u);
+  // Size 5: rep index 2, two members on each side.
+  EXPECT_EQ(groups[0].rep(), 2u);
+  EXPECT_EQ(groups[0].left_count(), 2u);
+  EXPECT_EQ(groups[0].right_count(), 2u);
+}
+
+TEST(Representative, EvenGroupLeansRight) {
+  const auto groups = partition_into_groups(iota_nodes(4), 4);
+  // Size 4: rep index 2 -> left 2, right 1.
+  EXPECT_EQ(groups[0].rep(), 2u);
+  EXPECT_EQ(groups[0].left_count(), 2u);
+  EXPECT_EQ(groups[0].right_count(), 1u);
+}
+
+TEST(Representative, PairGroup) {
+  const auto groups = partition_into_groups(iota_nodes(2), 2);
+  EXPECT_EQ(groups[0].rep(), 1u);
+  EXPECT_EQ(groups[0].left_count(), 1u);
+  EXPECT_EQ(groups[0].right_count(), 0u);
+}
+
+TEST(WavelengthDemand, IsFloorHalf) {
+  // The paper's bound: a group of size g needs floor(g/2) wavelengths.
+  for (std::uint32_t g = 2; g <= 40; ++g) {
+    const auto groups = partition_into_groups(iota_nodes(g), g);
+    EXPECT_EQ(group_wavelength_demand(groups[0]), g / 2) << "g=" << g;
+  }
+}
+
+TEST(WavelengthDemand, SingletonGroupNeedsNone) {
+  // Partition 5 nodes into groups of 4: the trailing singleton group has a
+  // representative and no other members.
+  const auto groups = partition_into_groups(iota_nodes(5), 4);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(group_wavelength_demand(groups[1]), 0u);
+}
+
+TEST(Partition, WorksOnSparseActiveSets) {
+  // Second-level partitioning: the active nodes are spread representatives.
+  const std::vector<topo::NodeId> reps = {2, 66, 130, 194, 258, 322, 386};
+  const auto groups = partition_into_groups(reps, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].members, (std::vector<topo::NodeId>{2, 66, 130}));
+  EXPECT_EQ(groups[0].rep(), 66u);
+  EXPECT_EQ(groups[2].members, (std::vector<topo::NodeId>{386}));
+}
+
+TEST(Partition, MembersCoverInputExactlyOnce) {
+  const auto nodes = iota_nodes(37);
+  const auto groups = partition_into_groups(nodes, 5);
+  std::vector<topo::NodeId> collected;
+  for (const Group& group : groups) {
+    collected.insert(collected.end(), group.members.begin(),
+                     group.members.end());
+  }
+  EXPECT_EQ(collected, nodes);
+}
+
+TEST(Partition, UnsortedInputAborts) {
+  EXPECT_DEATH(partition_into_groups({3, 1, 2}, 2), "not ascending");
+}
+
+TEST(Partition, TinyGroupSizeAborts) {
+  EXPECT_DEATH(partition_into_groups(iota_nodes(4), 1), ">= 2");
+}
+
+}  // namespace
+}  // namespace wrht::core

@@ -1,0 +1,142 @@
+// Timing consistency: the closed-form model, the per-step analytic sum, and
+// the discrete-event simulation must tell the same story.
+#include "wrht/time_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wrht/executor.hpp"
+
+namespace wrht::core {
+namespace {
+
+using util::Bytes;
+
+optical::OpticalParams fast_params() {
+  optical::OpticalParams p;
+  p.wdm.num_wavelengths = 64;
+  p.wdm.wavelength_bandwidth = util::gbps(25.0);
+  p.tune_time = util::milliseconds(1.3);
+  p.sync_time = util::microseconds(25.0);
+  p.transceiver_time = util::microseconds(25.0);
+  p.propagation_per_hop = util::nanoseconds(25.0);
+  return p;
+}
+
+WrhtParams wrht_params(std::uint32_t w) {
+  WrhtParams params;
+  params.num_wavelengths = w;
+  return params;
+}
+
+TEST(TimeModel, AnalyticMatchesDes) {
+  const Bytes payload(10'000'000);
+  for (const std::uint32_t n : {8u, 32u, 128u, 300u}) {
+    for (const std::uint32_t w : {4u, 64u}) {
+      const WrhtBuild build = build_wrht(n, wrht_params(w));
+      optical::OpticalParams p = fast_params();
+      p.wdm.num_wavelengths = std::max(
+          p.wdm.num_wavelengths, build.annotated.wavelengths_required);
+      const double analytic =
+          analytic_schedule_time(build.annotated, payload, p).value();
+      const double des =
+          run_on_optical(build.annotated, p, payload).total.value();
+      EXPECT_NEAR(des, analytic, analytic * 1e-12)
+          << "n=" << n << " w=" << w;
+    }
+  }
+}
+
+TEST(TimeModel, FormulaTracksAnalyticClosely) {
+  // The schedule-free formula only approximates propagation (nanoseconds);
+  // it must agree with the full analytic model to within 0.1%.
+  const Bytes payload(249'200'000);  // AlexNet fp32
+  for (const std::uint32_t n : {128u, 256u, 512u, 1024u}) {
+    const WrhtParams wp = wrht_params(64);
+    const WrhtBuild build = build_wrht(n, wp);
+    const optical::OpticalParams p = fast_params();
+    const double analytic =
+        analytic_schedule_time(build.annotated, payload, p).value();
+    const double formula = wrht_time_formula(n, payload, p, wp).value();
+    EXPECT_NEAR(formula, analytic, analytic * 1e-3) << "n=" << n;
+  }
+}
+
+TEST(TimeModel, OpticalRingFormulaStructure) {
+  const optical::OpticalParams p = fast_params();
+  const Bytes payload(1'024'000);
+  const std::uint32_t n = 16;
+  const double t = optical_ring_time_formula(n, payload, p).value();
+  const double per_step = p.fixed_step_overhead().value() +
+                          p.propagation_per_hop.value() +
+                          64'000.0 / p.wdm.wavelength_bandwidth.bytes_per_second();
+  EXPECT_NEAR(t, 2 * (n - 1) * per_step, 1e-12);
+}
+
+TEST(TimeModel, WrhtBeatsOpticalRingAtPaperScale) {
+  const optical::OpticalParams p = fast_params();
+  const WrhtParams wp = wrht_params(64);
+  for (const std::uint32_t n : {128u, 256u, 512u, 1024u}) {
+    for (const std::uint64_t params_m : {6'797'700ull, 25'000'000ull,
+                                         62'300'000ull, 138'000'000ull}) {
+      const Bytes payload(params_m * 4);
+      const double wrht = wrht_time_formula(n, payload, p, wp).value();
+      const double oring = optical_ring_time_formula(n, payload, p).value();
+      EXPECT_LT(wrht, oring) << "n=" << n << " params=" << params_m;
+    }
+  }
+}
+
+TEST(TimeModel, WrhtNearlyFlatInN) {
+  // Step count grows from 2 to 3 across the sweep; time must grow by far
+  // less than the ring's linear factor.
+  const optical::OpticalParams p = fast_params();
+  const WrhtParams wp = wrht_params(64);
+  const Bytes payload(100'000'000);
+  const double t128 = wrht_time_formula(128, payload, p, wp).value();
+  const double t1024 = wrht_time_formula(1024, payload, p, wp).value();
+  EXPECT_LT(t1024 / t128, 2.0);
+  const double o128 = optical_ring_time_formula(128, payload, p).value();
+  const double o1024 = optical_ring_time_formula(1024, payload, p).value();
+  EXPECT_GT(o1024 / o128, 4.0);
+}
+
+TEST(TimeModel, MoreWavelengthsNeverSlower) {
+  // Monotone up to propagation noise: larger groups mean slightly longer
+  // intra-group paths (microseconds), so allow that much slack while the
+  // step-count gains are measured in milliseconds.
+  const optical::OpticalParams p = fast_params();
+  const Bytes payload(50'000'000);
+  double previous = 1e100;
+  for (const std::uint32_t w : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const double t =
+        wrht_time_formula(512, payload, p, wrht_params(w)).value();
+    EXPECT_LE(t, previous + 1e-4) << "w=" << w;
+    previous = t;
+  }
+}
+
+TEST(TimeModel, TuneTimeDominatesORingAtScale) {
+  // The per-step overhead explains O-Ring's collapse: zeroing it must
+  // shrink O-Ring's time by >10x at N=1024 with a small model.
+  optical::OpticalParams with_tune = fast_params();
+  optical::OpticalParams no_tune = fast_params();
+  no_tune.tune_time = util::Seconds(0.0);
+  no_tune.sync_time = util::Seconds(0.0);
+  no_tune.transceiver_time = util::Seconds(0.0);
+  const Bytes payload(27'191'000);  // GoogLeNet fp32
+  const double slow = optical_ring_time_formula(1024, payload, with_tune).value();
+  const double fast = optical_ring_time_formula(1024, payload, no_tune).value();
+  EXPECT_GT(slow / fast, 10.0);
+}
+
+TEST(TimeModel, DesRetuneCountsMatchScheduleShape) {
+  const WrhtBuild build = build_wrht(64, wrht_params(8));
+  const optical::OpticalParams p = fast_params();
+  const optical::RunResult run =
+      run_on_optical(build.annotated, p, Bytes(1'000'000));
+  // With retune_every_step, every transfer retunes exactly once per step.
+  EXPECT_EQ(run.total_retunes, build.annotated.schedule.total_transfers());
+}
+
+}  // namespace
+}  // namespace wrht::core

@@ -1,0 +1,157 @@
+// Wavelength-level properties of Wrht schedules: the paper's floor(m/2) and
+// ceil(m*^2/8) bounds, physical conflict-freedom on the ring, and spatial
+// reuse across groups.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "optical/conflict.hpp"
+#include "wrht/builder.hpp"
+
+namespace wrht::core {
+namespace {
+
+WrhtParams params_with(std::uint32_t w) {
+  WrhtParams params;
+  params.num_wavelengths = w;
+  return params;
+}
+
+// Re-check with the raw spectrum map that no two transfers in any step of
+// the schedule share (direction, span, wavelength).
+void expect_physically_conflict_free(const WrhtBuild& build) {
+  const topo::RingTopology ring(build.annotated.schedule.num_nodes());
+  for (std::size_t s = 0; s < build.annotated.paths.size(); ++s) {
+    optical::SpectrumMap spectrum(ring,
+                                  build.annotated.wavelengths_required);
+    for (const PathAssignment& path : build.annotated.paths[s]) {
+      for (const optical::WavelengthId lambda : path.lambdas) {
+        ASSERT_TRUE(spectrum.is_free(path.arc, lambda))
+            << "conflict in step " << s;
+        spectrum.reserve(path.arc, lambda);
+      }
+    }
+  }
+}
+
+TEST(WrhtWavelengths, ConflictFreeAcrossConfigurations) {
+  for (const std::uint32_t n : {8u, 37u, 64u, 128u, 200u}) {
+    for (const std::uint32_t w : {1u, 3u, 8u, 64u}) {
+      expect_physically_conflict_free(build_wrht(n, params_with(w)));
+    }
+  }
+}
+
+TEST(WrhtWavelengths, TreeStepDemandIsFloorHalf) {
+  // With merge disabled, every step is a tree step; its wavelength usage
+  // must be exactly max over groups of floor(group/2) — and never exceed
+  // floor(m/2).
+  WrhtParams params = params_with(16);
+  params.allow_all_to_all_merge = false;
+  for (const std::uint32_t n : {33u, 64u, 128u, 256u}) {
+    const WrhtBuild build = build_wrht(n, params);
+    const std::uint32_t m = build.group_size_m;
+    for (std::size_t s = 0; s < build.reduce_levels.size(); ++s) {
+      std::uint32_t expected = 0;
+      for (const Group& group : build.reduce_levels[s].groups) {
+        expected = std::max(expected, group_wavelength_demand(group));
+      }
+      EXPECT_EQ(build.annotated.lambda_per_step[s], expected)
+          << "n=" << n << " step=" << s;
+      EXPECT_LE(build.annotated.lambda_per_step[s], m / 2);
+    }
+  }
+}
+
+TEST(WrhtWavelengths, MergeStepNearPaperBound) {
+  // The paper allocates ceil(m*^2/8) wavelengths to the all-to-all merge
+  // (the exact Liang & Shen construction).  Our heuristic routing+coloring
+  // is measured within 10%+1 of that bound; representatives are not exactly
+  // evenly spaced (the last group is smaller), which accounts for the +1.
+  for (const std::uint32_t n : {64u, 256u, 512u, 1024u}) {
+    const WrhtBuild build = build_wrht(n, params_with(64));
+    if (!build.merged_with_all_to_all) continue;
+    const std::size_t merge_step = build.reduce_levels.size();
+    const std::uint32_t bound =
+        all_to_all_wavelength_bound(build.final_rep_count_mstar);
+    EXPECT_LE(build.annotated.lambda_per_step[merge_step],
+              bound + bound / 10 + 1)
+        << "n=" << n << " m*=" << build.final_rep_count_mstar;
+  }
+}
+
+TEST(WrhtWavelengths, GroupsReuseWavelengthsSpatially) {
+  // 64 nodes, m=9 forced: 8 groups in the first level.  Total transfers in
+  // step 0 is 64-8 = 56, but wavelength usage must stay at floor(9/2) = 4 —
+  // an 14x spatial reuse, the "wavelength reused" in the scheme's name.
+  WrhtParams params = params_with(8);
+  params.forced_group_size = 9;
+  const WrhtBuild build = build_wrht(64, params);
+  EXPECT_EQ(build.annotated.schedule.steps()[0].transfers.size(), 56u);
+  EXPECT_EQ(build.annotated.lambda_per_step[0], 4u);
+}
+
+TEST(WrhtWavelengths, BothWaveguidesUsed) {
+  // The two sides of a group ride opposite directions.
+  const WrhtBuild build = build_wrht(16, params_with(8));
+  std::set<topo::Direction> directions;
+  for (const auto& step : build.annotated.paths) {
+    for (const PathAssignment& path : step) {
+      directions.insert(path.arc.direction);
+    }
+  }
+  EXPECT_EQ(directions.size(), 2u);
+}
+
+TEST(WrhtWavelengths, LoadLowerBoundRespected) {
+  // Wavelengths used in a step can never be below the max link load of that
+  // step's arcs (sanity of the accounting, not just the assignment).
+  const WrhtBuild build = build_wrht(100, params_with(16));
+  const topo::RingTopology ring(100);
+  for (std::size_t s = 0; s < build.annotated.paths.size(); ++s) {
+    std::vector<topo::Arc> arcs;
+    for (const PathAssignment& path : build.annotated.paths[s]) {
+      arcs.push_back(path.arc);
+    }
+    EXPECT_GE(build.annotated.lambda_per_step[s],
+              optical::max_link_load(ring, arcs));
+  }
+}
+
+TEST(WrhtWavelengths, BestFitAlsoConflictFree) {
+  WrhtParams params = params_with(16);
+  params.fit_policy = optical::FitPolicy::kBestFit;
+  expect_physically_conflict_free(build_wrht(128, params));
+}
+
+TEST(WrhtWavelengths, IntraGroupArcsStayInsideGroupSlice) {
+  // No member->representative path may leave the group's ring slice; with
+  // ascending consecutive groups this means every arc's spans lie between
+  // the group's first and last member.
+  const WrhtBuild build = build_wrht(64, params_with(4));
+  const topo::RingTopology ring(64);
+  const std::size_t tree_levels = build.reduce_levels.size();
+  for (std::size_t level = 0; level < tree_levels; ++level) {
+    const auto& groups = build.reduce_levels[level].groups;
+    const auto& transfers =
+        build.annotated.schedule.steps()[level].transfers;
+    const auto& paths = build.annotated.paths[level];
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      // Find the transfer's group (its dst is the representative).
+      const Group* owner = nullptr;
+      for (const Group& group : groups) {
+        if (group.rep() == transfers[i].dst) owner = &group;
+      }
+      ASSERT_NE(owner, nullptr);
+      const topo::NodeId lo = owner->members.front();
+      const topo::NodeId hi = owner->members.back();
+      for (const topo::SpanId span : ring.spans(paths[i].arc)) {
+        EXPECT_GE(span, lo);
+        EXPECT_LT(span, hi);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrht::core
