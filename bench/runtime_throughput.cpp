@@ -1,0 +1,127 @@
+// Throughput of the multi-tenant runtime vs. one-collective-at-a-time.
+//
+// The same job mix — medium all-reduces on disjoint groups plus bursts of
+// small same-group gradient buckets — is timed three ways:
+//
+//   serial      each job runs alone on the whole spectrum, back to back
+//               (the seed library's modus operandi: sum of run_on_optical)
+//   concurrent  the runtime overlaps jobs on disjoint wavelength bands
+//   +batched    the runtime additionally fuses the small same-group jobs
+//
+// Concurrency converts idle spectrum into overlap; batching amortizes the
+// fixed per-step optical overhead (2.5 ms tuning vs tens of microseconds of
+// small-payload serialization) across tenants.  Both effects compound on
+// simulated time, which is what this report shows.
+//
+//   $ ./bench/runtime_throughput
+#include <cstdio>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/random.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+
+namespace {
+
+using namespace wrht;
+
+struct Workload {
+  std::vector<runtime::JobSpec> jobs;
+};
+
+Workload make_workload(std::uint32_t ring_size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Workload w;
+
+  // Eight medium tenants on disjoint 8-node groups.
+  for (std::uint32_t tenant = 0; tenant < 8; ++tenant) {
+    runtime::JobSpec spec;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      spec.participants.push_back(tenant * (ring_size / 8) + i);
+    }
+    spec.payload = util::megabytes(8 + rng.next_below(56));
+    spec.name = "tenant" + std::to_string(tenant);
+    w.jobs.push_back(std::move(spec));
+  }
+
+  // Sixteen small gradient buckets over one shared group.
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    runtime::JobSpec spec;
+    spec.participants = {1, 10, 19, 28, 37, 46, 55, 60};
+    spec.payload = util::kilobytes(32 + rng.next_below(96));
+    spec.name = "bucket" + std::to_string(i);
+    w.jobs.push_back(std::move(spec));
+  }
+  return w;
+}
+
+/// The status quo: every job gets the whole ring to itself, one at a time.
+util::Seconds serial_makespan(const Workload& w,
+                              const runtime::RuntimeConfig& config) {
+  util::Seconds total{0.0};
+  for (const runtime::JobSpec& spec : w.jobs) {
+    core::WrhtParams params;
+    params.num_wavelengths = config.optical.wdm.num_wavelengths;
+    const core::WrhtBuild build =
+        core::build_wrht_among(spec.participants, config.ring_size, params);
+    total += core::run_on_optical(build.annotated, config.optical,
+                                  spec.payload)
+                 .total;
+  }
+  return total;
+}
+
+runtime::RuntimeReport runtime_run(const Workload& w,
+                                   runtime::RuntimeConfig config) {
+  runtime::CollectiveRuntime rt(config);
+  for (const runtime::JobSpec& spec : w.jobs) rt.submit(spec);
+  return rt.run();
+}
+
+}  // namespace
+
+int main() {
+  runtime::RuntimeConfig config;
+  config.ring_size = 64;
+  config.optical.wdm.num_wavelengths = 64;
+  config.policy = runtime::FairnessPolicy::kFifo;
+  config.default_request = 8;
+
+  const Workload w = make_workload(config.ring_size, /*seed=*/7);
+
+  const util::Seconds serial = serial_makespan(w, config);
+
+  runtime::RuntimeConfig concurrent_only = config;
+  concurrent_only.batcher.enabled = false;
+  const runtime::RuntimeReport concurrent = runtime_run(w, concurrent_only);
+
+  runtime::RuntimeConfig batched = config;
+  batched.batcher.enabled = true;
+  batched.batcher.max_jobs_per_batch = 8;
+  const runtime::RuntimeReport fused = runtime_run(w, batched);
+
+  std::printf("%zu jobs on a %u-node ring, %u wavelengths\n\n", w.jobs.size(),
+              config.ring_size, config.optical.wdm.num_wavelengths);
+  std::printf("%-22s %-12s %-9s %s\n", "mode", "makespan", "speedup",
+              "mean turnaround");
+  std::printf("%-22s %-12s %8.2fx %s\n", "serial back-to-back",
+              util::to_string(serial).c_str(), 1.0, "-");
+  std::printf("%-22s %-12s %8.2fx %s\n", "concurrent",
+              util::to_string(concurrent.makespan).c_str(),
+              serial / concurrent.makespan,
+              util::to_string(concurrent.mean_turnaround()).c_str());
+  std::printf("%-22s %-12s %8.2fx %s\n", "concurrent + batched",
+              util::to_string(fused.makespan).c_str(),
+              serial / fused.makespan,
+              util::to_string(fused.mean_turnaround()).c_str());
+  std::printf("\nbatched mode fused %u batches across %u executions; peak "
+              "concurrency %u jobs\n",
+              fused.batches, fused.executions, fused.peak_concurrent_jobs);
+
+  const bool ok = concurrent.makespan < serial && fused.makespan < serial &&
+                  fused.makespan <= concurrent.makespan;
+  std::printf("concurrent < serial and batched <= concurrent: %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

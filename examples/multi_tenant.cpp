@@ -1,0 +1,72 @@
+// Multi-tenant serving: ten training jobs share one 64-node optical ring.
+//
+// Eight medium jobs on disjoint 8-node groups arrive together and run
+// CONCURRENTLY, each on its own wavelength band carved out of the shared
+// spectrum by the arbiter.  Two bursts of small same-group jobs arrive
+// shortly after and are fused by the batcher into single schedules.  Every
+// spectrum reservation goes through the shared per-(span, wavelength,
+// direction) map, so the run finishing at all proves zero wavelength
+// conflicts between tenants.
+//
+//   $ ./examples/multi_tenant
+#include <cinttypes>
+#include <cstdio>
+
+#include "runtime/runtime.hpp"
+
+int main() {
+  using namespace wrht;
+
+  runtime::RuntimeConfig config;
+  config.ring_size = 64;
+  config.optical.wdm.num_wavelengths = 64;
+  config.policy = runtime::FairnessPolicy::kFifo;
+  config.default_request = 8;
+
+  runtime::CollectiveRuntime rt(config);
+
+  // Eight tenants, disjoint 8-node groups, all arriving at t=0.
+  for (std::uint32_t tenant = 0; tenant < 8; ++tenant) {
+    runtime::JobSpec spec;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      spec.participants.push_back(tenant * 8 + i);
+    }
+    spec.payload = util::megabytes(16 + 8 * tenant);
+    spec.name = "tenant" + std::to_string(tenant);
+    rt.submit(spec);
+  }
+
+  // A burst of small gradient buckets from one group: fused into one
+  // schedule, paying the per-step optical overhead once for all of them.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    runtime::JobSpec spec;
+    spec.participants = {3, 9, 17, 22, 31, 44};
+    spec.payload = util::kilobytes(96);
+    spec.arrival = util::milliseconds(1.0);
+    spec.name = "bucket" + std::to_string(i);
+    rt.submit(spec);
+  }
+
+  const runtime::RuntimeReport report = rt.run();
+  std::fputs(report.to_string().c_str(), stdout);
+
+  std::printf("\n%-8s %-6s %-10s %-10s %-10s %-6s\n", "job", "band",
+              "admitted", "completed", "turnaround", "batch");
+  for (std::size_t i = 0; i < rt.num_jobs(); ++i) {
+    const runtime::JobRecord& r = rt.record(static_cast<runtime::JobId>(i));
+    std::printf("%-8s [%2u,%2u) %-10s %-10s %-10s %u\n",
+                r.spec.name.c_str(), r.band.base, r.band.base + r.band.width,
+                util::to_string(r.admitted).c_str(),
+                util::to_string(r.completed).c_str(),
+                util::to_string(r.turnaround()).c_str(), r.batch_size);
+  }
+
+  const bool ok = report.completed == report.submitted &&
+                  report.rejected == 0 && report.oracle_failures == 0 &&
+                  report.peak_concurrent_jobs >= 8 && report.batches >= 1;
+  std::printf("\n%u jobs concurrent at peak, %" PRIu64
+              " reservations, 0 conflict aborts: %s\n",
+              report.peak_concurrent_jobs, report.spectrum_reservations,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

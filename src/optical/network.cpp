@@ -13,18 +13,24 @@ OpticalRingNetwork::OpticalRingNetwork(std::uint32_t num_nodes,
       spectrum_(ring_, params.wdm.num_wavelengths),
       transceivers_(num_nodes) {}
 
-util::Seconds OpticalRingNetwork::transfer_duration(const TimedTransfer& t,
-                                                    bool retuned) const {
+util::Seconds transfer_cost(const OpticalParams& params,
+                            const TimedTransfer& transfer, bool retuned) {
   util::Seconds duration{0.0};
   if (retuned) {
-    duration += params_.tune_time + params_.transceiver_time;
+    duration += params.tune_time + params.transceiver_time;
   }
-  duration += params_.propagation_per_hop * static_cast<double>(t.arc.length);
-  const double stripes = static_cast<double>(t.lambdas.size());
+  duration +=
+      params.propagation_per_hop * static_cast<double>(transfer.arc.length);
+  const double stripes = static_cast<double>(transfer.lambdas.size());
   const util::Bandwidth effective =
-      params_.wdm.wavelength_bandwidth * stripes;
-  duration += effective.transfer_time(t.bytes);
+      params.wdm.wavelength_bandwidth * stripes;
+  duration += effective.transfer_time(transfer.bytes);
   return duration;
+}
+
+util::Seconds OpticalRingNetwork::transfer_duration(const TimedTransfer& t,
+                                                    bool retuned) const {
+  return transfer_cost(params_, t, retuned);
 }
 
 StepResult OpticalRingNetwork::execute_step(

@@ -49,6 +49,14 @@ struct RunResult {
   std::uint64_t total_retunes = 0;
 };
 
+/// Wall time of one transfer under the paper's cost model: optional
+/// retune + transceiver lock, propagation along the arc, serialization at
+/// wavelength bandwidth times the stripe count.  Shared by the single-job
+/// DES below and the multi-tenant runtime so their timings cannot drift.
+[[nodiscard]] util::Seconds transfer_cost(const OpticalParams& params,
+                                          const TimedTransfer& transfer,
+                                          bool retuned);
+
 class OpticalRingNetwork {
  public:
   OpticalRingNetwork(std::uint32_t num_nodes, OpticalParams params);

@@ -53,6 +53,12 @@ void SpectrumMap::reserve(const topo::Arc& arc, WavelengthId lambda) {
   }
 }
 
+bool SpectrumMap::try_reserve(const topo::Arc& arc, WavelengthId lambda) {
+  if (!is_free(arc, lambda)) return false;
+  reserve(arc, lambda);
+  return true;
+}
+
 void SpectrumMap::release(const topo::Arc& arc, WavelengthId lambda) {
   for (const topo::SpanId span : ring_->spans(arc)) {
     const std::size_t c = cell(arc.direction, span, lambda);

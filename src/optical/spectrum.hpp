@@ -34,6 +34,12 @@ class SpectrumMap {
   /// (callers must check is_free first; a conflict here is a logic error).
   void reserve(const topo::Arc& arc, WavelengthId lambda);
 
+  /// Atomic check-and-claim: reserve `lambda` along `arc` iff every span is
+  /// free, otherwise change nothing and return false.  Lets multi-job
+  /// callers (the runtime's spectrum arbitration) detect a double-booking
+  /// and report it instead of dying inside the map.
+  [[nodiscard]] bool try_reserve(const topo::Arc& arc, WavelengthId lambda);
+
   /// Release `lambda` along `arc`.  Aborts if any span was not reserved.
   void release(const topo::Arc& arc, WavelengthId lambda);
 

@@ -1,0 +1,130 @@
+#include "runtime/admission.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::runtime {
+
+const char* fairness_policy_name(FairnessPolicy policy) {
+  switch (policy) {
+    case FairnessPolicy::kFifo:
+      return "fifo";
+    case FairnessPolicy::kSmallestFirst:
+      return "smallest-first";
+    case FairnessPolicy::kWeightedFair:
+      return "weighted-fair";
+  }
+  return "?";
+}
+
+QueueEntry JobQueue::take(std::size_t index) {
+  if (index >= entries_.size()) {
+    std::fprintf(stderr, "JobQueue: take(%zu) out of range\n", index);
+    std::abort();
+  }
+  QueueEntry entry = std::move(entries_[index]);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  return entry;
+}
+
+namespace {
+
+/// Clamp a candidate grant into [min, requested] given the widest free run.
+/// Returns 0 when even the minimum does not fit.
+std::uint32_t feasible_grant(const QueueEntry& job, std::uint32_t share,
+                             std::uint32_t largest_free_block) {
+  const std::uint32_t want =
+      std::clamp(share, job.min_wavelengths, job.requested_wavelengths);
+  const std::uint32_t grant = std::min(want, largest_free_block);
+  return grant >= job.min_wavelengths ? grant : 0;
+}
+
+std::optional<AdmissionDecision> admit_fifo(const JobQueue& queue,
+                                            std::uint32_t largest_free_block) {
+  // Strict arrival order: only the oldest entry may start.
+  std::size_t head = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    if (queue.at(i).seq < queue.at(head).seq) head = i;
+  }
+  const std::uint32_t grant = feasible_grant(
+      queue.at(head), queue.at(head).requested_wavelengths,
+      largest_free_block);
+  if (grant == 0) return std::nullopt;
+  return AdmissionDecision{head, grant};
+}
+
+std::optional<AdmissionDecision> admit_smallest(
+    const JobQueue& queue, std::uint32_t largest_free_block) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const QueueEntry& job = queue.at(i);
+    if (feasible_grant(job, job.requested_wavelengths, largest_free_block) ==
+        0) {
+      continue;
+    }
+    if (!best || job.payload < queue.at(*best).payload ||
+        (job.payload == queue.at(*best).payload &&
+         job.seq < queue.at(*best).seq)) {
+      best = i;
+    }
+  }
+  if (!best) return std::nullopt;
+  const QueueEntry& job = queue.at(*best);
+  return AdmissionDecision{
+      *best,
+      feasible_grant(job, job.requested_wavelengths, largest_free_block)};
+}
+
+std::optional<AdmissionDecision> admit_weighted(
+    const JobQueue& queue, std::uint32_t largest_free_block,
+    std::uint32_t free_total) {
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    total_weight += std::max(queue.at(i).weight, 0.0);
+  }
+  if (total_weight <= 0.0) return admit_fifo(queue, largest_free_block);
+
+  // Heaviest queued job first, with a band proportional to its weight share
+  // of the currently free spectrum — lighter peers admitted right after get
+  // their own proportional slice instead of finding the pool drained.
+  std::optional<std::size_t> best;
+  std::uint32_t best_grant = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const QueueEntry& job = queue.at(i);
+    const double fraction = std::max(job.weight, 0.0) / total_weight;
+    const auto share = static_cast<std::uint32_t>(
+        static_cast<double>(free_total) * fraction);
+    const std::uint32_t grant =
+        feasible_grant(job, std::max(share, 1u), largest_free_block);
+    if (grant == 0) continue;
+    const bool wins =
+        !best || job.weight > queue.at(*best).weight ||
+        (job.weight == queue.at(*best).weight && job.seq < queue.at(*best).seq);
+    if (wins) {
+      best = i;
+      best_grant = grant;
+    }
+  }
+  if (!best) return std::nullopt;
+  return AdmissionDecision{*best, best_grant};
+}
+
+}  // namespace
+
+std::optional<AdmissionDecision> next_admission(
+    const JobQueue& queue, FairnessPolicy policy,
+    std::uint32_t largest_free_block, std::uint32_t free_total) {
+  if (queue.empty() || largest_free_block == 0) return std::nullopt;
+  switch (policy) {
+    case FairnessPolicy::kFifo:
+      return admit_fifo(queue, largest_free_block);
+    case FairnessPolicy::kSmallestFirst:
+      return admit_smallest(queue, largest_free_block);
+    case FairnessPolicy::kWeightedFair:
+      return admit_weighted(queue, largest_free_block, free_total);
+  }
+  return std::nullopt;
+}
+
+}  // namespace wrht::runtime

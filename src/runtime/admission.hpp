@@ -1,0 +1,80 @@
+// Admission control: which queued job runs next, and with how many
+// wavelengths.
+//
+// The queue holds jobs that have arrived but hold no spectrum.  Whenever
+// spectrum frees up (a job completes) or the queue grows (a job arrives),
+// the runtime asks the policy for the next admission; it keeps asking until
+// the policy declines, so several jobs can be admitted at the same instant
+// and execute concurrently on disjoint bands.
+//
+// Policies:
+//  * kFifo          — strict arrival order; the head blocks the line until
+//                     its minimum demand fits (no starvation, HOL blocking).
+//  * kSmallestFirst — smallest payload that fits runs first (SJF; best mean
+//                     turnaround, can starve elephants under heavy load).
+//  * kWeightedFair  — spectrum is split between the queued jobs in
+//                     proportion to their weights, so heavy and light
+//                     tenants are admitted side by side with proportional
+//                     bands instead of one tenant draining the whole pool.
+//
+// Every tie breaks on submission order, which makes admission — and with
+// the deterministic event queue, the entire multi-tenant run — reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace wrht::runtime {
+
+enum class FairnessPolicy : std::uint8_t {
+  kFifo,
+  kSmallestFirst,
+  kWeightedFair,
+};
+
+[[nodiscard]] const char* fairness_policy_name(FairnessPolicy policy);
+
+/// A queued job as the admission policy sees it.
+struct QueueEntry {
+  JobId id = kNoJob;
+  std::uint64_t seq = 0;  // submission order, the universal tie-break
+  std::uint32_t min_wavelengths = 1;
+  std::uint32_t requested_wavelengths = 1;  // normalized (never 0)
+  double weight = 1.0;
+  util::Bytes payload;
+  std::vector<topo::NodeId> participants;
+};
+
+class JobQueue {
+ public:
+  void push(QueueEntry entry) { entries_.push_back(std::move(entry)); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const QueueEntry& at(std::size_t i) const {
+    return entries_[i];
+  }
+
+  /// Remove and return the entry at `index`.
+  QueueEntry take(std::size_t index);
+
+ private:
+  std::vector<QueueEntry> entries_;
+};
+
+struct AdmissionDecision {
+  std::size_t queue_index = 0;
+  /// Band width to grant: min <= grant <= requested, and the arbiter is
+  /// guaranteed to have a contiguous free run of this width.
+  std::uint32_t grant = 0;
+};
+
+/// Ask `policy` for the next job to admit given the current spectrum state.
+/// Returns nullopt when nothing in the queue should start now.
+[[nodiscard]] std::optional<AdmissionDecision> next_admission(
+    const JobQueue& queue, FairnessPolicy policy,
+    std::uint32_t largest_free_block, std::uint32_t free_total);
+
+}  // namespace wrht::runtime

@@ -1,0 +1,64 @@
+#include "runtime/arbiter.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::runtime {
+
+SpectrumArbiter::SpectrumArbiter(std::uint32_t total_wavelengths)
+    : total_(total_wavelengths), free_(total_wavelengths) {
+  if (total_wavelengths == 0) {
+    std::fprintf(stderr, "SpectrumArbiter: need at least one wavelength\n");
+    std::abort();
+  }
+  taken_.assign(total_wavelengths, false);
+}
+
+std::uint32_t SpectrumArbiter::largest_free_block() const {
+  std::uint32_t best = 0;
+  std::uint32_t run = 0;
+  for (std::uint32_t lambda = 0; lambda < total_; ++lambda) {
+    run = taken_[lambda] ? 0 : run + 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+std::optional<WavelengthBand> SpectrumArbiter::allocate(std::uint32_t width) {
+  if (width == 0) {
+    std::fprintf(stderr, "SpectrumArbiter: zero-width band requested\n");
+    std::abort();
+  }
+  std::uint32_t run = 0;
+  for (std::uint32_t lambda = 0; lambda < total_; ++lambda) {
+    run = taken_[lambda] ? 0 : run + 1;
+    if (run == width) {
+      const std::uint32_t base = lambda + 1 - width;
+      for (std::uint32_t i = base; i <= lambda; ++i) taken_[i] = true;
+      free_ -= width;
+      ++bands_;
+      return WavelengthBand{base, width};
+    }
+  }
+  return std::nullopt;
+}
+
+void SpectrumArbiter::release(const WavelengthBand& band) {
+  if (!band.valid() || band.base + band.width > total_) {
+    std::fprintf(stderr, "SpectrumArbiter: releasing bogus band [%u, %u)\n",
+                 band.base, band.base + band.width);
+    std::abort();
+  }
+  for (std::uint32_t i = band.base; i < band.base + band.width; ++i) {
+    if (!taken_[i]) {
+      std::fprintf(stderr,
+                   "SpectrumArbiter: double release of wavelength %u\n", i);
+      std::abort();
+    }
+    taken_[i] = false;
+  }
+  free_ += band.width;
+  --bands_;
+}
+
+}  // namespace wrht::runtime

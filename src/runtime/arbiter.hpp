@@ -1,0 +1,50 @@
+// Spectrum arbitration between concurrent jobs.
+//
+// The arbiter partitions the ring's wavelength space [0, W) into disjoint
+// contiguous bands, one per running job.  Each job builds its Wrht schedule
+// against a private budget of band.width wavelengths and the runtime shifts
+// every assignment up by band.base, so two admitted jobs can never collide
+// on a (span, wavelength, direction) cell — the DES conflict rule is
+// preserved by construction, with the SpectrumMap still checking every
+// reservation as a backstop.
+//
+// Bands are handed out first-fit over a per-wavelength occupancy bitmap;
+// W is at most a few hundred, so the linear scans are irrelevant next to
+// schedule construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace wrht::runtime {
+
+class SpectrumArbiter {
+ public:
+  explicit SpectrumArbiter(std::uint32_t total_wavelengths);
+
+  [[nodiscard]] std::uint32_t total() const { return total_; }
+  /// Wavelengths not currently inside any granted band.
+  [[nodiscard]] std::uint32_t free_total() const { return free_; }
+  /// Width of the widest contiguous free run (0 when fully allocated).
+  [[nodiscard]] std::uint32_t largest_free_block() const;
+  [[nodiscard]] std::uint32_t bands_outstanding() const { return bands_; }
+
+  /// First-fit allocation of a contiguous band of `width` wavelengths.
+  /// Returns nullopt when no free run is wide enough.  width must be >= 1.
+  [[nodiscard]] std::optional<WavelengthBand> allocate(std::uint32_t width);
+
+  /// Return a band obtained from allocate().  Aborts on a band that is not
+  /// currently allocated exactly as given (double-free / corruption guard).
+  void release(const WavelengthBand& band);
+
+ private:
+  std::uint32_t total_;
+  std::uint32_t free_;
+  std::uint32_t bands_ = 0;
+  std::vector<bool> taken_;  // per wavelength
+};
+
+}  // namespace wrht::runtime

@@ -1,0 +1,42 @@
+#include "runtime/batcher.hpp"
+
+#include <algorithm>
+
+namespace wrht::runtime {
+
+std::vector<std::size_t> fusable_peers(const JobQueue& queue,
+                                       std::size_t lead_index,
+                                       std::uint32_t granted_band_width,
+                                       const BatcherConfig& config) {
+  const QueueEntry& lead = queue.at(lead_index);
+  if (!config.enabled || lead.payload > config.max_fuse_payload ||
+      config.max_jobs_per_batch < 2) {
+    return {lead_index};
+  }
+
+  // Candidate peers, oldest first, so batching never reorders tenants that
+  // could have fused either way.
+  std::vector<std::size_t> peers;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (i == lead_index) continue;
+    const QueueEntry& job = queue.at(i);
+    if (job.participants == lead.participants &&
+        job.payload <= config.max_fuse_payload &&
+        job.min_wavelengths <= granted_band_width) {
+      peers.push_back(i);
+    }
+  }
+  std::sort(peers.begin(), peers.end(),
+            [&queue](std::size_t a, std::size_t b) {
+              return queue.at(a).seq < queue.at(b).seq;
+            });
+  if (peers.size() > config.max_jobs_per_batch - 1) {
+    peers.resize(config.max_jobs_per_batch - 1);
+  }
+
+  peers.push_back(lead_index);
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+}  // namespace wrht::runtime

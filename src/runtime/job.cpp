@@ -1,0 +1,21 @@
+#include "runtime/job.hpp"
+
+namespace wrht::runtime {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kSubmitted:
+      return "submitted";
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace wrht::runtime

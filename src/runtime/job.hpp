@@ -1,0 +1,85 @@
+// A tenant's all-reduce request and its lifecycle inside the multi-tenant
+// collective runtime.
+//
+// A job names an arbitrary participant subset of the shared ring, a gradient
+// payload, and an arrival time on the simulation clock; the runtime decides
+// when it runs and how much of the wavelength spectrum it gets.  JobSpec is
+// what the tenant submits; JobRecord is the runtime's authoritative account
+// of what happened to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/ring.hpp"
+#include "util/units.hpp"
+
+namespace wrht::runtime {
+
+using JobId = std::uint32_t;
+
+inline constexpr JobId kNoJob = 0xFFFFFFFFu;
+
+struct JobSpec {
+  /// Ring positions holding gradients (ascending, unique, >= 2 of them).
+  std::vector<topo::NodeId> participants;
+  /// All-reduce payload per participant.
+  util::Bytes payload;
+  /// When the job enters the system, on the shared simulation clock.
+  util::Seconds arrival{0.0};
+  /// Wavelengths the tenant would like (0 = runtime default).  The grant is
+  /// capped by spectrum availability and by what the job can actually use.
+  std::uint32_t requested_wavelengths = 0;
+  /// Smallest grant the job accepts; below this it waits in the queue.
+  std::uint32_t min_wavelengths = 1;
+  /// Share under the weighted-fair policy (ignored by FIFO / smallest-first).
+  double weight = 1.0;
+  /// Optional label for reports and traces.
+  std::string name;
+};
+
+enum class JobState : std::uint8_t {
+  kSubmitted,  // accepted, waiting for its arrival time
+  kQueued,     // arrived, waiting for spectrum
+  kRunning,    // executing on the ring
+  kDone,       // all-reduce complete
+  kRejected,   // can never run (bad spec or demand exceeds the whole ring)
+};
+
+[[nodiscard]] const char* job_state_name(JobState state);
+
+/// Contiguous run of wavelengths [base, base + width) granted to one job.
+struct WavelengthBand {
+  std::uint32_t base = 0;
+  std::uint32_t width = 0;
+
+  [[nodiscard]] bool valid() const { return width > 0; }
+  friend bool operator==(const WavelengthBand&, const WavelengthBand&) =
+      default;
+};
+
+struct JobRecord {
+  JobId id = kNoJob;
+  JobSpec spec;
+  JobState state = JobState::kSubmitted;
+  /// Normalized wavelength request (spec's request after defaulting and
+  /// capping to what the job can use / the ring has).
+  std::uint32_t effective_request = 0;
+  /// Spectrum band the arbiter granted (valid only once running).
+  WavelengthBand band;
+  util::Seconds admitted{0.0};
+  util::Seconds completed{0.0};
+  /// Schedule steps executed on behalf of this job (shared across a batch).
+  std::uint32_t steps = 0;
+  /// Jobs fused into the same execution, including this one (1 = ran alone).
+  std::uint32_t batch_size = 1;
+  /// Oracle verdict for the schedule that carried this job.
+  bool oracle_ok = false;
+
+  [[nodiscard]] util::Seconds turnaround() const {
+    return completed - spec.arrival;
+  }
+};
+
+}  // namespace wrht::runtime

@@ -1,0 +1,287 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "coll/oracle.hpp"
+#include "wrht/executor.hpp"
+
+namespace wrht::runtime {
+
+namespace {
+
+/// Most wavelengths a job over `num_participants` nodes can exploit: the
+/// single-group tree step uses floor(P/2), and the all-to-all merge tops out
+/// at the Liang & Shen budget ceil(P^2/8).  Granting more than this only
+/// starves other tenants.
+std::uint32_t useful_wavelength_cap(std::size_t num_participants) {
+  const auto p = static_cast<std::uint32_t>(num_participants);
+  return std::max(1u, core::all_to_all_wavelength_bound(p));
+}
+
+}  // namespace
+
+std::string RuntimeReport::to_string() const {
+  std::string out;
+  out += "jobs            : " + std::to_string(submitted) + " submitted, " +
+         std::to_string(completed) + " completed, " + std::to_string(rejected) +
+         " rejected\n";
+  out += "executions      : " + std::to_string(executions) + " (" +
+         std::to_string(batches) + " fused batches)\n";
+  out += "steps / retunes : " + std::to_string(total_steps) + " / " +
+         std::to_string(total_retunes) + "\n";
+  out += "spectrum        : " + std::to_string(spectrum_reservations) +
+         " reservations, 0 wavelength-conflict aborts\n";
+  out += "peak concurrency: " + std::to_string(peak_concurrent_jobs) +
+         " jobs\n";
+  out += "makespan        : " + util::to_string(makespan) + "\n";
+  out += "mean turnaround : " + util::to_string(mean_turnaround()) + "\n";
+  return out;
+}
+
+CollectiveRuntime::CollectiveRuntime(RuntimeConfig config)
+    : config_(config),
+      ring_(config.ring_size),
+      spectrum_(ring_, config.optical.wdm.num_wavelengths),
+      transceivers_(config.ring_size),
+      arbiter_(config.optical.wdm.num_wavelengths) {}
+
+JobId CollectiveRuntime::submit(JobSpec spec) {
+  if (started_) {
+    std::fprintf(stderr, "CollectiveRuntime: submit after run()\n");
+    std::abort();
+  }
+  const auto id = static_cast<JobId>(records_.size());
+  JobRecord record;
+  record.id = id;
+  record.spec = std::move(spec);
+
+  const JobSpec& s = record.spec;
+  const bool participants_ok =
+      s.participants.size() >= 2 &&
+      std::is_sorted(s.participants.begin(), s.participants.end()) &&
+      std::adjacent_find(s.participants.begin(), s.participants.end()) ==
+          s.participants.end() &&
+      s.participants.back() < config_.ring_size;
+  const std::uint32_t total = arbiter_.total();
+  if (!participants_ok || s.min_wavelengths == 0 ||
+      s.min_wavelengths > total || s.arrival < util::Seconds(0.0)) {
+    record.state = JobState::kRejected;
+    ++report_.rejected;
+  } else {
+    std::uint32_t request = s.requested_wavelengths != 0
+                                ? s.requested_wavelengths
+                                : config_.default_request;
+    request = std::min(request, useful_wavelength_cap(s.participants.size()));
+    record.effective_request =
+        std::clamp(request, s.min_wavelengths, total);
+  }
+  ++report_.submitted;
+  records_.push_back(std::move(record));
+  return id;
+}
+
+const JobRecord& CollectiveRuntime::record(JobId id) const {
+  if (id >= records_.size()) {
+    std::fprintf(stderr, "CollectiveRuntime: unknown job %u\n", id);
+    std::abort();
+  }
+  return records_[id];
+}
+
+void CollectiveRuntime::on_arrival(JobId id) {
+  JobRecord& record = records_[id];
+  record.state = JobState::kQueued;
+  queue_.push(QueueEntry{id, next_seq_++, record.spec.min_wavelengths,
+                         record.effective_request, record.spec.weight,
+                         record.spec.payload, record.spec.participants});
+  try_admit();
+}
+
+void CollectiveRuntime::try_admit() {
+  while (true) {
+    const std::optional<AdmissionDecision> decision =
+        next_admission(queue_, config_.policy, arbiter_.largest_free_block(),
+                       arbiter_.free_total());
+    if (!decision) return;
+    admit(*decision);
+  }
+}
+
+void CollectiveRuntime::admit(const AdmissionDecision& decision) {
+  const std::vector<std::size_t> members = fusable_peers(
+      queue_, decision.queue_index, decision.grant, config_.batcher);
+
+  const std::optional<WavelengthBand> band =
+      arbiter_.allocate(decision.grant);
+  if (!band) {
+    // next_admission promised a free run of this width; not finding one is
+    // an arbiter/admission disagreement.
+    std::fprintf(stderr, "CollectiveRuntime: arbiter refused a %u-band\n",
+                 decision.grant);
+    std::abort();
+  }
+
+  auto exec = std::make_shared<Execution>();
+  exec->band = *band;
+  util::Bytes batch_payload;
+  std::vector<topo::NodeId> participants;
+  // Pop members back-to-front so earlier indices stay valid.
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    QueueEntry entry = queue_.take(*it);
+    if (participants.empty()) participants = std::move(entry.participants);
+    batch_payload += entry.payload;
+    exec->jobs.push_back(entry.id);
+  }
+  std::reverse(exec->jobs.begin(), exec->jobs.end());  // oldest first
+
+  core::WrhtParams params;
+  params.num_wavelengths = band->width;
+  params.fit_policy = config_.fit_policy;
+  const core::WrhtBuild build =
+      core::build_wrht_among(participants, config_.ring_size, params);
+  if (build.annotated.wavelengths_required > band->width) {
+    std::fprintf(stderr,
+                 "CollectiveRuntime: schedule overflowed its band (%u > %u)\n",
+                 build.annotated.wavelengths_required, band->width);
+    std::abort();
+  }
+
+  bool oracle_ok = true;
+  if (config_.validate_with_oracle) {
+    const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
+        build.annotated.schedule, participants, config_.oracle_payload_len);
+    oracle_ok = verdict.ok;
+    if (!verdict.ok) {
+      // A schedule that fails the oracle must never touch the ring; like a
+      // wavelength conflict, this is a library bug, not a tenant error.
+      ++report_.oracle_failures;
+      std::fprintf(stderr,
+                   "CollectiveRuntime: schedule failed the all-reduce oracle "
+                   "(job %u): %s\n",
+                   exec->jobs.front(), verdict.message.c_str());
+      std::abort();
+    }
+  }
+
+  exec->steps.reserve(build.annotated.schedule.num_steps());
+  for (std::size_t s = 0; s < build.annotated.schedule.num_steps(); ++s) {
+    exec->steps.push_back(
+        core::timed_step(build.annotated, s, batch_payload, band->base));
+  }
+
+  for (const JobId id : exec->jobs) {
+    JobRecord& record = records_[id];
+    record.state = JobState::kRunning;
+    record.admitted = simulator_.now();
+    record.band = *band;
+    record.batch_size = static_cast<std::uint32_t>(exec->jobs.size());
+    record.steps = static_cast<std::uint32_t>(exec->steps.size());
+    record.oracle_ok = oracle_ok;
+    trace_.record(simulator_.now(), sim::TraceKind::kJobAdmit, id,
+                  static_cast<std::int64_t>(band->width));
+  }
+  running_jobs_ += static_cast<std::uint32_t>(exec->jobs.size());
+  report_.peak_concurrent_jobs =
+      std::max(report_.peak_concurrent_jobs, running_jobs_);
+  ++report_.executions;
+  if (exec->jobs.size() > 1) ++report_.batches;
+
+  run_step(exec);
+}
+
+void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
+  const util::Seconds step_start = simulator_.now();
+  const std::vector<optical::TimedTransfer>& transfers =
+      exec->steps[exec->next_step];
+  const optical::OpticalParams& p = config_.optical;
+
+  // Claim the step's spectrum cells on the SHARED map.  Bands are disjoint,
+  // so a failed claim means the arbitration above is broken — same fatal
+  // semantics as the single-job DES, but detected here with job context.
+  for (const optical::TimedTransfer& t : transfers) {
+    for (const optical::WavelengthId lambda : t.lambdas) {
+      if (!spectrum_.try_reserve(t.arc, lambda)) {
+        std::fprintf(stderr,
+                     "CollectiveRuntime: wavelength conflict on lambda %u "
+                     "(job %u) — arbitration bug\n",
+                     lambda, exec->jobs.front());
+        std::abort();
+      }
+      ++report_.spectrum_reservations;
+    }
+  }
+
+  util::Seconds step_end = step_start;
+  for (const optical::TimedTransfer& t : transfers) {
+    const optical::WavelengthId primary = t.lambdas.front();
+    bool retuned = transceivers_.retune_tx(t.src, t.arc.direction, primary);
+    retuned |= transceivers_.retune_rx(t.dst, t.arc.direction, primary);
+    if (p.retune_every_step) retuned = true;
+    if (retuned) ++report_.total_retunes;
+
+    const util::Seconds finish =
+        step_start + optical::transfer_cost(p, t, retuned);
+    step_end = std::max(step_end, finish);
+    simulator_.schedule_at(finish, [this, arc = t.arc, lambdas = t.lambdas] {
+      for (const optical::WavelengthId lambda : lambdas) {
+        spectrum_.release(arc, lambda);
+      }
+    });
+  }
+  ++report_.total_steps;
+
+  step_end += p.sync_time;
+  simulator_.schedule_at(step_end, [this, exec] {
+    ++exec->next_step;
+    if (exec->next_step < exec->steps.size()) {
+      run_step(exec);
+    } else {
+      finish_execution(exec);
+    }
+  });
+}
+
+void CollectiveRuntime::finish_execution(
+    const std::shared_ptr<Execution>& exec) {
+  for (const JobId id : exec->jobs) {
+    JobRecord& record = records_[id];
+    record.state = JobState::kDone;
+    record.completed = simulator_.now();
+    completion_order_.push_back(id);
+    ++report_.completed;
+    report_.total_turnaround += record.turnaround();
+    trace_.record(simulator_.now(), sim::TraceKind::kJobComplete, id,
+                  static_cast<std::int64_t>(record.band.base));
+  }
+  running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
+  arbiter_.release(exec->band);
+  try_admit();
+}
+
+RuntimeReport CollectiveRuntime::run() {
+  if (started_) {
+    std::fprintf(stderr, "CollectiveRuntime: run() called twice\n");
+    std::abort();
+  }
+  started_ = true;
+  for (const JobRecord& record : records_) {
+    if (record.state != JobState::kSubmitted) continue;  // rejected
+    const JobId id = record.id;
+    simulator_.schedule_at(record.spec.arrival, [this, id] { on_arrival(id); });
+  }
+  simulator_.run();
+
+  if (!queue_.empty() || running_jobs_ != 0) {
+    std::fprintf(stderr,
+                 "CollectiveRuntime: clock drained with %zu queued / %u "
+                 "running jobs\n",
+                 queue_.size(), running_jobs_);
+    std::abort();
+  }
+  report_.makespan = simulator_.now();
+  return report_;
+}
+
+}  // namespace wrht::runtime

@@ -20,6 +20,10 @@ const char* trace_kind_name(TraceKind kind) {
       return "flow_begin";
     case TraceKind::kFlowEnd:
       return "flow_end";
+    case TraceKind::kJobAdmit:
+      return "job_admit";
+    case TraceKind::kJobComplete:
+      return "job_complete";
     case TraceKind::kCustom:
       return "custom";
   }

@@ -20,6 +20,8 @@ enum class TraceKind : std::uint8_t {
   kTune,
   kFlowBegin,
   kFlowEnd,
+  kJobAdmit,
+  kJobComplete,
   kCustom,
 };
 

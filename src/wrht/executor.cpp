@@ -8,6 +8,12 @@ namespace wrht::core {
 std::vector<optical::TimedTransfer> timed_step(
     const AnnotatedSchedule& annotated, std::size_t step,
     util::Bytes payload) {
+  return timed_step(annotated, step, payload, 0);
+}
+
+std::vector<optical::TimedTransfer> timed_step(
+    const AnnotatedSchedule& annotated, std::size_t step, util::Bytes payload,
+    optical::WavelengthId lambda_offset) {
   const coll::Step& s = annotated.schedule.steps()[step];
   if (annotated.paths[step].size() != s.transfers.size()) {
     std::fprintf(stderr, "timed_step: annotation out of sync at step %zu\n",
@@ -19,9 +25,11 @@ std::vector<optical::TimedTransfer> timed_step(
   for (std::size_t i = 0; i < s.transfers.size(); ++i) {
     const coll::Transfer& t = s.transfers[i];
     const PathAssignment& path = annotated.paths[step][i];
+    std::vector<optical::WavelengthId> lambdas = path.lambdas;
+    for (optical::WavelengthId& lambda : lambdas) lambda += lambda_offset;
     out.push_back(optical::TimedTransfer{
         t.src, t.dst, annotated.schedule.chunk_bytes(payload, t.chunk),
-        path.arc, path.lambdas});
+        path.arc, std::move(lambdas)});
   }
   return out;
 }

@@ -13,6 +13,13 @@ namespace wrht::core {
     const AnnotatedSchedule& annotated, std::size_t step,
     util::Bytes payload);
 
+/// Same, shifting every wavelength up by `lambda_offset`.  The multi-tenant
+/// runtime builds schedules against a job-local budget [0, w) and relocates
+/// them into the spectrum band the arbiter granted.
+[[nodiscard]] std::vector<optical::TimedTransfer> timed_step(
+    const AnnotatedSchedule& annotated, std::size_t step, util::Bytes payload,
+    optical::WavelengthId lambda_offset);
+
 /// Execute the whole schedule on `network` (which must have at least
 /// annotated.wavelengths_required wavelengths and the right node count).
 /// Returns the network-measured timing.

@@ -1,0 +1,117 @@
+#include "runtime/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::runtime {
+namespace {
+
+QueueEntry entry(JobId id, std::uint64_t seq, std::uint32_t min,
+                 std::uint32_t requested, double weight = 1.0,
+                 util::Bytes payload = util::megabytes(1)) {
+  return QueueEntry{id, seq, min, requested, weight, payload, {0, 1}};
+}
+
+TEST(AdmissionFifo, HeadGetsRequestCappedByFreeBlock) {
+  JobQueue queue;
+  queue.push(entry(0, 0, /*min=*/2, /*requested=*/8));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kFifo, /*largest=*/6, /*free=*/6);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->queue_index, 0u);
+  EXPECT_EQ(d->grant, 6u);
+}
+
+TEST(AdmissionFifo, HeadOfLineBlocks) {
+  JobQueue queue;
+  queue.push(entry(0, 0, /*min=*/8, /*requested=*/8));
+  queue.push(entry(1, 1, /*min=*/2, /*requested=*/2));
+  // The younger job fits, but FIFO refuses to jump the line.
+  EXPECT_FALSE(next_admission(queue, FairnessPolicy::kFifo, 4, 4));
+}
+
+TEST(AdmissionFifo, BelowMinimumDeclines) {
+  JobQueue queue;
+  queue.push(entry(0, 0, /*min=*/4, /*requested=*/8));
+  EXPECT_FALSE(next_admission(queue, FairnessPolicy::kFifo, 3, 3));
+}
+
+TEST(AdmissionSmallest, PicksSmallestPayloadThatFits) {
+  JobQueue queue;
+  queue.push(entry(0, 0, 2, 4, 1.0, util::megabytes(64)));
+  queue.push(entry(1, 1, 2, 4, 1.0, util::kilobytes(64)));
+  queue.push(entry(2, 2, 8, 8, 1.0, util::Bytes(1)));  // tiny but won't fit
+  const auto d =
+      next_admission(queue, FairnessPolicy::kSmallestFirst, 4, 4);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(queue.at(d->queue_index).id, 1u);
+  EXPECT_EQ(d->grant, 4u);
+}
+
+TEST(AdmissionSmallest, TieBreaksOnSubmissionOrder) {
+  JobQueue queue;
+  queue.push(entry(7, 5, 1, 2, 1.0, util::kilobytes(10)));
+  queue.push(entry(3, 2, 1, 2, 1.0, util::kilobytes(10)));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kSmallestFirst, 8, 8);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(queue.at(d->queue_index).id, 3u);
+}
+
+TEST(AdmissionWeighted, SharesSpectrumProportionally) {
+  JobQueue queue;
+  queue.push(entry(0, 0, 1, 32, /*weight=*/3.0));
+  queue.push(entry(1, 1, 1, 32, /*weight=*/1.0));
+  // 32 free: the heavy job is picked first with 3/4 of the pool.
+  const auto first =
+      next_admission(queue, FairnessPolicy::kWeightedFair, 32, 32);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(queue.at(first->queue_index).id, 0u);
+  EXPECT_EQ(first->grant, 24u);
+
+  // With the heavy job gone and 8 left, the light job gets the rest.
+  JobQueue rest;
+  rest.push(entry(1, 1, 1, 32, 1.0));
+  const auto second =
+      next_admission(rest, FairnessPolicy::kWeightedFair, 8, 8);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second->grant, 8u);
+}
+
+TEST(AdmissionWeighted, MinimumOverridesTinyShare) {
+  JobQueue queue;
+  queue.push(entry(0, 0, 1, 32, /*weight=*/100.0));
+  queue.push(entry(1, 1, /*min=*/4, 32, /*weight=*/0.01));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kWeightedFair, 32, 32);
+  ASSERT_TRUE(d);
+  // Heavy job wins the slot but its share leaves the queue admissible; the
+  // light job's next admission would still honor min_wavelengths = 4.
+  EXPECT_EQ(queue.at(d->queue_index).id, 0u);
+  JobQueue light;
+  light.push(entry(1, 1, 4, 32, 0.01));
+  const auto l = next_admission(light, FairnessPolicy::kWeightedFair, 6, 6);
+  ASSERT_TRUE(l);
+  EXPECT_GE(l->grant, 4u);
+}
+
+TEST(JobQueue, TakeRemovesAndReturns) {
+  JobQueue queue;
+  queue.push(entry(0, 0, 1, 1));
+  queue.push(entry(1, 1, 1, 1));
+  queue.push(entry(2, 2, 1, 1));
+  const QueueEntry taken = queue.take(1);
+  EXPECT_EQ(taken.id, 1u);
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.at(0).id, 0u);
+  EXPECT_EQ(queue.at(1).id, 2u);
+}
+
+TEST(Admission, EmptyQueueOrNoSpectrumDeclines) {
+  JobQueue queue;
+  EXPECT_FALSE(next_admission(queue, FairnessPolicy::kFifo, 8, 8));
+  queue.push(entry(0, 0, 1, 1));
+  EXPECT_FALSE(next_admission(queue, FairnessPolicy::kFifo, 0, 0));
+}
+
+}  // namespace
+}  // namespace wrht::runtime

@@ -1,0 +1,67 @@
+#include "runtime/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::runtime {
+namespace {
+
+TEST(Arbiter, FirstFitAllocatesDisjointBands) {
+  SpectrumArbiter arbiter(16);
+  const auto a = arbiter.allocate(8);
+  const auto b = arbiter.allocate(4);
+  const auto c = arbiter.allocate(4);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->base, 0u);
+  EXPECT_EQ(b->base, 8u);
+  EXPECT_EQ(c->base, 12u);
+  EXPECT_EQ(arbiter.free_total(), 0u);
+  EXPECT_EQ(arbiter.largest_free_block(), 0u);
+  EXPECT_EQ(arbiter.bands_outstanding(), 3u);
+}
+
+TEST(Arbiter, RefusesWhenNoRunFits) {
+  SpectrumArbiter arbiter(8);
+  ASSERT_TRUE(arbiter.allocate(8));
+  EXPECT_FALSE(arbiter.allocate(1));
+}
+
+TEST(Arbiter, FragmentationBlocksWideBand) {
+  SpectrumArbiter arbiter(12);
+  const auto a = arbiter.allocate(4);   // [0, 4)
+  const auto b = arbiter.allocate(4);   // [4, 8)
+  const auto c = arbiter.allocate(4);   // [8, 12)
+  ASSERT_TRUE(a && b && c);
+  arbiter.release(*a);
+  arbiter.release(*c);
+  // 8 wavelengths free, but the widest contiguous run is 4.
+  EXPECT_EQ(arbiter.free_total(), 8u);
+  EXPECT_EQ(arbiter.largest_free_block(), 4u);
+  EXPECT_FALSE(arbiter.allocate(6));
+  const auto d = arbiter.allocate(4);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->base, 0u);  // first fit reuses the low gap
+}
+
+TEST(Arbiter, ReleaseMergesAdjacentGaps) {
+  SpectrumArbiter arbiter(12);
+  const auto a = arbiter.allocate(4);
+  const auto b = arbiter.allocate(4);
+  ASSERT_TRUE(a && b);
+  arbiter.release(*a);
+  arbiter.release(*b);
+  EXPECT_EQ(arbiter.largest_free_block(), 12u);
+  const auto wide = arbiter.allocate(12);
+  ASSERT_TRUE(wide);
+  EXPECT_EQ(wide->base, 0u);
+}
+
+TEST(ArbiterDeath, DoubleReleaseAborts) {
+  SpectrumArbiter arbiter(8);
+  const auto a = arbiter.allocate(4);
+  ASSERT_TRUE(a);
+  arbiter.release(*a);
+  EXPECT_DEATH(arbiter.release(*a), "double release");
+}
+
+}  // namespace
+}  // namespace wrht::runtime

@@ -1,0 +1,76 @@
+#include "runtime/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wrht::runtime {
+namespace {
+
+QueueEntry job(JobId id, std::uint64_t seq, std::vector<topo::NodeId> group,
+               util::Bytes payload) {
+  return QueueEntry{id, seq, 1, 4, 1.0, payload, std::move(group)};
+}
+
+constexpr util::Bytes kSmall = util::kilobytes(64);
+
+TEST(Batcher, FusesSameGroupSmallJobs) {
+  JobQueue queue;
+  queue.push(job(0, 0, {0, 1, 2, 3}, kSmall));
+  queue.push(job(1, 1, {0, 1, 2, 3}, kSmall));
+  queue.push(job(2, 2, {4, 5, 6, 7}, kSmall));  // different group
+  queue.push(job(3, 3, {0, 1, 2, 3}, kSmall));
+  const auto peers = fusable_peers(queue, 0, 4, BatcherConfig{});
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Batcher, LargeLeadRunsAlone) {
+  JobQueue queue;
+  queue.push(job(0, 0, {0, 1, 2, 3}, util::megabytes(64)));
+  queue.push(job(1, 1, {0, 1, 2, 3}, kSmall));
+  const auto peers = fusable_peers(queue, 0, 4, BatcherConfig{});
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0}));
+}
+
+TEST(Batcher, LargePeersAreSkipped) {
+  JobQueue queue;
+  queue.push(job(0, 0, {0, 1, 2, 3}, kSmall));
+  queue.push(job(1, 1, {0, 1, 2, 3}, util::megabytes(64)));
+  const auto peers = fusable_peers(queue, 0, 4, BatcherConfig{});
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0}));
+}
+
+TEST(Batcher, CapsBatchSizeOldestFirst) {
+  JobQueue queue;
+  for (JobId id = 0; id < 6; ++id) {
+    queue.push(job(id, id, {0, 1, 2, 3}, kSmall));
+  }
+  BatcherConfig config;
+  config.max_jobs_per_batch = 3;
+  // Lead is the newest entry; the two OLDEST peers join it.
+  const auto peers = fusable_peers(queue, 5, 4, config);
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0, 1, 5}));
+}
+
+TEST(Batcher, PeerMinimumAboveGrantIsSkipped) {
+  JobQueue queue;
+  queue.push(job(0, 0, {0, 1, 2, 3}, kSmall));
+  QueueEntry demanding = job(1, 1, {0, 1, 2, 3}, kSmall);
+  demanding.min_wavelengths = 8;  // more than the lead's granted band
+  queue.push(demanding);
+  queue.push(job(2, 2, {0, 1, 2, 3}, kSmall));
+  const auto peers = fusable_peers(queue, 0, /*granted_band_width=*/4,
+                                   BatcherConfig{});
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Batcher, DisabledReturnsLeadOnly) {
+  JobQueue queue;
+  queue.push(job(0, 0, {0, 1, 2, 3}, kSmall));
+  queue.push(job(1, 1, {0, 1, 2, 3}, kSmall));
+  BatcherConfig config;
+  config.enabled = false;
+  EXPECT_EQ(fusable_peers(queue, 0, 4, config),
+            (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace wrht::runtime
