@@ -45,6 +45,10 @@ struct Step {
 
 class Schedule {
  public:
+  /// Empty placeholder (0 nodes, 1 chunk) so schedule-holding value types
+  /// (AnnotatedSchedule, WrhtBuild, the runtime's Execution) are default
+  /// constructible; real schedules use the validating named constructor.
+  Schedule() : num_nodes_(0), num_chunks_(1) {}
   Schedule(std::string name, std::uint32_t num_nodes, std::uint32_t num_chunks);
 
   [[nodiscard]] const std::string& name() const { return name_; }

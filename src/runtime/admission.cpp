@@ -14,6 +14,8 @@ const char* fairness_policy_name(FairnessPolicy policy) {
       return "smallest-first";
     case FairnessPolicy::kWeightedFair:
       return "weighted-fair";
+    case FairnessPolicy::kPriorityPreempt:
+      return "priority-preempt";
   }
   return "?";
 }
@@ -52,6 +54,20 @@ std::optional<AdmissionDecision> admit_fifo(const JobQueue& queue,
       largest_free_block);
   if (grant == 0) return std::nullopt;
   return AdmissionDecision{head, grant};
+}
+
+std::optional<AdmissionDecision> admit_priority(
+    const JobQueue& queue, std::uint32_t largest_free_block) {
+  // Highest priority (ties on arrival) owns the line, exactly like FIFO's
+  // head — lower-priority jobs never slip past it into a band the runtime
+  // is preempting for it.
+  const std::optional<std::size_t> head = priority_head(queue);
+  if (!head) return std::nullopt;
+  const std::uint32_t grant = feasible_grant(
+      queue.at(*head), queue.at(*head).requested_wavelengths,
+      largest_free_block);
+  if (grant == 0) return std::nullopt;
+  return AdmissionDecision{*head, grant};
 }
 
 std::optional<AdmissionDecision> admit_smallest(
@@ -112,6 +128,20 @@ std::optional<AdmissionDecision> admit_weighted(
 
 }  // namespace
 
+std::optional<std::size_t> priority_head(const JobQueue& queue) {
+  if (queue.empty()) return std::nullopt;
+  std::size_t head = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    const QueueEntry& job = queue.at(i);
+    if (job.priority > queue.at(head).priority ||
+        (job.priority == queue.at(head).priority &&
+         job.seq < queue.at(head).seq)) {
+      head = i;
+    }
+  }
+  return head;
+}
+
 std::optional<AdmissionDecision> next_admission(
     const JobQueue& queue, FairnessPolicy policy,
     std::uint32_t largest_free_block, std::uint32_t free_total) {
@@ -123,6 +153,8 @@ std::optional<AdmissionDecision> next_admission(
       return admit_smallest(queue, largest_free_block);
     case FairnessPolicy::kWeightedFair:
       return admit_weighted(queue, largest_free_block, free_total);
+    case FairnessPolicy::kPriorityPreempt:
+      return admit_priority(queue, largest_free_block);
   }
   return std::nullopt;
 }

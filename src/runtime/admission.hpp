@@ -16,6 +16,12 @@
 //                     proportion to their weights, so heavy and light
 //                     tenants are admitted side by side with proportional
 //                     bands instead of one tenant draining the whole pool.
+//  * kPriorityPreempt — highest JobSpec::priority runs first (ties on
+//                     arrival).  Like FIFO the winner blocks the line, but
+//                     the runtime backs the policy with step-boundary
+//                     preemption: when the winner's minimum does not fit, it
+//                     suspends running lower-priority executions instead of
+//                     waiting for them to finish.
 //
 // Every tie breaks on submission order, which makes admission — and with
 // the deterministic event queue, the entire multi-tenant run — reproducible.
@@ -33,6 +39,7 @@ enum class FairnessPolicy : std::uint8_t {
   kFifo,
   kSmallestFirst,
   kWeightedFair,
+  kPriorityPreempt,
 };
 
 [[nodiscard]] const char* fairness_policy_name(FairnessPolicy policy);
@@ -46,6 +53,7 @@ struct QueueEntry {
   double weight = 1.0;
   util::Bytes payload;
   std::vector<topo::NodeId> participants;
+  std::int32_t priority = 0;
 };
 
 class JobQueue {
@@ -76,5 +84,11 @@ struct AdmissionDecision {
 [[nodiscard]] std::optional<AdmissionDecision> next_admission(
     const JobQueue& queue, FairnessPolicy policy,
     std::uint32_t largest_free_block, std::uint32_t free_total);
+
+/// Index of the entry kPriorityPreempt would admit next: highest priority,
+/// oldest among equals; nullopt on an empty queue.  Shared by the admission
+/// policy and the runtime's preemption planner so the job that triggers
+/// preemptions is always the job admission will actually pick.
+[[nodiscard]] std::optional<std::size_t> priority_head(const JobQueue& queue);
 
 }  // namespace wrht::runtime

@@ -61,4 +61,73 @@ void SpectrumArbiter::release(const WavelengthBand& band) {
   --bands_;
 }
 
+WavelengthBand SpectrumArbiter::grow(const WavelengthBand& band,
+                                     std::uint32_t max_width) {
+  if (!band.valid() || band.base + band.width > total_) {
+    std::fprintf(stderr, "SpectrumArbiter: growing bogus band [%u, %u)\n",
+                 band.base, band.base + band.width);
+    std::abort();
+  }
+  for (std::uint32_t i = band.base; i < band.base + band.width; ++i) {
+    if (!taken_[i]) {
+      // Same corruption guard as release()/shrink_to(): a stale band whose
+      // cells are free would silently absorb them as "adjacent" spectrum.
+      std::fprintf(stderr,
+                   "SpectrumArbiter: growing unallocated wavelength %u\n", i);
+      std::abort();
+    }
+  }
+  WavelengthBand out = band;
+  while (out.width < max_width && out.base + out.width < total_ &&
+         !taken_[out.base + out.width]) {
+    taken_[out.base + out.width] = true;
+    ++out.width;
+    --free_;
+  }
+  while (out.width < max_width && out.base > 0 && !taken_[out.base - 1]) {
+    --out.base;
+    taken_[out.base] = true;
+    ++out.width;
+    --free_;
+  }
+  return out;
+}
+
+void SpectrumArbiter::shrink_to(const WavelengthBand& band,
+                                const WavelengthBand& keep) {
+  if (!band.valid() || !keep.valid() || keep.base < band.base ||
+      keep.base + keep.width > band.base + band.width) {
+    std::fprintf(stderr,
+                 "SpectrumArbiter: shrink keep [%u, %u) not inside [%u, %u)\n",
+                 keep.base, keep.base + keep.width, band.base,
+                 band.base + band.width);
+    std::abort();
+  }
+  for (std::uint32_t i = band.base; i < band.base + band.width; ++i) {
+    if (i >= keep.base && i < keep.base + keep.width) continue;
+    if (!taken_[i]) {
+      std::fprintf(stderr,
+                   "SpectrumArbiter: shrink of unallocated wavelength %u\n",
+                   i);
+      std::abort();
+    }
+    taken_[i] = false;
+    ++free_;
+  }
+}
+
+std::uint32_t SpectrumArbiter::largest_free_block_assuming(
+    const WavelengthBand& also_free) const {
+  std::uint32_t best = 0;
+  std::uint32_t run = 0;
+  for (std::uint32_t lambda = 0; lambda < total_; ++lambda) {
+    const bool free = !taken_[lambda] ||
+                      (lambda >= also_free.base &&
+                       lambda < also_free.base + also_free.width);
+    run = free ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
 }  // namespace wrht::runtime

@@ -40,6 +40,24 @@ class SpectrumArbiter {
   /// currently allocated exactly as given (double-free / corruption guard).
   void release(const WavelengthBand& band);
 
+  /// Elastic resize, upward half: widen `band` in place into adjacent free
+  /// wavelengths (above first, then below) until it reaches `max_width` or
+  /// runs out of free neighbors.  Returns the possibly-larger band; the
+  /// caller's old band handle is superseded.
+  [[nodiscard]] WavelengthBand grow(const WavelengthBand& band,
+                                    std::uint32_t max_width);
+
+  /// Elastic resize, downward half: give back the outer wavelengths of
+  /// `band`, keeping exactly `keep` (which must be a non-empty sub-range of
+  /// `band`).
+  void shrink_to(const WavelengthBand& band, const WavelengthBand& keep);
+
+  /// Width of the widest contiguous free run if `also_free` were released —
+  /// the what-if probe behind shrink-under-pressure: shrink only when the
+  /// surrendered range would actually make a starved job admissible.
+  [[nodiscard]] std::uint32_t largest_free_block_assuming(
+      const WavelengthBand& also_free) const;
+
  private:
   std::uint32_t total_;
   std::uint32_t free_;

@@ -30,9 +30,22 @@ std::vector<std::size_t> fusable_peers(const JobQueue& queue,
             [&queue](std::size_t a, std::size_t b) {
               return queue.at(a).seq < queue.at(b).seq;
             });
-  if (peers.size() > config.max_jobs_per_batch - 1) {
-    peers.resize(config.max_jobs_per_batch - 1);
+
+  // Admit peers while both budgets hold.  The lead is always in (it was
+  // admitted on its own payload).  The first peer that would blow the
+  // payload budget ends the batch — taking the oldest prefix rather than
+  // cherry-picking smaller younger jobs keeps fusion from reordering
+  // tenants.
+  std::vector<std::size_t> taken;
+  util::Bytes batch_payload = lead.payload;
+  for (const std::size_t i : peers) {
+    if (taken.size() + 1 >= config.max_jobs_per_batch) break;
+    const util::Bytes payload = queue.at(i).payload;
+    if (batch_payload + payload > config.max_batch_payload) break;
+    batch_payload += payload;
+    taken.push_back(i);
   }
+  peers = std::move(taken);
 
   peers.push_back(lead_index);
   std::sort(peers.begin(), peers.end());

@@ -29,6 +29,13 @@ struct BatcherConfig {
   util::Bytes max_fuse_payload = util::kilobytes(256);
   /// Upper bound on jobs fused into one execution (including the lead).
   std::uint32_t max_jobs_per_batch = 8;
+  /// Upper bound on the CONCATENATED payload of a batch.  Per-job and
+  /// per-count caps alone let max_jobs_per_batch jobs each at
+  /// max_fuse_payload fuse into a batch many times the "small job" size —
+  /// one that also jumps a smallest-first queue at the lead job's payload.
+  /// The admission policies see only the lead's payload, so this budget is
+  /// what keeps a fused execution honestly small.
+  util::Bytes max_batch_payload = util::megabytes(1);
 };
 
 /// Queue indices of the jobs to fuse with the admitted job at `lead_index`:
@@ -36,9 +43,9 @@ struct BatcherConfig {
 /// within the fuse threshold, and a min_wavelengths satisfied by the lead's
 /// `granted_band_width` (a fused peer executes in the lead's band, so its
 /// own admission floor must hold there too) — oldest first, capped at
-/// max_jobs_per_batch.  Returns {lead_index} alone when the lead itself is
-/// too large to fuse or batching is disabled.  Indices are ascending and
-/// include lead_index.
+/// max_jobs_per_batch jobs and max_batch_payload total bytes.  Returns
+/// {lead_index} alone when the lead itself is too large to fuse or batching
+/// is disabled.  Indices are ascending and include lead_index.
 [[nodiscard]] std::vector<std::size_t> fusable_peers(
     const JobQueue& queue, std::size_t lead_index,
     std::uint32_t granted_band_width, const BatcherConfig& config);

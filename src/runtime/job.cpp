@@ -10,6 +10,8 @@ const char* job_state_name(JobState state) {
       return "queued";
     case JobState::kRunning:
       return "running";
+    case JobState::kPreempted:
+      return "preempted";
     case JobState::kDone:
       return "done";
     case JobState::kRejected:

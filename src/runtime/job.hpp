@@ -35,6 +35,10 @@ struct JobSpec {
   std::uint32_t min_wavelengths = 1;
   /// Share under the weighted-fair policy (ignored by FIFO / smallest-first).
   double weight = 1.0;
+  /// Urgency under the priority-preempt policy (higher runs first; a queued
+  /// job may suspend running lower-priority executions at their next step
+  /// boundary).  Ignored by the other policies.
+  std::int32_t priority = 0;
   /// Optional label for reports and traces.
   std::string name;
 };
@@ -43,8 +47,9 @@ enum class JobState : std::uint8_t {
   kSubmitted,  // accepted, waiting for its arrival time
   kQueued,     // arrived, waiting for spectrum
   kRunning,    // executing on the ring
+  kPreempted,  // suspended at a step boundary, band surrendered, will resume
   kDone,       // all-reduce complete
-  kRejected,   // can never run (bad spec or demand exceeds the whole ring)
+  kRejected,   // can never run (bad or inconsistent spec)
 };
 
 [[nodiscard]] const char* job_state_name(JobState state);
@@ -74,8 +79,18 @@ struct JobRecord {
   std::uint32_t steps = 0;
   /// Jobs fused into the same execution, including this one (1 = ran alone).
   std::uint32_t batch_size = 1;
-  /// Oracle verdict for the schedule that carried this job.
+  /// Oracle verdict for the schedule(s) that carried this job — re-proven
+  /// after every renegotiation rebuild.  Also true when
+  /// RuntimeConfig::validate_with_oracle is off (no check ran to fail).
   bool oracle_ok = false;
+  /// Times this job was suspended at a step boundary for a higher-priority
+  /// arrival.
+  std::uint32_t preemptions = 0;
+  /// Step-boundary band renegotiations (grow or shrink) applied while
+  /// running.
+  std::uint32_t resizes = 0;
+  /// Why the spec was rejected (empty unless state == kRejected).
+  std::string reject_reason;
 
   [[nodiscard]] util::Seconds turnaround() const {
     return completed - spec.arrival;

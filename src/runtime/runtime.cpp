@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "coll/oracle.hpp"
 #include "wrht/executor.hpp"
@@ -31,6 +32,9 @@ std::string RuntimeReport::to_string() const {
          std::to_string(batches) + " fused batches)\n";
   out += "steps / retunes : " + std::to_string(total_steps) + " / " +
          std::to_string(total_retunes) + "\n";
+  out += "renegotiations  : " + std::to_string(preemptions) + " preempted, " +
+         std::to_string(resumes) + " resumed, " + std::to_string(resizes) +
+         " resized\n";
   out += "spectrum        : " + std::to_string(spectrum_reservations) +
          " reservations, 0 wavelength-conflict aborts\n";
   out += "peak concurrency: " + std::to_string(peak_concurrent_jobs) +
@@ -65,15 +69,41 @@ JobId CollectiveRuntime::submit(JobSpec spec) {
           s.participants.end() &&
       s.participants.back() < config_.ring_size;
   const std::uint32_t total = arbiter_.total();
-  if (!participants_ok || s.min_wavelengths == 0 ||
-      s.min_wavelengths > total || s.arrival < util::Seconds(0.0)) {
+
+  // An inconsistent spec is rejected with a reason, never silently rewritten:
+  // a request below the job's own minimum, or a minimum above what the job
+  // could ever use, is a tenant bug the runtime must surface, not paper over
+  // by quietly inflating the grant.
+  std::string reject;
+  if (!participants_ok) {
+    reject = "participants must be >= 2 ascending unique on-ring positions";
+  } else if (s.min_wavelengths == 0) {
+    reject = "min_wavelengths must be >= 1";
+  } else if (s.min_wavelengths > total) {
+    reject = "min_wavelengths exceeds the spectrum";
+  } else if (s.arrival < util::Seconds(0.0)) {
+    reject = "arrival time is negative";
+  } else if (s.requested_wavelengths != 0 &&
+             s.requested_wavelengths < s.min_wavelengths) {
+    reject = "requested_wavelengths below min_wavelengths";
+  } else if (useful_wavelength_cap(s.participants.size()) <
+             s.min_wavelengths) {
+    reject = "min_wavelengths exceeds the job's useful wavelength cap";
+  }
+
+  if (!reject.empty()) {
     record.state = JobState::kRejected;
+    record.reject_reason = std::move(reject);
     ++report_.rejected;
   } else {
     std::uint32_t request = s.requested_wavelengths != 0
                                 ? s.requested_wavelengths
                                 : config_.default_request;
     request = std::min(request, useful_wavelength_cap(s.participants.size()));
+    // With the consistency checks above, the lower clamp binds only when the
+    // RUNTIME default (requested_wavelengths == 0) sits below the tenant's
+    // stated minimum — raising our own default is not rewriting their
+    // request.
     record.effective_request =
         std::clamp(request, s.min_wavelengths, total);
   }
@@ -90,22 +120,198 @@ const JobRecord& CollectiveRuntime::record(JobId id) const {
   return records_[id];
 }
 
+void CollectiveRuntime::trace_job(sim::TraceKind kind, JobId id,
+                                  const WavelengthBand& band) {
+  // Band identity is its BASE for every job event (a band is named by where
+  // it sits in the spectrum); the width travels in the detail so preempt /
+  // resume / resize sequences in one trace are interpretable side by side.
+  if (!trace_.enabled()) return;
+  trace_.record(simulator_.now(), kind, id,
+                static_cast<std::int64_t>(band.base),
+                "width=" + std::to_string(band.width));
+}
+
 void CollectiveRuntime::on_arrival(JobId id) {
   JobRecord& record = records_[id];
   record.state = JobState::kQueued;
   queue_.push(QueueEntry{id, next_seq_++, record.spec.min_wavelengths,
                          record.effective_request, record.spec.weight,
-                         record.spec.payload, record.spec.participants});
+                         record.spec.payload, record.spec.participants,
+                         record.spec.priority});
   try_admit();
+}
+
+std::int32_t CollectiveRuntime::top_suspended_priority() const {
+  std::int32_t top = std::numeric_limits<std::int32_t>::min();
+  for (const auto& exec : suspended_) top = std::max(top, exec->priority);
+  return top;
 }
 
 void CollectiveRuntime::try_admit() {
   while (true) {
+    // Under kPriorityPreempt a suspended execution that outranks every
+    // queued job has first claim on freed spectrum, and while it cannot
+    // resume, lower-priority arrivals must not be admitted into the band it
+    // waits for — otherwise a steady trickle of small low-priority jobs
+    // starves a preempted high-priority victim forever (admission-side
+    // priority inversion).
+    if (config_.policy == FairnessPolicy::kPriorityPreempt &&
+        !suspended_.empty()) {
+      const std::optional<std::size_t> head = priority_head(queue_);
+      const std::int32_t queued_top =
+          head ? queue_.at(*head).priority
+               : std::numeric_limits<std::int32_t>::min();
+      if (top_suspended_priority() > queued_top) {
+        if (try_resume_one()) continue;
+        break;  // resume blocked: hold the line, ask for preemptions below
+      }
+    }
     const std::optional<AdmissionDecision> decision =
         next_admission(queue_, config_.policy, arbiter_.largest_free_block(),
                        arbiter_.free_total());
-    if (!decision) return;
-    admit(*decision);
+    if (decision) {
+      admit(*decision);
+      continue;
+    }
+    if (try_resume_one()) continue;
+    break;
+  }
+  if (config_.policy == FairnessPolicy::kPriorityPreempt) {
+    request_preemptions();
+  }
+}
+
+void CollectiveRuntime::request_preemptions() {
+  // The most urgent waiter: the queued admission head (the same selection
+  // the policy itself uses, so preemptions always benefit the job admission
+  // will actually pick) or a suspended execution awaiting resume, whichever
+  // outranks the other.
+  std::int32_t target_priority = std::numeric_limits<std::int32_t>::min();
+  std::uint32_t target_min = 0;
+  if (const std::optional<std::size_t> head = priority_head(queue_)) {
+    target_priority = queue_.at(*head).priority;
+    target_min = queue_.at(*head).min_wavelengths;
+  }
+  for (const auto& exec : suspended_) {
+    if (exec->priority > target_priority) {
+      target_priority = exec->priority;
+      target_min = exec->min_width;
+    }
+  }
+  if (target_min == 0) return;
+
+  // Spectrum usable today plus bands already being surrendered at the next
+  // boundary.  Admission needs a CONTIGUOUS run, so the baseline is the
+  // largest free block, not the free total — a fragmented pool that sums to
+  // the minimum admits nothing.  Adding victim widths is still approximate
+  // (their bands may not abut the free runs); both error directions
+  // self-correct: under-preemption retries here on the next try_admit, and
+  // a victim whose suspension became unnecessary is reprieved by the
+  // boundary re-check in renegotiate().
+  std::uint32_t pending = arbiter_.largest_free_block();
+  for (const auto& exec : running_execs_) {
+    if (exec->preempt_requested) pending += exec->band.width;
+  }
+  if (pending >= target_min) return;
+
+  // Victims: strictly lower priority only, cheapest first (lowest priority,
+  // then widest band so one victim usually suffices, then oldest lead job
+  // for determinism).  The band is not taken here — the victim surrenders
+  // it at its next step boundary, which is what makes the handoff safe.
+  std::vector<std::shared_ptr<Execution>> victims;
+  for (const auto& exec : running_execs_) {
+    if (!exec->preempt_requested && exec->priority < target_priority) {
+      victims.push_back(exec);
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) {
+              if (a->priority != b->priority) return a->priority < b->priority;
+              if (a->band.width != b->band.width) {
+                return a->band.width > b->band.width;
+              }
+              return a->jobs.front() < b->jobs.front();
+            });
+  for (const auto& victim : victims) {
+    if (pending >= target_min) break;
+    victim->preempt_requested = true;
+    pending += victim->band.width;
+  }
+}
+
+std::optional<core::WrhtBuild> CollectiveRuntime::rebuild_remainder(
+    const Execution& exec, std::uint32_t width) const {
+  core::WrhtParams params;
+  params.num_wavelengths = width;
+  params.fit_policy = config_.fit_policy;
+  return core::rebuild_wrht_remainder(exec.build, exec.next_step,
+                                      exec.participants, config_.ring_size,
+                                      params);
+}
+
+void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
+  if (!config_.validate_with_oracle) {
+    // Nothing to prove: records keep the benefit of the doubt, matching the
+    // pre-renegotiation behavior of a disabled oracle.
+    for (const JobId id : exec.jobs) records_[id].oracle_ok = true;
+    return;
+  }
+  // Prove the steps ALREADY RUN plus the (possibly rebuilt) steps still
+  // ahead compute the all-reduce — a renegotiated schedule must clear the
+  // same bar as a fresh one before touching the ring.
+  coll::Schedule composite("wrht-composite", config_.ring_size, 1);
+  for (const coll::Step& step : exec.executed) {
+    composite.add_step();
+    for (const coll::Transfer& t : step.transfers) {
+      composite.add_transfer(t);
+    }
+  }
+  const coll::Schedule& ahead = exec.build.annotated.schedule;
+  for (const coll::Step& step : ahead.steps()) {
+    composite.add_step();
+    for (const coll::Transfer& t : step.transfers) {
+      composite.add_transfer(t);
+    }
+  }
+  const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
+      composite, exec.participants, config_.oracle_payload_len);
+  if (!verdict.ok) {
+    // A schedule that fails the oracle must never touch the ring; like a
+    // wavelength conflict, this is a library bug, not a tenant error.
+    ++report_.oracle_failures;
+    std::fprintf(stderr,
+                 "CollectiveRuntime: schedule failed the all-reduce oracle "
+                 "(job %u): %s\n",
+                 exec.jobs.front(), verdict.message.c_str());
+    std::abort();
+  }
+  for (const JobId id : exec.jobs) records_[id].oracle_ok = true;
+}
+
+void CollectiveRuntime::adopt_rebuilt(Execution& exec, core::WrhtBuild next,
+                                      const WavelengthBand& band) {
+  const std::vector<coll::Step>& old_steps =
+      exec.build.annotated.schedule.steps();
+  for (std::size_t s = 0; s < exec.next_step; ++s) {
+    exec.executed.push_back(old_steps[s]);
+  }
+  exec.build = std::move(next);
+  exec.band = band;
+  exec.next_step = 0;
+  exec.steps.clear();
+  const std::size_t ahead = exec.build.annotated.schedule.num_steps();
+  exec.steps.reserve(ahead);
+  for (std::size_t s = 0; s < ahead; ++s) {
+    exec.steps.push_back(
+        core::timed_step(exec.build.annotated, s, exec.batch_payload,
+                         band.base));
+  }
+  verify_composite_or_die(exec);
+  for (const JobId id : exec.jobs) {
+    JobRecord& record = records_[id];
+    record.band = band;
+    record.steps =
+        static_cast<std::uint32_t>(exec.executed.size() + ahead);
   }
 }
 
@@ -125,50 +331,38 @@ void CollectiveRuntime::admit(const AdmissionDecision& decision) {
 
   auto exec = std::make_shared<Execution>();
   exec->band = *band;
-  util::Bytes batch_payload;
-  std::vector<topo::NodeId> participants;
   // Pop members back-to-front so earlier indices stay valid.
   for (auto it = members.rbegin(); it != members.rend(); ++it) {
     QueueEntry entry = queue_.take(*it);
-    if (participants.empty()) participants = std::move(entry.participants);
-    batch_payload += entry.payload;
+    if (exec->participants.empty()) {
+      exec->participants = std::move(entry.participants);
+    }
+    exec->batch_payload += entry.payload;
+    exec->priority = std::max(exec->priority, entry.priority);
+    exec->min_width = std::max(exec->min_width, entry.min_wavelengths);
     exec->jobs.push_back(entry.id);
   }
   std::reverse(exec->jobs.begin(), exec->jobs.end());  // oldest first
+  exec->useful_cap = useful_wavelength_cap(exec->participants.size());
 
   core::WrhtParams params;
   params.num_wavelengths = band->width;
   params.fit_policy = config_.fit_policy;
-  const core::WrhtBuild build =
-      core::build_wrht_among(participants, config_.ring_size, params);
-  if (build.annotated.wavelengths_required > band->width) {
+  exec->build =
+      core::build_wrht_among(exec->participants, config_.ring_size, params);
+  if (exec->build.annotated.wavelengths_required > band->width) {
     std::fprintf(stderr,
                  "CollectiveRuntime: schedule overflowed its band (%u > %u)\n",
-                 build.annotated.wavelengths_required, band->width);
+                 exec->build.annotated.wavelengths_required, band->width);
     std::abort();
   }
+  verify_composite_or_die(*exec);
 
-  bool oracle_ok = true;
-  if (config_.validate_with_oracle) {
-    const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
-        build.annotated.schedule, participants, config_.oracle_payload_len);
-    oracle_ok = verdict.ok;
-    if (!verdict.ok) {
-      // A schedule that fails the oracle must never touch the ring; like a
-      // wavelength conflict, this is a library bug, not a tenant error.
-      ++report_.oracle_failures;
-      std::fprintf(stderr,
-                   "CollectiveRuntime: schedule failed the all-reduce oracle "
-                   "(job %u): %s\n",
-                   exec->jobs.front(), verdict.message.c_str());
-      std::abort();
-    }
-  }
-
-  exec->steps.reserve(build.annotated.schedule.num_steps());
-  for (std::size_t s = 0; s < build.annotated.schedule.num_steps(); ++s) {
-    exec->steps.push_back(
-        core::timed_step(build.annotated, s, batch_payload, band->base));
+  const std::size_t num_steps = exec->build.annotated.schedule.num_steps();
+  exec->steps.reserve(num_steps);
+  for (std::size_t s = 0; s < num_steps; ++s) {
+    exec->steps.push_back(core::timed_step(exec->build.annotated, s,
+                                           exec->batch_payload, band->base));
   }
 
   for (const JobId id : exec->jobs) {
@@ -177,18 +371,195 @@ void CollectiveRuntime::admit(const AdmissionDecision& decision) {
     record.admitted = simulator_.now();
     record.band = *band;
     record.batch_size = static_cast<std::uint32_t>(exec->jobs.size());
-    record.steps = static_cast<std::uint32_t>(exec->steps.size());
-    record.oracle_ok = oracle_ok;
-    trace_.record(simulator_.now(), sim::TraceKind::kJobAdmit, id,
-                  static_cast<std::int64_t>(band->width));
+    record.steps = static_cast<std::uint32_t>(num_steps);
+    trace_job(sim::TraceKind::kJobAdmit, id, *band);
   }
   running_jobs_ += static_cast<std::uint32_t>(exec->jobs.size());
   report_.peak_concurrent_jobs =
       std::max(report_.peak_concurrent_jobs, running_jobs_);
   ++report_.executions;
   if (exec->jobs.size() > 1) ++report_.batches;
+  running_execs_.push_back(exec);
 
   run_step(exec);
+}
+
+bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
+  if (exec->preempt_requested) {
+    exec->preempt_requested = false;
+    // Re-check at the boundary: the waiter that asked for this band — a
+    // queued arrival or a suspended execution trying to resume — may have
+    // been satisfied meanwhile by a completion elsewhere.
+    bool still_needed = top_suspended_priority() > exec->priority;
+    for (std::size_t i = 0; i < queue_.size() && !still_needed; ++i) {
+      still_needed = queue_.at(i).priority > exec->priority;
+    }
+    if (still_needed) {
+      // suspend_execution re-runs admission, which may legally resume THIS
+      // execution at the same instant on a different band (run_step already
+      // dispatched by the resume) — so the verdict here is "surrendered",
+      // unconditionally, not the current suspended flag.
+      suspend_execution(exec);
+      return true;
+    }
+  }
+  if (!config_.elastic_resize) return false;
+  // Suspended executions are waiting on spectrum too: growing past them
+  // would hand a runner the very band a preempted (possibly more urgent)
+  // job needs to resume — priority inversion by resize.
+  if (queue_.empty() && suspended_.empty()) {
+    try_grow(exec);
+  } else {
+    try_shrink(exec);
+  }
+  return false;
+}
+
+void CollectiveRuntime::suspend_execution(
+    const std::shared_ptr<Execution>& exec) {
+  exec->suspended = true;
+  for (const JobId id : exec->jobs) {
+    JobRecord& record = records_[id];
+    record.state = JobState::kPreempted;
+    ++record.preemptions;
+    trace_job(sim::TraceKind::kJobPreempt, id, exec->band);
+  }
+  running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
+  ++report_.preemptions;
+  arbiter_.release(exec->band);
+  running_execs_.erase(
+      std::find(running_execs_.begin(), running_execs_.end(), exec));
+  suspended_.push_back(exec);
+  // The surrendered band is free NOW, at the boundary — the waiting
+  // high-priority job starts without waiting for this execution to finish.
+  try_admit();
+}
+
+bool CollectiveRuntime::try_resume_one() {
+  if (suspended_.empty()) return false;
+  const std::optional<std::size_t> head = priority_head(queue_);
+  const std::int32_t top_queued =
+      head ? queue_.at(*head).priority
+           : std::numeric_limits<std::int32_t>::min();
+  // Highest-priority suspension first, FIFO among equals.
+  std::vector<std::size_t> order(suspended_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return suspended_[a]->priority > suspended_[b]->priority;
+                   });
+  for (const std::size_t idx : order) {
+    const std::shared_ptr<Execution> exec = suspended_[idx];
+    // Never hand spectrum back to a victim while the queue still holds a
+    // strictly more urgent job — that is the band being fought over.
+    if (config_.policy == FairnessPolicy::kPriorityPreempt &&
+        top_queued > exec->priority) {
+      continue;
+    }
+    const std::uint32_t budget = arbiter_.largest_free_block();
+    if (budget < exec->min_width) continue;
+    const std::uint32_t desired =
+        std::clamp(exec->band.width, exec->min_width, exec->useful_cap);
+    std::uint32_t grant = std::min(desired, budget);
+    std::optional<core::WrhtBuild> rebuilt = rebuild_remainder(*exec, grant);
+    if (!rebuilt && budget > grant) {
+      // The remainder's inherited mirrors can need more than the job's
+      // admission minimum; retry with everything contiguous on offer.
+      grant = budget;
+      rebuilt = rebuild_remainder(*exec, grant);
+    }
+    if (!rebuilt) continue;
+
+    const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
+    if (!band) {
+      std::fprintf(stderr,
+                   "CollectiveRuntime: arbiter refused a %u-band on resume\n",
+                   grant);
+      std::abort();
+    }
+    suspended_.erase(suspended_.begin() +
+                     static_cast<std::ptrdiff_t>(idx));
+    exec->suspended = false;
+    adopt_rebuilt(*exec, std::move(*rebuilt), *band);
+    for (const JobId id : exec->jobs) {
+      records_[id].state = JobState::kRunning;
+      trace_job(sim::TraceKind::kJobResume, id, *band);
+    }
+    running_jobs_ += static_cast<std::uint32_t>(exec->jobs.size());
+    report_.peak_concurrent_jobs =
+        std::max(report_.peak_concurrent_jobs, running_jobs_);
+    ++report_.resumes;
+    running_execs_.push_back(exec);
+    run_step(exec);
+    return true;
+  }
+  return false;
+}
+
+void CollectiveRuntime::try_grow(const std::shared_ptr<Execution>& exec) {
+  if (exec->band.width >= exec->useful_cap) return;
+  const WavelengthBand old = exec->band;
+  const WavelengthBand grown = arbiter_.grow(old, exec->useful_cap);
+  if (grown == old) return;
+  const std::size_t remaining = exec->steps.size() - exec->next_step;
+  std::optional<core::WrhtBuild> rebuilt =
+      rebuild_remainder(*exec, grown.width);
+  // A wider band only pays off by collapsing remaining tree levels (each
+  // transfer still rides one wavelength, so same-depth schedules run at the
+  // same speed); otherwise give the spectrum straight back.
+  if (!rebuilt || rebuilt->annotated.schedule.num_steps() >= remaining) {
+    arbiter_.shrink_to(grown, old);
+    return;
+  }
+  adopt_rebuilt(*exec, std::move(*rebuilt), grown);
+  for (const JobId id : exec->jobs) {
+    ++records_[id].resizes;
+    trace_job(sim::TraceKind::kJobResize, id, grown);
+  }
+  ++report_.resizes;
+}
+
+void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
+  if (exec->band.width <= exec->min_width) return;
+  const WavelengthBand old = exec->band;
+
+  // A cut "helps" when the surrendered range would actually unblock
+  // someone: the job the ACTIVE POLICY would admit next (under FIFO /
+  // priority a fitting tail entry behind a blocked head admits nothing), or
+  // a suspended execution waiting to resume.  Smaller keeps free more, so
+  // helps is monotone — the GENTLEST helping cut is the right target:
+  // surrendering more than the waiter needs just costs the running job
+  // extra levels for nothing.
+  const auto helps = [this, &old](std::uint32_t target) {
+    const WavelengthBand freed{old.base + target, old.width - target};
+    const std::uint32_t would = arbiter_.largest_free_block_assuming(freed);
+    if (next_admission(queue_, config_.policy, would,
+                       arbiter_.free_total() + freed.width)) {
+      return true;
+    }
+    for (const auto& suspended : suspended_) {
+      if (suspended->min_width <= would) return true;
+    }
+    return false;
+  };
+  std::uint32_t target = old.width - 1;
+  while (target > exec->min_width && !helps(target)) --target;
+  if (!helps(target)) return;
+
+  // Deeper cuts only make the remainder rebuild harder (the owed mirrors
+  // need their level widths), so if the gentlest helping cut cannot
+  // rebuild, no helping cut can.
+  std::optional<core::WrhtBuild> rebuilt = rebuild_remainder(*exec, target);
+  if (!rebuilt) return;
+  const WavelengthBand keep{old.base, target};
+  arbiter_.shrink_to(old, keep);
+  adopt_rebuilt(*exec, std::move(*rebuilt), keep);
+  for (const JobId id : exec->jobs) {
+    ++records_[id].resizes;
+    trace_job(sim::TraceKind::kJobResize, id, keep);
+  }
+  ++report_.resizes;
+  try_admit();
 }
 
 void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
@@ -235,11 +606,16 @@ void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
   step_end += p.sync_time;
   simulator_.schedule_at(step_end, [this, exec] {
     ++exec->next_step;
-    if (exec->next_step < exec->steps.size()) {
-      run_step(exec);
-    } else {
+    if (exec->next_step >= exec->steps.size()) {
       finish_execution(exec);
+      return;
     }
+    // The renegotiation point: every cell this execution held is released
+    // by now (transfer-end events precede the boundary), so its band can be
+    // surrendered, grown, or shrunk without a stale reservation existing
+    // anywhere.
+    if (renegotiate(exec)) return;  // surrendered; resume dispatches later
+    run_step(exec);
   });
 }
 
@@ -252,11 +628,12 @@ void CollectiveRuntime::finish_execution(
     completion_order_.push_back(id);
     ++report_.completed;
     report_.total_turnaround += record.turnaround();
-    trace_.record(simulator_.now(), sim::TraceKind::kJobComplete, id,
-                  static_cast<std::int64_t>(record.band.base));
+    trace_job(sim::TraceKind::kJobComplete, id, record.band);
   }
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
   arbiter_.release(exec->band);
+  running_execs_.erase(
+      std::find(running_execs_.begin(), running_execs_.end(), exec));
   try_admit();
 }
 
@@ -273,11 +650,11 @@ RuntimeReport CollectiveRuntime::run() {
   }
   simulator_.run();
 
-  if (!queue_.empty() || running_jobs_ != 0) {
+  if (!queue_.empty() || running_jobs_ != 0 || !suspended_.empty()) {
     std::fprintf(stderr,
                  "CollectiveRuntime: clock drained with %zu queued / %u "
-                 "running jobs\n",
-                 queue_.size(), running_jobs_);
+                 "running / %zu suspended jobs\n",
+                 queue_.size(), running_jobs_, suspended_.size());
     std::abort();
   }
   report_.makespan = simulator_.now();

@@ -23,9 +23,23 @@
 // (one set of per-step optical overheads for the whole batch), and every
 // execution's schedule is proven correct with the coll:: oracle before it
 // touches the ring.
+//
+// Step-boundary renegotiation: the paper's discrete steps give the runtime
+// a natural control point — after a step's spectrum cells are released and
+// before the next step claims any, an execution's band can change without
+// ever producing an inconsistent reservation.  At that point the runtime
+// may PREEMPT (suspend the execution, surrender its whole band to a
+// higher-priority arrival under FairnessPolicy::kPriorityPreempt, resume it
+// later on whatever band it regains) or RESIZE (grow into freed neighboring
+// spectrum, or shrink toward the job's floor when queued tenants starve).
+// Both paths rebuild the execution's remaining schedule levels against the
+// new budget through core::rebuild_wrht_remainder, and every rebuilt
+// remainder is re-proven with the oracle — composed with the functional
+// steps already executed — before it touches the ring.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +71,11 @@ struct RuntimeConfig {
   /// running it (cheap: oracle payloads are oracle_payload_len doubles).
   bool validate_with_oracle = true;
   std::size_t oracle_payload_len = 48;
+  /// Step-boundary elastic resize: grow a running execution's band into
+  /// adjacent freed spectrum when that shortens its remaining schedule, and
+  /// shrink a band toward its jobs' floor when the shrink would unblock a
+  /// starved queued job.
+  bool elastic_resize = false;
 };
 
 struct RuntimeReport {
@@ -80,6 +99,12 @@ struct RuntimeReport {
   /// wavelength conflict this aborts the process, so a returned report
   /// always says 0; the field documents that the checks ran.
   std::uint32_t oracle_failures = 0;
+  /// Step-boundary renegotiations: executions suspended for a
+  /// higher-priority arrival, executions resumed afterwards, and band
+  /// grow/shrink rebuilds applied in place.
+  std::uint32_t preemptions = 0;
+  std::uint32_t resumes = 0;
+  std::uint32_t resizes = 0;
   util::Seconds total_turnaround{0.0};
 
   [[nodiscard]] util::Seconds mean_turnaround() const {
@@ -113,13 +138,32 @@ class CollectiveRuntime {
   [[nodiscard]] util::Seconds now() const { return simulator_.now(); }
 
  private:
-  /// One admitted unit of work: a single job or a fused batch, with its
-  /// schedule already built against the granted band and shifted into it.
+  /// One admitted unit of work: a single job or a fused batch.  `build` is
+  /// the schedule for the work still ahead (the whole job at admission, the
+  /// rebuilt remainder after a renegotiation); `executed` accumulates the
+  /// functional steps already run, so the composite executed + build can be
+  /// re-proven with the oracle after every rebuild.
   struct Execution {
     std::vector<JobId> jobs;
     WavelengthBand band;
+    /// Urgency (max over fused jobs) under kPriorityPreempt.  Starts at the
+    /// lowest representable value so max-folding preserves NEGATIVE tenant
+    /// priorities instead of flattening them to 0.
+    std::int32_t priority = std::numeric_limits<std::int32_t>::min();
+    /// Narrowest band the execution accepts (max over fused jobs' minima).
+    std::uint32_t min_width = 1;
+    /// Widest band the execution can exploit (growth ceiling).
+    std::uint32_t useful_cap = 1;
+    std::vector<topo::NodeId> participants;
+    util::Bytes batch_payload;
+    core::WrhtBuild build;
+    std::vector<coll::Step> executed;
     std::vector<std::vector<optical::TimedTransfer>> steps;
     std::size_t next_step = 0;
+    /// A queued higher-priority job asked for this band; surrender it at
+    /// the next step boundary.
+    bool preempt_requested = false;
+    bool suspended = false;
   };
 
   void on_arrival(JobId id);
@@ -127,6 +171,31 @@ class CollectiveRuntime {
   void admit(const AdmissionDecision& decision);
   void run_step(const std::shared_ptr<Execution>& exec);
   void finish_execution(const std::shared_ptr<Execution>& exec);
+
+  /// The step-boundary renegotiation point: called between two steps of
+  /// `exec`, with exec's own cells released and its band still held.  May
+  /// suspend the execution or swap in a rebuilt remainder on a different
+  /// band.  Returns true when the execution surrendered its band HERE — the
+  /// caller must not dispatch the next step then, even if a same-instant
+  /// resume already restarted the execution (the resume dispatched it).
+  [[nodiscard]] bool renegotiate(const std::shared_ptr<Execution>& exec);
+  void suspend_execution(const std::shared_ptr<Execution>& exec);
+  bool try_resume_one();
+  void request_preemptions();
+  [[nodiscard]] std::int32_t top_suspended_priority() const;
+  void try_grow(const std::shared_ptr<Execution>& exec);
+  void try_shrink(const std::shared_ptr<Execution>& exec);
+
+  /// Rebuild exec's remaining levels for a band of `width` wavelengths.
+  [[nodiscard]] std::optional<core::WrhtBuild> rebuild_remainder(
+      const Execution& exec, std::uint32_t width) const;
+  /// Fold the executed prefix of exec's current build into exec->executed,
+  /// install `next` as the new build on `band`, re-time its steps, update
+  /// the job records, and re-prove the composite with the oracle.
+  void adopt_rebuilt(Execution& exec, core::WrhtBuild next,
+                     const WavelengthBand& band);
+  void verify_composite_or_die(const Execution& exec);
+  void trace_job(sim::TraceKind kind, JobId id, const WavelengthBand& band);
 
   RuntimeConfig config_;
   topo::RingTopology ring_;
@@ -139,6 +208,9 @@ class CollectiveRuntime {
   std::vector<JobId> completion_order_;
   sim::Trace trace_;
   RuntimeReport report_;
+  std::vector<std::shared_ptr<Execution>> running_execs_;
+  /// Preempted executions awaiting spectrum, in suspension order.
+  std::vector<std::shared_ptr<Execution>> suspended_;
   std::uint64_t next_seq_ = 0;
   std::uint32_t running_jobs_ = 0;
   bool started_ = false;

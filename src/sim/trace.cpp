@@ -24,6 +24,12 @@ const char* trace_kind_name(TraceKind kind) {
       return "job_admit";
     case TraceKind::kJobComplete:
       return "job_complete";
+    case TraceKind::kJobPreempt:
+      return "job_preempt";
+    case TraceKind::kJobResume:
+      return "job_resume";
+    case TraceKind::kJobResize:
+      return "job_resize";
     case TraceKind::kCustom:
       return "custom";
   }

@@ -22,6 +22,9 @@ enum class TraceKind : std::uint8_t {
   kFlowEnd,
   kJobAdmit,
   kJobComplete,
+  kJobPreempt,
+  kJobResume,
+  kJobResize,
   kCustom,
 };
 

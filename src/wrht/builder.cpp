@@ -16,22 +16,16 @@ struct StepAssembly {
 };
 
 // Assign wavelengths for one assembled step and append it to the schedule.
-// Returns the number of wavelengths used; aborts if the step does not fit
-// (the builder only assembles steps it has proven feasible).
-std::uint32_t commit_step(AnnotatedSchedule& annotated,
-                          const topo::RingTopology& ring, StepAssembly step,
-                          std::uint32_t max_wavelengths,
-                          optical::FitPolicy policy) {
+// Returns false (leaving the schedule untouched) when the step does not
+// color within `max_wavelengths`.
+bool try_commit_step(AnnotatedSchedule& annotated,
+                     const topo::RingTopology& ring, StepAssembly step,
+                     std::uint32_t max_wavelengths,
+                     optical::FitPolicy policy) {
   const optical::AssignmentResult assignment =
       optical::assign_wavelengths_longest_first(ring, step.arcs,
                                                 max_wavelengths, policy);
-  if (!assignment.ok) {
-    std::fprintf(stderr,
-                 "build_wrht: internal error — feasible step failed "
-                 "wavelength assignment (%zu arcs, %u wavelengths)\n",
-                 step.arcs.size(), max_wavelengths);
-    std::abort();
-  }
+  if (!assignment.ok) return false;
   annotated.schedule.add_step();
   std::vector<PathAssignment> paths;
   paths.reserve(step.arcs.size());
@@ -43,7 +37,39 @@ std::uint32_t commit_step(AnnotatedSchedule& annotated,
   annotated.lambda_per_step.push_back(assignment.wavelengths_used);
   annotated.wavelengths_required =
       std::max(annotated.wavelengths_required, assignment.wavelengths_used);
-  return assignment.wavelengths_used;
+  return true;
+}
+
+// Aborting flavor for steps the builder has already proven feasible.
+void commit_step(AnnotatedSchedule& annotated, const topo::RingTopology& ring,
+                 StepAssembly step, std::uint32_t max_wavelengths,
+                 optical::FitPolicy policy) {
+  const std::size_t arcs = step.arcs.size();
+  if (!try_commit_step(annotated, ring, std::move(step), max_wavelengths,
+                       policy)) {
+    std::fprintf(stderr,
+                 "build_wrht: internal error — feasible step failed "
+                 "wavelength assignment (%zu arcs, %u wavelengths)\n",
+                 arcs, max_wavelengths);
+    std::abort();
+  }
+}
+
+// The mirrored broadcast step of one tree level: the representative copies
+// the result back to its members along the reversed intra-group arcs.
+StepAssembly broadcast_step_for_level(const topo::RingTopology& ring,
+                                      const WrhtLevel& level) {
+  StepAssembly step;
+  for (const Group& group : level.groups) {
+    const topo::NodeId rep = group.rep();
+    for (const topo::NodeId member : group.members) {
+      if (member == rep) continue;
+      step.transfers.push_back(
+          coll::Transfer{rep, member, 0, coll::TransferOp::kCopy});
+      step.arcs.push_back(intra_group_arc(ring, rep, member));
+    }
+  }
+  return step;
 }
 
 // Assemble the all-to-all exchange among `active` nodes (direction-balanced
@@ -160,12 +186,10 @@ WrhtBuild build_wrht_among(const std::vector<topo::NodeId>& participants,
   }
 
   const topo::RingTopology ring(ring_size);
-  WrhtBuild build{
-      AnnotatedSchedule{coll::Schedule("wrht", ring_size, 1), {}, 0, {}},
-      {},
-      m,
-      0,
-      false};
+  WrhtBuild build;
+  build.annotated =
+      AnnotatedSchedule{coll::Schedule("wrht", ring_size, 1), {}, 0, {}};
+  build.group_size_m = m;
 
   std::vector<topo::NodeId> active = participants;
 
@@ -217,21 +241,89 @@ WrhtBuild build_wrht_among(const std::vector<topo::NodeId>& participants,
   // needs no mirror because it leaves all its participants with the result.
   for (auto level = build.reduce_levels.rbegin();
        level != build.reduce_levels.rend(); ++level) {
-    StepAssembly step;
-    for (const Group& group : level->groups) {
-      const topo::NodeId rep = group.rep();
-      for (const topo::NodeId member : group.members) {
-        if (member == rep) continue;
-        step.transfers.push_back(
-            coll::Transfer{rep, member, 0, coll::TransferOp::kCopy});
-        step.arcs.push_back(intra_group_arc(ring, rep, member));
-      }
-    }
-    commit_step(build.annotated, ring, std::move(step),
+    commit_step(build.annotated, ring, broadcast_step_for_level(ring, *level),
                 params.num_wavelengths, params.fit_policy);
+    build.broadcast_levels.push_back(*level);
   }
 
   return build;
+}
+
+std::optional<WrhtBuild> rebuild_wrht_remainder(
+    const WrhtBuild& build, std::size_t steps_done,
+    const std::vector<topo::NodeId>& participants, std::uint32_t ring_size,
+    const WrhtParams& params) {
+  const std::size_t total_steps = build.annotated.schedule.num_steps();
+  if (steps_done >= total_steps) {
+    std::fprintf(stderr,
+                 "rebuild_wrht_remainder: %zu of %zu steps done — nothing "
+                 "left to rebuild\n",
+                 steps_done, total_steps);
+    std::abort();
+  }
+  if (params.num_wavelengths == 0) {
+    std::fprintf(stderr, "rebuild_wrht_remainder: need >= 1 wavelength\n");
+    std::abort();
+  }
+
+  const std::size_t num_reduce = build.reduce_levels.size();
+  const std::size_t reduce_steps = build.reduce_step_count();
+  const topo::RingTopology ring(ring_size);
+
+  // Completed tree levels k, and the mirrors the remainder still owes.  In
+  // the reduce stage (k levels done, merge not yet fired) the owed mirrors
+  // are the LAST k + inherited entries of broadcast_levels, i.e. everything
+  // from index num_reduce - k on; once the broadcast stage started, they are
+  // simply the unexecuted tail.
+  std::size_t completed_levels = 0;
+  std::size_t first_owed_mirror = 0;
+  if (steps_done < reduce_steps) {
+    completed_levels = std::min(steps_done, num_reduce);
+    first_owed_mirror = num_reduce - completed_levels;
+  } else {
+    completed_levels = num_reduce;
+    first_owed_mirror = steps_done - reduce_steps;
+  }
+
+  WrhtBuild out;
+  out.annotated =
+      AnnotatedSchedule{coll::Schedule("wrht", ring_size, 1), {}, 0, {}};
+  out.group_size_m = build.group_size_m;
+  out.final_rep_count_mstar = 1;
+
+  if (steps_done < reduce_steps) {
+    // Survivors holding partial sums: the reps of the last completed level
+    // (the whole participant set when no level completed yet).  The fresh
+    // sub-all-reduce among them is sized for the NEW budget, so it may use
+    // fewer (wider band) or more (narrower band) levels than the original.
+    std::vector<topo::NodeId> active =
+        completed_levels == 0 ? participants : std::vector<topo::NodeId>{};
+    if (completed_levels != 0) {
+      for (const Group& group :
+           build.reduce_levels[completed_levels - 1].groups) {
+        active.push_back(group.rep());
+      }
+    }
+    WrhtParams sub_params = params;
+    sub_params.forced_group_size.reset();
+    out = build_wrht_among(active, ring_size, sub_params);
+  }
+
+  // Recolor the owed mirrors of the original tree for the new budget.  Each
+  // needs floor(group/2) wavelengths with spatial reuse, so a band narrower
+  // than an already-executed level's demand cannot carry them — report that
+  // instead of committing a half-usable schedule.
+  for (std::size_t i = first_owed_mirror; i < build.broadcast_levels.size();
+       ++i) {
+    const WrhtLevel& level = build.broadcast_levels[i];
+    if (!try_commit_step(out.annotated, ring,
+                         broadcast_step_for_level(ring, level),
+                         params.num_wavelengths, params.fit_policy)) {
+      return std::nullopt;
+    }
+    out.broadcast_levels.push_back(level);
+  }
+  return out;
 }
 
 WrhtBuild build_wrht(std::uint32_t num_nodes, const WrhtParams& params) {

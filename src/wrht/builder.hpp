@@ -43,10 +43,22 @@ struct WrhtLevel {
 struct WrhtBuild {
   AnnotatedSchedule annotated;
   std::vector<WrhtLevel> reduce_levels;  // tree levels, bottom-up
+  /// Broadcast levels in EXECUTION order (one schedule step each, top-down).
+  /// A fresh build mirrors reduce_levels in reverse; a remainder rebuilt
+  /// mid-flight (rebuild_wrht_remainder) appends the suspended build's
+  /// still-owed mirrors after its own, so the step layout invariant
+  ///   steps = reduce_levels + (merged ? 1 : 0) + broadcast_levels
+  /// holds for every build, original or renegotiated.
+  std::vector<WrhtLevel> broadcast_levels;
   std::uint32_t group_size_m = 0;
   /// Representatives alive entering the final reduce step (paper's m*).
   std::uint32_t final_rep_count_mstar = 0;
   bool merged_with_all_to_all = false;
+
+  /// Schedule step index where the broadcast stage starts.
+  [[nodiscard]] std::size_t reduce_step_count() const {
+    return reduce_levels.size() + (merged_with_all_to_all ? 1 : 0);
+  }
 };
 
 /// Largest admissible group size for `w` wavelengths: floor(m/2) <= w.
@@ -89,6 +101,31 @@ struct WrhtBuild {
 /// non-participants never appear in any transfer.  Group sizes default to
 /// min(|participants|, 2w+1).
 [[nodiscard]] WrhtBuild build_wrht_among(
+    const std::vector<topo::NodeId>& participants, std::uint32_t ring_size,
+    const WrhtParams& params);
+
+/// Step-boundary renegotiation seam: rebuild the not-yet-executed remainder
+/// of `build` against a (possibly different) wavelength budget.
+///
+/// `steps_done` schedule steps of `build` have completed (0 <= steps_done <
+/// num_steps), so the collective's logical state is known exactly: in the
+/// reduce stage the surviving representatives hold their subtree partial
+/// sums; in the broadcast stage some mirrors are still owed.  The returned
+/// build finishes the all-reduce from that state — a fresh sub-all-reduce
+/// among the survivors (sized for params.num_wavelengths, so a wider band
+/// yields fewer levels and a narrower one more) followed by the mirrors of
+/// the already-executed tree levels, recolored for the new budget.
+/// Executing the first steps_done steps of `build` and then all steps of the
+/// returned build is a complete all-reduce among `participants` (the
+/// original participant set `build` was constructed for).
+///
+/// Composes: the result is itself a structurally valid WrhtBuild, so a
+/// resized or resumed execution can be renegotiated again at a later
+/// boundary.  Returns nullopt when an inherited mirror level cannot be
+/// recolored within params.num_wavelengths (the caller must keep a band at
+/// least as wide as that level needs, or wait for one).
+[[nodiscard]] std::optional<WrhtBuild> rebuild_wrht_remainder(
+    const WrhtBuild& build, std::size_t steps_done,
     const std::vector<topo::NodeId>& participants, std::uint32_t ring_size,
     const WrhtParams& params);
 

@@ -94,6 +94,88 @@ TEST(AdmissionWeighted, MinimumOverridesTinyShare) {
   EXPECT_GE(l->grant, 4u);
 }
 
+TEST(AdmissionWeighted, AllZeroWeightsFallBackToFifo) {
+  // With no positive weight there is no share to split; the policy must
+  // degrade to strict arrival order rather than divide by zero or starve.
+  JobQueue queue;
+  queue.push(entry(7, /*seq=*/5, 1, 4, /*weight=*/0.0));
+  queue.push(entry(3, /*seq=*/2, 1, 4, /*weight=*/0.0));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kWeightedFair, 8, 8);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(queue.at(d->queue_index).id, 3u);  // oldest, not heaviest
+  // FIFO semantics also means head-of-line blocking: if the oldest cannot
+  // fit, nothing runs.
+  JobQueue blocked;
+  blocked.push(entry(0, 0, /*min=*/8, 8, 0.0));
+  blocked.push(entry(1, 1, /*min=*/1, 1, 0.0));
+  EXPECT_FALSE(next_admission(blocked, FairnessPolicy::kWeightedFair, 4, 4));
+}
+
+TEST(AdmissionWeighted, NegativeWeightsAreClampedNotTrusted) {
+  // All-negative degrades to FIFO like all-zero...
+  JobQueue queue;
+  queue.push(entry(9, /*seq=*/4, 1, 4, /*weight=*/-2.0));
+  queue.push(entry(1, /*seq=*/1, 1, 4, /*weight=*/-7.0));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kWeightedFair, 8, 8);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(queue.at(d->queue_index).id, 1u);
+
+  // ...and a negative weight next to a positive one counts as zero share,
+  // not as a negative share that could corrupt the split: the positive job
+  // wins and gets the WHOLE free pool, since the other's share is zero.
+  JobQueue mixed;
+  mixed.push(entry(0, 0, 1, 32, /*weight=*/-5.0));
+  mixed.push(entry(1, 1, 1, 32, /*weight=*/1.0));
+  const auto m =
+      next_admission(mixed, FairnessPolicy::kWeightedFair, 16, 16);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(mixed.at(m->queue_index).id, 1u);
+  EXPECT_EQ(m->grant, 16u);
+}
+
+TEST(AdmissionWeighted, TruncatedZeroShareIsRoundedUpToOne) {
+  // Two equal featherweights over one free wavelength: each integer share
+  // truncates to 0, and without the max(share, 1) floor neither would ever
+  // be admissible.  The floor admits the older one with a single lambda.
+  JobQueue queue;
+  queue.push(entry(0, 0, 1, 8, /*weight=*/1e-3));
+  queue.push(entry(1, 1, 1, 8, /*weight=*/1e-3));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kWeightedFair, 1, 1);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(queue.at(d->queue_index).id, 0u);
+  EXPECT_EQ(d->grant, 1u);
+}
+
+QueueEntry priority_entry(JobId id, std::uint64_t seq, std::int32_t priority,
+                          std::uint32_t min = 1, std::uint32_t requested = 4) {
+  QueueEntry e = entry(id, seq, min, requested);
+  e.priority = priority;
+  return e;
+}
+
+TEST(AdmissionPriority, HighestPriorityWinsTiesOnArrival) {
+  JobQueue queue;
+  queue.push(priority_entry(0, 0, /*priority=*/1));
+  queue.push(priority_entry(1, 1, /*priority=*/5));
+  queue.push(priority_entry(2, 2, /*priority=*/5));
+  const auto d =
+      next_admission(queue, FairnessPolicy::kPriorityPreempt, 8, 8);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(queue.at(d->queue_index).id, 1u);
+}
+
+TEST(AdmissionPriority, WinnerBlocksTheLine) {
+  // The high-priority job's minimum does not fit; a low-priority job that
+  // would fit must NOT slip into the band the runtime is preempting for it.
+  JobQueue queue;
+  queue.push(priority_entry(0, 0, /*priority=*/9, /*min=*/8, 8));
+  queue.push(priority_entry(1, 1, /*priority=*/0, /*min=*/1, 1));
+  EXPECT_FALSE(next_admission(queue, FairnessPolicy::kPriorityPreempt, 4, 4));
+}
+
 TEST(JobQueue, TakeRemovesAndReturns) {
   JobQueue queue;
   queue.push(entry(0, 0, 1, 1));

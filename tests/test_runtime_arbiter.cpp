@@ -55,6 +55,66 @@ TEST(Arbiter, ReleaseMergesAdjacentGaps) {
   EXPECT_EQ(wide->base, 0u);
 }
 
+TEST(ArbiterResize, GrowClaimsAdjacentFreeSpectrum) {
+  SpectrumArbiter arbiter(16);
+  const auto a = arbiter.allocate(4);  // [0, 4)
+  const auto b = arbiter.allocate(4);  // [4, 8)
+  ASSERT_TRUE(a && b);
+  // Nothing free next to a while b holds [4, 8).
+  EXPECT_EQ(arbiter.grow(*a, 8), *a);
+  arbiter.release(*b);
+  const WavelengthBand grown = arbiter.grow(*a, 8);
+  EXPECT_EQ(grown.base, 0u);
+  EXPECT_EQ(grown.width, 8u);
+  EXPECT_EQ(arbiter.free_total(), 8u);
+  // The grown band releases as one unit.
+  arbiter.release(grown);
+  EXPECT_EQ(arbiter.free_total(), 16u);
+  EXPECT_EQ(arbiter.bands_outstanding(), 0u);
+}
+
+TEST(ArbiterResize, GrowExtendsDownwardWhenUpwardIsBlocked) {
+  SpectrumArbiter arbiter(16);
+  const auto low = arbiter.allocate(4);   // [0, 4)
+  const auto mid = arbiter.allocate(4);   // [4, 8)
+  const auto top = arbiter.allocate(8);   // [8, 16)
+  ASSERT_TRUE(low && mid && top);
+  arbiter.release(*low);
+  const WavelengthBand grown = arbiter.grow(*mid, 6);
+  EXPECT_EQ(grown.base, 2u);
+  EXPECT_EQ(grown.width, 6u);
+}
+
+TEST(ArbiterResize, ShrinkReturnsOuterWavelengths) {
+  SpectrumArbiter arbiter(16);
+  const auto band = arbiter.allocate(12);  // [0, 12)
+  ASSERT_TRUE(band);
+  const WavelengthBand keep{band->base, 4};
+  arbiter.shrink_to(*band, keep);
+  EXPECT_EQ(arbiter.free_total(), 12u);
+  // The freed run is immediately allocatable.
+  const auto next = arbiter.allocate(8);
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->base, 4u);
+  arbiter.release(keep);
+  arbiter.release(*next);
+  EXPECT_EQ(arbiter.free_total(), 16u);
+}
+
+TEST(ArbiterResize, WhatIfProbeSeesMergedRun) {
+  SpectrumArbiter arbiter(16);
+  const auto a = arbiter.allocate(8);   // [0, 8)
+  const auto b = arbiter.allocate(8);   // [8, 16)
+  ASSERT_TRUE(a && b);
+  arbiter.release(*b);
+  // Freeing the top half of a would merge with [8, 16) into a 12-run.
+  EXPECT_EQ(arbiter.largest_free_block(), 8u);
+  EXPECT_EQ(arbiter.largest_free_block_assuming(WavelengthBand{4, 4}), 12u);
+  // The probe must not mutate anything.
+  EXPECT_EQ(arbiter.largest_free_block(), 8u);
+  EXPECT_EQ(arbiter.free_total(), 8u);
+}
+
 TEST(ArbiterDeath, DoubleReleaseAborts) {
   SpectrumArbiter arbiter(8);
   const auto a = arbiter.allocate(4);

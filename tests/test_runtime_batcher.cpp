@@ -62,6 +62,37 @@ TEST(Batcher, PeerMinimumAboveGrantIsSkipped) {
   EXPECT_EQ(peers, (std::vector<std::size_t>{0, 2}));
 }
 
+TEST(Batcher, TotalBatchPayloadIsBudgeted) {
+  // Eight jobs each exactly at the per-job fuse cap used to fuse into an
+  // 8x-oversized "small-job" batch; the batch budget stops the pile-up at
+  // the oldest prefix that fits.
+  JobQueue queue;
+  BatcherConfig config;
+  config.max_fuse_payload = util::kilobytes(256);
+  config.max_jobs_per_batch = 8;
+  config.max_batch_payload = util::kilobytes(640);
+  for (JobId id = 0; id < 8; ++id) {
+    queue.push(job(id, id, {0, 1, 2, 3}, util::kilobytes(256)));
+  }
+  // Lead (256k) + oldest peer (256k) fit; a third would cross 640k.
+  const auto peers = fusable_peers(queue, 0, 4, config);
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Batcher, PayloadBudgetKeepsOldestPrefixNotSmallestPeers) {
+  // A big old peer that blows the budget ends the batch even though a
+  // younger small peer would still fit — fusion must not reorder tenants.
+  JobQueue queue;
+  BatcherConfig config;
+  config.max_fuse_payload = util::kilobytes(256);
+  config.max_batch_payload = util::kilobytes(300);
+  queue.push(job(0, 0, {0, 1, 2, 3}, util::kilobytes(128)));
+  queue.push(job(1, 1, {0, 1, 2, 3}, util::kilobytes(256)));  // over budget
+  queue.push(job(2, 2, {0, 1, 2, 3}, util::kilobytes(16)));   // would fit
+  const auto peers = fusable_peers(queue, 0, 4, config);
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0}));
+}
+
 TEST(Batcher, DisabledReturnsLeadOnly) {
   JobQueue queue;
   queue.push(job(0, 0, {0, 1, 2, 3}, kSmall));

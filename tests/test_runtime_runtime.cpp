@@ -81,6 +81,34 @@ TEST(RuntimeAdmission, RejectsInfeasibleSpecs) {
   EXPECT_EQ(rt.record(c).state, JobState::kRejected);
 }
 
+TEST(RuntimeAdmission, InconsistentSpecsAreRejectedWithReasonsNotRewritten) {
+  RuntimeConfig config = small_ring_config(8);
+  CollectiveRuntime rt(config);
+
+  // Explicit request below the job's own minimum: a tenant bug the runtime
+  // used to paper over by silently raising the request to the minimum.
+  JobSpec contradictory = group_job(0, 8, util::kilobytes(1), {},
+                                    /*requested=*/2);
+  contradictory.min_wavelengths = 4;
+  const JobId a = rt.submit(contradictory);
+
+  // A minimum above the job's useful wavelength cap (4 participants can
+  // exploit at most ceil(16/8) = 2 wavelengths): the old clamp granted the
+  // minimum anyway and wasted the difference.
+  JobSpec overdemanding = group_job(0, 4, util::kilobytes(1));
+  overdemanding.min_wavelengths = 5;
+  const JobId b = rt.submit(overdemanding);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.rejected, 2u);
+  EXPECT_EQ(rt.record(a).state, JobState::kRejected);
+  EXPECT_EQ(rt.record(a).reject_reason,
+            "requested_wavelengths below min_wavelengths");
+  EXPECT_EQ(rt.record(b).state, JobState::kRejected);
+  EXPECT_EQ(rt.record(b).reject_reason,
+            "min_wavelengths exceeds the job's useful wavelength cap");
+}
+
 TEST(RuntimeConcurrency, OverlappingJobsShareSpansWithoutConflict) {
   // Two jobs whose arcs cross the same physical spans (overlapping node
   // ranges) run concurrently.  Every reservation goes through the shared
@@ -235,6 +263,14 @@ TEST(RuntimeTrace, RecordsJobLifecycle) {
   for (const sim::TraceEvent& e : rt.trace().events()) {
     if (e.kind == sim::TraceKind::kJobAdmit) ++admits;
     if (e.kind == sim::TraceKind::kJobComplete) ++completes;
+    if (e.kind == sim::TraceKind::kJobAdmit ||
+        e.kind == sim::TraceKind::kJobComplete) {
+      // Band identity is recorded the same way on every job event: the
+      // band BASE in b, the width in the detail.
+      const JobRecord& r = rt.record(static_cast<JobId>(e.a));
+      EXPECT_EQ(e.b, static_cast<std::int64_t>(r.band.base));
+      EXPECT_EQ(e.detail, "width=" + std::to_string(r.band.width));
+    }
   }
   EXPECT_EQ(admits, 1u);
   EXPECT_EQ(completes, 1u);
