@@ -5,6 +5,33 @@
 
 namespace wrht::elec {
 
+StepFlowTimer::StepFlowTimer(const ElectricalCluster& cluster)
+    : cluster_(&cluster), network_(cluster.make_network()) {}
+
+util::Seconds StepFlowTimer::time_step(const coll::Schedule& schedule,
+                                       std::size_t step, util::Bytes payload) {
+  if (schedule.num_nodes() > cluster_->num_hosts()) {
+    std::fprintf(stderr,
+                 "StepFlowTimer: schedule needs %u hosts, cluster has %u\n",
+                 schedule.num_nodes(), cluster_->num_hosts());
+    std::abort();
+  }
+  if (step >= schedule.num_steps()) {
+    std::fprintf(stderr, "StepFlowTimer: step %zu out of range (%zu steps)\n",
+                 step, schedule.num_steps());
+    std::abort();
+  }
+  // Steps are separated by a barrier, so each runs on a quiet network;
+  // resetting between steps keeps memory bounded by one step's flows even
+  // for the 2(N-1)-step ring schedules.
+  network_.reset();
+  for (const coll::Transfer& t : schedule.steps()[step].transfers) {
+    network_.add_flow(cluster_->route(t.src, t.dst),
+                      schedule.chunk_bytes(payload, t.chunk));
+  }
+  return network_.run();
+}
+
 ElecRunResult run_on_electrical(const coll::Schedule& schedule,
                                 const ElectricalCluster& cluster,
                                 util::Bytes payload) {
@@ -16,17 +43,10 @@ ElecRunResult run_on_electrical(const coll::Schedule& schedule,
   }
 
   ElecRunResult result;
-  FlowNetwork network = cluster.make_network();
-  for (const coll::Step& step : schedule.steps()) {
-    // Steps are separated by a barrier, so each runs on a quiet network;
-    // resetting between steps keeps memory bounded by one step's flows even
-    // for the 2(N-1)-step ring schedules.
-    network.reset();
-    for (const coll::Transfer& t : step.transfers) {
-      network.add_flow(cluster.route(t.src, t.dst),
-                       schedule.chunk_bytes(payload, t.chunk));
-    }
-    const util::Seconds step_duration = network.run();
+  StepFlowTimer timer(cluster);
+  for (std::size_t step = 0; step < schedule.num_steps(); ++step) {
+    const util::Seconds step_duration =
+        timer.time_step(schedule, step, payload);
     result.step_durations.push_back(step_duration);
     result.total += step_duration;
   }

@@ -19,6 +19,29 @@ struct ElecRunResult {
   std::vector<util::Seconds> step_durations;
 };
 
+/// Incremental per-step seam: times one schedule step at a time, so a
+/// runtime can interleave electrical steps with other tenants' events on a
+/// shared clock instead of committing to a whole schedule up front.  Reuses
+/// one FlowNetwork across calls (reset before each step — the same
+/// quiet-network-per-step construction run_on_electrical uses, and
+/// run_on_electrical is itself implemented on this timer, so per-step and
+/// whole-schedule timings agree by construction).  `cluster` must outlive
+/// the timer.
+class StepFlowTimer {
+ public:
+  explicit StepFlowTimer(const ElectricalCluster& cluster);
+
+  /// BSP makespan of `schedule` step `step` for `payload` under max-min
+  /// fair sharing on a quiet network.  Aborts on an out-of-range step or a
+  /// schedule needing more hosts than the cluster has.
+  [[nodiscard]] util::Seconds time_step(const coll::Schedule& schedule,
+                                        std::size_t step, util::Bytes payload);
+
+ private:
+  const ElectricalCluster* cluster_;
+  FlowNetwork network_;
+};
+
 [[nodiscard]] ElecRunResult run_on_electrical(const coll::Schedule& schedule,
                                               const ElectricalCluster& cluster,
                                               util::Bytes payload);

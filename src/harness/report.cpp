@@ -31,6 +31,29 @@ double normalization_base(const std::vector<Fig2Row>& rows) {
 
 }  // namespace
 
+std::string render_substrate_table(const std::vector<SubstrateRow>& rows) {
+  if (rows.empty()) return "(no substrates)\n";
+  util::Table table({"substrate", "jobs", "executions", "steps", "makespan"});
+  std::uint32_t jobs = 0;
+  std::uint32_t executions = 0;
+  std::uint64_t steps = 0;
+  double makespan = 0.0;
+  for (const SubstrateRow& row : rows) {
+    table.add_row({row.name, std::to_string(row.jobs),
+                   std::to_string(row.executions), std::to_string(row.steps),
+                   util::to_string(util::Seconds(row.makespan_seconds))});
+    jobs += row.jobs;
+    executions += row.executions;
+    steps += row.steps;
+    makespan = std::max(makespan, row.makespan_seconds);
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(jobs), std::to_string(executions),
+                 std::to_string(steps),
+                 util::to_string(util::Seconds(makespan))});
+  return "Per-substrate workload split\n" + table.render();
+}
+
 std::string render_panel(const std::vector<Fig2Row>& rows) {
   if (rows.empty()) return "(no rows)\n";
   const double base = normalization_base(rows);

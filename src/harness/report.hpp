@@ -1,8 +1,11 @@
 // Rendering of Figure-2 results: the human-readable panel table (raw and
 // normalized times, matching the paper's normalized-time bars) and the CSV
-// dump for plotting.
+// dump for plotting.  Also home to the hybrid-runtime substrate table: the
+// per-fabric workload split a multi-tenant run reports when jobs land on
+// both the optical ring and the electrical fallback.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -10,6 +13,23 @@
 #include "harness/fig2.hpp"
 
 namespace wrht::harness {
+
+/// One fabric's slice of a hybrid multi-tenant run, as the runtime's
+/// per-substrate breakdown reports it.
+struct SubstrateRow {
+  std::string name;
+  std::uint32_t jobs = 0;
+  std::uint32_t executions = 0;
+  std::uint64_t steps = 0;
+  /// Completion time of the last job this fabric ran (its contribution to
+  /// the shared-clock makespan).
+  double makespan_seconds = 0.0;
+};
+
+/// Renders the per-substrate workload split of a hybrid run as a table,
+/// with a totals row (the runtime guarantees slices sum to the totals).
+[[nodiscard]] std::string render_substrate_table(
+    const std::vector<SubstrateRow>& rows);
 
 /// Renders one panel (one model) as a table.  Normalization divides every
 /// time by the panel's WRHT time at the smallest node count, mirroring the

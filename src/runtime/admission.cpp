@@ -30,6 +30,16 @@ QueueEntry JobQueue::take(std::size_t index) {
   return entry;
 }
 
+bool JobQueue::release_hold(JobId id) {
+  for (QueueEntry& entry : entries_) {
+    if (entry.id == id) {
+      entry.held = false;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 /// Clamp a candidate grant into [min, requested] given the widest free run.
@@ -44,16 +54,20 @@ std::uint32_t feasible_grant(const QueueEntry& job, std::uint32_t share,
 
 std::optional<AdmissionDecision> admit_fifo(const JobQueue& queue,
                                             std::uint32_t largest_free_block) {
-  // Strict arrival order: only the oldest entry may start.
-  std::size_t head = 0;
-  for (std::size_t i = 1; i < queue.size(); ++i) {
-    if (queue.at(i).seq < queue.at(head).seq) head = i;
+  // Strict arrival order: only the oldest non-held entry may start (a held
+  // entry is waiting out its fuse window by choice, so it neither admits
+  // nor blocks the line).
+  std::optional<std::size_t> head;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue.at(i).held) continue;
+    if (!head || queue.at(i).seq < queue.at(*head).seq) head = i;
   }
+  if (!head) return std::nullopt;
   const std::uint32_t grant = feasible_grant(
-      queue.at(head), queue.at(head).requested_wavelengths,
+      queue.at(*head), queue.at(*head).requested_wavelengths,
       largest_free_block);
   if (grant == 0) return std::nullopt;
-  return AdmissionDecision{head, grant};
+  return AdmissionDecision{*head, grant};
 }
 
 std::optional<AdmissionDecision> admit_priority(
@@ -75,6 +89,7 @@ std::optional<AdmissionDecision> admit_smallest(
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
+    if (job.held) continue;
     if (feasible_grant(job, job.requested_wavelengths, largest_free_block) ==
         0) {
       continue;
@@ -97,6 +112,7 @@ std::optional<AdmissionDecision> admit_weighted(
     std::uint32_t free_total) {
   double total_weight = 0.0;
   for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue.at(i).held) continue;
     total_weight += std::max(queue.at(i).weight, 0.0);
   }
   if (total_weight <= 0.0) return admit_fifo(queue, largest_free_block);
@@ -108,6 +124,7 @@ std::optional<AdmissionDecision> admit_weighted(
   std::uint32_t best_grant = 0;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
+    if (job.held) continue;
     const double fraction = std::max(job.weight, 0.0) / total_weight;
     const auto share = static_cast<std::uint32_t>(
         static_cast<double>(free_total) * fraction);
@@ -129,13 +146,13 @@ std::optional<AdmissionDecision> admit_weighted(
 }  // namespace
 
 std::optional<std::size_t> priority_head(const JobQueue& queue) {
-  if (queue.empty()) return std::nullopt;
-  std::size_t head = 0;
-  for (std::size_t i = 1; i < queue.size(); ++i) {
+  std::optional<std::size_t> head;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
-    if (job.priority > queue.at(head).priority ||
-        (job.priority == queue.at(head).priority &&
-         job.seq < queue.at(head).seq)) {
+    if (job.held) continue;
+    if (!head || job.priority > queue.at(*head).priority ||
+        (job.priority == queue.at(*head).priority &&
+         job.seq < queue.at(*head).seq)) {
       head = i;
     }
   }

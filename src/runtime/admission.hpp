@@ -54,6 +54,10 @@ struct QueueEntry {
   util::Bytes payload;
   std::vector<topo::NodeId> participants;
   std::int32_t priority = 0;
+  /// Inside its fuse-window admission delay (BatcherConfig::fuse_window):
+  /// invisible to every admission policy (it neither admits nor blocks the
+  /// line) but still fusable as a peer when another lead is admitted.
+  bool held = false;
 };
 
 class JobQueue {
@@ -67,6 +71,10 @@ class JobQueue {
 
   /// Remove and return the entry at `index`.
   QueueEntry take(std::size_t index);
+
+  /// Clear the fuse-window hold on job `id`.  Returns false when the job no
+  /// longer sits in the queue (it was admitted or fused meanwhile).
+  bool release_hold(JobId id);
 
  private:
   std::vector<QueueEntry> entries_;
@@ -86,9 +94,10 @@ struct AdmissionDecision {
     std::uint32_t largest_free_block, std::uint32_t free_total);
 
 /// Index of the entry kPriorityPreempt would admit next: highest priority,
-/// oldest among equals; nullopt on an empty queue.  Shared by the admission
-/// policy and the runtime's preemption planner so the job that triggers
-/// preemptions is always the job admission will actually pick.
+/// oldest among equals; nullopt on an empty (or all-held) queue.  Shared by
+/// the admission policy and the runtime's preemption planner so the job
+/// that triggers preemptions is always the job admission will actually
+/// pick — and a held job triggers none.
 [[nodiscard]] std::optional<std::size_t> priority_head(const JobQueue& queue);
 
 }  // namespace wrht::runtime

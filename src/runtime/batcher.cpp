@@ -21,6 +21,7 @@ std::vector<std::size_t> fusable_peers(const JobQueue& queue,
     if (i == lead_index) continue;
     const QueueEntry& job = queue.at(i);
     if (job.participants == lead.participants &&
+        job.priority == lead.priority &&
         job.payload <= config.max_fuse_payload &&
         job.min_wavelengths <= granted_band_width) {
       peers.push_back(i);

@@ -36,16 +36,25 @@ struct BatcherConfig {
   /// The admission policies see only the lead's payload, so this budget is
   /// what keeps a fused execution honestly small.
   util::Bytes max_batch_payload = util::megabytes(1);
+  /// Time-windowed batching: hold each fusable arrival out of admission for
+  /// this long, so a burst landing on an IDLE ring still fuses instead of
+  /// its first job being admitted alone (contended arrivals fuse anyway
+  /// while queued).  A held job stays fusable as a peer the whole time; the
+  /// window bounds the latency the delay can add.  Zero = off (default).
+  util::Seconds fuse_window{0.0};
 };
 
 /// Queue indices of the jobs to fuse with the admitted job at `lead_index`:
-/// every other queued job with an identical participant set, a payload
-/// within the fuse threshold, and a min_wavelengths satisfied by the lead's
-/// `granted_band_width` (a fused peer executes in the lead's band, so its
-/// own admission floor must hold there too) — oldest first, capped at
-/// max_jobs_per_batch jobs and max_batch_payload total bytes.  Returns
-/// {lead_index} alone when the lead itself is too large to fuse or batching
-/// is disabled.  Indices are ascending and include lead_index.
+/// every other queued job with an identical participant set, the SAME
+/// priority as the lead (an execution carries one urgency, so fusing across
+/// priorities would let a low-priority rider inherit the lead's rank and
+/// dodge preemption — or drag an urgent peer down to a preemptible batch),
+/// a payload within the fuse threshold, and a min_wavelengths satisfied by
+/// the lead's `granted_band_width` (a fused peer executes in the lead's
+/// band, so its own admission floor must hold there too) — oldest first,
+/// capped at max_jobs_per_batch jobs and max_batch_payload total bytes.
+/// Returns {lead_index} alone when the lead itself is too large to fuse or
+/// batching is disabled.  Indices are ascending and include lead_index.
 [[nodiscard]] std::vector<std::size_t> fusable_peers(
     const JobQueue& queue, std::size_t lead_index,
     std::uint32_t granted_band_width, const BatcherConfig& config);

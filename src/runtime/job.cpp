@@ -20,4 +20,14 @@ const char* job_state_name(JobState state) {
   return "?";
 }
 
+const char* substrate_kind_name(SubstrateKind kind) {
+  switch (kind) {
+    case SubstrateKind::kOptical:
+      return "optical";
+    case SubstrateKind::kElectrical:
+      return "electrical";
+  }
+  return "?";
+}
+
 }  // namespace wrht::runtime

@@ -54,6 +54,17 @@ enum class JobState : std::uint8_t {
 
 [[nodiscard]] const char* job_state_name(JobState state);
 
+/// Execution fabric a job was placed on.  The runtime serves the optical
+/// ring (wavelength-band grants) and, under a hybrid placement policy, the
+/// electrical fallback cluster (host-link grants); the record keeps which
+/// one carried the job.
+enum class SubstrateKind : std::uint8_t {
+  kOptical,
+  kElectrical,
+};
+
+[[nodiscard]] const char* substrate_kind_name(SubstrateKind kind);
+
 /// Contiguous run of wavelengths [base, base + width) granted to one job.
 struct WavelengthBand {
   std::uint32_t base = 0;
@@ -71,7 +82,11 @@ struct JobRecord {
   /// Normalized wavelength request (spec's request after defaulting and
   /// capping to what the job can use / the ring has).
   std::uint32_t effective_request = 0;
-  /// Spectrum band the arbiter granted (valid only once running).
+  /// Fabric the job executed on (meaningful once running; kOptical until a
+  /// hybrid placement decides otherwise).
+  SubstrateKind substrate = SubstrateKind::kOptical;
+  /// Spectrum band the arbiter granted (valid only once running on the
+  /// optical substrate; electrically-placed jobs keep the invalid band).
   WavelengthBand band;
   util::Seconds admitted{0.0};
   util::Seconds completed{0.0};

@@ -6,7 +6,7 @@
 #include <limits>
 
 #include "coll/oracle.hpp"
-#include "wrht/executor.hpp"
+#include "wrht/builder.hpp"
 
 namespace wrht::runtime {
 
@@ -22,6 +22,18 @@ std::uint32_t useful_wavelength_cap(std::size_t num_participants) {
 }
 
 }  // namespace
+
+const char* hybrid_placement_policy_name(HybridPlacementPolicy policy) {
+  switch (policy) {
+    case HybridPlacementPolicy::kOpticalOnly:
+      return "optical-only";
+    case HybridPlacementPolicy::kElectricalOverflow:
+      return "electrical-overflow";
+    case HybridPlacementPolicy::kCostModelChoice:
+      return "cost-model-choice";
+  }
+  return "?";
+}
 
 std::string RuntimeReport::to_string() const {
   std::string out;
@@ -39,6 +51,14 @@ std::string RuntimeReport::to_string() const {
          " reservations, 0 wavelength-conflict aborts\n";
   out += "peak concurrency: " + std::to_string(peak_concurrent_jobs) +
          " jobs\n";
+  out += "optical         : " + std::to_string(optical.jobs) + " jobs, " +
+         std::to_string(optical.executions) + " executions, " +
+         std::to_string(optical.steps) + " steps, makespan " +
+         util::to_string(optical.makespan) + "\n";
+  out += "electrical      : " + std::to_string(electrical.jobs) + " jobs, " +
+         std::to_string(electrical.executions) + " executions, " +
+         std::to_string(electrical.steps) + " steps, makespan " +
+         util::to_string(electrical.makespan) + "\n";
   out += "makespan        : " + util::to_string(makespan) + "\n";
   out += "mean turnaround : " + util::to_string(mean_turnaround()) + "\n";
   return out;
@@ -47,9 +67,17 @@ std::string RuntimeReport::to_string() const {
 CollectiveRuntime::CollectiveRuntime(RuntimeConfig config)
     : config_(config),
       ring_(config.ring_size),
-      spectrum_(ring_, config.optical.wdm.num_wavelengths),
-      transceivers_(config.ring_size),
-      arbiter_(config.optical.wdm.num_wavelengths) {}
+      optical_(make_optical_substrate(ring_, config_.optical,
+                                      config_.fit_policy, simulator_)),
+      electrical_(config_.placement == HybridPlacementPolicy::kOpticalOnly
+                      ? nullptr
+                      : make_electrical_substrate(config_.ring_size,
+                                                  config_.electrical)) {}
+
+SubstrateBreakdown& CollectiveRuntime::breakdown(SubstrateKind kind) {
+  return kind == SubstrateKind::kOptical ? report_.optical
+                                         : report_.electrical;
+}
 
 JobId CollectiveRuntime::submit(JobSpec spec) {
   if (started_) {
@@ -68,7 +96,7 @@ JobId CollectiveRuntime::submit(JobSpec spec) {
       std::adjacent_find(s.participants.begin(), s.participants.end()) ==
           s.participants.end() &&
       s.participants.back() < config_.ring_size;
-  const std::uint32_t total = arbiter_.total();
+  const std::uint32_t total = config_.optical.wdm.num_wavelengths;
 
   // An inconsistent spec is rejected with a reason, never silently rewritten:
   // a request below the job's own minimum, or a minimum above what the job
@@ -125,6 +153,7 @@ void CollectiveRuntime::trace_job(sim::TraceKind kind, JobId id,
   // Band identity is its BASE for every job event (a band is named by where
   // it sits in the spectrum); the width travels in the detail so preempt /
   // resume / resize sequences in one trace are interpretable side by side.
+  // Electrically-placed jobs hold no band and record the invalid {0, 0}.
   if (!trace_.enabled()) return;
   trace_.record(simulator_.now(), kind, id,
                 static_cast<std::int64_t>(band.base),
@@ -134,11 +163,35 @@ void CollectiveRuntime::trace_job(sim::TraceKind kind, JobId id,
 void CollectiveRuntime::on_arrival(JobId id) {
   JobRecord& record = records_[id];
   record.state = JobState::kQueued;
-  queue_.push(QueueEntry{id, next_seq_++, record.spec.min_wavelengths,
-                         record.effective_request, record.spec.weight,
-                         record.spec.payload, record.spec.participants,
-                         record.spec.priority});
+  QueueEntry entry{id, next_seq_++, record.spec.min_wavelengths,
+                   record.effective_request, record.spec.weight,
+                   record.spec.payload, record.spec.participants,
+                   record.spec.priority};
+  // Time-windowed batching: hold a fusable arrival out of admission for the
+  // fuse window, so a burst landing on an idle ring still fuses instead of
+  // its first job sprinting ahead alone.  Held entries stay visible to the
+  // batcher (an admitted lead can still fuse them early) but not to the
+  // admission policies.  Only jobs that could actually fuse are held —
+  // with fusion structurally impossible (batch cap of 1, or a payload over
+  // the fuse threshold) the window would be pure added latency.
+  const util::Seconds window = config_.batcher.fuse_window;
+  if (config_.batcher.enabled && window > util::Seconds(0.0) &&
+      config_.batcher.max_jobs_per_batch > 1 &&
+      record.spec.payload <= config_.batcher.max_fuse_payload) {
+    entry.held = true;
+    queue_.push(std::move(entry));
+    simulator_.schedule_at(simulator_.now() + window,
+                           [this, id] { release_fuse_hold(id); });
+  } else {
+    queue_.push(std::move(entry));
+  }
   try_admit();
+}
+
+void CollectiveRuntime::release_fuse_hold(JobId id) {
+  // A false return means the job already left the queue — fused into an
+  // earlier batch or admitted — and there is nothing to release.
+  if (queue_.release_hold(id)) try_admit();
 }
 
 std::int32_t CollectiveRuntime::top_suspended_priority() const {
@@ -148,6 +201,16 @@ std::int32_t CollectiveRuntime::top_suspended_priority() const {
 }
 
 void CollectiveRuntime::try_admit() {
+  // Cost-model routing happens before the optical loop, so a job the
+  // models send to the electrical fabric is not grabbed by the optical
+  // admission just because spectrum happens to be free.  The routing is
+  // work-conserving, not sticky: when the job's hosts are busy, the
+  // optical loop below may still run it on free spectrum rather than
+  // idle-wait for the predicted-faster fabric.
+  if (config_.placement == HybridPlacementPolicy::kCostModelChoice) {
+    while (try_place_one_electrical()) {
+    }
+  }
   while (true) {
     // Under kPriorityPreempt a suspended execution that outranks every
     // queued job has first claim on freed spectrum, and while it cannot
@@ -167,8 +230,8 @@ void CollectiveRuntime::try_admit() {
       }
     }
     const std::optional<AdmissionDecision> decision =
-        next_admission(queue_, config_.policy, arbiter_.largest_free_block(),
-                       arbiter_.free_total());
+        next_admission(queue_, config_.policy, optical_->largest_free_grant(),
+                       optical_->free_grant_total());
     if (decision) {
       admit(*decision);
       continue;
@@ -176,9 +239,53 @@ void CollectiveRuntime::try_admit() {
     if (try_resume_one()) continue;
     break;
   }
+  // Overflow: whatever the optical loop declined spills onto free
+  // electrical hosts instead of queueing for spectrum.
+  if (config_.placement == HybridPlacementPolicy::kElectricalOverflow) {
+    while (try_place_one_electrical()) {
+    }
+  }
   if (config_.policy == FairnessPolicy::kPriorityPreempt) {
     request_preemptions();
   }
+}
+
+bool CollectiveRuntime::try_place_one_electrical() {
+  if (!electrical_) return false;
+  // Candidate order mirrors the fairness policy's preference: priority
+  // (ties on arrival) under kPriorityPreempt, arrival order otherwise.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (!queue_.at(i).held) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) {
+              const QueueEntry& ja = queue_.at(a);
+              const QueueEntry& jb = queue_.at(b);
+              if (config_.policy == FairnessPolicy::kPriorityPreempt &&
+                  ja.priority != jb.priority) {
+                return ja.priority > jb.priority;
+              }
+              return ja.seq < jb.seq;
+            });
+  for (const std::size_t idx : order) {
+    const QueueEntry& job = queue_.at(idx);
+    if (!electrical_->can_place(job.participants, 1)) continue;
+    if (config_.placement == HybridPlacementPolicy::kCostModelChoice) {
+      // Route by predicted completion: WRHT formula time at the job's
+      // (normalized) optical request vs. the alpha-beta time of the
+      // schedule the electrical fabric would run.  A job predicted faster
+      // on the optical ring keeps waiting for spectrum.
+      const util::Seconds elec = electrical_->predict_makespan(
+          job.participants, job.payload, 1);
+      const util::Seconds optic = optical_->predict_makespan(
+          job.participants, job.payload, job.requested_wavelengths);
+      if (elec >= optic) continue;
+    }
+    place_execution(*electrical_, idx, /*grant=*/1);
+    return true;
+  }
+  return false;
 }
 
 void CollectiveRuntime::request_preemptions() {
@@ -208,18 +315,20 @@ void CollectiveRuntime::request_preemptions() {
   // self-correct: under-preemption retries here on the next try_admit, and
   // a victim whose suspension became unnecessary is reprieved by the
   // boundary re-check in renegotiate().
-  std::uint32_t pending = arbiter_.largest_free_block();
+  std::uint32_t pending = optical_->largest_free_grant();
   for (const auto& exec : running_execs_) {
-    if (exec->preempt_requested) pending += exec->band.width;
+    if (exec->preempt_requested) pending += exec->plan->grant();
   }
   if (pending >= target_min) return;
 
-  // Victims: strictly lower priority only, cheapest first (lowest priority,
-  // then widest band so one victim usually suffices, then oldest lead job
-  // for determinism).  The band is not taken here — the victim surrenders
-  // it at its next step boundary, which is what makes the handoff safe.
+  // Victims: preemptible-substrate executions of strictly lower priority
+  // only, cheapest first (lowest priority, then widest band so one victim
+  // usually suffices, then oldest lead job for determinism).  The band is
+  // not taken here — the victim surrenders it at its next step boundary,
+  // which is what makes the handoff safe.
   std::vector<std::shared_ptr<Execution>> victims;
   for (const auto& exec : running_execs_) {
+    if (!exec->substrate->caps().preemptible) continue;
     if (!exec->preempt_requested && exec->priority < target_priority) {
       victims.push_back(exec);
     }
@@ -227,26 +336,16 @@ void CollectiveRuntime::request_preemptions() {
   std::sort(victims.begin(), victims.end(),
             [](const auto& a, const auto& b) {
               if (a->priority != b->priority) return a->priority < b->priority;
-              if (a->band.width != b->band.width) {
-                return a->band.width > b->band.width;
+              if (a->plan->grant() != b->plan->grant()) {
+                return a->plan->grant() > b->plan->grant();
               }
               return a->jobs.front() < b->jobs.front();
             });
   for (const auto& victim : victims) {
     if (pending >= target_min) break;
     victim->preempt_requested = true;
-    pending += victim->band.width;
+    pending += victim->plan->grant();
   }
-}
-
-std::optional<core::WrhtBuild> CollectiveRuntime::rebuild_remainder(
-    const Execution& exec, std::uint32_t width) const {
-  core::WrhtParams params;
-  params.num_wavelengths = width;
-  params.fit_policy = config_.fit_policy;
-  return core::rebuild_wrht_remainder(exec.build, exec.next_step,
-                                      exec.participants, config_.ring_size,
-                                      params);
 }
 
 void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
@@ -258,15 +357,20 @@ void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
   }
   // Prove the steps ALREADY RUN plus the (possibly rebuilt) steps still
   // ahead compute the all-reduce — a renegotiated schedule must clear the
-  // same bar as a fresh one before touching the ring.
-  coll::Schedule composite("wrht-composite", config_.ring_size, 1);
+  // same bar as a fresh one, and an electrically-placed schedule the same
+  // bar as an optical one, before touching its fabric.  Chunk granularity
+  // follows the plan (Wrht schedules carry the full vector in one chunk,
+  // electrical ring schedules are chunked); renegotiation never changes it,
+  // so the executed prefix always shares the plan's granularity.
+  coll::Schedule composite("composite", config_.ring_size,
+                           exec.plan->schedule().num_chunks());
   for (const coll::Step& step : exec.executed) {
     composite.add_step();
     for (const coll::Transfer& t : step.transfers) {
       composite.add_transfer(t);
     }
   }
-  const coll::Schedule& ahead = exec.build.annotated.schedule;
+  const coll::Schedule& ahead = exec.plan->schedule();
   for (const coll::Step& step : ahead.steps()) {
     composite.add_step();
     for (const coll::Transfer& t : step.transfers) {
@@ -276,7 +380,7 @@ void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
   const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
       composite, exec.participants, config_.oracle_payload_len);
   if (!verdict.ok) {
-    // A schedule that fails the oracle must never touch the ring; like a
+    // A schedule that fails the oracle must never touch its fabric; like a
     // wavelength conflict, this is a library bug, not a tenant error.
     ++report_.oracle_failures;
     std::fprintf(stderr,
@@ -288,49 +392,47 @@ void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
   for (const JobId id : exec.jobs) records_[id].oracle_ok = true;
 }
 
-void CollectiveRuntime::adopt_rebuilt(Execution& exec, core::WrhtBuild next,
-                                      const WavelengthBand& band) {
-  const std::vector<coll::Step>& old_steps =
-      exec.build.annotated.schedule.steps();
+void CollectiveRuntime::adopt_plan(Execution& exec,
+                                   std::unique_ptr<SubstrateExecution> next) {
+  const std::vector<coll::Step>& old_steps = exec.plan->schedule().steps();
   for (std::size_t s = 0; s < exec.next_step; ++s) {
     exec.executed.push_back(old_steps[s]);
   }
-  exec.build = std::move(next);
-  exec.band = band;
+  exec.plan = std::move(next);
   exec.next_step = 0;
-  exec.steps.clear();
-  const std::size_t ahead = exec.build.annotated.schedule.num_steps();
-  exec.steps.reserve(ahead);
-  for (std::size_t s = 0; s < ahead; ++s) {
-    exec.steps.push_back(
-        core::timed_step(exec.build.annotated, s, exec.batch_payload,
-                         band.base));
-  }
   verify_composite_or_die(exec);
+  const std::size_t ahead = exec.plan->num_steps();
   for (const JobId id : exec.jobs) {
     JobRecord& record = records_[id];
-    record.band = band;
+    record.band = exec.plan->band();
     record.steps =
         static_cast<std::uint32_t>(exec.executed.size() + ahead);
   }
 }
 
 void CollectiveRuntime::admit(const AdmissionDecision& decision) {
-  const std::vector<std::size_t> members = fusable_peers(
-      queue_, decision.queue_index, decision.grant, config_.batcher);
+  place_execution(*optical_, decision.queue_index, decision.grant);
+}
 
-  const std::optional<WavelengthBand> band =
-      arbiter_.allocate(decision.grant);
-  if (!band) {
-    // next_admission promised a free run of this width; not finding one is
-    // an arbiter/admission disagreement.
-    std::fprintf(stderr, "CollectiveRuntime: arbiter refused a %u-band\n",
-                 decision.grant);
-    std::abort();
+void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
+                                        std::size_t queue_index,
+                                        std::uint32_t grant) {
+  const SubstrateCaps& caps = substrate.caps();
+  std::vector<std::size_t> members;
+  if (caps.batchable) {
+    // A fused peer executes inside the lead's grant; only substrates whose
+    // grants are wavelength-denominated impose the peer's min_wavelengths
+    // floor on it (electrical peers ride host links, not a band).
+    const std::uint32_t fuse_width =
+        caps.fuse_respects_grant ? grant
+                                 : std::numeric_limits<std::uint32_t>::max();
+    members = fusable_peers(queue_, queue_index, fuse_width, config_.batcher);
+  } else {
+    members = {queue_index};
   }
 
   auto exec = std::make_shared<Execution>();
-  exec->band = *band;
+  exec->substrate = &substrate;
   // Pop members back-to-front so earlier indices stay valid.
   for (auto it = members.rbegin(); it != members.rend(); ++it) {
     QueueEntry entry = queue_.take(*it);
@@ -345,54 +447,51 @@ void CollectiveRuntime::admit(const AdmissionDecision& decision) {
   std::reverse(exec->jobs.begin(), exec->jobs.end());  // oldest first
   exec->useful_cap = useful_wavelength_cap(exec->participants.size());
 
-  core::WrhtParams params;
-  params.num_wavelengths = band->width;
-  params.fit_policy = config_.fit_policy;
-  exec->build =
-      core::build_wrht_among(exec->participants, config_.ring_size, params);
-  if (exec->build.annotated.wavelengths_required > band->width) {
-    std::fprintf(stderr,
-                 "CollectiveRuntime: schedule overflowed its band (%u > %u)\n",
-                 exec->build.annotated.wavelengths_required, band->width);
-    std::abort();
-  }
+  exec->plan =
+      substrate.place(exec->participants, exec->batch_payload, grant);
   verify_composite_or_die(*exec);
 
-  const std::size_t num_steps = exec->build.annotated.schedule.num_steps();
-  exec->steps.reserve(num_steps);
-  for (std::size_t s = 0; s < num_steps; ++s) {
-    exec->steps.push_back(core::timed_step(exec->build.annotated, s,
-                                           exec->batch_payload, band->base));
-  }
-
+  const SubstrateKind kind = substrate.kind();
+  const WavelengthBand band = exec->plan->band();
+  const std::size_t num_steps = exec->plan->num_steps();
   for (const JobId id : exec->jobs) {
     JobRecord& record = records_[id];
     record.state = JobState::kRunning;
     record.admitted = simulator_.now();
-    record.band = *band;
+    record.substrate = kind;
+    record.band = band;
     record.batch_size = static_cast<std::uint32_t>(exec->jobs.size());
     record.steps = static_cast<std::uint32_t>(num_steps);
-    trace_job(sim::TraceKind::kJobAdmit, id, *band);
+    trace_job(sim::TraceKind::kJobAdmit, id, band);
+    trace_job(kind == SubstrateKind::kOptical
+                  ? sim::TraceKind::kJobPlaceOptical
+                  : sim::TraceKind::kJobPlaceElectrical,
+              id, band);
   }
   running_jobs_ += static_cast<std::uint32_t>(exec->jobs.size());
   report_.peak_concurrent_jobs =
       std::max(report_.peak_concurrent_jobs, running_jobs_);
   ++report_.executions;
   if (exec->jobs.size() > 1) ++report_.batches;
+  SubstrateBreakdown& slice = breakdown(kind);
+  slice.jobs += static_cast<std::uint32_t>(exec->jobs.size());
+  ++slice.executions;
   running_execs_.push_back(exec);
 
   run_step(exec);
 }
 
 bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
-  if (exec->preempt_requested) {
+  const SubstrateCaps& caps = exec->substrate->caps();
+  if (caps.preemptible && exec->preempt_requested) {
     exec->preempt_requested = false;
     // Re-check at the boundary: the waiter that asked for this band — a
     // queued arrival or a suspended execution trying to resume — may have
     // been satisfied meanwhile by a completion elsewhere.
     bool still_needed = top_suspended_priority() > exec->priority;
     for (std::size_t i = 0; i < queue_.size() && !still_needed; ++i) {
-      still_needed = queue_.at(i).priority > exec->priority;
+      still_needed = !queue_.at(i).held &&
+                     queue_.at(i).priority > exec->priority;
     }
     if (still_needed) {
       // suspend_execution re-runs admission, which may legally resume THIS
@@ -403,11 +502,17 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
       return true;
     }
   }
-  if (!config_.elastic_resize) return false;
-  // Suspended executions are waiting on spectrum too: growing past them
-  // would hand a runner the very band a preempted (possibly more urgent)
-  // job needs to resume — priority inversion by resize.
-  if (queue_.empty() && suspended_.empty()) {
+  if (!config_.elastic_resize || !caps.resizable) return false;
+  // Held (fuse-window) entries are not admissible yet, so they neither
+  // justify a shrink nor block a grow.  Suspended executions are waiting on
+  // spectrum too: growing past them would hand a runner the very band a
+  // preempted (possibly more urgent) job needs to resume — priority
+  // inversion by resize.
+  bool admissible_waiter = !suspended_.empty();
+  for (std::size_t i = 0; i < queue_.size() && !admissible_waiter; ++i) {
+    admissible_waiter = !queue_.at(i).held;
+  }
+  if (!admissible_waiter) {
     try_grow(exec);
   } else {
     try_shrink(exec);
@@ -422,11 +527,11 @@ void CollectiveRuntime::suspend_execution(
     JobRecord& record = records_[id];
     record.state = JobState::kPreempted;
     ++record.preemptions;
-    trace_job(sim::TraceKind::kJobPreempt, id, exec->band);
+    trace_job(sim::TraceKind::kJobPreempt, id, exec->plan->band());
   }
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
   ++report_.preemptions;
-  arbiter_.release(exec->band);
+  exec->substrate->release(*exec->plan);
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   suspended_.push_back(exec);
@@ -456,34 +561,21 @@ bool CollectiveRuntime::try_resume_one() {
         top_queued > exec->priority) {
       continue;
     }
-    const std::uint32_t budget = arbiter_.largest_free_block();
-    if (budget < exec->min_width) continue;
-    const std::uint32_t desired =
-        std::clamp(exec->band.width, exec->min_width, exec->useful_cap);
-    std::uint32_t grant = std::min(desired, budget);
-    std::optional<core::WrhtBuild> rebuilt = rebuild_remainder(*exec, grant);
-    if (!rebuilt && budget > grant) {
-      // The remainder's inherited mirrors can need more than the job's
-      // admission minimum; retry with everything contiguous on offer.
-      grant = budget;
-      rebuilt = rebuild_remainder(*exec, grant);
-    }
-    if (!rebuilt) continue;
+    // The pre-suspension width is the sizing hint; the substrate may settle
+    // for less (never below the floor) or need more for inherited mirrors.
+    const std::uint32_t desired = std::clamp(
+        exec->plan->band().width, exec->min_width, exec->useful_cap);
+    std::unique_ptr<SubstrateExecution> next = exec->substrate->resume_plan(
+        *exec->plan, exec->next_step, desired, exec->min_width);
+    if (!next) continue;
 
-    const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
-    if (!band) {
-      std::fprintf(stderr,
-                   "CollectiveRuntime: arbiter refused a %u-band on resume\n",
-                   grant);
-      std::abort();
-    }
     suspended_.erase(suspended_.begin() +
                      static_cast<std::ptrdiff_t>(idx));
     exec->suspended = false;
-    adopt_rebuilt(*exec, std::move(*rebuilt), *band);
+    adopt_plan(*exec, std::move(next));
     for (const JobId id : exec->jobs) {
       records_[id].state = JobState::kRunning;
-      trace_job(sim::TraceKind::kJobResume, id, *band);
+      trace_job(sim::TraceKind::kJobResume, id, exec->plan->band());
     }
     running_jobs_ += static_cast<std::uint32_t>(exec->jobs.size());
     report_.peak_concurrent_jobs =
@@ -497,31 +589,21 @@ bool CollectiveRuntime::try_resume_one() {
 }
 
 void CollectiveRuntime::try_grow(const std::shared_ptr<Execution>& exec) {
-  if (exec->band.width >= exec->useful_cap) return;
-  const WavelengthBand old = exec->band;
-  const WavelengthBand grown = arbiter_.grow(old, exec->useful_cap);
-  if (grown == old) return;
-  const std::size_t remaining = exec->steps.size() - exec->next_step;
-  std::optional<core::WrhtBuild> rebuilt =
-      rebuild_remainder(*exec, grown.width);
-  // A wider band only pays off by collapsing remaining tree levels (each
-  // transfer still rides one wavelength, so same-depth schedules run at the
-  // same speed); otherwise give the spectrum straight back.
-  if (!rebuilt || rebuilt->annotated.schedule.num_steps() >= remaining) {
-    arbiter_.shrink_to(grown, old);
-    return;
-  }
-  adopt_rebuilt(*exec, std::move(*rebuilt), grown);
+  if (exec->plan->grant() >= exec->useful_cap) return;
+  std::unique_ptr<SubstrateExecution> next = exec->substrate->grow_plan(
+      *exec->plan, exec->next_step, exec->useful_cap);
+  if (!next) return;
+  adopt_plan(*exec, std::move(next));
   for (const JobId id : exec->jobs) {
     ++records_[id].resizes;
-    trace_job(sim::TraceKind::kJobResize, id, grown);
+    trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
   }
   ++report_.resizes;
 }
 
 void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
-  if (exec->band.width <= exec->min_width) return;
-  const WavelengthBand old = exec->band;
+  const std::uint32_t width = exec->plan->grant();
+  if (width <= exec->min_width) return;
 
   // A cut "helps" when the surrendered range would actually unblock
   // someone: the job the ACTIVE POLICY would admit next (under FIFO /
@@ -530,11 +612,12 @@ void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
   // helps is monotone — the GENTLEST helping cut is the right target:
   // surrendering more than the waiter needs just costs the running job
   // extra levels for nothing.
-  const auto helps = [this, &old](std::uint32_t target) {
-    const WavelengthBand freed{old.base + target, old.width - target};
-    const std::uint32_t would = arbiter_.largest_free_block_assuming(freed);
+  const auto helps = [this, &exec, width](std::uint32_t target) {
+    const std::uint32_t would =
+        exec->substrate->free_grant_if_kept(*exec->plan, target);
     if (next_admission(queue_, config_.policy, would,
-                       arbiter_.free_total() + freed.width)) {
+                       exec->substrate->free_grant_total() +
+                           (width - target))) {
       return true;
     }
     for (const auto& suspended : suspended_) {
@@ -542,78 +625,43 @@ void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
     }
     return false;
   };
-  std::uint32_t target = old.width - 1;
+  std::uint32_t target = width - 1;
   while (target > exec->min_width && !helps(target)) --target;
   if (!helps(target)) return;
 
   // Deeper cuts only make the remainder rebuild harder (the owed mirrors
   // need their level widths), so if the gentlest helping cut cannot
   // rebuild, no helping cut can.
-  std::optional<core::WrhtBuild> rebuilt = rebuild_remainder(*exec, target);
-  if (!rebuilt) return;
-  const WavelengthBand keep{old.base, target};
-  arbiter_.shrink_to(old, keep);
-  adopt_rebuilt(*exec, std::move(*rebuilt), keep);
+  std::unique_ptr<SubstrateExecution> next =
+      exec->substrate->shrink_plan(*exec->plan, exec->next_step, target);
+  if (!next) return;
+  adopt_plan(*exec, std::move(next));
   for (const JobId id : exec->jobs) {
     ++records_[id].resizes;
-    trace_job(sim::TraceKind::kJobResize, id, keep);
+    trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
   }
   ++report_.resizes;
   try_admit();
 }
 
 void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
-  const util::Seconds step_start = simulator_.now();
-  const std::vector<optical::TimedTransfer>& transfers =
-      exec->steps[exec->next_step];
-  const optical::OpticalParams& p = config_.optical;
-
-  // Claim the step's spectrum cells on the SHARED map.  Bands are disjoint,
-  // so a failed claim means the arbitration above is broken — same fatal
-  // semantics as the single-job DES, but detected here with job context.
-  for (const optical::TimedTransfer& t : transfers) {
-    for (const optical::WavelengthId lambda : t.lambdas) {
-      if (!spectrum_.try_reserve(t.arc, lambda)) {
-        std::fprintf(stderr,
-                     "CollectiveRuntime: wavelength conflict on lambda %u "
-                     "(job %u) — arbitration bug\n",
-                     lambda, exec->jobs.front());
-        std::abort();
-      }
-      ++report_.spectrum_reservations;
-    }
-  }
-
-  util::Seconds step_end = step_start;
-  for (const optical::TimedTransfer& t : transfers) {
-    const optical::WavelengthId primary = t.lambdas.front();
-    bool retuned = transceivers_.retune_tx(t.src, t.arc.direction, primary);
-    retuned |= transceivers_.retune_rx(t.dst, t.arc.direction, primary);
-    if (p.retune_every_step) retuned = true;
-    if (retuned) ++report_.total_retunes;
-
-    const util::Seconds finish =
-        step_start + optical::transfer_cost(p, t, retuned);
-    step_end = std::max(step_end, finish);
-    simulator_.schedule_at(finish, [this, arc = t.arc, lambdas = t.lambdas] {
-      for (const optical::WavelengthId lambda : lambdas) {
-        spectrum_.release(arc, lambda);
-      }
-    });
-  }
+  const StepTiming timing = exec->substrate->time_step(
+      *exec->plan, exec->next_step, simulator_.now());
   ++report_.total_steps;
+  report_.total_retunes += timing.retunes;
+  report_.spectrum_reservations += timing.reservations;
+  ++breakdown(exec->substrate->kind()).steps;
 
-  step_end += p.sync_time;
-  simulator_.schedule_at(step_end, [this, exec] {
+  simulator_.schedule_at(timing.end, [this, exec] {
     ++exec->next_step;
-    if (exec->next_step >= exec->steps.size()) {
+    if (exec->next_step >= exec->plan->num_steps()) {
       finish_execution(exec);
       return;
     }
-    // The renegotiation point: every cell this execution held is released
-    // by now (transfer-end events precede the boundary), so its band can be
-    // surrendered, grown, or shrunk without a stale reservation existing
-    // anywhere.
+    // The renegotiation point: every shared-medium cell this execution held
+    // is released by now (transfer-end events precede the boundary), so its
+    // grant can be surrendered, grown, or shrunk without a stale
+    // reservation existing anywhere.
     if (renegotiate(exec)) return;  // surrendered; resume dispatches later
     run_step(exec);
   });
@@ -630,8 +678,11 @@ void CollectiveRuntime::finish_execution(
     report_.total_turnaround += record.turnaround();
     trace_job(sim::TraceKind::kJobComplete, id, record.band);
   }
+  SubstrateBreakdown& slice = breakdown(exec->substrate->kind());
+  slice.makespan = std::max(slice.makespan, simulator_.now());
+  last_completion_ = std::max(last_completion_, simulator_.now());
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
-  arbiter_.release(exec->band);
+  exec->substrate->release(*exec->plan);
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   try_admit();
@@ -657,7 +708,11 @@ RuntimeReport CollectiveRuntime::run() {
                  queue_.size(), running_jobs_, suspended_.size());
     std::abort();
   }
-  report_.makespan = simulator_.now();
+  // The makespan is the last COMPLETION, not the drained clock: a
+  // fuse-window hold-release timer for a job that was fused early can
+  // outlive the final completion as a no-op event, and phantom idle time
+  // must not be billed to the workload.
+  report_.makespan = last_completion_;
   return report_;
 }
 

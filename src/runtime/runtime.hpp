@@ -1,41 +1,44 @@
-// The multi-tenant collective runtime: many all-reduce jobs, one optical
-// ring, one simulation clock.
+// The multi-tenant collective runtime: many all-reduce jobs, one shared
+// simulation clock, and (since the substrate refactor) a choice of
+// execution fabrics.
 //
 // The seed library runs a single Wrht schedule per experiment; this runtime
 // is the serving layer above it.  Tenants submit jobs (participant subset +
-// payload + arrival time).  On arrival a job enters the admission queue; the
-// fairness policy decides who runs next and the SpectrumArbiter carves a
-// disjoint wavelength band out of the shared spectrum for each admitted job.
-// Each job's Wrht schedule is built against its private band width, shifted
-// into place, and progressed step by step as events on ONE sim::Simulator —
-// so steps of different jobs interleave in time on the shared clock, while
-// the shared SpectrumMap re-checks every (span, wavelength, direction)
-// reservation and treats a cross-job collision as a fatal arbitration bug.
+// payload + arrival time).  On arrival a job enters the admission queue;
+// the fairness policy decides who runs next.  Execution itself is delegated
+// to a polymorphic ExecutionSubstrate (runtime/substrate.hpp): the
+// substrate owns schedule construction, resource grant/release, per-step
+// timing, and the renegotiation capability flags, while the runtime keeps
+// admission, fairness, batching, the shared clock, and oracle validation.
 //
-// Modeling assumption: as with striping in the single-job DES, a node's
-// TeraRack-style resonator bank can drive several wavelengths at once, so
-// two jobs sharing a node but not a wavelength do not contend — under the
-// paper's retune-every-step cost model their timing is exact.  Queueing at
-// a shared node's transceiver (relevant only for the retune-tracking
-// ablation) is future work; see ROADMAP.
+// The primary substrate is the paper's optical WDM ring: the arbiter
+// carves a disjoint wavelength band per admitted job, each job's Wrht
+// schedule is built against its private band width and progressed step by
+// step as events on ONE sim::Simulator, with the shared SpectrumMap
+// re-checking every (span, wavelength, direction) reservation.  Under a
+// hybrid placement policy the runtime also serves the ELECTRICAL fallback
+// fabric (src/elec's flow simulator): when the spectrum saturates, queued
+// arrivals are placed onto exclusive host links of a star cluster instead
+// of waiting — kElectricalOverflow spills whatever the optical loop
+// declined, kCostModelChoice routes each job to whichever fabric the cost
+// models predict is faster.  Both timing models run on the same clock and
+// land in one report, with per-substrate breakdowns.
 //
 // Small same-group jobs are fused by the Batcher into a single schedule
-// (one set of per-step optical overheads for the whole batch), and every
-// execution's schedule is proven correct with the coll:: oracle before it
-// touches the ring.
+// (one set of per-step overheads for the whole batch), optionally after a
+// fuse_window admission delay so bursts arriving on an idle ring still
+// fuse, and every execution's schedule is proven correct with the coll::
+// oracle before it touches its fabric.
 //
-// Step-boundary renegotiation: the paper's discrete steps give the runtime
-// a natural control point — after a step's spectrum cells are released and
-// before the next step claims any, an execution's band can change without
-// ever producing an inconsistent reservation.  At that point the runtime
-// may PREEMPT (suspend the execution, surrender its whole band to a
-// higher-priority arrival under FairnessPolicy::kPriorityPreempt, resume it
-// later on whatever band it regains) or RESIZE (grow into freed neighboring
-// spectrum, or shrink toward the job's floor when queued tenants starve).
-// Both paths rebuild the execution's remaining schedule levels against the
-// new budget through core::rebuild_wrht_remainder, and every rebuilt
-// remainder is re-proven with the oracle — composed with the functional
-// steps already executed — before it touches the ring.
+// Step-boundary renegotiation: on substrates whose caps() allow it, the
+// runtime may PREEMPT an execution at a step boundary (suspend it,
+// surrender its whole band to a higher-priority arrival under
+// FairnessPolicy::kPriorityPreempt, resume it later on whatever band it
+// regains) or RESIZE it (grow into freed neighboring spectrum, or shrink
+// toward the job's floor when queued tenants starve).  Both paths rebuild
+// the execution's remaining schedule through the substrate and every
+// rebuilt remainder is re-proven with the oracle — composed with the
+// functional steps already executed — before it touches the fabric.
 #pragma once
 
 #include <cstdint>
@@ -44,17 +47,37 @@
 #include <string>
 #include <vector>
 
-#include "optical/network.hpp"
 #include "optical/params.hpp"
 #include "runtime/admission.hpp"
-#include "runtime/arbiter.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/job.hpp"
+#include "runtime/substrate.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
-#include "wrht/builder.hpp"
 
 namespace wrht::runtime {
+
+/// Which fabrics admission may place jobs on.
+enum class HybridPlacementPolicy : std::uint8_t {
+  /// Optical ring only; saturated-spectrum arrivals queue (pre-refactor
+  /// behavior, the default).
+  kOpticalOnly,
+  /// Optical first; whatever the optical admission loop declines spills
+  /// onto the electrical fallback as soon as its hosts are free.
+  kElectricalOverflow,
+  /// Route each arrival to whichever fabric the cost models predict runs
+  /// it sooner (WRHT formula time vs. the alpha-beta cost of the schedule
+  /// the electrical fabric would pick).  The comparison is of RUN times: a
+  /// job predicted faster on the optical ring keeps waiting for spectrum
+  /// even when the fallback is idle (queue-wait estimates are a ROADMAP
+  /// follow-on).  Routing is work-conserving, not sticky — an
+  /// electrical-predicted job whose hosts are busy still runs on free
+  /// optical spectrum rather than idle-waiting for the fallback.
+  kCostModelChoice,
+};
+
+[[nodiscard]] const char* hybrid_placement_policy_name(
+    HybridPlacementPolicy policy);
 
 struct RuntimeConfig {
   /// Nodes on the shared ring.
@@ -76,6 +99,20 @@ struct RuntimeConfig {
   /// shrink a band toward its jobs' floor when the shrink would unblock a
   /// starved queued job.
   bool elastic_resize = false;
+  /// Hybrid placement across substrates.
+  HybridPlacementPolicy placement = HybridPlacementPolicy::kOpticalOnly;
+  /// Electrical fallback fabric (used when placement != kOpticalOnly).
+  ElectricalFallbackConfig electrical{};
+};
+
+/// Per-substrate slice of a run: how much of the workload each fabric
+/// carried, and its contribution to the shared-clock makespan (the
+/// completion time of the last job it ran).
+struct SubstrateBreakdown {
+  std::uint32_t jobs = 0;
+  std::uint32_t executions = 0;
+  std::uint64_t steps = 0;
+  util::Seconds makespan{0.0};
 };
 
 struct RuntimeReport {
@@ -93,7 +130,8 @@ struct RuntimeReport {
   /// zero wavelength-conflict aborts by construction; this counts how many
   /// opportunities there were.
   std::uint64_t spectrum_reservations = 0;
-  /// Most jobs simultaneously holding spectrum at any instant.
+  /// Most jobs simultaneously holding a grant (on any substrate) at any
+  /// instant.
   std::uint32_t peak_concurrent_jobs = 0;
   /// Executions whose schedule failed the functional oracle.  Like a
   /// wavelength conflict this aborts the process, so a returned report
@@ -106,6 +144,11 @@ struct RuntimeReport {
   std::uint32_t resumes = 0;
   std::uint32_t resizes = 0;
   util::Seconds total_turnaround{0.0};
+  /// Both timing models under one report: what each fabric carried.
+  /// optical.jobs + electrical.jobs == completed, and likewise for
+  /// executions and steps.
+  SubstrateBreakdown optical;
+  SubstrateBreakdown electrical;
 
   [[nodiscard]] util::Seconds mean_turnaround() const {
     return completed == 0 ? util::Seconds(0.0)
@@ -138,14 +181,16 @@ class CollectiveRuntime {
   [[nodiscard]] util::Seconds now() const { return simulator_.now(); }
 
  private:
-  /// One admitted unit of work: a single job or a fused batch.  `build` is
-  /// the schedule for the work still ahead (the whole job at admission, the
+  /// One admitted unit of work: a single job or a fused batch, bound to the
+  /// substrate that placed it.  `plan` is the substrate's schedule +
+  /// resources for the work still ahead (the whole job at admission, the
   /// rebuilt remainder after a renegotiation); `executed` accumulates the
-  /// functional steps already run, so the composite executed + build can be
+  /// functional steps already run, so the composite executed + plan can be
   /// re-proven with the oracle after every rebuild.
   struct Execution {
     std::vector<JobId> jobs;
-    WavelengthBand band;
+    ExecutionSubstrate* substrate = nullptr;
+    std::unique_ptr<SubstrateExecution> plan;
     /// Urgency (max over fused jobs) under kPriorityPreempt.  Starts at the
     /// lowest representable value so max-folding preserves NEGATIVE tenant
     /// priorities instead of flattening them to 0.
@@ -156,9 +201,7 @@ class CollectiveRuntime {
     std::uint32_t useful_cap = 1;
     std::vector<topo::NodeId> participants;
     util::Bytes batch_payload;
-    core::WrhtBuild build;
     std::vector<coll::Step> executed;
-    std::vector<std::vector<optical::TimedTransfer>> steps;
     std::size_t next_step = 0;
     /// A queued higher-priority job asked for this band; surrender it at
     /// the next step boundary.
@@ -167,17 +210,28 @@ class CollectiveRuntime {
   };
 
   void on_arrival(JobId id);
+  void release_fuse_hold(JobId id);
   void try_admit();
   void admit(const AdmissionDecision& decision);
+  /// Shared placement tail: pop the queue entry at `queue_index` (plus its
+  /// fusable peers when the substrate batches), build the plan with `grant`
+  /// units on `substrate`, prove it, and dispatch its first step.
+  void place_execution(ExecutionSubstrate& substrate, std::size_t queue_index,
+                       std::uint32_t grant);
+  /// Hybrid placement: move one queued job onto the electrical fallback
+  /// (kElectricalOverflow: anything still queued; kCostModelChoice: only
+  /// jobs the cost models route there).  Returns true when a job was placed.
+  bool try_place_one_electrical();
   void run_step(const std::shared_ptr<Execution>& exec);
   void finish_execution(const std::shared_ptr<Execution>& exec);
 
   /// The step-boundary renegotiation point: called between two steps of
-  /// `exec`, with exec's own cells released and its band still held.  May
+  /// `exec`, with exec's own cells released and its grant still held.  May
   /// suspend the execution or swap in a rebuilt remainder on a different
-  /// band.  Returns true when the execution surrendered its band HERE — the
-  /// caller must not dispatch the next step then, even if a same-instant
-  /// resume already restarted the execution (the resume dispatched it).
+  /// band.  Returns true when the execution surrendered its grant HERE —
+  /// the caller must not dispatch the next step then, even if a
+  /// same-instant resume already restarted the execution (the resume
+  /// dispatched it).
   [[nodiscard]] bool renegotiate(const std::shared_ptr<Execution>& exec);
   void suspend_execution(const std::shared_ptr<Execution>& exec);
   bool try_resume_one();
@@ -186,23 +240,19 @@ class CollectiveRuntime {
   void try_grow(const std::shared_ptr<Execution>& exec);
   void try_shrink(const std::shared_ptr<Execution>& exec);
 
-  /// Rebuild exec's remaining levels for a band of `width` wavelengths.
-  [[nodiscard]] std::optional<core::WrhtBuild> rebuild_remainder(
-      const Execution& exec, std::uint32_t width) const;
-  /// Fold the executed prefix of exec's current build into exec->executed,
-  /// install `next` as the new build on `band`, re-time its steps, update
-  /// the job records, and re-prove the composite with the oracle.
-  void adopt_rebuilt(Execution& exec, core::WrhtBuild next,
-                     const WavelengthBand& band);
+  /// Fold the executed prefix of exec's current plan into exec->executed,
+  /// install `next` as the new plan, update the job records, and re-prove
+  /// the composite with the oracle.
+  void adopt_plan(Execution& exec, std::unique_ptr<SubstrateExecution> next);
   void verify_composite_or_die(const Execution& exec);
   void trace_job(sim::TraceKind kind, JobId id, const WavelengthBand& band);
+  [[nodiscard]] SubstrateBreakdown& breakdown(SubstrateKind kind);
 
   RuntimeConfig config_;
   topo::RingTopology ring_;
   sim::Simulator simulator_;
-  optical::SpectrumMap spectrum_;
-  optical::TransceiverBank transceivers_;
-  SpectrumArbiter arbiter_;
+  std::unique_ptr<ExecutionSubstrate> optical_;
+  std::unique_ptr<ExecutionSubstrate> electrical_;
   JobQueue queue_;
   std::vector<JobRecord> records_;
   std::vector<JobId> completion_order_;
@@ -213,6 +263,10 @@ class CollectiveRuntime {
   std::vector<std::shared_ptr<Execution>> suspended_;
   std::uint64_t next_seq_ = 0;
   std::uint32_t running_jobs_ = 0;
+  /// Completion time of the last job so far — the report's makespan.  The
+  /// drained clock can sit later (a stale fuse-window hold-release event is
+  /// a legal no-op after the last completion).
+  util::Seconds last_completion_{0.0};
   bool started_ = false;
 };
 

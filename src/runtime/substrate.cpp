@@ -1,0 +1,29 @@
+#include "runtime/substrate.hpp"
+
+namespace wrht::runtime {
+
+// Renegotiation defaults: a substrate that does not opt in through caps()
+// simply declines every renegotiation, and the what-if probe reports the
+// plain free capacity (releasing nothing frees nothing extra).
+
+std::unique_ptr<SubstrateExecution> ExecutionSubstrate::resume_plan(
+    const SubstrateExecution&, std::size_t, std::uint32_t, std::uint32_t) {
+  return nullptr;
+}
+
+std::unique_ptr<SubstrateExecution> ExecutionSubstrate::grow_plan(
+    SubstrateExecution&, std::size_t, std::uint32_t) {
+  return nullptr;
+}
+
+std::unique_ptr<SubstrateExecution> ExecutionSubstrate::shrink_plan(
+    SubstrateExecution&, std::size_t, std::uint32_t) {
+  return nullptr;
+}
+
+std::uint32_t ExecutionSubstrate::free_grant_if_kept(const SubstrateExecution&,
+                                                     std::uint32_t) const {
+  return largest_free_grant();
+}
+
+}  // namespace wrht::runtime

@@ -1,0 +1,187 @@
+// Pluggable execution substrates for the multi-tenant runtime.
+//
+// The runtime's serving loop (admission, fairness, batching, the shared
+// clock, oracle validation) is substrate-agnostic: what it needs from a
+// fabric is "claim resources for this participant set, give me a schedule,
+// time its steps on my clock, release".  ExecutionSubstrate is that seam.
+// Two implementations exist:
+//
+//  * the OPTICAL substrate — the paper's WDM ring.  Grants are contiguous
+//    wavelength bands carved out of the shared spectrum by a
+//    SpectrumArbiter; schedules are Wrht builds sized to the band; per-step
+//    timing claims (span, wavelength, direction) cells on the shared
+//    SpectrumMap and pays the paper's per-step optical overheads.  Supports
+//    step-boundary renegotiation (preemption and elastic resize) via
+//    core::rebuild_wrht_remainder.
+//
+//  * the ELECTRICAL substrate — the alpha-beta/flow baseline fabric from
+//    src/elec.  Grants are exclusive claims on the participants' host
+//    access links in a star cluster (link-capacity grant model: with every
+//    flow crossing only its endpoints' access links, host exclusivity makes
+//    the per-execution quiet-network flow timing exact).  Schedules are the
+//    classic electrical collectives (chunked ring / recursive doubling,
+//    picked by the alpha-beta cost model); per-step timing is the BSP step
+//    makespan under max-min fair sharing, exactly elec::run_on_electrical's
+//    model, produced incrementally so electrical steps interleave with
+//    optical tenants on one clock.
+//
+// A substrate declares what it can renegotiate through SubstrateCaps; the
+// runtime only exercises preemption/resize against substrates that opt in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coll/schedule.hpp"
+#include "elec/topology.hpp"
+#include "optical/assign.hpp"
+#include "optical/params.hpp"
+#include "runtime/job.hpp"
+#include "sim/simulator.hpp"
+#include "topo/ring.hpp"
+
+namespace wrht::runtime {
+
+/// What a substrate lets the runtime renegotiate at step boundaries.
+struct SubstrateCaps {
+  /// Executions can suspend at a step boundary, surrender their grant, and
+  /// resume later on a rebuilt remainder.
+  bool preemptible = false;
+  /// Grants can grow/shrink mid-flight (elastic resize).
+  bool resizable = false;
+  /// Same-group small jobs may fuse into one execution here.
+  bool batchable = false;
+  /// Fused peers execute inside the lead's grant, so a peer's
+  /// min_wavelengths floor must hold against the granted width.  False when
+  /// grants are not wavelength-denominated (electrical host claims).
+  bool fuse_respects_grant = false;
+};
+
+/// Per-execution state owned by a substrate: the schedule still ahead and
+/// the resources backing it.  The runtime folds executed steps into its own
+/// composite-oracle checkpoint; the plan always describes only the work
+/// remaining (the whole job at admission, the rebuilt remainder after a
+/// renegotiation).
+class SubstrateExecution {
+ public:
+  virtual ~SubstrateExecution() = default;
+
+  /// Schedule for the steps still ahead.
+  [[nodiscard]] virtual const coll::Schedule& schedule() const = 0;
+  [[nodiscard]] virtual std::size_t num_steps() const = 0;
+  /// Spectrum band backing this plan.  Off-spectrum substrates return the
+  /// invalid {0, 0} band; JobRecord keeps it as "no band held".
+  [[nodiscard]] virtual WavelengthBand band() const = 0;
+  /// Current grant in the substrate's capacity units (wavelengths for
+  /// optical, host-link claims for electrical).
+  [[nodiscard]] virtual std::uint32_t grant() const = 0;
+};
+
+/// Timing of one executed step on the shared clock.
+struct StepTiming {
+  /// Absolute completion time of the step, including the substrate's
+  /// inter-step barrier.
+  util::Seconds end{0.0};
+  std::uint64_t retunes = 0;
+  /// (arc, wavelength) cells claimed on the shared spectrum map (0 for
+  /// substrates without shared-medium reservations).
+  std::uint64_t reservations = 0;
+};
+
+class ExecutionSubstrate {
+ public:
+  virtual ~ExecutionSubstrate() = default;
+
+  [[nodiscard]] virtual SubstrateKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual const SubstrateCaps& caps() const = 0;
+
+  /// Capacity view the admission policies reason over, in grant units.
+  [[nodiscard]] virtual std::uint32_t largest_free_grant() const = 0;
+  [[nodiscard]] virtual std::uint32_t free_grant_total() const = 0;
+
+  /// True when a grant of `min_grant` units for `participants` could be
+  /// claimed right now.
+  [[nodiscard]] virtual bool can_place(
+      const std::vector<topo::NodeId>& participants,
+      std::uint32_t min_grant) const = 0;
+
+  /// Claim `grant` units and build the execution plan for an all-reduce of
+  /// `payload` among `participants`.  The caller must have established
+  /// feasibility (optical: the arbiter advertised a free run; electrical:
+  /// can_place said yes) — an unsatisfiable claim is an arbitration bug and
+  /// aborts, never a quiet failure.
+  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> place(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant) = 0;
+
+  /// Execute step `step` of `exec` starting at `now`: claim any per-step
+  /// shared-medium resources, schedule their release events, and return the
+  /// step's completion time.  The caller owns the step-boundary event.
+  [[nodiscard]] virtual StepTiming time_step(SubstrateExecution& exec,
+                                             std::size_t step,
+                                             util::Seconds now) = 0;
+
+  /// Release exec's standing grant (band / host links).  Idempotent; the
+  /// plan itself survives for a later resume_plan.
+  virtual void release(SubstrateExecution& exec) = 0;
+
+  /// Predicted completion time of a fresh `grant`-unit execution — the
+  /// hybrid cost-model placement signal (WRHT formula time vs. alpha-beta).
+  [[nodiscard]] virtual util::Seconds predict_makespan(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant) const = 0;
+
+  // ----- renegotiation mechanics (meaningful only when caps() opt in; the
+  // defaults refuse).  Each returns a replacement plan that owns its grant,
+  // or nullptr leaving `current` untouched.  On success the old plan's
+  // grant has been consumed (resize) or must already be released (resume);
+  // the runtime folds the executed prefix and re-proves the composite.
+
+  /// Re-place a suspended execution: allocate a fresh grant of at most
+  /// `desired` units (never below `min_grant`) and rebuild the remainder
+  /// after `steps_done` executed steps.
+  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> resume_plan(
+      const SubstrateExecution& current, std::size_t steps_done,
+      std::uint32_t desired, std::uint32_t min_grant);
+
+  /// Grow `current`'s grant in place toward `max_grant` when the rebuilt
+  /// remainder gets strictly shorter; rolls the grant back otherwise.
+  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> grow_plan(
+      SubstrateExecution& current, std::size_t steps_done,
+      std::uint32_t max_grant);
+
+  /// Shrink `current`'s grant in place to exactly `keep` units.
+  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> shrink_plan(
+      SubstrateExecution& current, std::size_t steps_done,
+      std::uint32_t keep);
+
+  /// What-if probe: largest free grant if `exec` kept only `keep` units of
+  /// its current grant (the shrink-under-pressure decision signal).
+  [[nodiscard]] virtual std::uint32_t free_grant_if_kept(
+      const SubstrateExecution& exec, std::uint32_t keep) const;
+};
+
+/// The WDM-ring substrate (spectrum arbiter + Wrht builds + shared-map
+/// per-step reservations).  `ring` and `sim` must outlive the substrate.
+[[nodiscard]] std::unique_ptr<ExecutionSubstrate> make_optical_substrate(
+    const topo::RingTopology& ring, const optical::OpticalParams& params,
+    optical::FitPolicy fit_policy, sim::Simulator& sim);
+
+/// Electrical-fallback fabric configuration.
+struct ElectricalFallbackConfig {
+  /// Host access-link spec of the star cluster backing the fallback.
+  elec::ElectricalParams link{};
+  /// Hard cap on concurrent electrical executions (0 = bounded only by
+  /// per-host link exclusivity).
+  std::uint32_t max_concurrent = 0;
+};
+
+/// The flow-simulator fallback substrate over a star cluster of
+/// `num_hosts` hosts (one per ring position, so any participant set maps
+/// 1:1 onto hosts).
+[[nodiscard]] std::unique_ptr<ExecutionSubstrate> make_electrical_substrate(
+    std::uint32_t num_hosts, const ElectricalFallbackConfig& config);
+
+}  // namespace wrht::runtime

@@ -1,0 +1,236 @@
+// The electrical-fallback execution substrate: the alpha-beta/flow baseline
+// fabric from src/elec serving overflow tenants when the optical spectrum
+// saturates.
+//
+// Grant model — link capacity.  The fallback is a star cluster with one
+// host per ring position; every host owns one full-duplex access link, and
+// every flow between two hosts crosses exactly its endpoints' access links
+// (the switch core is non-blocking).  An execution therefore claims its
+// participants' access links exclusively: two placed executions can never
+// share a link, which is precisely what makes timing each execution's steps
+// on a private quiet FlowNetwork EXACT under max-min fair sharing, not an
+// approximation.  Jobs whose participants overlap a placed execution wait.
+//
+// Schedules are the classic electrical collectives the paper benchmarks
+// against: the chunked ring (bandwidth-optimal) or recursive doubling
+// (latency-optimal), picked per job by the alpha-beta cost model and
+// remapped from compact ranks onto the participants' host ids.  Per-step
+// timing is the BSP step makespan from elec::StepFlowTimer — the same model
+// as elec::run_on_electrical, produced one step at a time so electrical
+// steps interleave with optical tenants' events on the shared clock.
+#include "runtime/substrate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "coll/algorithms.hpp"
+#include "coll/cost_model.hpp"
+#include "elec/alphabeta.hpp"
+#include "elec/schedule_runner.hpp"
+
+namespace wrht::runtime {
+
+namespace {
+
+/// Rewrite a compact-rank schedule (nodes 0..k-1) onto the participants'
+/// host ids inside a `num_hosts`-wide id space.  Chunk structure is
+/// untouched, so payload splitting and functional semantics carry over.
+coll::Schedule remap_onto_hosts(const coll::Schedule& compact,
+                                const std::vector<topo::NodeId>& hosts,
+                                std::uint32_t num_hosts) {
+  coll::Schedule mapped(compact.name() + "-on-hosts", num_hosts,
+                        compact.num_chunks());
+  for (const coll::Step& step : compact.steps()) {
+    mapped.add_step();
+    for (const coll::Transfer& t : step.transfers) {
+      coll::Transfer placed = t;
+      placed.src = hosts[t.src];
+      placed.dst = hosts[t.dst];
+      mapped.add_transfer(placed);
+    }
+  }
+  return mapped;
+}
+
+class ElectricalExecution final : public SubstrateExecution {
+ public:
+  [[nodiscard]] const coll::Schedule& schedule() const override {
+    return schedule_;
+  }
+  [[nodiscard]] std::size_t num_steps() const override {
+    return schedule_.num_steps();
+  }
+  /// Electrical grants are host links, not spectrum; the invalid band tells
+  /// records/traces "no band held".
+  [[nodiscard]] WavelengthBand band() const override { return {}; }
+  [[nodiscard]] std::uint32_t grant() const override {
+    return holds_hosts ? static_cast<std::uint32_t>(hosts.size()) : 0;
+  }
+
+  coll::Schedule schedule_;
+  util::Bytes payload;
+  std::vector<topo::NodeId> hosts;
+  bool holds_hosts = false;
+};
+
+class ElectricalSubstrate final : public ExecutionSubstrate {
+ public:
+  ElectricalSubstrate(std::uint32_t num_hosts,
+                      const ElectricalFallbackConfig& config)
+      : cluster_(elec::ElectricalCluster::star(num_hosts, config.link)),
+        timer_(cluster_),
+        config_(config),
+        host_busy_(num_hosts, false) {}
+
+  [[nodiscard]] SubstrateKind kind() const override {
+    return SubstrateKind::kElectrical;
+  }
+  [[nodiscard]] const char* name() const override { return "electrical"; }
+  [[nodiscard]] const SubstrateCaps& caps() const override {
+    // No mid-flight renegotiation: a BSP flow step has no shared-spectrum
+    // boundary to renegotiate at, and host claims are all-or-nothing.
+    // Batching still applies (per-step alpha dominates small jobs here
+    // too), and a fused peer rides host links, not a wavelength band, so no
+    // grant-width floor constrains fusion.
+    static constexpr SubstrateCaps kCaps{/*preemptible=*/false,
+                                         /*resizable=*/false,
+                                         /*batchable=*/true,
+                                         /*fuse_respects_grant=*/false};
+    return kCaps;
+  }
+
+  [[nodiscard]] std::uint32_t largest_free_grant() const override {
+    // A unit of capacity exists only when BOTH gates could pass: a
+    // concurrency slot and at least one free host link.
+    if (!slots_available()) return 0;
+    const bool any_host_free =
+        std::find(host_busy_.begin(), host_busy_.end(), false) !=
+        host_busy_.end();
+    return any_host_free ? 1u : 0u;
+  }
+  [[nodiscard]] std::uint32_t free_grant_total() const override {
+    if (!slots_available()) return 0;
+    std::uint32_t free = 0;
+    for (const bool busy : host_busy_) free += busy ? 0u : 1u;
+    return free;
+  }
+
+  [[nodiscard]] bool can_place(const std::vector<topo::NodeId>& participants,
+                               std::uint32_t) const override {
+    if (!slots_available()) return false;
+    return std::none_of(
+        participants.begin(), participants.end(),
+        [this](topo::NodeId host) { return host_busy_[host]; });
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> place(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t) override {
+    if (!can_place(participants, 1)) {
+      std::fprintf(stderr,
+                   "ElectricalSubstrate: placement on busy hosts — "
+                   "arbitration bug\n");
+      std::abort();
+    }
+    auto plan = std::make_unique<ElectricalExecution>();
+    plan->schedule_ = schedule_for(participants, payload);
+    plan->payload = payload;
+    plan->hosts = participants;
+    plan->holds_hosts = true;
+    for (const topo::NodeId host : participants) host_busy_[host] = true;
+    ++active_;
+    return plan;
+  }
+
+  [[nodiscard]] StepTiming time_step(SubstrateExecution& e, std::size_t step,
+                                     util::Seconds now) override {
+    auto& exec = static_cast<ElectricalExecution&>(e);
+    StepTiming out;
+    // BSP semantics, same as elec::run_on_electrical: the step's duration
+    // is its flow makespan (route latency included); the next step starts
+    // only when this one fully completes.
+    out.end = now + timer_.time_step(exec.schedule_, step, exec.payload);
+    return out;
+  }
+
+  void release(SubstrateExecution& e) override {
+    auto& exec = static_cast<ElectricalExecution&>(e);
+    if (!exec.holds_hosts) return;
+    for (const topo::NodeId host : exec.hosts) host_busy_[host] = false;
+    exec.holds_hosts = false;
+    --active_;
+  }
+
+  [[nodiscard]] util::Seconds predict_makespan(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t) const override {
+    // The alpha-beta analytic cost of the schedule this substrate would
+    // run.  On the patterns schedule_for picks (ring steps, pairwise
+    // exchanges) the flow simulation and the analytic model agree exactly,
+    // so this is a faithful prediction, not a bound.  Admission re-asks
+    // this for every queued candidate on every event, and the answer
+    // depends only on (rank count, payload) for a fixed cluster — memoized
+    // so the O(k^2)-transfer schedule is not rebuilt each time.
+    const auto k = static_cast<std::uint32_t>(participants.size());
+    const std::pair<std::uint32_t, std::uint64_t> key{k, payload.count()};
+    const auto cached = prediction_cache_.find(key);
+    if (cached != prediction_cache_.end()) return cached->second;
+    const util::Seconds predicted =
+        coll::alpha_beta_cost(best_compact_schedule(k, payload), payload,
+                              elec::alpha_beta_for(cluster_))
+            .total;
+    prediction_cache_.emplace(key, predicted);
+    return predicted;
+  }
+
+ private:
+  [[nodiscard]] bool slots_available() const {
+    return config_.max_concurrent == 0 || active_ < config_.max_concurrent;
+  }
+
+  /// Cheapest of the baseline all-reduces for k ranks under this cluster's
+  /// alpha-beta parameters: chunked ring (bandwidth-optimal) vs recursive
+  /// doubling (latency-optimal; only a candidate at power-of-two k, where
+  /// it needs no fold/unfold steps).
+  [[nodiscard]] coll::Schedule best_compact_schedule(std::uint32_t k,
+                                                     util::Bytes payload) const {
+    coll::Schedule ring = coll::ring_allreduce(k);
+    if ((k & (k - 1)) != 0) return ring;
+    coll::Schedule doubling = coll::recursive_doubling(k);
+    const coll::AlphaBetaParams ab = elec::alpha_beta_for(cluster_);
+    const util::Seconds ring_cost =
+        coll::alpha_beta_cost(ring, payload, ab).total;
+    const util::Seconds doubling_cost =
+        coll::alpha_beta_cost(doubling, payload, ab).total;
+    return doubling_cost < ring_cost ? std::move(doubling) : std::move(ring);
+  }
+
+  [[nodiscard]] coll::Schedule schedule_for(
+      const std::vector<topo::NodeId>& participants,
+      util::Bytes payload) const {
+    return remap_onto_hosts(
+        best_compact_schedule(static_cast<std::uint32_t>(participants.size()),
+                              payload),
+        participants, cluster_.num_hosts());
+  }
+
+  elec::ElectricalCluster cluster_;
+  elec::StepFlowTimer timer_;
+  ElectricalFallbackConfig config_;
+  std::vector<bool> host_busy_;
+  std::uint32_t active_ = 0;
+  mutable std::map<std::pair<std::uint32_t, std::uint64_t>, util::Seconds>
+      prediction_cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionSubstrate> make_electrical_substrate(
+    std::uint32_t num_hosts, const ElectricalFallbackConfig& config) {
+  return std::make_unique<ElectricalSubstrate>(num_hosts, config);
+}
+
+}  // namespace wrht::runtime

@@ -1,0 +1,295 @@
+// The WDM-ring execution substrate: everything wavelength-shaped the
+// runtime used to do inline lives here now.  Grants are contiguous spectrum
+// bands from the SpectrumArbiter; plans are Wrht builds sized to the band
+// and shifted into place; per-step timing claims every (span, wavelength,
+// direction) cell on the shared SpectrumMap (a failed claim is an
+// arbitration bug and aborts, same fatal semantics as the single-job DES)
+// and schedules the release events on the shared clock.  Renegotiation
+// (resume / grow / shrink) rebuilds the not-yet-run remainder through
+// core::rebuild_wrht_remainder and transacts the band on the arbiter, with
+// rollback when a rebuild does not pay off.
+#include "runtime/substrate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "optical/network.hpp"
+#include "optical/spectrum.hpp"
+#include "optical/transceiver.hpp"
+#include "runtime/arbiter.hpp"
+#include "wrht/builder.hpp"
+#include "wrht/executor.hpp"
+#include "wrht/time_model.hpp"
+
+namespace wrht::runtime {
+
+namespace {
+
+class OpticalExecution final : public SubstrateExecution {
+ public:
+  [[nodiscard]] const coll::Schedule& schedule() const override {
+    return build.annotated.schedule;
+  }
+  [[nodiscard]] std::size_t num_steps() const override {
+    return timed_steps.size();
+  }
+  [[nodiscard]] WavelengthBand band() const override { return band_; }
+  [[nodiscard]] std::uint32_t grant() const override { return band_.width; }
+
+  core::WrhtBuild build;
+  WavelengthBand band_;
+  /// False once the band went back to the arbiter (suspension) or moved to
+  /// a successor plan (resize) — the double-release guard.
+  bool holds_band = false;
+  std::vector<topo::NodeId> participants;
+  util::Bytes payload;
+  std::vector<std::vector<optical::TimedTransfer>> timed_steps;
+};
+
+class OpticalSubstrate final : public ExecutionSubstrate {
+ public:
+  OpticalSubstrate(const topo::RingTopology& ring,
+                   const optical::OpticalParams& params,
+                   optical::FitPolicy fit_policy, sim::Simulator& sim)
+      : ring_(ring),
+        params_(params),
+        fit_policy_(fit_policy),
+        sim_(sim),
+        spectrum_(ring, params.wdm.num_wavelengths),
+        transceivers_(ring.num_nodes()),
+        arbiter_(params.wdm.num_wavelengths) {}
+
+  [[nodiscard]] SubstrateKind kind() const override {
+    return SubstrateKind::kOptical;
+  }
+  [[nodiscard]] const char* name() const override { return "optical"; }
+  [[nodiscard]] const SubstrateCaps& caps() const override {
+    static constexpr SubstrateCaps kCaps{/*preemptible=*/true,
+                                         /*resizable=*/true,
+                                         /*batchable=*/true,
+                                         /*fuse_respects_grant=*/true};
+    return kCaps;
+  }
+
+  [[nodiscard]] std::uint32_t largest_free_grant() const override {
+    return arbiter_.largest_free_block();
+  }
+  [[nodiscard]] std::uint32_t free_grant_total() const override {
+    return arbiter_.free_total();
+  }
+
+  [[nodiscard]] bool can_place(const std::vector<topo::NodeId>&,
+                               std::uint32_t min_grant) const override {
+    return arbiter_.largest_free_block() >= min_grant;
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> place(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant) override {
+    const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
+    if (!band) {
+      // Admission promised a free run of this width; not finding one is an
+      // arbiter/admission disagreement.
+      std::fprintf(stderr, "OpticalSubstrate: arbiter refused a %u-band\n",
+                   grant);
+      std::abort();
+    }
+    core::WrhtParams wrht;
+    wrht.num_wavelengths = band->width;
+    wrht.fit_policy = fit_policy_;
+    core::WrhtBuild build =
+        core::build_wrht_among(participants, ring_.num_nodes(), wrht);
+    if (build.annotated.wavelengths_required > band->width) {
+      std::fprintf(stderr,
+                   "OpticalSubstrate: schedule overflowed its band (%u > %u)\n",
+                   build.annotated.wavelengths_required, band->width);
+      std::abort();
+    }
+    return make_plan(std::move(build), *band, participants, payload);
+  }
+
+  [[nodiscard]] StepTiming time_step(SubstrateExecution& e, std::size_t step,
+                                     util::Seconds now) override {
+    auto& exec = static_cast<OpticalExecution&>(e);
+    const std::vector<optical::TimedTransfer>& transfers =
+        exec.timed_steps[step];
+    StepTiming out;
+
+    // Claim the step's spectrum cells on the SHARED map.  Bands are
+    // disjoint, so a failed claim means the arbitration above is broken.
+    for (const optical::TimedTransfer& t : transfers) {
+      for (const optical::WavelengthId lambda : t.lambdas) {
+        if (!spectrum_.try_reserve(t.arc, lambda)) {
+          std::fprintf(stderr,
+                       "OpticalSubstrate: wavelength conflict on lambda %u — "
+                       "arbitration bug\n",
+                       lambda);
+          std::abort();
+        }
+        ++out.reservations;
+      }
+    }
+
+    util::Seconds step_end = now;
+    for (const optical::TimedTransfer& t : transfers) {
+      const optical::WavelengthId primary = t.lambdas.front();
+      bool retuned = transceivers_.retune_tx(t.src, t.arc.direction, primary);
+      retuned |= transceivers_.retune_rx(t.dst, t.arc.direction, primary);
+      if (params_.retune_every_step) retuned = true;
+      if (retuned) ++out.retunes;
+
+      const util::Seconds finish =
+          now + optical::transfer_cost(params_, t, retuned);
+      step_end = std::max(step_end, finish);
+      sim_.schedule_at(finish, [this, arc = t.arc, lambdas = t.lambdas] {
+        for (const optical::WavelengthId lambda : lambdas) {
+          spectrum_.release(arc, lambda);
+        }
+      });
+    }
+    out.end = step_end + params_.sync_time;
+    return out;
+  }
+
+  void release(SubstrateExecution& e) override {
+    auto& exec = static_cast<OpticalExecution&>(e);
+    if (!exec.holds_band) return;
+    arbiter_.release(exec.band_);
+    exec.holds_band = false;
+    // exec.band_ keeps its value: the pre-suspension width is the resume
+    // path's sizing hint.
+  }
+
+  [[nodiscard]] util::Seconds predict_makespan(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant) const override {
+    core::WrhtParams wrht;
+    wrht.num_wavelengths = std::max(grant, 1u);
+    wrht.fit_policy = fit_policy_;
+    return core::wrht_time_formula(
+        static_cast<std::uint32_t>(participants.size()), payload, params_,
+        wrht);
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> resume_plan(
+      const SubstrateExecution& c, std::size_t steps_done,
+      std::uint32_t desired, std::uint32_t min_grant) override {
+    const auto& current = static_cast<const OpticalExecution&>(c);
+    const std::uint32_t budget = arbiter_.largest_free_block();
+    if (budget < min_grant) return nullptr;
+    std::uint32_t grant = std::min(desired, budget);
+    std::optional<core::WrhtBuild> rebuilt =
+        rebuild_remainder(current, steps_done, grant);
+    if (!rebuilt && budget > grant) {
+      // The remainder's inherited mirrors can need more than the job's
+      // admission minimum; retry with everything contiguous on offer.
+      grant = budget;
+      rebuilt = rebuild_remainder(current, steps_done, grant);
+    }
+    if (!rebuilt) return nullptr;
+    const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
+    if (!band) {
+      std::fprintf(stderr,
+                   "OpticalSubstrate: arbiter refused a %u-band on resume\n",
+                   grant);
+      std::abort();
+    }
+    return make_plan(std::move(*rebuilt), *band, current.participants,
+                     current.payload);
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> grow_plan(
+      SubstrateExecution& c, std::size_t steps_done,
+      std::uint32_t max_grant) override {
+    auto& current = static_cast<OpticalExecution&>(c);
+    const WavelengthBand old = current.band_;
+    const WavelengthBand grown = arbiter_.grow(old, max_grant);
+    if (grown == old) return nullptr;
+    const std::size_t remaining = current.num_steps() - steps_done;
+    std::optional<core::WrhtBuild> rebuilt =
+        rebuild_remainder(current, steps_done, grown.width);
+    // A wider band only pays off by collapsing remaining tree levels (each
+    // transfer still rides one wavelength, so same-depth schedules run at
+    // the same speed); otherwise give the spectrum straight back.
+    if (!rebuilt || rebuilt->annotated.schedule.num_steps() >= remaining) {
+      arbiter_.shrink_to(grown, old);
+      return nullptr;
+    }
+    current.holds_band = false;  // the grown band moves to the new plan
+    return make_plan(std::move(*rebuilt), grown, current.participants,
+                     current.payload);
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> shrink_plan(
+      SubstrateExecution& c, std::size_t steps_done,
+      std::uint32_t keep) override {
+    auto& current = static_cast<OpticalExecution&>(c);
+    const WavelengthBand old = current.band_;
+    std::optional<core::WrhtBuild> rebuilt =
+        rebuild_remainder(current, steps_done, keep);
+    if (!rebuilt) return nullptr;
+    const WavelengthBand kept{old.base, keep};
+    arbiter_.shrink_to(old, kept);
+    current.holds_band = false;  // the kept band moves to the new plan
+    return make_plan(std::move(*rebuilt), kept, current.participants,
+                     current.payload);
+  }
+
+  [[nodiscard]] std::uint32_t free_grant_if_kept(
+      const SubstrateExecution& e, std::uint32_t keep) const override {
+    const auto& exec = static_cast<const OpticalExecution&>(e);
+    const WavelengthBand band = exec.band_;
+    const WavelengthBand freed{band.base + keep, band.width - keep};
+    return arbiter_.largest_free_block_assuming(freed);
+  }
+
+ private:
+  [[nodiscard]] std::optional<core::WrhtBuild> rebuild_remainder(
+      const OpticalExecution& exec, std::size_t steps_done,
+      std::uint32_t width) const {
+    core::WrhtParams wrht;
+    wrht.num_wavelengths = width;
+    wrht.fit_policy = fit_policy_;
+    return core::rebuild_wrht_remainder(exec.build, steps_done,
+                                        exec.participants, ring_.num_nodes(),
+                                        wrht);
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> make_plan(
+      core::WrhtBuild build, const WavelengthBand& band,
+      const std::vector<topo::NodeId>& participants, util::Bytes payload) {
+    auto plan = std::make_unique<OpticalExecution>();
+    plan->build = std::move(build);
+    plan->band_ = band;
+    plan->holds_band = true;
+    plan->participants = participants;
+    plan->payload = payload;
+    const std::size_t num_steps = plan->build.annotated.schedule.num_steps();
+    plan->timed_steps.reserve(num_steps);
+    for (std::size_t s = 0; s < num_steps; ++s) {
+      plan->timed_steps.push_back(
+          core::timed_step(plan->build.annotated, s, payload, band.base));
+    }
+    return plan;
+  }
+
+  const topo::RingTopology& ring_;
+  optical::OpticalParams params_;
+  optical::FitPolicy fit_policy_;
+  sim::Simulator& sim_;
+  optical::SpectrumMap spectrum_;
+  optical::TransceiverBank transceivers_;
+  SpectrumArbiter arbiter_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionSubstrate> make_optical_substrate(
+    const topo::RingTopology& ring, const optical::OpticalParams& params,
+    optical::FitPolicy fit_policy, sim::Simulator& sim) {
+  return std::make_unique<OpticalSubstrate>(ring, params, fit_policy, sim);
+}
+
+}  // namespace wrht::runtime

@@ -30,6 +30,10 @@ const char* trace_kind_name(TraceKind kind) {
       return "job_resume";
     case TraceKind::kJobResize:
       return "job_resize";
+    case TraceKind::kJobPlaceOptical:
+      return "job_place_optical";
+    case TraceKind::kJobPlaceElectrical:
+      return "job_place_electrical";
     case TraceKind::kCustom:
       return "custom";
   }

@@ -25,6 +25,10 @@ enum class TraceKind : std::uint8_t {
   kJobPreempt,
   kJobResume,
   kJobResize,
+  /// Hybrid placement verdicts: which substrate an admitted job landed on.
+  /// Recorded alongside kJobAdmit so one trace tells both timing stories.
+  kJobPlaceOptical,
+  kJobPlaceElectrical,
   kCustom,
 };
 

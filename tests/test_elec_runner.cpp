@@ -97,5 +97,101 @@ TEST(Runner, StepCountPreserved) {
   EXPECT_EQ(result.step_durations.size(), schedule.num_steps());
 }
 
+TEST(Runner, EmptyScheduleRunsInZeroTime) {
+  const ElectricalCluster cluster = ElectricalCluster::star(4, test_params());
+  const coll::Schedule empty("empty", 4, 1);  // zero steps
+  const ElecRunResult result =
+      run_on_electrical(empty, cluster, util::megabytes(1));
+  EXPECT_EQ(result.step_durations.size(), 0u);
+  EXPECT_EQ(result.total, util::Seconds(0.0));
+}
+
+TEST(Runner, StepsWithoutFlowsTakeZeroTime) {
+  // A schedule can carry steps with no transfers (a single-node "group"
+  // has nothing to exchange); the quiet network must report a zero-length
+  // step instead of hanging or charging latency for flows that never exist.
+  const ElectricalCluster cluster = ElectricalCluster::star(2, test_params());
+  coll::Schedule schedule("idle-steps", 2, 1);
+  schedule.add_step();  // empty
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, coll::TransferOp::kReduce});
+  schedule.add_step();  // empty again
+  const ElecRunResult result =
+      run_on_electrical(schedule, cluster, util::megabytes(1));
+  ASSERT_EQ(result.step_durations.size(), 3u);
+  EXPECT_EQ(result.step_durations[0], util::Seconds(0.0));
+  EXPECT_GT(result.step_durations[1], util::Seconds(0.0));
+  EXPECT_EQ(result.step_durations[2], util::Seconds(0.0));
+  EXPECT_EQ(result.total, result.step_durations[1]);
+}
+
+TEST(Runner, SingleTransferStepMatchesHandComputation) {
+  // One flow, quiet network: chunk at line rate plus the two-hop route
+  // latency, nothing else.
+  const ElectricalCluster cluster = ElectricalCluster::star(2, test_params());
+  coll::Schedule schedule("pair", 2, 1);
+  schedule.add_step();
+  schedule.add_transfer({0, 1, 0, coll::TransferOp::kReduce});
+  const ElecRunResult result =
+      run_on_electrical(schedule, cluster, Bytes(1'000'000));
+  ASSERT_EQ(result.step_durations.size(), 1u);
+  EXPECT_NEAR(result.total.value(), 1e-3 + 50e-6, 1e-9);
+}
+
+TEST(Runner, ZeroBytePayloadCompletesAtRouteLatency) {
+  // A zero-byte chunk still pays the activation latency of its route —
+  // flows are never skipped, and the fluid solver must not divide by a
+  // zero remaining volume.
+  const std::uint32_t n = 4;
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const coll::Schedule schedule = coll::ring_allreduce(n);
+  const ElecRunResult result = run_on_electrical(schedule, cluster, Bytes(0));
+  ASSERT_EQ(result.step_durations.size(), 2u * (n - 1));
+  for (const util::Seconds& step : result.step_durations) {
+    EXPECT_NEAR(step.value(), 50e-6, 1e-12);  // 2 x 25 us route latency
+  }
+}
+
+TEST(Runner, IncrementalStepTimingAgreesWithWholeSchedule) {
+  // The multi-tenant runtime times electrical steps one at a time through
+  // StepFlowTimer; on identical inputs every per-step duration — and their
+  // sum — must equal the whole-schedule runner's, including on patterns
+  // with real link contention (direct all-reduce congests the downlinks).
+  const std::uint32_t n = 8;
+  const Bytes payload(7'777'777);  // deliberately not divisible by n
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  for (const coll::Schedule& schedule :
+       {coll::ring_allreduce(n), coll::recursive_doubling(n),
+        coll::direct_allreduce(n), coll::binomial_tree(n)}) {
+    const ElecRunResult whole = run_on_electrical(schedule, cluster, payload);
+    StepFlowTimer timer(cluster);
+    util::Seconds total{0.0};
+    for (std::size_t s = 0; s < schedule.num_steps(); ++s) {
+      const util::Seconds step = timer.time_step(schedule, s, payload);
+      EXPECT_EQ(step, whole.step_durations[s]) << schedule.name() << " step "
+                                               << s;
+      total += step;
+    }
+    EXPECT_EQ(total, whole.total) << schedule.name();
+  }
+}
+
+TEST(Runner, StepFlowTimerIsReusableOutOfOrder) {
+  // The timer carries no cross-step state (each step runs on a reset
+  // network), so steps may be timed in any order and even repeatedly.
+  const std::uint32_t n = 4;
+  const ElectricalCluster cluster = ElectricalCluster::star(n, test_params());
+  const coll::Schedule schedule = coll::ring_allreduce(n);
+  const Bytes payload(4'000'000);
+  StepFlowTimer timer(cluster);
+  const util::Seconds last =
+      timer.time_step(schedule, schedule.num_steps() - 1, payload);
+  const util::Seconds first = timer.time_step(schedule, 0, payload);
+  const util::Seconds first_again = timer.time_step(schedule, 0, payload);
+  EXPECT_EQ(first, first_again);
+  EXPECT_GT(first, util::Seconds(0.0));
+  EXPECT_GT(last, util::Seconds(0.0));
+}
+
 }  // namespace
 }  // namespace wrht::elec

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/runtime.hpp"
+
 namespace wrht::runtime {
 namespace {
 
@@ -101,6 +103,179 @@ TEST(Batcher, DisabledReturnsLeadOnly) {
   config.enabled = false;
   EXPECT_EQ(fusable_peers(queue, 0, 4, config),
             (std::vector<std::size_t>{0}));
+}
+
+TEST(Batcher, MixedPrioritiesNeverFuse) {
+  // Regression: an execution carries ONE priority (the max over its fused
+  // jobs), so fusing a low-priority rider into a high-priority lead let the
+  // rider inherit the lead's urgency and dodge preemption.  Only
+  // equal-priority jobs may share a batch.
+  JobQueue queue;
+  QueueEntry lead = job(0, 0, {0, 1, 2, 3}, kSmall);
+  lead.priority = 5;
+  queue.push(lead);
+  QueueEntry rider = job(1, 1, {0, 1, 2, 3}, kSmall);
+  rider.priority = 0;  // lower urgency: must not ride along
+  queue.push(rider);
+  QueueEntry peer = job(2, 2, {0, 1, 2, 3}, kSmall);
+  peer.priority = 5;  // same urgency: fuses
+  queue.push(peer);
+  QueueEntry upward = job(3, 3, {0, 1, 2, 3}, kSmall);
+  upward.priority = 9;  // HIGHER urgency must not be dragged down either
+  queue.push(upward);
+  const auto peers = fusable_peers(queue, 0, 4, BatcherConfig{});
+  EXPECT_EQ(peers, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Batcher, LowPriorityRiderStaysPreemptibleAtRuntime) {
+  // End to end: a priority-0 job queued next to a priority-5 lead must run
+  // as its own execution, stay preemptible, and actually be preempted by a
+  // later urgent arrival — before the fix it fused into the lead's batch
+  // and sailed through at priority 5.
+  RuntimeConfig config;
+  config.ring_size = 16;
+  config.optical.wdm.num_wavelengths = 8;
+  config.policy = FairnessPolicy::kPriorityPreempt;
+  config.batcher.max_fuse_payload = util::megabytes(8);
+  config.batcher.max_batch_payload = util::megabytes(16);
+
+  CollectiveRuntime rt(config);
+  JobSpec blocker;  // saturates the ring so both arrivals queue together
+  for (std::uint32_t i = 0; i < 8; ++i) blocker.participants.push_back(i);
+  blocker.payload = util::kilobytes(256);
+  blocker.min_wavelengths = 8;
+  blocker.priority = 7;
+  rt.submit(blocker);
+
+  JobSpec lead;
+  for (std::uint32_t i = 0; i < 8; ++i) lead.participants.push_back(i);
+  lead.payload = util::megabytes(4);
+  lead.arrival = util::microseconds(1.0);
+  lead.min_wavelengths = 8;
+  lead.priority = 5;
+  const JobId lead_id = rt.submit(lead);
+
+  JobSpec rider = lead;  // same group, same size — only the urgency differs
+  rider.priority = 0;
+  const JobId rider_id = rt.submit(rider);
+
+  JobSpec urgent;
+  for (std::uint32_t i = 0; i < 6; ++i) urgent.participants.push_back(2 + i);
+  urgent.payload = util::megabytes(1);
+  urgent.arrival = util::milliseconds(13.0);  // lands mid-rider
+  urgent.min_wavelengths = 4;
+  urgent.priority = 9;
+  const JobId urgent_id = rt.submit(urgent);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 4u);
+  // Not fused: different priorities.
+  EXPECT_EQ(rt.record(lead_id).batch_size, 1u);
+  EXPECT_EQ(rt.record(rider_id).batch_size, 1u);
+  // The rider kept its own (preemptible) priority and the urgent arrival
+  // suspended it.
+  EXPECT_GE(rt.record(rider_id).preemptions, 1u);
+  EXPECT_EQ(rt.record(lead_id).preemptions, 0u);
+  EXPECT_LT(rt.record(urgent_id).completed, rt.record(rider_id).completed);
+}
+
+TEST(FuseWindow, IdleRingBurstFusesWithinTheWindow) {
+  // Without a window the first arrival on an idle ring is admitted alone
+  // and the burst behind it runs as separate executions; with a window the
+  // whole burst fuses into one schedule.
+  auto run_burst = [](util::Seconds window) {
+    RuntimeConfig config;
+    config.ring_size = 16;
+    config.optical.wdm.num_wavelengths = 8;
+    config.batcher.fuse_window = window;
+    CollectiveRuntime rt(config);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      JobSpec spec;
+      for (std::uint32_t n = 0; n < 6; ++n) spec.participants.push_back(n);
+      spec.payload = util::kilobytes(48);
+      spec.arrival = util::microseconds(static_cast<double>(i));
+      rt.submit(spec);
+    }
+    return std::pair<RuntimeReport, std::uint32_t>(rt.run(),
+                                                   rt.record(0).batch_size);
+  };
+
+  const auto [unwindowed, solo_batch] = run_burst(util::Seconds(0.0));
+  EXPECT_EQ(solo_batch, 1u);  // the first job sprinted ahead alone
+  EXPECT_GT(unwindowed.executions, 1u);
+
+  const auto [windowed, fused_batch] = run_burst(util::microseconds(50.0));
+  EXPECT_EQ(fused_batch, 5u);  // everyone landed inside the window
+  EXPECT_EQ(windowed.executions, 1u);
+  EXPECT_EQ(windowed.batches, 1u);
+  EXPECT_EQ(windowed.completed, 5u);
+  // One schedule's per-step overheads instead of five schedules' worth.
+  EXPECT_LT(windowed.makespan, unwindowed.makespan);
+}
+
+TEST(FuseWindow, HeldJobsStillFuseIntoAContendedLeadEarly) {
+  // A held arrival is invisible to admission but NOT to the batcher: when a
+  // blocker completes and a queued (window-expired) lead is admitted, peers
+  // still inside their window join its batch instead of waiting their
+  // windows out.
+  RuntimeConfig config;
+  config.ring_size = 16;
+  config.optical.wdm.num_wavelengths = 8;
+  config.batcher.fuse_window = util::milliseconds(50.0);
+  CollectiveRuntime rt(config);
+
+  JobSpec blocker;
+  for (std::uint32_t i = 0; i < 8; ++i) blocker.participants.push_back(i);
+  blocker.payload = util::megabytes(160);  // above the fuse cap: never held
+  blocker.min_wavelengths = 8;
+  rt.submit(blocker);
+
+  // Arrives at 1 us, window expires at ~50 ms — before the blocker's
+  // completion, so by then it is an ordinary queued lead.
+  JobSpec lead;
+  for (std::uint32_t n = 0; n < 6; ++n) lead.participants.push_back(n);
+  lead.payload = util::kilobytes(48);
+  lead.arrival = util::microseconds(1.0);
+  rt.submit(lead);
+
+  // Arrives just before the blocker completes; its own window stretches far
+  // past that, yet it must ride the lead's admission.
+  JobSpec late = lead;
+  late.arrival = util::milliseconds(58.0);
+  const JobId late_id = rt.submit(late);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(rt.record(late_id).batch_size, 2u);
+}
+
+TEST(FuseWindow, StaleHoldReleaseDoesNotInflateMakespan) {
+  // A peer fused into an earlier batch leaves its hold-release timer
+  // behind as a no-op event that can fire AFTER the last completion; the
+  // reported makespan must be the last completion, not the drained clock.
+  RuntimeConfig config;
+  config.ring_size = 16;
+  config.optical.wdm.num_wavelengths = 8;
+  config.batcher.fuse_window = util::milliseconds(50.0);
+  CollectiveRuntime rt(config);
+  JobSpec lead;
+  for (std::uint32_t n = 0; n < 6; ++n) lead.participants.push_back(n);
+  lead.payload = util::kilobytes(48);
+  const JobId lead_id = rt.submit(lead);
+  JobSpec peer = lead;  // arrives just inside the lead's window: fuses at
+  peer.arrival = util::milliseconds(49.0);  // 50 ms, own window runs to 99 ms
+  rt.submit(peer);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.makespan, rt.record(lead_id).completed);
+  EXPECT_LT(report.makespan, util::milliseconds(99.0));
+}
+
+TEST(FuseWindow, OffByDefault) {
+  EXPECT_EQ(BatcherConfig{}.fuse_window, util::Seconds(0.0));
 }
 
 }  // namespace

@@ -1,0 +1,362 @@
+// The pluggable execution substrates behind the multi-tenant runtime:
+// electrical-overflow placement correctness (every electrically-placed job
+// passes the functional oracle), per-substrate report accounting, hybrid
+// cost-model routing, host-link exclusivity on the fallback fabric, and —
+// because the optical path now runs behind the same interface — proof that
+// preemption and elastic resize behave exactly as before.
+#include "runtime/substrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/runtime.hpp"
+
+namespace wrht::runtime {
+namespace {
+
+JobSpec span_job(std::uint32_t first, std::uint32_t count,
+                 util::Bytes payload, util::Seconds arrival = {}) {
+  JobSpec spec;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    spec.participants.push_back(first + i);
+  }
+  spec.payload = payload;
+  spec.arrival = arrival;
+  return spec;
+}
+
+RuntimeConfig hybrid_config(HybridPlacementPolicy placement) {
+  RuntimeConfig config;
+  config.ring_size = 32;
+  config.optical.wdm.num_wavelengths = 16;
+  config.batcher.enabled = false;
+  config.placement = placement;
+  return config;
+}
+
+/// Two tenants saturate the spectrum; four disjoint burst jobs arrive while
+/// every wavelength is held.
+void submit_saturated_mix(CollectiveRuntime& rt) {
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    JobSpec big = span_job(t * 16, 16, util::megabytes(48));
+    big.requested_wavelengths = 8;
+    big.min_wavelengths = 8;
+    rt.submit(big);
+  }
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    JobSpec burst = span_job(b * 8, 8, util::megabytes(1),
+                             util::milliseconds(1.0));
+    burst.min_wavelengths = 4;
+    burst.requested_wavelengths = 4;
+    rt.submit(burst);
+  }
+}
+
+TEST(ElectricalOverflow, PlacedJobsPassTheOracleAndComplete) {
+  CollectiveRuntime rt(
+      hybrid_config(HybridPlacementPolicy::kElectricalOverflow));
+  rt.trace().enable();
+  submit_saturated_mix(rt);
+  const RuntimeReport report = rt.run();
+
+  EXPECT_EQ(report.completed, 6u);
+  EXPECT_EQ(report.oracle_failures, 0u);
+  EXPECT_EQ(report.electrical.jobs, 4u);
+  EXPECT_EQ(report.optical.jobs, 2u);
+
+  std::uint32_t electrical_records = 0;
+  for (JobId id = 0; id < rt.num_jobs(); ++id) {
+    const JobRecord& r = rt.record(static_cast<JobId>(id));
+    EXPECT_EQ(r.state, JobState::kDone);
+    // THE correctness claim: every job — and in particular every
+    // electrically-placed one — ran a schedule the functional oracle
+    // proved to be an all-reduce among its participants.
+    EXPECT_TRUE(r.oracle_ok);
+    if (r.substrate == SubstrateKind::kElectrical) {
+      ++electrical_records;
+      // Electrical grants are host links; no spectrum band is held.
+      EXPECT_FALSE(r.band.valid());
+    } else {
+      EXPECT_TRUE(r.band.valid());
+    }
+  }
+  EXPECT_EQ(electrical_records, 4u);
+
+  // The burst was placed at arrival (no waiting for an optical
+  // completion), and the trace carries the placement verdicts.
+  std::uint32_t place_optical = 0;
+  std::uint32_t place_electrical = 0;
+  for (const sim::TraceEvent& e : rt.trace().events()) {
+    if (e.kind == sim::TraceKind::kJobPlaceOptical) ++place_optical;
+    if (e.kind == sim::TraceKind::kJobPlaceElectrical) ++place_electrical;
+  }
+  EXPECT_EQ(place_optical, 2u);
+  EXPECT_EQ(place_electrical, 4u);
+  for (JobId id = 2; id < 6; ++id) {
+    EXPECT_EQ(rt.record(id).admitted, util::milliseconds(1.0));
+  }
+}
+
+TEST(ElectricalOverflow, BreakdownCountersSumToTheTotals) {
+  CollectiveRuntime rt(
+      hybrid_config(HybridPlacementPolicy::kElectricalOverflow));
+  submit_saturated_mix(rt);
+  const RuntimeReport report = rt.run();
+
+  EXPECT_EQ(report.optical.jobs + report.electrical.jobs, report.completed);
+  EXPECT_EQ(report.optical.executions + report.electrical.executions,
+            report.executions);
+  EXPECT_EQ(report.optical.steps + report.electrical.steps,
+            report.total_steps);
+  // Each substrate's makespan contribution is a completion time on the
+  // shared clock; the later one IS the run's makespan here (every job
+  // completed on one of the two).
+  EXPECT_EQ(std::max(report.optical.makespan, report.electrical.makespan),
+            report.makespan);
+  EXPECT_GT(report.electrical.makespan, util::Seconds(0.0));
+}
+
+TEST(ElectricalOverflow, StrictlyImprovesSaturatedMakespanOverOpticalOnly) {
+  CollectiveRuntime queued(hybrid_config(HybridPlacementPolicy::kOpticalOnly));
+  submit_saturated_mix(queued);
+  const RuntimeReport optical_only = queued.run();
+
+  CollectiveRuntime hybrid(
+      hybrid_config(HybridPlacementPolicy::kElectricalOverflow));
+  submit_saturated_mix(hybrid);
+  const RuntimeReport overflow = hybrid.run();
+
+  EXPECT_EQ(optical_only.electrical.jobs, 0u);
+  EXPECT_EQ(optical_only.completed, overflow.completed);
+  EXPECT_LT(overflow.makespan, optical_only.makespan);
+  EXPECT_LT(overflow.mean_turnaround(), optical_only.mean_turnaround());
+}
+
+TEST(ElectricalOverflow, HostExclusivitySerializesOverlappingJobs) {
+  // Two overflow jobs share host 4; their access-link claims conflict, so
+  // the second must wait for the first's release even though the fabric is
+  // otherwise idle — the link-capacity grant model at work.
+  CollectiveRuntime rt(
+      hybrid_config(HybridPlacementPolicy::kElectricalOverflow));
+  JobSpec blocker = span_job(0, 16, util::megabytes(64));
+  blocker.min_wavelengths = 16;
+  blocker.requested_wavelengths = 16;
+  rt.submit(blocker);
+  JobSpec first = span_job(0, 8, util::megabytes(4), util::milliseconds(1.0));
+  first.min_wavelengths = 4;
+  const JobId a = rt.submit(first);
+  JobSpec second = span_job(4, 8, util::megabytes(4), util::milliseconds(1.0));
+  second.min_wavelengths = 4;
+  const JobId b = rt.submit(second);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(rt.record(a).substrate, SubstrateKind::kElectrical);
+  EXPECT_EQ(rt.record(b).substrate, SubstrateKind::kElectrical);
+  EXPECT_EQ(rt.record(a).admitted, util::milliseconds(1.0));
+  // b waited for a's hosts, not for the optical blocker.
+  EXPECT_GE(rt.record(b).admitted, rt.record(a).completed);
+  EXPECT_LT(rt.record(b).admitted, rt.record(0).completed);
+}
+
+TEST(CostModelChoice, RoutesByPredictedTime) {
+  // Spectrum is FREE, yet a small latency-bound job must go electrical: a
+  // handful of 2.55 ms optical step overheads dwarf the electrical ring's
+  // 50 us alphas.  A huge bandwidth-bound job must stay optical: five
+  // 40 Gb/s wavelengths outrun the 10 Gb/s host links.
+  CollectiveRuntime rt(hybrid_config(HybridPlacementPolicy::kCostModelChoice));
+  JobSpec tiny = span_job(0, 8, util::kilobytes(64));
+  tiny.min_wavelengths = 2;
+  const JobId small_id = rt.submit(tiny);
+  JobSpec huge = span_job(16, 8, util::megabytes(256));
+  huge.min_wavelengths = 2;
+  huge.requested_wavelengths = 8;
+  const JobId big_id = rt.submit(huge);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(rt.record(small_id).substrate, SubstrateKind::kElectrical);
+  EXPECT_EQ(rt.record(big_id).substrate, SubstrateKind::kOptical);
+  EXPECT_TRUE(rt.record(small_id).oracle_ok);
+  EXPECT_TRUE(rt.record(big_id).oracle_ok);
+}
+
+TEST(SubstrateRefactor, PreemptionStillWorksOnOpticalBehindTheInterface) {
+  // The PR-2 preemption scenario, unchanged, now running through the
+  // substrate interface (default optical-only placement): the victim must
+  // still suspend at a boundary, the urgent arrival run, the victim resume
+  // on a rebuilt remainder, and the composite oracle prove all of it.
+  RuntimeConfig config;
+  config.ring_size = 16;
+  config.optical.wdm.num_wavelengths = 8;
+  config.policy = FairnessPolicy::kPriorityPreempt;
+  config.batcher.enabled = false;
+
+  CollectiveRuntime rt(config);
+  JobSpec blocker = span_job(0, 12, util::megabytes(32));
+  blocker.min_wavelengths = 8;
+  blocker.requested_wavelengths = 8;
+  blocker.priority = 0;
+  const JobId victim = rt.submit(blocker);
+  JobSpec urgent = span_job(2, 6, util::megabytes(1), util::microseconds(1.0));
+  urgent.min_wavelengths = 4;
+  urgent.requested_wavelengths = 4;
+  urgent.priority = 5;
+  const JobId vip = rt.submit(urgent);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_GE(report.preemptions, 1u);
+  EXPECT_EQ(report.resumes, report.preemptions);
+  EXPECT_EQ(report.electrical.jobs, 0u);  // kOpticalOnly default
+  EXPECT_LT(rt.record(vip).completed, rt.record(victim).completed);
+  EXPECT_TRUE(rt.record(victim).oracle_ok);
+  EXPECT_EQ(rt.record(victim).state, JobState::kDone);
+}
+
+TEST(SubstrateRefactor, ElasticResizeStillWorksOnOpticalBehindTheInterface) {
+  // The PR-2 grow scenario through the substrate seam: the narrow survivor
+  // grows into the wide job's freed band and beats its fixed-band twin.
+  auto run_once = [](bool elastic) {
+    RuntimeConfig config;
+    config.ring_size = 32;
+    config.optical.wdm.num_wavelengths = 32;
+    config.batcher.enabled = false;
+    config.elastic_resize = elastic;
+    CollectiveRuntime rt(config);
+    JobSpec narrow = span_job(0, 24, util::megabytes(64));
+    narrow.requested_wavelengths = 2;
+    narrow.min_wavelengths = 2;
+    rt.submit(narrow);
+    JobSpec wide = span_job(8, 16, util::kilobytes(64));
+    wide.requested_wavelengths = 30;
+    rt.submit(wide);
+    const RuntimeReport report = rt.run();
+    return std::pair<util::Seconds, std::uint32_t>(report.makespan,
+                                                   report.resizes);
+  };
+  const auto [fixed_makespan, fixed_resizes] = run_once(false);
+  const auto [elastic_makespan, elastic_resizes] = run_once(true);
+  EXPECT_EQ(fixed_resizes, 0u);
+  EXPECT_GE(elastic_resizes, 1u);
+  EXPECT_LT(elastic_makespan, fixed_makespan);
+}
+
+TEST(SubstrateRefactor, ElectricalExecutionsAreNeverPreempted) {
+  // A low-priority job runs electrically; a high-priority arrival whose
+  // hosts it occupies (so the arrival cannot spill) must preempt the
+  // OPTICAL victim only — the electrical substrate's caps say not
+  // preemptible, and surrendering host links would not free a wavelength.
+  RuntimeConfig config = hybrid_config(
+      HybridPlacementPolicy::kElectricalOverflow);
+  config.policy = FairnessPolicy::kPriorityPreempt;
+
+  CollectiveRuntime rt(config);
+  JobSpec optical_victim = span_job(0, 16, util::megabytes(32));
+  optical_victim.min_wavelengths = 16;
+  optical_victim.requested_wavelengths = 16;
+  optical_victim.priority = 0;
+  const JobId victim = rt.submit(optical_victim);
+  // Overflows to the electrical fabric (spectrum saturated at arrival).
+  JobSpec elec_job = span_job(16, 8, util::megabytes(8),
+                              util::microseconds(1.0));
+  elec_job.min_wavelengths = 4;
+  elec_job.priority = 0;
+  const JobId spilled = rt.submit(elec_job);
+  // Same hosts as the spilled job: the electrical fabric is closed to it,
+  // so the priority machinery must carve spectrum out of the victim.
+  JobSpec urgent = span_job(16, 6, util::megabytes(1),
+                            util::milliseconds(2.0));
+  urgent.min_wavelengths = 4;
+  urgent.requested_wavelengths = 4;
+  urgent.priority = 9;
+  const JobId vip = rt.submit(urgent);
+
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(rt.record(spilled).substrate, SubstrateKind::kElectrical);
+  EXPECT_EQ(rt.record(spilled).preemptions, 0u);
+  EXPECT_GE(rt.record(victim).preemptions, 1u);
+  EXPECT_LT(rt.record(vip).completed, rt.record(victim).completed);
+}
+
+TEST(SubstrateRefactor, HybridRunStaysDeterministic) {
+  auto run_once = []() {
+    RuntimeConfig config = hybrid_config(
+        HybridPlacementPolicy::kElectricalOverflow);
+    config.policy = FairnessPolicy::kPriorityPreempt;
+    config.elastic_resize = true;
+    CollectiveRuntime rt(config);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      JobSpec spec = span_job((i * 3) % 16, 8 + (i % 4) * 2,
+                              util::megabytes(1 + 5 * (i % 3)),
+                              util::microseconds(static_cast<double>(i) * 40));
+      spec.priority = static_cast<std::int32_t>(i % 3);
+      rt.submit(spec);
+    }
+    const RuntimeReport report = rt.run();
+    EXPECT_EQ(report.completed, 10u);
+    EXPECT_EQ(report.oracle_failures, 0u);
+    return rt.completion_order();
+  };
+  const std::vector<JobId> once = run_once();
+  const std::vector<JobId> again = run_once();
+  EXPECT_EQ(once, again);
+  EXPECT_EQ(once.size(), 10u);
+}
+
+TEST(Substrate, ElectricalFactoryStandsAlone) {
+  // The substrate interface is usable outside the runtime: place a job,
+  // time its steps, release, place again.
+  const ElectricalFallbackConfig config;
+  const std::unique_ptr<ExecutionSubstrate> sub =
+      make_electrical_substrate(16, config);
+  EXPECT_EQ(sub->kind(), SubstrateKind::kElectrical);
+  EXPECT_FALSE(sub->caps().preemptible);
+  EXPECT_FALSE(sub->caps().resizable);
+  EXPECT_TRUE(sub->caps().batchable);
+
+  const std::vector<topo::NodeId> group{0, 1, 2, 3};
+  ASSERT_TRUE(sub->can_place(group, 1));
+  std::unique_ptr<SubstrateExecution> plan =
+      sub->place(group, util::megabytes(1), 1);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->num_steps(), 0u);
+  EXPECT_FALSE(plan->band().valid());
+  // Hosts are exclusive while held...
+  EXPECT_FALSE(sub->can_place({2, 5}, 1));
+  EXPECT_TRUE(sub->can_place({8, 9}, 1));
+
+  util::Seconds clock{0.0};
+  for (std::size_t s = 0; s < plan->num_steps(); ++s) {
+    const StepTiming t = sub->time_step(*plan, s, clock);
+    EXPECT_GT(t.end, clock);
+    EXPECT_EQ(t.reservations, 0u);
+    clock = t.end;
+  }
+  // ... and free again after release.
+  sub->release(*plan);
+  EXPECT_TRUE(sub->can_place({2, 5}, 1));
+
+  // Renegotiation defaults refuse without touching anything.
+  EXPECT_EQ(sub->resume_plan(*plan, 0, 1, 1), nullptr);
+  EXPECT_EQ(sub->grow_plan(*plan, 0, 4), nullptr);
+  EXPECT_EQ(sub->shrink_plan(*plan, 0, 1), nullptr);
+}
+
+TEST(Substrate, MaxConcurrentCapsElectricalPlacements) {
+  ElectricalFallbackConfig config;
+  config.max_concurrent = 1;
+  const std::unique_ptr<ExecutionSubstrate> sub =
+      make_electrical_substrate(16, config);
+  std::unique_ptr<SubstrateExecution> first =
+      sub->place({0, 1}, util::kilobytes(1), 1);
+  // Disjoint hosts, but the concurrency slot is taken.
+  EXPECT_FALSE(sub->can_place({4, 5}, 1));
+  sub->release(*first);
+  EXPECT_TRUE(sub->can_place({4, 5}, 1));
+}
+
+}  // namespace
+}  // namespace wrht::runtime
