@@ -23,6 +23,9 @@ namespace wrht::elec {
 using LinkId = std::uint32_t;
 using FlowId = std::uint32_t;
 
+/// "No such flow" marker (clone_live id maps, absent lookups).
+inline constexpr FlowId kNoFlow = 0xFFFFFFFFu;
+
 struct LinkSpec {
   util::Bandwidth capacity = util::gbps(10.0);
   util::Seconds latency = util::microseconds(25.0);
@@ -40,6 +43,14 @@ class FlowNetwork {
   /// Returns the simulated time reached.
   util::Seconds run();
 
+  /// Advance the fluid simulation to `horizon` (>= now()), processing every
+  /// activation and completion on the way; flows still in flight stay live.
+  /// The clock lands exactly on the horizon even when the network drains
+  /// earlier, so flows added afterwards activate relative to it.  This is
+  /// the seam the shared-fabric timer drives: one long-lived network,
+  /// advanced to each tenant's step boundary before new flows join.
+  util::Seconds run_until(util::Seconds horizon);
+
   [[nodiscard]] util::Seconds now() const { return now_; }
   [[nodiscard]] bool completed(FlowId flow) const;
   [[nodiscard]] util::Seconds completion_time(FlowId flow) const;
@@ -48,6 +59,19 @@ class FlowNetwork {
 
   /// Current max-min rate of an active flow (0 while waiting/finished).
   [[nodiscard]] double current_rate(FlowId flow) const;
+
+  /// Highest instantaneous utilization (allocated rate / capacity) a link
+  /// has seen since construction/reset, in [0, 1].  Sampled at every rate
+  /// recomputation — exact for the fluid model, whose rates only change at
+  /// those instants.
+  [[nodiscard]] double link_peak_utilization(LinkId link) const;
+
+  /// A copy of this network holding only the flows still in flight.  The
+  /// copy is the cheap substrate for what-if forward runs (run the copy to
+  /// completion, read predicted completion times) on long-lived networks
+  /// whose completed-flow history keeps growing.  Appends one entry per
+  /// existing flow to `id_map`: its id in the copy, or kNoFlow if done.
+  [[nodiscard]] FlowNetwork clone_live(std::vector<FlowId>& id_map) const;
 
   /// Drop all flows (completed or not) and zero the clock; links persist.
   void reset();
@@ -58,6 +82,7 @@ class FlowNetwork {
   struct Link {
     LinkSpec spec;
     double carried_bytes = 0.0;
+    double peak_utilization = 0.0;
   };
   struct Flow {
     std::vector<LinkId> route;
@@ -71,6 +96,7 @@ class FlowNetwork {
   void recompute_rates();
   [[nodiscard]] util::Seconds next_event_time() const;
   void advance_to(util::Seconds when);
+  void settle();
 
   std::vector<Link> links_;
   std::vector<Flow> flows_;

@@ -8,19 +8,10 @@ namespace wrht::elec {
 StepFlowTimer::StepFlowTimer(const ElectricalCluster& cluster)
     : cluster_(&cluster), network_(cluster.make_network()) {}
 
-util::Seconds StepFlowTimer::time_step(const coll::Schedule& schedule,
-                                       std::size_t step, util::Bytes payload) {
-  if (schedule.num_nodes() > cluster_->num_hosts()) {
-    std::fprintf(stderr,
-                 "StepFlowTimer: schedule needs %u hosts, cluster has %u\n",
-                 schedule.num_nodes(), cluster_->num_hosts());
-    std::abort();
-  }
-  if (step >= schedule.num_steps()) {
-    std::fprintf(stderr, "StepFlowTimer: step %zu out of range (%zu steps)\n",
-                 step, schedule.num_steps());
-    std::abort();
-  }
+std::optional<util::Seconds> StepFlowTimer::time_step(
+    const coll::Schedule& schedule, std::size_t step, util::Bytes payload) {
+  if (schedule.num_nodes() > cluster_->num_hosts()) return std::nullopt;
+  if (step >= schedule.num_steps()) return std::nullopt;
   // Steps are separated by a barrier, so each runs on a quiet network;
   // resetting between steps keeps memory bounded by one step's flows even
   // for the 2(N-1)-step ring schedules.
@@ -45,10 +36,17 @@ ElecRunResult run_on_electrical(const coll::Schedule& schedule,
   ElecRunResult result;
   StepFlowTimer timer(cluster);
   for (std::size_t step = 0; step < schedule.num_steps(); ++step) {
-    const util::Seconds step_duration =
+    // time_step refuses oversized schedules (pre-checked above) and
+    // out-of-range steps (impossible from this loop), so a nullopt here is
+    // a library bug, not a caller error.
+    const std::optional<util::Seconds> step_duration =
         timer.time_step(schedule, step, payload);
-    result.step_durations.push_back(step_duration);
-    result.total += step_duration;
+    if (!step_duration) {
+      std::fprintf(stderr, "run_on_electrical: step %zu refused\n", step);
+      std::abort();
+    }
+    result.step_durations.push_back(*step_duration);
+    result.total += *step_duration;
   }
   return result;
 }

@@ -6,6 +6,7 @@
 // same model the optical side uses).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "coll/schedule.hpp"
@@ -32,10 +33,12 @@ class StepFlowTimer {
   explicit StepFlowTimer(const ElectricalCluster& cluster);
 
   /// BSP makespan of `schedule` step `step` for `payload` under max-min
-  /// fair sharing on a quiet network.  Aborts on an out-of-range step or a
-  /// schedule needing more hosts than the cluster has.
-  [[nodiscard]] util::Seconds time_step(const coll::Schedule& schedule,
-                                        std::size_t step, util::Bytes payload);
+  /// fair sharing on a quiet network.  An out-of-range step or a schedule
+  /// needing more hosts than the cluster has is rejected with nullopt (the
+  /// timer state is untouched), so callers driving tenant-supplied
+  /// schedules can surface the error on their own terms.
+  [[nodiscard]] std::optional<util::Seconds> time_step(
+      const coll::Schedule& schedule, std::size_t step, util::Bytes payload);
 
  private:
   const ElectricalCluster* cluster_;

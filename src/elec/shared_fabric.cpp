@@ -1,0 +1,192 @@
+#include "elec/shared_fabric.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::elec {
+
+SharedFabricTimer::SharedFabricTimer(const ElectricalCluster& cluster)
+    : cluster_(&cluster), network_(cluster.make_network()) {}
+
+SharedFabricTimer::SessionId SharedFabricTimer::open_session() {
+  sessions_.push_back(Session{});
+  sessions_.back().open = true;
+  return static_cast<SessionId>(sessions_.size() - 1);
+}
+
+std::size_t SharedFabricTimer::active_sessions() const {
+  std::size_t open = 0;
+  for (const Session& session : sessions_) open += session.open ? 1u : 0u;
+  return open;
+}
+
+void SharedFabricTimer::finalize_step(Session& session) {
+  if (!session.has_step) return;
+  LoggedStep& logged = steps_[session.current_step];
+  util::Seconds end = logged.start;
+  for (const FlowId flow : session.inflight) {
+    if (!network_.completed(flow)) {
+      std::fprintf(stderr,
+                   "SharedFabricTimer: step boundary before its flows "
+                   "drained (session %u step %llu)\n",
+                   logged.session,
+                   static_cast<unsigned long long>(logged.step));
+      std::abort();
+    }
+    end = std::max(end, network_.completion_time(flow));
+  }
+  logged.end = end;
+  logged.finalized = true;
+  session.inflight.clear();
+  session.has_step = false;
+}
+
+std::optional<util::Seconds> SharedFabricTimer::begin_step(
+    SessionId session_id, const coll::Schedule& schedule, std::size_t step,
+    util::Bytes payload, util::Seconds now) {
+  if (session_id >= sessions_.size() || !sessions_[session_id].open) {
+    return std::nullopt;
+  }
+  if (step >= schedule.num_steps()) return std::nullopt;
+  if (schedule.num_nodes() > cluster_->num_hosts()) return std::nullopt;
+  if (now < network_.now()) return std::nullopt;
+
+  Session& session = sessions_[session_id];
+  network_.run_until(now);
+  // The advance itself is logged unconditionally — the replay oracle must
+  // split its advances exactly where the live network split them, even when
+  // the request dies on the completion check below.
+  ops_.push_back(LoggedOp{now, -1});
+  if (session.has_step) {
+    for (const FlowId flow : session.inflight) {
+      if (!network_.completed(flow)) return std::nullopt;
+    }
+    finalize_step(session);
+  }
+
+  LoggedStep logged;
+  logged.session = session_id;
+  logged.step = static_cast<std::uint64_t>(step);
+  logged.start = now;
+  session.current_step = steps_.size();
+  for (const coll::Transfer& t : schedule.steps()[step].transfers) {
+    const std::vector<LinkId>& route = cluster_->route(t.src, t.dst);
+    const util::Bytes bytes = schedule.chunk_bytes(payload, t.chunk);
+    session.inflight.push_back(network_.add_flow(route, bytes));
+    logged.flows.push_back(LoggedFlow{route, bytes});
+  }
+  session.has_step = !session.inflight.empty();
+  ops_.push_back(LoggedOp{now, static_cast<std::ptrdiff_t>(steps_.size())});
+  steps_.push_back(std::move(logged));
+
+  if (!session.has_step) {
+    // A flow-less step (e.g. a barrier round another group participates in)
+    // completes instantly; nobody else's sharing changed.
+    LoggedStep& empty = steps_[session.current_step];
+    empty.end = now;
+    empty.finalized = true;
+    session.predicted_end = now;
+    return now;
+  }
+  session.predicted_end = now;  // repredict overwrites with the real value
+  repredict(session_id);
+  return session.predicted_end;
+}
+
+void SharedFabricTimer::repredict(SessionId started) {
+  // Forward-run a live-flows-only copy to completion: each in-flight step
+  // ends when the last of its flows drains.  The copy shares the real
+  // network's arithmetic, so the prediction is the fluid model's answer,
+  // not an estimate — it only goes stale if another flow arrives later,
+  // and that arrival re-runs this very function.
+  std::vector<FlowId> id_map;
+  FlowNetwork forward = network_.clone_live(id_map);
+  forward.run();
+  for (SessionId id = 0; id < sessions_.size(); ++id) {
+    Session& session = sessions_[id];
+    if (!session.open || !session.has_step) continue;
+    util::Seconds end = steps_[session.current_step].start;
+    bool any_live = false;
+    for (const FlowId flow : session.inflight) {
+      // A flow that already drained on the real network keeps its recorded
+      // completion; only still-live flows take the forward prediction.
+      const FlowId mapped = id_map[flow];
+      if (mapped == kNoFlow) {
+        end = std::max(end, network_.completion_time(flow));
+      } else {
+        any_live = true;
+        end = std::max(end, forward.completion_time(mapped));
+      }
+    }
+    if (id == started) {
+      session.predicted_end = end;
+    } else if (any_live && end != session.predicted_end) {
+      // A fully-drained step is already over — its completion event is in
+      // the past of this arrival and must not be re-scheduled; the caller's
+      // pending boundary event will finalize it.
+      session.predicted_end = end;
+      retimings_.push_back(Retiming{id, end});
+    }
+  }
+}
+
+void SharedFabricTimer::close_session(SessionId session_id,
+                                      util::Seconds now) {
+  if (session_id >= sessions_.size() || !sessions_[session_id].open) {
+    std::fprintf(stderr, "SharedFabricTimer: close of unknown session %u\n",
+                 session_id);
+    std::abort();
+  }
+  Session& session = sessions_[session_id];
+  network_.run_until(std::max(now, network_.now()));
+  ops_.push_back(LoggedOp{network_.now(), -1});
+  finalize_step(session);
+  session.open = false;
+}
+
+std::vector<SharedFabricTimer::Retiming> SharedFabricTimer::take_retimings() {
+  std::vector<Retiming> out = std::move(retimings_);
+  retimings_.clear();
+  return out;
+}
+
+std::vector<double> SharedFabricTimer::link_peak_utilization() const {
+  std::vector<double> peaks(network_.num_links());
+  for (std::size_t l = 0; l < peaks.size(); ++l) {
+    peaks[l] = network_.link_peak_utilization(static_cast<LinkId>(l));
+  }
+  return peaks;
+}
+
+std::uint64_t SharedFabricTimer::verify_replay() const {
+  FlowNetwork replay = cluster_->make_network();
+  std::vector<std::vector<FlowId>> replay_ids(steps_.size());
+  for (const LoggedOp& op : ops_) {
+    replay.run_until(op.time);
+    if (op.step < 0) continue;
+    const LoggedStep& logged = steps_[static_cast<std::size_t>(op.step)];
+    for (const LoggedFlow& flow : logged.flows) {
+      replay_ids[static_cast<std::size_t>(op.step)].push_back(
+          replay.add_flow(flow.route, flow.bytes));
+    }
+  }
+  replay.run();  // drains nothing on a fully-closed log
+
+  std::uint64_t mismatches = 0;
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    const LoggedStep& logged = steps_[s];
+    if (!logged.finalized) {
+      ++mismatches;
+      continue;
+    }
+    util::Seconds end = logged.start;
+    for (const FlowId flow : replay_ids[s]) {
+      end = std::max(end, replay.completion_time(flow));
+    }
+    if (end != logged.end) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace wrht::elec

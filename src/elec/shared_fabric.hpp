@@ -1,0 +1,147 @@
+// Multi-tenant flow timing on ONE shared FlowNetwork — the electrical
+// analogue of the shared optical SpectrumMap.
+//
+// The star fallback gives every execution exclusive host links, so each
+// step runs on a private quiet network and tenants never contend — which
+// hides the congestion that motivates the optical ring in the first place.
+// On an oversubscribed two-level tree the ToR uplinks are genuinely shared:
+// a step's completion time depends on what every other tenant is sending
+// through the same uplinks at the same instant.
+//
+// SharedFabricTimer therefore keeps ONE long-lived FlowNetwork for the
+// whole fabric and times the in-flight steps of ALL concurrent executions
+// together under max-min fair sharing:
+//
+//  * begin_step(session, ...) advances the shared network to `now`, injects
+//    the step's flows next to whatever other tenants have in flight, and
+//    returns the step's predicted completion — exact for the fluid model
+//    unless a LATER arrival changes the sharing.
+//  * When an arrival does change the sharing, every other in-flight step's
+//    completion moves; the corrections surface through take_retimings() so
+//    the caller can re-schedule its step-completion events.  Departures
+//    need no correction: the forward prediction already simulates every
+//    current flow to completion, including their rate changes as peers
+//    drain.
+//
+// Correctness is anchored by a whole-horizon replay oracle: the timer logs
+// every advance point and every injected flow, and verify_replay() re-runs
+// the identical operation sequence on a FRESH FlowNetwork — the per-step
+// completion times must reproduce the incremental timer's exactly (the same
+// arithmetic in the same order, so equality is bitwise, not approximate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coll/schedule.hpp"
+#include "elec/topology.hpp"
+#include "util/units.hpp"
+
+namespace wrht::elec {
+
+class SharedFabricTimer {
+ public:
+  using SessionId = std::uint32_t;
+
+  /// `cluster` must outlive the timer.
+  explicit SharedFabricTimer(const ElectricalCluster& cluster);
+
+  /// Register a tenant execution.  Sessions are cheap; one per execution.
+  [[nodiscard]] SessionId open_session();
+
+  /// Inject the flows of `schedule` step `step` (payload split exactly as
+  /// the quiet-network runner splits it) into the shared fabric at `now`,
+  /// and return the step's predicted completion time under max-min fair
+  /// sharing with every other in-flight step.  The session's previous step
+  /// must have completed by `now`.  Returns nullopt on a bad request:
+  /// unknown/closed session, out-of-range step, a schedule needing more
+  /// hosts than the cluster has, a clock running backwards, or a previous
+  /// step still in flight.  A rejected request injects no flows; the
+  /// still-in-flight case has already advanced the shared clock to `now`
+  /// and logged that advance (the replay oracle must split its advances
+  /// exactly where the live network did, failed requests included).
+  [[nodiscard]] std::optional<util::Seconds> begin_step(
+      SessionId session, const coll::Schedule& schedule, std::size_t step,
+      util::Bytes payload, util::Seconds now);
+
+  /// Close a session at `now` (its last step must have completed by then).
+  void close_session(SessionId session, util::Seconds now);
+
+  /// A step whose predicted completion moved because a later arrival
+  /// changed the max-min sharing.  Entries are in detection order; for a
+  /// session appearing twice, the later entry supersedes.
+  struct Retiming {
+    SessionId session = 0;
+    util::Seconds end{0.0};
+  };
+  [[nodiscard]] std::vector<Retiming> take_retimings();
+
+  [[nodiscard]] std::size_t active_sessions() const;
+
+  /// Peak utilization (allocated rate / capacity, in [0,1]) per link of the
+  /// shared network since construction.  Indexed by the cluster's link ids.
+  [[nodiscard]] std::vector<double> link_peak_utilization() const;
+
+  /// Steps logged so far (finalized or in flight).
+  [[nodiscard]] std::uint64_t logged_steps() const {
+    return static_cast<std::uint64_t>(steps_.size());
+  }
+
+  /// The whole-horizon oracle: replay every logged advance and flow
+  /// injection, in order, into a fresh FlowNetwork and compare each
+  /// finalized step's completion time with the incremental result.
+  /// Returns the number of steps that disagree (0 on a correct timer);
+  /// steps never finalized (session left open) also count.
+  [[nodiscard]] std::uint64_t verify_replay() const;
+
+ private:
+  struct LoggedFlow {
+    std::vector<LinkId> route;
+    util::Bytes bytes;
+  };
+  struct LoggedStep {
+    SessionId session = 0;
+    std::uint64_t step = 0;
+    util::Seconds start{0.0};
+    /// Authoritative completion, read back from the shared network once the
+    /// step's flows have drained (predictions may sit an ulp away).
+    util::Seconds end{0.0};
+    bool finalized = false;
+    std::vector<LoggedFlow> flows;
+  };
+  /// One advance of the shared network, optionally followed by a step's
+  /// flow injections.  The replay oracle re-runs exactly this sequence, so
+  /// every advance — even a flow-less close_session — is recorded.
+  struct LoggedOp {
+    util::Seconds time{0.0};
+    std::ptrdiff_t step = -1;  // index into steps_, -1 = pure advance
+  };
+  struct Session {
+    bool open = false;
+    /// FlowNetwork ids of the current step's flows.
+    std::vector<FlowId> inflight;
+    std::size_t current_step = 0;  // index into steps_ (valid iff has_step)
+    bool has_step = false;
+    util::Seconds predicted_end{0.0};
+  };
+
+  /// Fold the session's in-flight step into the log: every flow must have
+  /// completed on the shared network (aborts otherwise — a step boundary
+  /// fired before its flows drained, which the retiming contract forbids).
+  void finalize_step(Session& session);
+  /// Recompute predicted completions for every in-flight step after an
+  /// injection; queue a Retiming for each session other than `started`
+  /// whose prediction moved.
+  void repredict(SessionId started);
+
+  const ElectricalCluster* cluster_;
+  FlowNetwork network_;
+  std::vector<Session> sessions_;
+  std::vector<LoggedStep> steps_;
+  std::vector<LoggedOp> ops_;
+  std::vector<Retiming> retimings_;
+};
+
+}  // namespace wrht::elec

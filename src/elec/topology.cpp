@@ -1,5 +1,6 @@
 #include "elec/topology.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -56,12 +57,12 @@ ElectricalCluster ElectricalCluster::ring(std::uint32_t num_hosts,
   return cluster;
 }
 
-ElectricalCluster ElectricalCluster::two_level_tree(
+std::optional<ElectricalCluster> ElectricalCluster::two_level_tree(
     std::uint32_t num_hosts, std::uint32_t hosts_per_tor,
     double oversubscription, const ElectricalParams& params) {
-  if (num_hosts < 2 || hosts_per_tor == 0 || oversubscription <= 0.0) {
-    std::fprintf(stderr, "ElectricalCluster::two_level_tree: bad shape\n");
-    std::abort();
+  if (num_hosts < 2 || hosts_per_tor == 0 || oversubscription <= 0.0 ||
+      !std::isfinite(oversubscription)) {
+    return std::nullopt;
   }
   ElectricalCluster cluster;
   cluster.host_params_ = params;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "elec/flow_network.hpp"
@@ -32,10 +33,13 @@ class ElectricalCluster {
 
   /// Two-level tree: hosts -> ToR switches -> one core switch, with the
   /// ToR uplink carrying `oversubscription` x less bandwidth per host.
-  static ElectricalCluster two_level_tree(std::uint32_t num_hosts,
-                                          std::uint32_t hosts_per_tor,
-                                          double oversubscription,
-                                          const ElectricalParams& params);
+  /// Rejects a bad shape — fewer than 2 hosts, zero hosts per ToR, or a
+  /// non-positive (or non-finite) oversubscription — by returning nullopt,
+  /// so a caller wiring user-supplied config can surface the error instead
+  /// of dying inside the library.
+  static std::optional<ElectricalCluster> two_level_tree(
+      std::uint32_t num_hosts, std::uint32_t hosts_per_tor,
+      double oversubscription, const ElectricalParams& params);
 
   [[nodiscard]] std::uint32_t num_hosts() const {
     return static_cast<std::uint32_t>(hosts_.size());

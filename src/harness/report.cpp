@@ -54,6 +54,44 @@ std::string render_substrate_table(const std::vector<SubstrateRow>& rows) {
   return "Per-substrate workload split\n" + table.render();
 }
 
+std::string render_slowdown_table(const std::vector<SlowdownRow>& rows) {
+  if (rows.empty()) return "(no jobs)\n";
+  util::Table table({"job", "turnaround", "contention slowdown"});
+  double worst = 0.0;
+  for (const SlowdownRow& row : rows) {
+    table.add_row({row.job,
+                   util::to_string(util::Seconds(row.turnaround_seconds)),
+                   row.slowdown > 0.0
+                       ? util::format_double(row.slowdown, 3) + "x"
+                       : "-"});
+    worst = std::max(worst, row.slowdown);
+  }
+  table.add_separator();
+  table.add_row({"worst", "",
+                 worst > 0.0 ? util::format_double(worst, 3) + "x" : "-"});
+  return "Per-job shared-fabric contention\n" + table.render();
+}
+
+std::string render_link_utilization(const std::vector<double>& peaks,
+                                    double threshold) {
+  util::Table table({"link", "peak utilization"});
+  std::size_t shown = 0;
+  for (std::size_t link = 0; link < peaks.size(); ++link) {
+    if (peaks[link] < threshold) continue;
+    table.add_row({std::to_string(link),
+                   util::format_double(peaks[link] * 100.0, 1) + "%"});
+    ++shown;
+  }
+  if (shown == 0) {
+    return "Per-link peak utilization: no link reached " +
+           util::format_double(threshold * 100.0, 1) + "%\n";
+  }
+  return "Per-link peak utilization (>= " +
+         util::format_double(threshold * 100.0, 1) + "%, " +
+         std::to_string(shown) + "/" + std::to_string(peaks.size()) +
+         " links)\n" + table.render();
+}
+
 std::string render_panel(const std::vector<Fig2Row>& rows) {
   if (rows.empty()) return "(no rows)\n";
   const double base = normalization_base(rows);

@@ -31,6 +31,26 @@ struct SubstrateRow {
 [[nodiscard]] std::string render_substrate_table(
     const std::vector<SubstrateRow>& rows);
 
+/// One job's multi-tenant contention verdict on a shared fabric.
+struct SlowdownRow {
+  std::string job;
+  double turnaround_seconds = 0.0;
+  /// Shared-fabric step time / quiet-network step time; 0 = no quiet
+  /// baseline (rendered as "-").
+  double slowdown = 0.0;
+};
+
+/// Renders per-job contention slowdowns (shared-fabric time over
+/// quiet-network time, the runtime's JobRecord::contention_slowdown).
+[[nodiscard]] std::string render_slowdown_table(
+    const std::vector<SlowdownRow>& rows);
+
+/// Renders per-link peak utilization of a shared fabric (fractions in
+/// [0, 1], indexed by link id), hiding links that never reached
+/// `threshold`.  The hot rows are the oversubscribed uplinks.
+[[nodiscard]] std::string render_link_utilization(
+    const std::vector<double>& peaks, double threshold = 0.05);
+
 /// Renders one panel (one model) as a table.  Normalization divides every
 /// time by the panel's WRHT time at the smallest node count, mirroring the
 /// paper's "normalized time" axis.

@@ -54,12 +54,13 @@ std::uint32_t feasible_grant(const QueueEntry& job, std::uint32_t share,
 
 std::optional<AdmissionDecision> admit_fifo(const JobQueue& queue,
                                             std::uint32_t largest_free_block) {
-  // Strict arrival order: only the oldest non-held entry may start (a held
-  // entry is waiting out its fuse window by choice, so it neither admits
-  // nor blocks the line).
+  // Strict arrival order: only the oldest eligible entry may start (a held
+  // entry is waiting out its fuse window by choice, an electrically-pinned
+  // one is not asking for spectrum at all — neither admits nor blocks the
+  // line).
   std::optional<std::size_t> head;
   for (std::size_t i = 0; i < queue.size(); ++i) {
-    if (queue.at(i).held) continue;
+    if (!optically_eligible(queue.at(i))) continue;
     if (!head || queue.at(i).seq < queue.at(*head).seq) head = i;
   }
   if (!head) return std::nullopt;
@@ -89,7 +90,7 @@ std::optional<AdmissionDecision> admit_smallest(
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
-    if (job.held) continue;
+    if (!optically_eligible(job)) continue;
     if (feasible_grant(job, job.requested_wavelengths, largest_free_block) ==
         0) {
       continue;
@@ -112,7 +113,7 @@ std::optional<AdmissionDecision> admit_weighted(
     std::uint32_t free_total) {
   double total_weight = 0.0;
   for (std::size_t i = 0; i < queue.size(); ++i) {
-    if (queue.at(i).held) continue;
+    if (!optically_eligible(queue.at(i))) continue;
     total_weight += std::max(queue.at(i).weight, 0.0);
   }
   if (total_weight <= 0.0) return admit_fifo(queue, largest_free_block);
@@ -124,7 +125,7 @@ std::optional<AdmissionDecision> admit_weighted(
   std::uint32_t best_grant = 0;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
-    if (job.held) continue;
+    if (!optically_eligible(job)) continue;
     const double fraction = std::max(job.weight, 0.0) / total_weight;
     const auto share = static_cast<std::uint32_t>(
         static_cast<double>(free_total) * fraction);
@@ -149,7 +150,7 @@ std::optional<std::size_t> priority_head(const JobQueue& queue) {
   std::optional<std::size_t> head;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
-    if (job.held) continue;
+    if (!optically_eligible(job)) continue;
     if (!head || job.priority > queue.at(*head).priority ||
         (job.priority == queue.at(*head).priority &&
          job.seq < queue.at(*head).seq)) {

@@ -54,11 +54,21 @@ struct QueueEntry {
   util::Bytes payload;
   std::vector<topo::NodeId> participants;
   std::int32_t priority = 0;
+  /// Substrate the tenant pinned the job to.  These policies arbitrate the
+  /// OPTICAL spectrum, so an electrically-pinned entry is invisible to them
+  /// (it neither admits nor blocks the line) the same way a held one is;
+  /// the runtime's electrical placement path serves it instead.
+  SubstratePin pin = SubstratePin::kAny;
   /// Inside its fuse-window admission delay (BatcherConfig::fuse_window):
   /// invisible to every admission policy (it neither admits nor blocks the
   /// line) but still fusable as a peer when another lead is admitted.
   bool held = false;
 };
+
+/// True when the optical admission policies may consider `entry` at all.
+[[nodiscard]] inline bool optically_eligible(const QueueEntry& entry) {
+  return !entry.held && entry.pin != SubstratePin::kElectricalOnly;
+}
 
 class JobQueue {
  public:

@@ -20,8 +20,11 @@ std::vector<std::size_t> fusable_peers(const JobQueue& queue,
   for (std::size_t i = 0; i < queue.size(); ++i) {
     if (i == lead_index) continue;
     const QueueEntry& job = queue.at(i);
+    // Pins must match exactly: a fused peer rides the lead's placement, so
+    // fusing across pins would run a pinned job on a fabric its tenant
+    // forbade (or strand an any-fabric job on a pinned lead's constraint).
     if (job.participants == lead.participants &&
-        job.priority == lead.priority &&
+        job.priority == lead.priority && job.pin == lead.pin &&
         job.payload <= config.max_fuse_payload &&
         job.min_wavelengths <= granted_band_width) {
       peers.push_back(i);

@@ -49,6 +49,8 @@ struct BatcherConfig {
 /// priority as the lead (an execution carries one urgency, so fusing across
 /// priorities would let a low-priority rider inherit the lead's rank and
 /// dodge preemption — or drag an urgent peer down to a preemptible batch),
+/// the SAME substrate pin (a fused peer rides the lead's placement, so
+/// mixed pins would run a job on a fabric its tenant forbade),
 /// a payload within the fuse threshold, and a min_wavelengths satisfied by
 /// the lead's `granted_band_width` (a fused peer executes in the lead's
 /// band, so its own admission floor must hold there too) — oldest first,

@@ -20,6 +20,18 @@ const char* job_state_name(JobState state) {
   return "?";
 }
 
+const char* substrate_pin_name(SubstratePin pin) {
+  switch (pin) {
+    case SubstratePin::kAny:
+      return "any";
+    case SubstratePin::kOpticalOnly:
+      return "optical-only";
+    case SubstratePin::kElectricalOnly:
+      return "electrical-only";
+  }
+  return "?";
+}
+
 const char* substrate_kind_name(SubstrateKind kind) {
   switch (kind) {
     case SubstrateKind::kOptical:

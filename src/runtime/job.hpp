@@ -21,6 +21,18 @@ using JobId = std::uint32_t;
 
 inline constexpr JobId kNoJob = 0xFFFFFFFFu;
 
+/// Per-job substrate pinning: where the tenant allows the job to run.
+/// kAny leaves placement to the hybrid policy; a pinned job only ever runs
+/// on its named fabric (an electrically-pinned job is rejected outright
+/// when the runtime has no electrical fallback configured).
+enum class SubstratePin : std::uint8_t {
+  kAny,
+  kOpticalOnly,
+  kElectricalOnly,
+};
+
+[[nodiscard]] const char* substrate_pin_name(SubstratePin pin);
+
 struct JobSpec {
   /// Ring positions holding gradients (ascending, unique, >= 2 of them).
   std::vector<topo::NodeId> participants;
@@ -39,6 +51,8 @@ struct JobSpec {
   /// job may suspend running lower-priority executions at their next step
   /// boundary).  Ignored by the other policies.
   std::int32_t priority = 0;
+  /// Substrate the job must (or must not) run on.
+  SubstratePin pin = SubstratePin::kAny;
   /// Optional label for reports and traces.
   std::string name;
 };
@@ -104,6 +118,13 @@ struct JobRecord {
   /// Step-boundary band renegotiations (grow or shrink) applied while
   /// running.
   std::uint32_t resizes = 0;
+  /// Multi-tenant contention slowdown of the execution that carried this
+  /// job: time its steps actually took on the shared fabric divided by
+  /// their quiet-network time (1.0 = never contended).  Zero when the
+  /// substrate has no quiet baseline to compare against (optical bands are
+  /// private by construction; exclusive-star electrical is its own quiet
+  /// network, so it reports exactly 1.0).
+  double contention_slowdown = 0.0;
   /// Why the spec was rejected (empty unless state == kRejected).
   std::string reject_reason;
 

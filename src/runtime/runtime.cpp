@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "coll/oracle.hpp"
+#include "util/string_utils.hpp"
 #include "wrht/builder.hpp"
 
 namespace wrht::runtime {
@@ -47,6 +48,9 @@ std::string RuntimeReport::to_string() const {
   out += "renegotiations  : " + std::to_string(preemptions) + " preempted, " +
          std::to_string(resumes) + " resumed, " + std::to_string(resizes) +
          " resized\n";
+  out += "retimed steps   : " + std::to_string(step_retimes) +
+         " (shared-fabric contention changes), " +
+         std::to_string(replay_checked_steps) + " replay-audited\n";
   out += "spectrum        : " + std::to_string(spectrum_reservations) +
          " reservations, 0 wavelength-conflict aborts\n";
   out += "peak concurrency: " + std::to_string(peak_concurrent_jobs) +
@@ -58,7 +62,12 @@ std::string RuntimeReport::to_string() const {
   out += "electrical      : " + std::to_string(electrical.jobs) + " jobs, " +
          std::to_string(electrical.executions) + " executions, " +
          std::to_string(electrical.steps) + " steps, makespan " +
-         util::to_string(electrical.makespan) + "\n";
+         util::to_string(electrical.makespan);
+  if (electrical.quiet_time.value() > 0.0) {
+    out += ", contention slowdown " +
+           util::format_double(electrical.contention_slowdown(), 3) + "x";
+  }
+  out += "\n";
   out += "makespan        : " + util::to_string(makespan) + "\n";
   out += "mean turnaround : " + util::to_string(mean_turnaround()) + "\n";
   return out;
@@ -117,6 +126,9 @@ JobId CollectiveRuntime::submit(JobSpec spec) {
   } else if (useful_wavelength_cap(s.participants.size()) <
              s.min_wavelengths) {
     reject = "min_wavelengths exceeds the job's useful wavelength cap";
+  } else if (s.pin == SubstratePin::kElectricalOnly &&
+             config_.placement == HybridPlacementPolicy::kOpticalOnly) {
+    reject = "pinned to the electrical fabric, but placement is optical-only";
   }
 
   if (!reject.empty()) {
@@ -166,7 +178,7 @@ void CollectiveRuntime::on_arrival(JobId id) {
   QueueEntry entry{id, next_seq_++, record.spec.min_wavelengths,
                    record.effective_request, record.spec.weight,
                    record.spec.payload, record.spec.participants,
-                   record.spec.priority};
+                   record.spec.priority, record.spec.pin};
   // Time-windowed batching: hold a fusable arrival out of admission for the
   // fuse window, so a burst landing on an idle ring still fuses instead of
   // its first job sprinting ahead alone.  Held entries stay visible to the
@@ -270,12 +282,15 @@ bool CollectiveRuntime::try_place_one_electrical() {
             });
   for (const std::size_t idx : order) {
     const QueueEntry& job = queue_.at(idx);
+    if (job.pin == SubstratePin::kOpticalOnly) continue;
     if (!electrical_->can_place(job.participants, 1)) continue;
-    if (config_.placement == HybridPlacementPolicy::kCostModelChoice) {
+    if (config_.placement == HybridPlacementPolicy::kCostModelChoice &&
+        job.pin != SubstratePin::kElectricalOnly) {
       // Route by predicted completion: WRHT formula time at the job's
       // (normalized) optical request vs. the alpha-beta time of the
       // schedule the electrical fabric would run.  A job predicted faster
-      // on the optical ring keeps waiting for spectrum.
+      // on the optical ring keeps waiting for spectrum.  A pinned job
+      // skips the comparison — the tenant already decided.
       const util::Seconds elec = electrical_->predict_makespan(
           job.participants, job.payload, 1);
       const util::Seconds optic = optical_->predict_makespan(
@@ -490,7 +505,10 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
     // been satisfied meanwhile by a completion elsewhere.
     bool still_needed = top_suspended_priority() > exec->priority;
     for (std::size_t i = 0; i < queue_.size() && !still_needed; ++i) {
-      still_needed = !queue_.at(i).held &&
+      // Only a waiter the optical admission could actually serve justifies
+      // the suspension — an electrically-pinned arrival gains nothing from
+      // this band.
+      still_needed = optically_eligible(queue_.at(i)) &&
                      queue_.at(i).priority > exec->priority;
     }
     if (still_needed) {
@@ -510,7 +528,7 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
   // inversion by resize.
   bool admissible_waiter = !suspended_.empty();
   for (std::size_t i = 0; i < queue_.size() && !admissible_waiter; ++i) {
-    admissible_waiter = !queue_.at(i).held;
+    admissible_waiter = optically_eligible(queue_.at(i));
   }
   if (!admissible_waiter) {
     try_grow(exec);
@@ -531,7 +549,7 @@ void CollectiveRuntime::suspend_execution(
   }
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
   ++report_.preemptions;
-  exec->substrate->release(*exec->plan);
+  exec->substrate->release(*exec->plan, simulator_.now());
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   suspended_.push_back(exec);
@@ -651,28 +669,71 @@ void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
   report_.total_retunes += timing.retunes;
   report_.spectrum_reservations += timing.reservations;
   ++breakdown(exec->substrate->kind()).steps;
+  exec->step_started = simulator_.now();
+  exec->quiet_time += timing.quiet;
+  schedule_step_end(exec, timing.end);
+  // Injecting this step's flows may have changed what every OTHER tenant on
+  // a shared fabric gets; their completion events move with the contention.
+  apply_retimings(*exec->substrate);
+}
 
-  simulator_.schedule_at(timing.end, [this, exec] {
-    ++exec->next_step;
-    if (exec->next_step >= exec->plan->num_steps()) {
-      finish_execution(exec);
-      return;
+void CollectiveRuntime::schedule_step_end(
+    const std::shared_ptr<Execution>& exec, util::Seconds end) {
+  exec->step_event =
+      simulator_.schedule_at(end, [this, exec] { on_step_end(exec); });
+}
+
+void CollectiveRuntime::on_step_end(const std::shared_ptr<Execution>& exec) {
+  // Actual wall-clock of the step that just finished — under shared-fabric
+  // contention this is the (possibly re-scheduled) real duration, not the
+  // quiet prediction, so busy_time / quiet_time is the contention slowdown.
+  exec->busy_time += simulator_.now() - exec->step_started;
+  ++exec->next_step;
+  if (exec->next_step >= exec->plan->num_steps()) {
+    finish_execution(exec);
+    return;
+  }
+  // The renegotiation point: every shared-medium cell this execution held
+  // is released by now (transfer-end events precede the boundary), so its
+  // grant can be surrendered, grown, or shrunk without a stale
+  // reservation existing anywhere.
+  if (renegotiate(exec)) return;  // surrendered; resume dispatches later
+  run_step(exec);
+}
+
+void CollectiveRuntime::apply_retimings(ExecutionSubstrate& substrate) {
+  if (!substrate.caps().retimes_steps) return;
+  for (const StepRetiming& retiming : substrate.take_retimings()) {
+    for (const std::shared_ptr<Execution>& exec : running_execs_) {
+      if (exec->plan.get() != retiming.exec) continue;
+      simulator_.cancel(exec->step_event);
+      schedule_step_end(exec, retiming.end);
+      ++report_.step_retimes;
+      if (trace_.enabled()) {
+        trace_.record(simulator_.now(), sim::TraceKind::kStepRetimed,
+                      exec->jobs.front(),
+                      static_cast<std::int64_t>(exec->next_step),
+                      "end=" + util::to_string(retiming.end));
+      }
+      break;
     }
-    // The renegotiation point: every shared-medium cell this execution held
-    // is released by now (transfer-end events precede the boundary), so its
-    // grant can be surrendered, grown, or shrunk without a stale
-    // reservation existing anywhere.
-    if (renegotiate(exec)) return;  // surrendered; resume dispatches later
-    run_step(exec);
-  });
+  }
 }
 
 void CollectiveRuntime::finish_execution(
     const std::shared_ptr<Execution>& exec) {
+  // Contention slowdown of the whole execution: what its steps cost on the
+  // (possibly shared) fabric vs. what they would have cost alone.  Jobs
+  // fused into one execution shared every step, so they share the ratio.
+  const double slowdown = exec->quiet_time.value() > 0.0
+                              ? exec->busy_time.value() /
+                                    exec->quiet_time.value()
+                              : 0.0;
   for (const JobId id : exec->jobs) {
     JobRecord& record = records_[id];
     record.state = JobState::kDone;
     record.completed = simulator_.now();
+    record.contention_slowdown = slowdown;
     completion_order_.push_back(id);
     ++report_.completed;
     report_.total_turnaround += record.turnaround();
@@ -680,9 +741,11 @@ void CollectiveRuntime::finish_execution(
   }
   SubstrateBreakdown& slice = breakdown(exec->substrate->kind());
   slice.makespan = std::max(slice.makespan, simulator_.now());
+  slice.busy_time += exec->busy_time;
+  slice.quiet_time += exec->quiet_time;
   last_completion_ = std::max(last_completion_, simulator_.now());
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
-  exec->substrate->release(*exec->plan);
+  exec->substrate->release(*exec->plan, simulator_.now());
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   try_admit();
@@ -713,6 +776,16 @@ RuntimeReport CollectiveRuntime::run() {
   // outlive the final completion as a no-op event, and phantom idle time
   // must not be billed to the workload.
   report_.makespan = last_completion_;
+
+  // End-of-run audits: the shared electrical fabric replays its whole flow
+  // horizon into a fresh network and must reproduce every incremental step
+  // time (aborts on disagreement); the per-link peaks tell the congestion
+  // story the slowdown numbers summarize.
+  report_.replay_checked_steps += optical_->self_check();
+  if (electrical_) {
+    report_.replay_checked_steps += electrical_->self_check();
+    report_.electrical_link_peak = electrical_->link_peak_utilization();
+  }
   return report_;
 }
 

@@ -18,11 +18,19 @@
 // re-checking every (span, wavelength, direction) reservation.  Under a
 // hybrid placement policy the runtime also serves the ELECTRICAL fallback
 // fabric (src/elec's flow simulator): when the spectrum saturates, queued
-// arrivals are placed onto exclusive host links of a star cluster instead
-// of waiting — kElectricalOverflow spills whatever the optical loop
-// declined, kCostModelChoice routes each job to whichever fabric the cost
-// models predict is faster.  Both timing models run on the same clock and
-// land in one report, with per-substrate breakdowns.
+// arrivals are placed onto host links of an electrical cluster instead of
+// waiting — kElectricalOverflow spills whatever the optical loop declined,
+// kCostModelChoice routes each job to whichever fabric the cost models
+// predict is faster, and JobSpec::pin lets a tenant force (or forbid) the
+// fallback outright.  The fallback fabric itself is configurable: an
+// exclusive star (every execution times its steps on a private quiet
+// network) or an oversubscribed two-level tree whose shared ToR uplinks
+// make concurrent executions contend — there one SharedFabricTimer times
+// every in-flight electrical step together, step-completion events are
+// re-scheduled when other tenants change the contention (kStepRetimed),
+// and a whole-horizon flow replay re-proves every step time at the end of
+// the run.  Both timing models run on the same clock and land in one
+// report, with per-substrate breakdowns and per-job contention slowdowns.
 //
 // Small same-group jobs are fused by the Batcher into a single schedule
 // (one set of per-step overheads for the whole batch), optionally after a
@@ -113,6 +121,18 @@ struct SubstrateBreakdown {
   std::uint32_t executions = 0;
   std::uint64_t steps = 0;
   util::Seconds makespan{0.0};
+  /// Wall-clock the fabric's steps actually took vs. what they would have
+  /// taken on a quiet network — the aggregate contention story.  Zero/zero
+  /// for substrates without a quiet baseline (optical).
+  util::Seconds busy_time{0.0};
+  util::Seconds quiet_time{0.0};
+
+  /// Aggregate contention slowdown (1.0 = nobody ever contended; 0.0 = no
+  /// quiet baseline on this substrate).
+  [[nodiscard]] double contention_slowdown() const {
+    return quiet_time.value() > 0.0 ? busy_time.value() / quiet_time.value()
+                                    : 0.0;
+  }
 };
 
 struct RuntimeReport {
@@ -143,6 +163,19 @@ struct RuntimeReport {
   std::uint32_t preemptions = 0;
   std::uint32_t resumes = 0;
   std::uint32_t resizes = 0;
+  /// Step-completion events re-scheduled on the sim clock because another
+  /// tenant's flows changed the shared electrical fabric's contention
+  /// (always 0 on the exclusive star fabric).
+  std::uint64_t step_retimes = 0;
+  /// Steps audited by the substrates' end-of-run self checks (the shared
+  /// electrical fabric's whole-horizon flow replay).  A disagreement aborts
+  /// the process, so a returned report documents that this many steps were
+  /// re-proven.
+  std::uint64_t replay_checked_steps = 0;
+  /// Peak utilization per electrical-fabric link (fraction of capacity),
+  /// indexed by the fallback cluster's link ids.  Empty without a shared
+  /// electrical fabric.
+  std::vector<double> electrical_link_peak;
   util::Seconds total_turnaround{0.0};
   /// Both timing models under one report: what each fabric carried.
   /// optical.jobs + electrical.jobs == completed, and likewise for
@@ -207,6 +240,14 @@ class CollectiveRuntime {
     /// the next step boundary.
     bool preempt_requested = false;
     bool suspended = false;
+    /// Sim-clock handle of the in-flight step's completion event — the
+    /// thing a shared-fabric retiming cancels and re-schedules.
+    std::uint64_t step_event = 0;
+    /// When the in-flight step started, and the accumulated actual/quiet
+    /// durations of finished steps (the per-job contention slowdown).
+    util::Seconds step_started{0.0};
+    util::Seconds busy_time{0.0};
+    util::Seconds quiet_time{0.0};
   };
 
   void on_arrival(JobId id);
@@ -223,6 +264,15 @@ class CollectiveRuntime {
   /// jobs the cost models route there).  Returns true when a job was placed.
   bool try_place_one_electrical();
   void run_step(const std::shared_ptr<Execution>& exec);
+  /// Schedule (or re-schedule) exec's in-flight step completion at `end`.
+  void schedule_step_end(const std::shared_ptr<Execution>& exec,
+                         util::Seconds end);
+  /// The step-completion event body: fold the step's wall-clock, then
+  /// finish / renegotiate / dispatch the next step.
+  void on_step_end(const std::shared_ptr<Execution>& exec);
+  /// Drain `substrate`'s pending step retimings (shared-fabric contention
+  /// changes) and re-schedule the affected completion events.
+  void apply_retimings(ExecutionSubstrate& substrate);
   void finish_execution(const std::shared_ptr<Execution>& exec);
 
   /// The step-boundary renegotiation point: called between two steps of

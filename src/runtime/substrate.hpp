@@ -56,6 +56,12 @@ struct SubstrateCaps {
   /// min_wavelengths floor must hold against the granted width.  False when
   /// grants are not wavelength-denominated (electrical host claims).
   bool fuse_respects_grant = false;
+  /// Step completion times may move after time_step() returned, because
+  /// another tenant's flows changed the sharing of this substrate's fabric
+  /// (shared electrical uplinks).  The runtime must drain take_retimings()
+  /// after every time_step() and re-schedule the affected step-completion
+  /// events on the sim clock.
+  bool retimes_steps = false;
 };
 
 /// Per-execution state owned by a substrate: the schedule still ahead and
@@ -81,12 +87,26 @@ class SubstrateExecution {
 /// Timing of one executed step on the shared clock.
 struct StepTiming {
   /// Absolute completion time of the step, including the substrate's
-  /// inter-step barrier.
+  /// inter-step barrier.  On a retiming substrate this is the prediction
+  /// under the sharing in force right now; later arrivals may move it
+  /// (surfaced through take_retimings).
   util::Seconds end{0.0};
   std::uint64_t retunes = 0;
   /// (arc, wavelength) cells claimed on the shared spectrum map (0 for
   /// substrates without shared-medium reservations).
   std::uint64_t reservations = 0;
+  /// Duration this step would take on a quiet network (no other tenants) —
+  /// the denominator of the per-job contention slowdown.  Zero when the
+  /// substrate has no meaningful quiet baseline (optical bands are private
+  /// by construction).
+  util::Seconds quiet{0.0};
+};
+
+/// A correction to an earlier StepTiming: `exec`'s current step now ends at
+/// `end` because another tenant's flows changed the fabric sharing.
+struct StepRetiming {
+  SubstrateExecution* exec = nullptr;
+  util::Seconds end{0.0};
 };
 
 class ExecutionSubstrate {
@@ -123,9 +143,32 @@ class ExecutionSubstrate {
                                              std::size_t step,
                                              util::Seconds now) = 0;
 
-  /// Release exec's standing grant (band / host links).  Idempotent; the
-  /// plan itself survives for a later resume_plan.
-  virtual void release(SubstrateExecution& exec) = 0;
+  /// Release exec's standing grant (band / host links) at time `now` on the
+  /// shared clock.  Idempotent; the plan itself survives for a later
+  /// resume_plan.  Retiming substrates need the clock to settle the
+  /// execution's last flows out of the shared fabric.
+  virtual void release(SubstrateExecution& exec, util::Seconds now) = 0;
+
+  /// Step-completion corrections accumulated since the last drain (see
+  /// SubstrateCaps::retimes_steps).  Ownership of the entries passes to the
+  /// caller; for an execution appearing twice, the later entry supersedes.
+  [[nodiscard]] virtual std::vector<StepRetiming> take_retimings() {
+    return {};
+  }
+
+  /// Peak utilization (fraction of capacity, in [0,1]) per fabric link over
+  /// the run so far.  Empty for substrates without per-link accounting.
+  [[nodiscard]] virtual std::vector<double> link_peak_utilization() const {
+    return {};
+  }
+
+  /// End-of-run self audit.  A substrate with an independent whole-horizon
+  /// oracle (the shared electrical fabric replays every logged flow into a
+  /// fresh network) re-proves its incremental timing here and ABORTS on any
+  /// disagreement — mirroring the fatal semantics of a wavelength conflict.
+  /// Returns the number of steps audited (0 when there is nothing to
+  /// check).
+  [[nodiscard]] virtual std::uint64_t self_check() const { return 0; }
 
   /// Predicted completion time of a fresh `grant`-unit execution — the
   /// hybrid cost-model placement signal (WRHT formula time vs. alpha-beta).
@@ -169,18 +212,41 @@ class ExecutionSubstrate {
     const topo::RingTopology& ring, const optical::OpticalParams& params,
     optical::FitPolicy fit_policy, sim::Simulator& sim);
 
+/// Which electrical fabric backs the fallback substrate.
+enum class ElectricalFabric : std::uint8_t {
+  /// Star cluster, exclusive host access links: every execution times its
+  /// steps on a private quiet network (exact, but tenants never contend).
+  kStarExclusive,
+  /// Oversubscribed two-level tree (hosts -> ToRs -> core), ONE shared
+  /// FlowNetwork for the whole fabric: concurrent executions' flows share
+  /// the ToR uplinks under max-min fairness, so a step's completion time
+  /// depends on what other tenants are sending — and moves when they start
+  /// or stop (SubstrateCaps::retimes_steps).
+  kTwoLevelShared,
+};
+
+[[nodiscard]] const char* electrical_fabric_name(ElectricalFabric fabric);
+
 /// Electrical-fallback fabric configuration.
 struct ElectricalFallbackConfig {
-  /// Host access-link spec of the star cluster backing the fallback.
+  /// Host access-link spec of the cluster backing the fallback.
   elec::ElectricalParams link{};
   /// Hard cap on concurrent electrical executions (0 = bounded only by
   /// per-host link exclusivity).
   std::uint32_t max_concurrent = 0;
+  ElectricalFabric fabric = ElectricalFabric::kStarExclusive;
+  /// kTwoLevelShared shape: hosts per ToR switch, and the factor by which
+  /// each ToR uplink is undersized relative to its hosts' aggregate access
+  /// bandwidth (1.0 = full bisection, 4.0 = classic 4:1 oversubscription).
+  std::uint32_t hosts_per_tor = 8;
+  double oversubscription = 1.0;
 };
 
-/// The flow-simulator fallback substrate over a star cluster of
-/// `num_hosts` hosts (one per ring position, so any participant set maps
-/// 1:1 onto hosts).
+/// The flow-simulator fallback substrate over `num_hosts` hosts (one per
+/// ring position, so any participant set maps 1:1 onto hosts), wired to the
+/// fabric `config` picks.  Host claims stay exclusive on BOTH fabrics — a
+/// host runs one tenant at a time; what kTwoLevelShared adds is contention
+/// between different tenants' flows on the shared ToR uplinks.
 [[nodiscard]] std::unique_ptr<ExecutionSubstrate> make_electrical_substrate(
     std::uint32_t num_hosts, const ElectricalFallbackConfig& config);
 

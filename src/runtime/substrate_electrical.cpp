@@ -2,34 +2,48 @@
 // fabric from src/elec serving overflow tenants when the optical spectrum
 // saturates.
 //
-// Grant model — link capacity.  The fallback is a star cluster with one
-// host per ring position; every host owns one full-duplex access link, and
-// every flow between two hosts crosses exactly its endpoints' access links
-// (the switch core is non-blocking).  An execution therefore claims its
-// participants' access links exclusively: two placed executions can never
-// share a link, which is precisely what makes timing each execution's steps
-// on a private quiet FlowNetwork EXACT under max-min fair sharing, not an
-// approximation.  Jobs whose participants overlap a placed execution wait.
+// Grant model — link capacity.  The fallback maps one host per ring
+// position; an execution claims its participants' hosts exclusively, so
+// two placed executions never share a host.  What happens BETWEEN hosts
+// depends on the configured fabric:
+//
+//  * kStarExclusive — one full-duplex access link per host into a
+//    non-blocking switch.  Every flow crosses exactly its endpoints'
+//    access links, so host exclusivity makes timing each execution's steps
+//    on a private quiet FlowNetwork EXACT under max-min fair sharing, not
+//    an approximation.
+//
+//  * kTwoLevelShared — hosts hang off ToR switches whose uplinks into the
+//    core are oversubscribed.  Different executions' flows SHARE those
+//    uplinks, so the substrate times every in-flight step of every tenant
+//    together on ONE elec::SharedFabricTimer: a step's completion time
+//    depends on what other tenants are sending, moves when they start
+//    (retimings re-schedule the step event on the sim clock), and is
+//    re-proven at end of run by a whole-horizon flow replay into a fresh
+//    network.  The quiet-network duration of each step is still computed
+//    (StepFlowTimer) as the denominator of the per-job contention
+//    slowdown.
 //
 // Schedules are the classic electrical collectives the paper benchmarks
 // against: the chunked ring (bandwidth-optimal) or recursive doubling
 // (latency-optimal), picked per job by the alpha-beta cost model and
 // remapped from compact ranks onto the participants' host ids.  Per-step
-// timing is the BSP step makespan from elec::StepFlowTimer — the same model
-// as elec::run_on_electrical, produced one step at a time so electrical
-// steps interleave with optical tenants' events on the shared clock.
+// timing is produced one step at a time so electrical steps interleave
+// with optical tenants' events on the shared clock.
 #include "runtime/substrate.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "coll/algorithms.hpp"
 #include "coll/cost_model.hpp"
 #include "elec/alphabeta.hpp"
 #include "elec/schedule_runner.hpp"
+#include "elec/shared_fabric.hpp"
 
 namespace wrht::runtime {
 
@@ -74,16 +88,42 @@ class ElectricalExecution final : public SubstrateExecution {
   util::Bytes payload;
   std::vector<topo::NodeId> hosts;
   bool holds_hosts = false;
+  /// kTwoLevelShared: the execution's session on the shared fabric timer.
+  elec::SharedFabricTimer::SessionId session = 0;
+  bool has_session = false;
 };
+
+elec::ElectricalCluster make_fallback_cluster(
+    std::uint32_t num_hosts, const ElectricalFallbackConfig& config) {
+  if (config.fabric == ElectricalFabric::kStarExclusive) {
+    return elec::ElectricalCluster::star(num_hosts, config.link);
+  }
+  std::optional<elec::ElectricalCluster> tree =
+      elec::ElectricalCluster::two_level_tree(num_hosts, config.hosts_per_tor,
+                                              config.oversubscription,
+                                              config.link);
+  if (!tree) {
+    std::fprintf(stderr,
+                 "make_electrical_substrate: bad two-level shape (%u hosts, "
+                 "%u per ToR, oversubscription %g)\n",
+                 num_hosts, config.hosts_per_tor, config.oversubscription);
+    std::abort();
+  }
+  return *std::move(tree);
+}
 
 class ElectricalSubstrate final : public ExecutionSubstrate {
  public:
   ElectricalSubstrate(std::uint32_t num_hosts,
                       const ElectricalFallbackConfig& config)
-      : cluster_(elec::ElectricalCluster::star(num_hosts, config.link)),
+      : cluster_(make_fallback_cluster(num_hosts, config)),
         timer_(cluster_),
         config_(config),
-        host_busy_(num_hosts, false) {}
+        host_busy_(num_hosts, false) {
+    if (config_.fabric == ElectricalFabric::kTwoLevelShared) {
+      shared_.emplace(cluster_);
+    }
+  }
 
   [[nodiscard]] SubstrateKind kind() const override {
     return SubstrateKind::kElectrical;
@@ -94,12 +134,20 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     // boundary to renegotiate at, and host claims are all-or-nothing.
     // Batching still applies (per-step alpha dominates small jobs here
     // too), and a fused peer rides host links, not a wavelength band, so no
-    // grant-width floor constrains fusion.
-    static constexpr SubstrateCaps kCaps{/*preemptible=*/false,
-                                         /*resizable=*/false,
-                                         /*batchable=*/true,
-                                         /*fuse_respects_grant=*/false};
-    return kCaps;
+    // grant-width floor constrains fusion.  On the shared two-level fabric
+    // step completions move with other tenants' traffic, so the runtime
+    // must expect retimings there.
+    static constexpr SubstrateCaps kStarCaps{/*preemptible=*/false,
+                                             /*resizable=*/false,
+                                             /*batchable=*/true,
+                                             /*fuse_respects_grant=*/false,
+                                             /*retimes_steps=*/false};
+    static constexpr SubstrateCaps kSharedCaps{/*preemptible=*/false,
+                                               /*resizable=*/false,
+                                               /*batchable=*/true,
+                                               /*fuse_respects_grant=*/false,
+                                               /*retimes_steps=*/true};
+    return shared_ ? kSharedCaps : kStarCaps;
   }
 
   [[nodiscard]] std::uint32_t largest_free_grant() const override {
@@ -140,6 +188,11 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     plan->payload = payload;
     plan->hosts = participants;
     plan->holds_hosts = true;
+    if (shared_) {
+      plan->session = shared_->open_session();
+      plan->has_session = true;
+      session_plans_[plan->session] = plan.get();
+    }
     for (const topo::NodeId host : participants) host_busy_[host] = true;
     ++active_;
     return plan;
@@ -149,19 +202,82 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
                                      util::Seconds now) override {
     auto& exec = static_cast<ElectricalExecution&>(e);
     StepTiming out;
-    // BSP semantics, same as elec::run_on_electrical: the step's duration
-    // is its flow makespan (route latency included); the next step starts
-    // only when this one fully completes.
-    out.end = now + timer_.time_step(exec.schedule_, step, exec.payload);
+    // Quiet-network BSP duration, same construction as
+    // elec::run_on_electrical: the step's flow makespan on a private reset
+    // network (route latency included).  On the star this IS the step —
+    // host exclusivity means nobody else's flows exist on its links.  On
+    // the shared fabric it is the contention-free baseline the slowdown is
+    // measured against.
+    const std::optional<util::Seconds> quiet =
+        timer_.time_step(exec.schedule_, step, exec.payload);
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "ElectricalSubstrate: un-timeable step %zu — "
+                   "arbitration bug\n",
+                   step);
+      std::abort();
+    }
+    out.quiet = *quiet;
+    if (!shared_) {
+      out.end = now + *quiet;
+      return out;
+    }
+    const std::optional<util::Seconds> end =
+        shared_->begin_step(exec.session, exec.schedule_, step, exec.payload,
+                            now);
+    if (!end) {
+      std::fprintf(stderr,
+                   "ElectricalSubstrate: shared fabric refused step %zu — "
+                   "arbitration bug\n",
+                   step);
+      std::abort();
+    }
+    out.end = *end;
+    for (const elec::SharedFabricTimer::Retiming& retiming :
+         shared_->take_retimings()) {
+      pending_retimings_.push_back(
+          StepRetiming{session_plans_.at(retiming.session), retiming.end});
+    }
     return out;
   }
 
-  void release(SubstrateExecution& e) override {
+  void release(SubstrateExecution& e, util::Seconds now) override {
     auto& exec = static_cast<ElectricalExecution&>(e);
     if (!exec.holds_hosts) return;
+    if (exec.has_session) {
+      shared_->close_session(exec.session, now);
+      session_plans_.erase(exec.session);
+      exec.has_session = false;
+    }
     for (const topo::NodeId host : exec.hosts) host_busy_[host] = false;
     exec.holds_hosts = false;
     --active_;
+  }
+
+  [[nodiscard]] std::vector<StepRetiming> take_retimings() override {
+    std::vector<StepRetiming> out = std::move(pending_retimings_);
+    pending_retimings_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::vector<double> link_peak_utilization() const override {
+    return shared_ ? shared_->link_peak_utilization()
+                   : std::vector<double>{};
+  }
+
+  [[nodiscard]] std::uint64_t self_check() const override {
+    if (!shared_) return 0;
+    const std::uint64_t mismatches = shared_->verify_replay();
+    if (mismatches != 0) {
+      // The incremental shared-fabric timing and the whole-horizon flow
+      // replay disagree: a timing bug, fatal like a wavelength conflict.
+      std::fprintf(stderr,
+                   "ElectricalSubstrate: flow-replay oracle disagrees on "
+                   "%llu step(s)\n",
+                   static_cast<unsigned long long>(mismatches));
+      std::abort();
+    }
+    return shared_->logged_steps();
   }
 
   [[nodiscard]] util::Seconds predict_makespan(
@@ -220,6 +336,11 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
   elec::ElectricalCluster cluster_;
   elec::StepFlowTimer timer_;
   ElectricalFallbackConfig config_;
+  /// Engaged only for kTwoLevelShared.
+  std::optional<elec::SharedFabricTimer> shared_;
+  std::map<elec::SharedFabricTimer::SessionId, SubstrateExecution*>
+      session_plans_;
+  std::vector<StepRetiming> pending_retimings_;
   std::vector<bool> host_busy_;
   std::uint32_t active_ = 0;
   mutable std::map<std::pair<std::uint32_t, std::uint64_t>, util::Seconds>
@@ -227,6 +348,16 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
 };
 
 }  // namespace
+
+const char* electrical_fabric_name(ElectricalFabric fabric) {
+  switch (fabric) {
+    case ElectricalFabric::kStarExclusive:
+      return "star-exclusive";
+    case ElectricalFabric::kTwoLevelShared:
+      return "two-level-shared";
+  }
+  return "?";
+}
 
 std::unique_ptr<ExecutionSubstrate> make_electrical_substrate(
     std::uint32_t num_hosts, const ElectricalFallbackConfig& config) {

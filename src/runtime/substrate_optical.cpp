@@ -153,7 +153,7 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     return out;
   }
 
-  void release(SubstrateExecution& e) override {
+  void release(SubstrateExecution& e, util::Seconds /*now*/) override {
     auto& exec = static_cast<OpticalExecution&>(e);
     if (!exec.holds_band) return;
     arbiter_.release(exec.band_);

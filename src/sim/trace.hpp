@@ -29,6 +29,11 @@ enum class TraceKind : std::uint8_t {
   /// Recorded alongside kJobAdmit so one trace tells both timing stories.
   kJobPlaceOptical,
   kJobPlaceElectrical,
+  /// A running step's completion event moved on the sim clock because
+  /// another tenant's flows changed the shared-fabric contention.  `a` is
+  /// the execution's lead job, `b` the step index; the detail carries the
+  /// new absolute end time.
+  kStepRetimed,
   kCustom,
 };
 

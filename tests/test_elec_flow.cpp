@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "elec/topology.hpp"
+#include "util/random.hpp"
+
 namespace wrht::elec {
 namespace {
 
@@ -186,6 +189,73 @@ TEST(FlowNetwork, ManyFlowsRingPatternNoContention) {
   network.run();
   for (const FlowId f : flows) {
     EXPECT_NEAR(network.completion_time(f).value(), 0.1, 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link-conservation invariant: whatever max-min fair shares the solver hands
+// out instant by instant, the BYTES a link ends up carrying must equal the
+// sum of the bytes of every flow routed over it — fluid fairness reshuffles
+// rates, never volume.  Checked under randomized flow sets on both cluster
+// shapes the runtime uses.
+
+namespace link_conservation {
+
+/// Drop `num_flows` random host-to-host flows (random sizes, staggered via
+/// run_until checkpoints) on `cluster` and check per-link byte conservation.
+void check_cluster(const wrht::elec::ElectricalCluster& cluster,
+                   std::uint64_t seed, std::uint32_t num_flows) {
+  using namespace wrht::elec;
+  wrht::util::Rng rng(seed);
+  FlowNetwork network = cluster.make_network();
+  std::vector<double> expected(network.num_links(), 0.0);
+
+  for (std::uint32_t f = 0; f < num_flows; ++f) {
+    const auto a =
+        static_cast<std::uint32_t>(rng.next_below(cluster.num_hosts()));
+    auto b = static_cast<std::uint32_t>(rng.next_below(cluster.num_hosts()));
+    if (b == a) b = (b + 1) % cluster.num_hosts();
+    const Bytes bytes(1000 + rng.next_below(50'000'000));
+    for (const LinkId link : cluster.route(a, b)) {
+      expected[link] += bytes.as_double();
+    }
+    network.add_flow(cluster.route(a, b), bytes);
+    if (rng.next_below(3) == 0) {
+      // Stagger: advance mid-flight so later flows join a loaded network.
+      network.run_until(network.now() + Seconds(1e-3));
+    }
+  }
+  network.run();
+
+  for (std::size_t link = 0; link < network.num_links(); ++link) {
+    // kEpsilonBytes truncation loses at most a milli-byte per flow.
+    const double tolerance = 1e-2 * num_flows + 1e-6 * expected[link];
+    EXPECT_NEAR(network.link_bytes(static_cast<LinkId>(link)).as_double(),
+                expected[link], tolerance)
+        << "link " << link << " seed " << seed;
+    // A link's peak utilization is a fraction of its capacity by
+    // construction; conservation's sibling sanity bound.
+    const double peak =
+        network.link_peak_utilization(static_cast<LinkId>(link));
+    EXPECT_GE(peak, 0.0);
+    EXPECT_LE(peak, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace link_conservation
+
+TEST(FlowNetwork, LinkConservationOnRandomizedStar) {
+  for (const std::uint64_t seed : {11ull, 23ull, 47ull}) {
+    link_conservation::check_cluster(
+        ElectricalCluster::star(12, ElectricalParams{}), seed, 60);
+  }
+}
+
+TEST(FlowNetwork, LinkConservationOnRandomizedTwoLevelTree) {
+  for (const std::uint64_t seed : {5ull, 17ull, 91ull}) {
+    link_conservation::check_cluster(
+        *ElectricalCluster::two_level_tree(16, 4, 4.0, ElectricalParams{}),
+        seed, 80);
   }
 }
 

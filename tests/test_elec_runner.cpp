@@ -167,10 +167,12 @@ TEST(Runner, IncrementalStepTimingAgreesWithWholeSchedule) {
     StepFlowTimer timer(cluster);
     util::Seconds total{0.0};
     for (std::size_t s = 0; s < schedule.num_steps(); ++s) {
-      const util::Seconds step = timer.time_step(schedule, s, payload);
-      EXPECT_EQ(step, whole.step_durations[s]) << schedule.name() << " step "
-                                               << s;
-      total += step;
+      const std::optional<util::Seconds> step =
+          timer.time_step(schedule, s, payload);
+      ASSERT_TRUE(step.has_value()) << schedule.name() << " step " << s;
+      EXPECT_EQ(*step, whole.step_durations[s]) << schedule.name() << " step "
+                                                << s;
+      total += *step;
     }
     EXPECT_EQ(total, whole.total) << schedule.name();
   }
@@ -184,13 +186,40 @@ TEST(Runner, StepFlowTimerIsReusableOutOfOrder) {
   const coll::Schedule schedule = coll::ring_allreduce(n);
   const Bytes payload(4'000'000);
   StepFlowTimer timer(cluster);
-  const util::Seconds last =
+  const std::optional<util::Seconds> last =
       timer.time_step(schedule, schedule.num_steps() - 1, payload);
-  const util::Seconds first = timer.time_step(schedule, 0, payload);
-  const util::Seconds first_again = timer.time_step(schedule, 0, payload);
-  EXPECT_EQ(first, first_again);
-  EXPECT_GT(first, util::Seconds(0.0));
-  EXPECT_GT(last, util::Seconds(0.0));
+  const std::optional<util::Seconds> first = timer.time_step(schedule, 0, payload);
+  const std::optional<util::Seconds> first_again =
+      timer.time_step(schedule, 0, payload);
+  ASSERT_TRUE(last && first && first_again);
+  EXPECT_EQ(*first, *first_again);
+  EXPECT_GT(*first, util::Seconds(0.0));
+  EXPECT_GT(*last, util::Seconds(0.0));
+}
+
+TEST(Runner, StepFlowTimerRejectsOutOfRangeStep) {
+  // An out-of-range step is a recoverable nullopt, not a crash — and the
+  // refusal leaves the timer fully usable.
+  const ElectricalCluster cluster = ElectricalCluster::star(4, test_params());
+  const coll::Schedule schedule = coll::ring_allreduce(4);
+  StepFlowTimer timer(cluster);
+  EXPECT_FALSE(
+      timer.time_step(schedule, schedule.num_steps(), util::megabytes(1)));
+  EXPECT_FALSE(timer.time_step(schedule, schedule.num_steps() + 17,
+                               util::megabytes(1)));
+  EXPECT_TRUE(timer.time_step(schedule, 0, util::megabytes(1)).has_value());
+}
+
+TEST(Runner, StepFlowTimerRejectsOversizedSchedule) {
+  // A schedule naming more hosts than the cluster has cannot be routed.
+  const ElectricalCluster cluster = ElectricalCluster::star(4, test_params());
+  const coll::Schedule schedule = coll::ring_allreduce(8);
+  StepFlowTimer timer(cluster);
+  EXPECT_FALSE(timer.time_step(schedule, 0, util::megabytes(1)));
+  // A fitting schedule still times fine on the same timer afterwards.
+  EXPECT_TRUE(
+      timer.time_step(coll::ring_allreduce(4), 0, util::megabytes(1))
+          .has_value());
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// The multi-tenant shared-fabric flow timer: one FlowNetwork timing every
+// concurrent execution's in-flight step together.  Covers the contention
+// mechanics (a tenant joining an oversubscribed uplink slows the tenants
+// already on it, surfaced as retimings), the quiet-fabric degenerate cases
+// (disjoint ToR-contained tenants neither contend nor retime each other
+// materially), the whole-horizon replay oracle, rejected inputs, and the
+// FlowNetwork seams it is built on (run_until, clone_live, per-link peaks).
+#include "elec/shared_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "coll/algorithms.hpp"
+#include "elec/schedule_runner.hpp"
+
+namespace wrht::elec {
+namespace {
+
+using util::Bytes;
+using util::Seconds;
+
+ElectricalParams test_params() {
+  ElectricalParams p;
+  p.link_bandwidth = util::gBps(1.0);
+  p.link_latency = util::microseconds(25.0);
+  return p;
+}
+
+/// 8 hosts, 2 ToRs of 4, uplinks `oversub`x undersized.
+ElectricalCluster two_tor_cluster(double oversub) {
+  return *ElectricalCluster::two_level_tree(8, 4, oversub, test_params());
+}
+
+/// A one-step schedule sending `bytes`-sized full-payload transfers
+/// src -> dst for each listed pair, in an 8-host id space.
+coll::Schedule pair_schedule(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
+  coll::Schedule schedule("pairs", 8, 1);
+  schedule.add_step();
+  for (const auto& [src, dst] : pairs) {
+    schedule.add_transfer({src, dst, 0, coll::TransferOp::kReduce});
+  }
+  return schedule;
+}
+
+TEST(SharedFabric, SoloSessionMatchesQuietTimer) {
+  // One tenant alone on the shared fabric is the quiet network: every step
+  // must time exactly as the per-execution StepFlowTimer's quiet model.
+  const ElectricalCluster cluster = two_tor_cluster(4.0);
+  const coll::Schedule schedule = coll::ring_allreduce(8);
+  const Bytes payload(8'000'000);
+
+  StepFlowTimer quiet(cluster);
+  SharedFabricTimer shared(cluster);
+  const SharedFabricTimer::SessionId session = shared.open_session();
+  Seconds clock{0.0};
+  for (std::size_t s = 0; s < schedule.num_steps(); ++s) {
+    const std::optional<Seconds> quiet_step =
+        quiet.time_step(schedule, s, payload);
+    const std::optional<Seconds> end =
+        shared.begin_step(session, schedule, s, payload, clock);
+    ASSERT_TRUE(quiet_step && end);
+    EXPECT_NEAR((*end - clock).value(), quiet_step->value(),
+                1e-12 * quiet_step->value())
+        << "step " << s;
+    clock = *end;
+  }
+  shared.close_session(session, clock);
+  EXPECT_EQ(shared.verify_replay(), 0u);
+  EXPECT_EQ(shared.active_sessions(), 0u);
+}
+
+TEST(SharedFabric, JoiningTenantRetimesTheTenantInFlight) {
+  // Tenant A sends cross-ToR alone; halfway through, tenant B starts a
+  // cross-ToR flow over the SAME oversubscribed uplink.  A's step must be
+  // retimed to a later end, and the final timing must replay exactly.
+  const ElectricalCluster cluster = two_tor_cluster(4.0);
+  // Uplink carries 4 hosts / 4.0 oversubscription = 1 GB/s.
+  SharedFabricTimer shared(cluster);
+  const auto a = shared.open_session();
+  const auto b = shared.open_session();
+
+  const coll::Schedule cross_a = pair_schedule({{0, 4}});
+  const coll::Schedule cross_b = pair_schedule({{1, 5}});
+  const Bytes payload(1'000'000'000);  // 1 GB: ~1 s alone on the uplink
+
+  const std::optional<Seconds> a_alone =
+      shared.begin_step(a, cross_a, 0, payload, Seconds(0.0));
+  ASSERT_TRUE(a_alone);
+  EXPECT_NEAR(a_alone->value(), 1.0 + 100e-6, 1e-3);
+  EXPECT_TRUE(shared.take_retimings().empty());
+
+  const std::optional<Seconds> b_end =
+      shared.begin_step(b, cross_b, 0, payload, Seconds(0.5));
+  ASSERT_TRUE(b_end);
+  const std::vector<SharedFabricTimer::Retiming> retimings =
+      shared.take_retimings();
+  ASSERT_EQ(retimings.size(), 1u);
+  EXPECT_EQ(retimings[0].session, a);
+  // A had ~0.5 GB left when B joined; the two flows then split the 1 GB/s
+  // uplink, so A's remainder takes ~1 s instead of ~0.5 s.
+  EXPECT_NEAR(retimings[0].end.value(), 1.5 + 100e-6, 1e-3);
+  EXPECT_GT(retimings[0].end, *a_alone);
+  // B carries its full 1 GB at the half rate until A drains (~1 s), then
+  // the remaining ~0.5 GB at full rate: ~1.5 s of transfer.
+  EXPECT_NEAR(b_end->value(), 0.5 + 1.5 + 100e-6, 1e-2);
+
+  shared.close_session(a, retimings[0].end);
+  shared.close_session(b, *b_end);
+  EXPECT_EQ(shared.verify_replay(), 0u);
+
+  // The saturated uplink peaked at full utilization; the idle ToR1->core
+  // direction never carried these flows.
+  const std::vector<double> peaks = shared.link_peak_utilization();
+  EXPECT_NEAR(*std::max_element(peaks.begin(), peaks.end()), 1.0, 1e-9);
+}
+
+TEST(SharedFabric, DisjointTorContainedTenantsDoNotContend) {
+  // Two tenants wholly inside different ToRs never share a link: each times
+  // as if alone no matter the oversubscription, and the replay agrees.
+  const ElectricalCluster cluster = two_tor_cluster(8.0);
+  StepFlowTimer quiet(cluster);
+  SharedFabricTimer shared(cluster);
+  const auto a = shared.open_session();
+  const auto b = shared.open_session();
+  const coll::Schedule in_tor0 = pair_schedule({{0, 1}, {2, 3}});
+  const coll::Schedule in_tor1 = pair_schedule({{4, 5}, {6, 7}});
+  const Bytes payload(10'000'000);
+
+  const std::optional<Seconds> a_end =
+      shared.begin_step(a, in_tor0, 0, payload, Seconds(0.0));
+  const std::optional<Seconds> b_end =
+      shared.begin_step(b, in_tor1, 0, payload, Seconds(0.0));
+  ASSERT_TRUE(a_end && b_end);
+  const std::optional<Seconds> a_quiet = quiet.time_step(in_tor0, 0, payload);
+  const std::optional<Seconds> b_quiet = quiet.time_step(in_tor1, 0, payload);
+  ASSERT_TRUE(a_quiet && b_quiet);
+  EXPECT_NEAR(a_end->value(), a_quiet->value(), 1e-12);
+  EXPECT_NEAR(b_end->value(), b_quiet->value(), 1e-12);
+
+  shared.close_session(a, *a_end);
+  shared.close_session(b, *b_end);
+  EXPECT_EQ(shared.verify_replay(), 0u);
+}
+
+TEST(SharedFabric, FlowLessStepCompletesInstantly) {
+  const ElectricalCluster cluster = two_tor_cluster(1.0);
+  SharedFabricTimer shared(cluster);
+  const auto session = shared.open_session();
+  coll::Schedule idle("idle", 8, 1);
+  idle.add_step();  // no transfers
+  const std::optional<Seconds> end =
+      shared.begin_step(session, idle, 0, Bytes(1000), Seconds(2.5));
+  ASSERT_TRUE(end);
+  EXPECT_EQ(*end, Seconds(2.5));
+  shared.close_session(session, Seconds(2.5));
+  EXPECT_EQ(shared.verify_replay(), 0u);
+}
+
+TEST(SharedFabric, RejectsBadRequests) {
+  const ElectricalCluster cluster = two_tor_cluster(2.0);
+  SharedFabricTimer shared(cluster);
+  const auto session = shared.open_session();
+  const coll::Schedule schedule = coll::ring_allreduce(8);
+  const Bytes payload(1'000'000);
+
+  // Unknown session.
+  EXPECT_FALSE(shared.begin_step(99, schedule, 0, payload, Seconds(0.0)));
+  // Out-of-range step.
+  EXPECT_FALSE(shared.begin_step(session, schedule, schedule.num_steps(),
+                                 payload, Seconds(0.0)));
+  // Schedule wider than the cluster.
+  EXPECT_FALSE(shared.begin_step(session, coll::ring_allreduce(16), 0,
+                                 payload, Seconds(0.0)));
+
+  const std::optional<Seconds> end =
+      shared.begin_step(session, schedule, 0, payload, Seconds(1.0));
+  ASSERT_TRUE(end);
+  // Clock running backwards.
+  EXPECT_FALSE(shared.begin_step(session, schedule, 1, payload,
+                                 Seconds(0.5)));
+  // Next step before the previous one finished.
+  EXPECT_FALSE(shared.begin_step(session, schedule, 1, payload,
+                                 Seconds(1.0 + 1e-6)));
+  // At the completed boundary, the next step is accepted.
+  EXPECT_TRUE(shared.begin_step(session, schedule, 1, payload, *end));
+  // A closed session refuses further steps.
+  const auto other = shared.open_session();
+  shared.close_session(other, *end);
+  EXPECT_FALSE(shared.begin_step(other, schedule, 0, payload, *end));
+}
+
+TEST(FlowNetwork, RunUntilSplitsMatchOneShotRun) {
+  // Driving the same flow set through run_until checkpoints must complete
+  // every flow at (numerically) the same instant as one uninterrupted run.
+  const ElectricalCluster cluster = two_tor_cluster(4.0);
+  FlowNetwork split = cluster.make_network();
+  FlowNetwork whole = cluster.make_network();
+  std::vector<FlowId> split_ids;
+  std::vector<FlowId> whole_ids;
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    split_ids.push_back(
+        split.add_flow(cluster.route(h, 4 + h), Bytes(250'000'000)));
+    whole_ids.push_back(
+        whole.add_flow(cluster.route(h, 4 + h), Bytes(250'000'000)));
+  }
+  for (double t = 0.1; t < 2.0; t += 0.1) split.run_until(Seconds(t));
+  split.run();
+  whole.run();
+  for (std::size_t i = 0; i < split_ids.size(); ++i) {
+    ASSERT_TRUE(split.completed(split_ids[i]));
+    EXPECT_NEAR(split.completion_time(split_ids[i]).value(),
+                whole.completion_time(whole_ids[i]).value(), 1e-9);
+  }
+  // The idle clock still lands on a horizon past the last completion.
+  split.run_until(Seconds(5.0));
+  EXPECT_EQ(split.now(), Seconds(5.0));
+}
+
+TEST(FlowNetwork, CloneLiveCarriesOnlyInFlightFlows) {
+  const ElectricalCluster cluster = two_tor_cluster(1.0);
+  FlowNetwork network = cluster.make_network();
+  const FlowId fast =
+      network.add_flow(cluster.route(0, 1), Bytes(1'000'000));
+  const FlowId slow =
+      network.add_flow(cluster.route(0, 4), Bytes(1'000'000'000));
+  network.run_until(Seconds(0.5));  // fast done, slow mid-flight
+
+  std::vector<FlowId> id_map;
+  FlowNetwork copy = network.clone_live(id_map);
+  ASSERT_EQ(id_map.size(), 2u);
+  EXPECT_EQ(id_map[fast], kNoFlow);
+  ASSERT_NE(id_map[slow], kNoFlow);
+  copy.run();
+  // The copy's forward run predicts the original's completion.
+  network.run();
+  EXPECT_NEAR(copy.completion_time(id_map[slow]).value(),
+              network.completion_time(slow).value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace wrht::elec

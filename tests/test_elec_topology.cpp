@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace wrht::elec {
 namespace {
 
@@ -55,7 +57,7 @@ TEST(Ring, ShapeAndRoutes) {
 
 TEST(TwoLevelTree, HostsRouteThroughTorAndCore) {
   const ElectricalCluster cluster =
-      ElectricalCluster::two_level_tree(8, 4, 1.0, test_params());
+      *ElectricalCluster::two_level_tree(8, 4, 1.0, test_params());
   EXPECT_EQ(cluster.num_hosts(), 8u);
   // Same-ToR pair: host->tor->host (2 links).
   EXPECT_EQ(cluster.route(0, 1).size(), 2u);
@@ -67,7 +69,7 @@ TEST(TwoLevelTree, OversubscriptionCongestsUplink) {
   // 1:4 oversubscription: the ToR uplink carries 1 GB/s for 4 hosts.  Four
   // simultaneous cross-ToR flows share it at 0.25 GB/s each.
   const ElectricalCluster cluster =
-      ElectricalCluster::two_level_tree(8, 4, 4.0, test_params());
+      *ElectricalCluster::two_level_tree(8, 4, 4.0, test_params());
   FlowNetwork network = cluster.make_network();
   std::vector<FlowId> flows;
   for (std::uint32_t h = 0; h < 4; ++h) {
@@ -82,7 +84,7 @@ TEST(TwoLevelTree, OversubscriptionCongestsUplink) {
 
 TEST(TwoLevelTree, FullBisectionDoesNotCongest) {
   const ElectricalCluster cluster =
-      ElectricalCluster::two_level_tree(8, 4, 1.0, test_params());
+      *ElectricalCluster::two_level_tree(8, 4, 1.0, test_params());
   FlowNetwork network = cluster.make_network();
   std::vector<FlowId> flows;
   for (std::uint32_t h = 0; h < 4; ++h) {
@@ -93,6 +95,24 @@ TEST(TwoLevelTree, FullBisectionDoesNotCongest) {
   for (const FlowId flow : flows) {
     EXPECT_NEAR(network.completion_time(flow).value(), 1.0, 0.01);
   }
+}
+
+TEST(TwoLevelTree, RejectsBadShapes) {
+  // Every malformed shape is a recoverable nullopt, never an abort: too few
+  // hosts, zero hosts per ToR, and a non-positive or non-finite
+  // oversubscription factor.
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(1, 4, 1.0, test_params()));
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(0, 4, 1.0, test_params()));
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(8, 0, 1.0, test_params()));
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(8, 4, 0.0, test_params()));
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(8, 4, -2.0, test_params()));
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(
+      8, 4, std::numeric_limits<double>::quiet_NaN(), test_params()));
+  EXPECT_FALSE(ElectricalCluster::two_level_tree(
+      8, 4, std::numeric_limits<double>::infinity(), test_params()));
+  // The boundary shapes are all accepted.
+  EXPECT_TRUE(ElectricalCluster::two_level_tree(2, 1, 1.0, test_params()));
+  EXPECT_TRUE(ElectricalCluster::two_level_tree(8, 16, 8.0, test_params()));
 }
 
 TEST(Cluster, MakeNetworkLinkCountMatchesEdges) {

@@ -1,0 +1,129 @@
+// The hybrid-runtime report renderers: the per-substrate workload split
+// (including its totals row), the per-job contention slowdown table, and
+// the per-link peak utilization table — plus the round trip from a real
+// RuntimeReport's per-substrate breakdowns into those renderers, which the
+// examples exercise but nothing previously asserted on.
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/runtime.hpp"
+
+namespace wrht::harness {
+namespace {
+
+TEST(SubstrateTable, RendersRowsAndSummedTotals) {
+  const std::string table = render_substrate_table(
+      {{"optical", 7, 5, 120, 0.25}, {"electrical", 3, 3, 42, 0.125}});
+  EXPECT_NE(table.find("optical"), std::string::npos);
+  EXPECT_NE(table.find("electrical"), std::string::npos);
+  // Totals row: jobs 7+3, executions 5+3, steps 120+42; the makespan column
+  // totals as the MAX (both fabrics share one clock), not the sum.
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_NE(table.find("10"), std::string::npos);
+  EXPECT_NE(table.find("162"), std::string::npos);
+  EXPECT_NE(table.find("250"), std::string::npos);   // 250 ms
+  EXPECT_EQ(table.find("375"), std::string::npos);   // NOT 250+125 ms
+}
+
+TEST(SubstrateTable, EmptyInputSaysSo) {
+  EXPECT_EQ(render_substrate_table({}), "(no substrates)\n");
+}
+
+TEST(SlowdownTable, RendersPerJobRowsAndWorstRow) {
+  const std::string table = render_slowdown_table({
+      {"job0", 0.010, 1.0},
+      {"job1", 0.025, 2.5},
+      {"job2", 0.015, 0.0},  // no quiet baseline
+  });
+  EXPECT_NE(table.find("job0"), std::string::npos);
+  EXPECT_NE(table.find("1.000x"), std::string::npos);
+  EXPECT_NE(table.find("2.500x"), std::string::npos);
+  // The baseline-less job renders "-", and the worst row is the 2.5x one.
+  EXPECT_NE(table.find('-'), std::string::npos);
+  EXPECT_NE(table.find("worst"), std::string::npos);
+  EXPECT_EQ(render_slowdown_table({}), "(no jobs)\n");
+}
+
+TEST(LinkUtilization, FiltersIdleLinksAndFormatsPercent) {
+  const std::string table =
+      render_link_utilization({0.0, 0.01, 0.5, 1.0}, 0.05);
+  EXPECT_NE(table.find("50.0%"), std::string::npos);
+  EXPECT_NE(table.find("100.0%"), std::string::npos);
+  EXPECT_NE(table.find("2/4 links"), std::string::npos);
+  // Link ids are preserved, not renumbered after filtering.
+  EXPECT_NE(table.find('3'), std::string::npos);
+  const std::string idle = render_link_utilization({0.0, 0.0}, 0.05);
+  EXPECT_NE(idle.find("no link reached"), std::string::npos);
+}
+
+TEST(SubstrateTable, RoundTripsARealHybridReport) {
+  // A saturated mix that splits across both fabrics; the breakdown slices
+  // must sum to the totals and survive rendering.
+  runtime::RuntimeConfig config;
+  config.ring_size = 32;
+  config.optical.wdm.num_wavelengths = 16;
+  config.batcher.enabled = false;
+  config.placement = runtime::HybridPlacementPolicy::kElectricalOverflow;
+  config.electrical.fabric = runtime::ElectricalFabric::kTwoLevelShared;
+  config.electrical.hosts_per_tor = 16;
+  config.electrical.oversubscription = 4.0;
+  runtime::CollectiveRuntime rt(config);
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    runtime::JobSpec big;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      big.participants.push_back(t * 16 + i);
+    }
+    big.payload = util::megabytes(48);
+    big.requested_wavelengths = 8;
+    big.min_wavelengths = 8;
+    rt.submit(big);
+  }
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    runtime::JobSpec burst;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      burst.participants.push_back(b * 8 + i);
+    }
+    burst.payload = util::megabytes(1);
+    burst.arrival = util::milliseconds(1.0);
+    burst.min_wavelengths = 4;
+    rt.submit(burst);
+  }
+  const runtime::RuntimeReport report = rt.run();
+  ASSERT_EQ(report.completed, 6u);
+  ASSERT_GT(report.electrical.jobs, 0u);
+  EXPECT_EQ(report.optical.jobs + report.electrical.jobs, report.completed);
+  EXPECT_EQ(report.optical.executions + report.electrical.executions,
+            report.executions);
+  EXPECT_EQ(report.optical.steps + report.electrical.steps,
+            report.total_steps);
+  // The optical slice has no quiet baseline; the electrical one does, and
+  // its aggregate slowdown can never beat the quiet network.
+  EXPECT_EQ(report.optical.contention_slowdown(), 0.0);
+  EXPECT_GE(report.electrical.contention_slowdown(), 1.0 - 1e-9);
+
+  const std::string table = render_substrate_table(
+      {{"optical", report.optical.jobs, report.optical.executions,
+        report.optical.steps, report.optical.makespan.value()},
+       {"electrical", report.electrical.jobs, report.electrical.executions,
+        report.electrical.steps, report.electrical.makespan.value()}});
+  EXPECT_NE(table.find(std::to_string(report.total_steps)),
+            std::string::npos);
+
+  std::vector<SlowdownRow> rows;
+  for (runtime::JobId id = 0; id < rt.num_jobs(); ++id) {
+    const runtime::JobRecord& r = rt.record(id);
+    rows.push_back({"job" + std::to_string(id), r.turnaround().value(),
+                    r.contention_slowdown});
+  }
+  const std::string slowdowns = render_slowdown_table(rows);
+  EXPECT_NE(slowdowns.find("job5"), std::string::npos);
+  const std::string links =
+      render_link_utilization(report.electrical_link_peak);
+  EXPECT_NE(links.find('%'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrht::harness

@@ -336,13 +336,175 @@ TEST(Substrate, ElectricalFactoryStandsAlone) {
     clock = t.end;
   }
   // ... and free again after release.
-  sub->release(*plan);
+  sub->release(*plan, clock);
   EXPECT_TRUE(sub->can_place({2, 5}, 1));
 
   // Renegotiation defaults refuse without touching anything.
   EXPECT_EQ(sub->resume_plan(*plan, 0, 1, 1), nullptr);
   EXPECT_EQ(sub->grow_plan(*plan, 0, 4), nullptr);
   EXPECT_EQ(sub->shrink_plan(*plan, 0, 1), nullptr);
+}
+
+RuntimeConfig shared_fabric_config(double oversubscription,
+                                   std::uint32_t hosts_per_tor) {
+  RuntimeConfig config = hybrid_config(
+      HybridPlacementPolicy::kElectricalOverflow);
+  config.electrical.fabric = ElectricalFabric::kTwoLevelShared;
+  config.electrical.hosts_per_tor = hosts_per_tor;
+  config.electrical.oversubscription = oversubscription;
+  return config;
+}
+
+/// Four disjoint electrically-pinned jobs, either each contained in one ToR
+/// of 8 hosts (contained = true) or each straddling two ToRs of 16 hosts.
+void submit_pinned_quartet(CollectiveRuntime& rt, bool contained) {
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    JobSpec spec;
+    if (contained) {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        spec.participants.push_back(j * 8 + i);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        spec.participants.push_back(j * 4 + i);
+      }
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        spec.participants.push_back(16 + j * 4 + i);
+      }
+    }
+    spec.payload = util::megabytes(4 + 2 * j);
+    spec.pin = SubstratePin::kElectricalOnly;
+    rt.submit(spec);
+  }
+}
+
+TEST(SharedFabricRuntime, TorContainedJobsMatchTheExclusiveStar) {
+  // Disjoint jobs each inside one ToR never share a link, so the shared
+  // two-level fabric must reproduce the exclusive-star timing (to fluid-
+  // model precision) and report a contention slowdown of exactly 1x.
+  RuntimeConfig star = hybrid_config(HybridPlacementPolicy::kElectricalOverflow);
+  CollectiveRuntime star_rt(star);
+  submit_pinned_quartet(star_rt, /*contained=*/true);
+  const RuntimeReport star_report = star_rt.run();
+
+  CollectiveRuntime shared_rt(shared_fabric_config(1.0, 8));
+  submit_pinned_quartet(shared_rt, /*contained=*/true);
+  const RuntimeReport shared_report = shared_rt.run();
+
+  EXPECT_EQ(star_report.electrical.jobs, 4u);
+  EXPECT_EQ(shared_report.electrical.jobs, 4u);
+  for (JobId id = 0; id < 4; ++id) {
+    const JobRecord& s = star_rt.record(id);
+    const JobRecord& t = shared_rt.record(id);
+    EXPECT_EQ(s.substrate, SubstrateKind::kElectrical);
+    EXPECT_EQ(t.substrate, SubstrateKind::kElectrical);
+    EXPECT_NEAR(t.completed.value(), s.completed.value(),
+                1e-9 * std::max(1.0, s.completed.value()));
+    // The star IS its own quiet network; the ToR-contained shared tenant
+    // never met another tenant's flows.
+    EXPECT_NEAR(s.contention_slowdown, 1.0, 1e-9);
+    EXPECT_NEAR(t.contention_slowdown, 1.0, 1e-9);
+  }
+  EXPECT_NEAR(shared_report.makespan.value(), star_report.makespan.value(),
+              1e-9 * star_report.makespan.value());
+  // Every shared-fabric step was re-proven by the whole-horizon replay.
+  EXPECT_EQ(shared_report.replay_checked_steps,
+            shared_report.electrical.steps);
+  EXPECT_EQ(star_report.replay_checked_steps, 0u);  // star has no oracle
+}
+
+TEST(SharedFabricRuntime, OversubscribedUplinksContendAndRetime) {
+  // Jobs straddling both ToRs under 8:1 oversubscription fight for the
+  // uplinks: every job must slow down vs. its quiet time, step-completion
+  // events must have been re-scheduled as tenants joined, the uplink peak
+  // utilization must show saturation, and the replay oracle must agree
+  // with every incremental step time.
+  CollectiveRuntime rt(shared_fabric_config(8.0, 16));
+  rt.trace().enable();
+  submit_pinned_quartet(rt, /*contained=*/false);
+  const RuntimeReport report = rt.run();
+
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.electrical.jobs, 4u);
+  EXPECT_GT(report.step_retimes, 0u);
+  EXPECT_EQ(report.replay_checked_steps, report.electrical.steps);
+  for (JobId id = 0; id < 4; ++id) {
+    EXPECT_GT(rt.record(id).contention_slowdown, 1.05)
+        << "job " << id << " should have contended on the uplinks";
+    EXPECT_TRUE(rt.record(id).oracle_ok);
+  }
+  EXPECT_GT(report.electrical.contention_slowdown(), 1.05);
+
+  // The trace carries the retiming story.
+  std::uint64_t retime_events = 0;
+  for (const sim::TraceEvent& e : rt.trace().events()) {
+    if (e.kind == sim::TraceKind::kStepRetimed) ++retime_events;
+  }
+  EXPECT_EQ(retime_events, report.step_retimes);
+
+  // Some fabric link — an uplink — hit full utilization.
+  ASSERT_FALSE(report.electrical_link_peak.empty());
+  const double peak = *std::max_element(report.electrical_link_peak.begin(),
+                                        report.electrical_link_peak.end());
+  EXPECT_NEAR(peak, 1.0, 1e-6);
+
+  // And the same mix on the exclusive star finishes faster: the star's
+  // private host links hide exactly the contention this fabric models.
+  CollectiveRuntime star_rt(
+      hybrid_config(HybridPlacementPolicy::kElectricalOverflow));
+  submit_pinned_quartet(star_rt, /*contained=*/false);
+  const RuntimeReport star_report = star_rt.run();
+  EXPECT_GT(report.makespan, star_report.makespan);
+}
+
+TEST(SharedFabricRuntime, SharedRunsStayDeterministic) {
+  auto run_once = []() {
+    CollectiveRuntime rt(shared_fabric_config(4.0, 16));
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      JobSpec spec;
+      for (std::uint32_t p = 0; p < 6; ++p) {
+        spec.participants.push_back((i * 4 + p * 5) % 32);
+      }
+      std::sort(spec.participants.begin(), spec.participants.end());
+      spec.participants.erase(std::unique(spec.participants.begin(),
+                                          spec.participants.end()),
+                              spec.participants.end());
+      spec.payload = util::megabytes(1 + i % 5);
+      spec.arrival = util::microseconds(static_cast<double>(i) * 150);
+      spec.pin = (i % 2 == 0) ? SubstratePin::kElectricalOnly
+                              : SubstratePin::kAny;
+      rt.submit(spec);
+    }
+    const RuntimeReport report = rt.run();
+    EXPECT_EQ(report.completed, 8u);
+    return rt.completion_order();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SubstratePinning, PinsRouteAndRejectAsPromised) {
+  // kElectricalOnly forces the fallback even when spectrum is idle;
+  // kOpticalOnly keeps a job on the ring even when the fallback is idle;
+  // an electrical pin without an electrical fabric is rejected at submit.
+  CollectiveRuntime rt(hybrid_config(HybridPlacementPolicy::kElectricalOverflow));
+  JobSpec elec = span_job(0, 8, util::megabytes(1));
+  elec.pin = SubstratePin::kElectricalOnly;
+  const JobId elec_id = rt.submit(elec);
+  JobSpec optic = span_job(8, 8, util::megabytes(1));
+  optic.pin = SubstratePin::kOpticalOnly;
+  const JobId optic_id = rt.submit(optic);
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(rt.record(elec_id).substrate, SubstrateKind::kElectrical);
+  EXPECT_EQ(rt.record(optic_id).substrate, SubstrateKind::kOptical);
+
+  CollectiveRuntime optical_only(
+      hybrid_config(HybridPlacementPolicy::kOpticalOnly));
+  JobSpec stranded = span_job(0, 8, util::megabytes(1));
+  stranded.pin = SubstratePin::kElectricalOnly;
+  const JobId stranded_id = optical_only.submit(stranded);
+  EXPECT_EQ(optical_only.record(stranded_id).state, JobState::kRejected);
+  EXPECT_FALSE(optical_only.record(stranded_id).reject_reason.empty());
 }
 
 TEST(Substrate, MaxConcurrentCapsElectricalPlacements) {
@@ -354,7 +516,7 @@ TEST(Substrate, MaxConcurrentCapsElectricalPlacements) {
       sub->place({0, 1}, util::kilobytes(1), 1);
   // Disjoint hosts, but the concurrency slot is taken.
   EXPECT_FALSE(sub->can_place({4, 5}, 1));
-  sub->release(*first);
+  sub->release(*first, util::Seconds(0.0));
   EXPECT_TRUE(sub->can_place({4, 5}, 1));
 }
 
