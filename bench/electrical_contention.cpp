@@ -25,8 +25,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/bench_json.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -137,6 +139,10 @@ int main() {
 
   bool diverged = false;
   bool matched_at_one = false;
+  harness::BenchJson json("electrical_contention");
+  json.metric("star_straddle_makespan_s", star_straddle.makespan.value());
+  json.metric("contained_completion_delta",
+              shared_contained.completion_delta);
   for (const double oversub : {1.0, 2.0, 3.0, 4.0, 8.0}) {
     const RunOutcome outcome = run_quartet(
         fabric_config(runtime::ElectricalFabric::kTwoLevelShared, 16,
@@ -153,6 +159,11 @@ int main() {
                     star_straddle.makespan.value(),
                 static_cast<unsigned long long>(outcome.report.step_retimes),
                 outcome.worst_slowdown, peak * 100.0);
+    const std::string tag = "oversub_" + std::to_string(
+                                static_cast<int>(oversub));
+    json.metric(tag + "_makespan_s", outcome.report.makespan.value());
+    json.metric(tag + "_worst_slowdown", outcome.worst_slowdown);
+    json.metric(tag + "_uplink_peak", peak);
     if (oversub == 1.0) {
       matched_at_one = outcome.worst_slowdown < 1.0 + 1e-6;
     } else if (oversub > 2.0 && outcome.worst_slowdown > 1.05) {
@@ -169,5 +180,7 @@ int main() {
       "\nshared fabric matches the star when nothing is shared, diverges "
       "under oversubscribed load: %s\n",
       ok ? "PASS" : "FAIL");
+  json.note("verdict", ok ? "PASS" : "FAIL");
+  json.write();
   return ok ? 0 : 1;
 }

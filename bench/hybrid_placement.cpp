@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/bench_json.hpp"
 #include "harness/report.hpp"
 #include "runtime/runtime.hpp"
 
@@ -105,6 +106,22 @@ int main() {
                   overflow.electrical.jobs > 0 &&
                   optical_only.electrical.jobs == 0 &&
                   overflow.completed == optical_only.completed;
+  harness::BenchJson json("hybrid_placement");
+  json.note("verdict", ok ? "PASS" : "FAIL");
+  json.metric("optical_only_makespan_s", optical_only.makespan.value());
+  json.metric("overflow_makespan_s", overflow.makespan.value());
+  json.metric("cost_choice_makespan_s", cost_choice.makespan.value());
+  json.metric("overflow_speedup", optical_only.makespan / overflow.makespan);
+  json.metric("optical_only_mean_turnaround_s",
+              optical_only.mean_turnaround().value());
+  json.metric("overflow_mean_turnaround_s",
+              overflow.mean_turnaround().value());
+  json.metric("cost_choice_mean_turnaround_s",
+              cost_choice.mean_turnaround().value());
+  json.metric("cost_choice_electrical_jobs", cost_choice.electrical.jobs);
+  json.metric("cost_choice_routing_mean_error",
+              cost_choice.routing.mean_error);
+  json.write();
   std::printf(
       "electrical overflow strictly improves the saturated makespan over "
       "optical-only: %s\n",

@@ -17,6 +17,7 @@
 //   $ ./bench/renegotiation
 #include <cstdio>
 
+#include "harness/bench_json.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -91,5 +92,15 @@ int main() {
   std::printf("\nelastic beats fixed on makespan and turnaround via %u "
               "step-boundary resizes: %s\n",
               elastic.resizes, ok ? "PASS" : "FAIL");
+
+  harness::BenchJson json("renegotiation");
+  json.note("verdict", ok ? "PASS" : "FAIL");
+  json.metric("fixed_makespan_s", fixed.makespan.value());
+  json.metric("elastic_makespan_s", elastic.makespan.value());
+  json.metric("elastic_speedup", fixed.makespan / elastic.makespan);
+  json.metric("fixed_mean_turnaround_s", fixed.mean_turnaround().value());
+  json.metric("elastic_mean_turnaround_s", elastic.mean_turnaround().value());
+  json.metric("elastic_resizes", elastic.resizes);
+  json.write();
   return ok ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/bench_json.hpp"
 #include "runtime/runtime.hpp"
 #include "util/random.hpp"
 #include "wrht/builder.hpp"
@@ -121,6 +122,16 @@ int main() {
 
   const bool ok = concurrent.makespan < serial && fused.makespan < serial &&
                   fused.makespan <= concurrent.makespan;
+  harness::BenchJson json("runtime_throughput");
+  json.note("verdict", ok ? "PASS" : "FAIL");
+  json.metric("serial_makespan_s", serial.value());
+  json.metric("concurrent_makespan_s", concurrent.makespan.value());
+  json.metric("batched_makespan_s", fused.makespan.value());
+  json.metric("concurrent_speedup", serial / concurrent.makespan);
+  json.metric("batched_speedup", serial / fused.makespan);
+  json.metric("batched_mean_turnaround_s", fused.mean_turnaround().value());
+  json.metric("peak_concurrent_jobs", fused.peak_concurrent_jobs);
+  json.write();
   std::printf("concurrent < serial and batched <= concurrent: %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

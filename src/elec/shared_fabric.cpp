@@ -131,6 +131,32 @@ void SharedFabricTimer::repredict(SessionId started) {
   }
 }
 
+std::optional<util::Seconds> SharedFabricTimer::predict_step_completion(
+    const coll::Schedule& schedule, std::size_t step, util::Bytes payload,
+    util::Seconds now) const {
+  if (step >= schedule.num_steps()) return std::nullopt;
+  if (schedule.num_nodes() > cluster_->num_hosts()) return std::nullopt;
+  if (now < network_.now()) return std::nullopt;
+
+  // The clone carries exactly the flows still in flight; advancing IT to
+  // `now` instead of the real network keeps the probe side-effect free.
+  std::vector<FlowId> id_map;
+  FlowNetwork probe = network_.clone_live(id_map);
+  probe.run_until(now);
+  std::vector<FlowId> injected;
+  for (const coll::Transfer& t : schedule.steps()[step].transfers) {
+    injected.push_back(probe.add_flow(cluster_->route(t.src, t.dst),
+                                      schedule.chunk_bytes(payload, t.chunk)));
+  }
+  if (injected.empty()) return now;  // flow-less step completes instantly
+  probe.run();
+  util::Seconds end = now;
+  for (const FlowId flow : injected) {
+    end = std::max(end, probe.completion_time(flow));
+  }
+  return end;
+}
+
 void SharedFabricTimer::close_session(SessionId session_id,
                                       util::Seconds now) {
   if (session_id >= sessions_.size() || !sessions_[session_id].open) {

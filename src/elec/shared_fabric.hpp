@@ -69,6 +69,18 @@ class SharedFabricTimer {
   /// Close a session at `now` (its last step must have completed by then).
   void close_session(SessionId session, util::Seconds now);
 
+  /// Congestion-aware what-if probe: the completion time `schedule` step
+  /// `step` WOULD have if its flows joined the shared fabric at `now`, next
+  /// to everything currently in flight.  Computed on a live-flows clone of
+  /// the shared network, so the answer is the fluid model's own arithmetic
+  /// against the real residual uplink bandwidth — a pure probe that injects
+  /// nothing, logs nothing, and retimes nobody.  Same rejection cases as
+  /// begin_step's schedule checks (out-of-range step, too many hosts, a
+  /// clock before the fabric's).
+  [[nodiscard]] std::optional<util::Seconds> predict_step_completion(
+      const coll::Schedule& schedule, std::size_t step, util::Bytes payload,
+      util::Seconds now) const;
+
   /// A step whose predicted completion moved because a later arrival
   /// changed the max-min sharing.  Entries are in detection order; for a
   /// session appearing twice, the later entry supersedes.

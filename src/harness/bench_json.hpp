@@ -1,0 +1,51 @@
+// Machine-readable bench output: one flat JSON object per bench run,
+// written as BENCH_<name>.json.
+//
+// The report benches print human-readable tables and PASS/FAIL verdicts;
+// none of that is diffable across commits.  BenchJson is the side channel
+// CI archives: each bench records its headline metrics (makespans,
+// slowdowns, turnarounds) under stable keys, the smoke step uploads the
+// files as artifacts, and the repo's perf trajectory becomes a per-commit
+// series instead of folklore.
+//
+// Deliberately tiny: flat string->number metrics plus string->string notes,
+// insertion-ordered, no nesting, no external JSON dependency.  Benches run
+// in CI sandboxes, so the output directory is overridable via the
+// BENCH_JSON_DIR environment variable without touching any bench's code.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wrht::harness {
+
+class BenchJson {
+ public:
+  /// `name` becomes the BENCH_<name>.json filename; keep it
+  /// [A-Za-z0-9_-]+ (anything else is replaced with '_').
+  explicit BenchJson(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Record a numeric metric.  Last write wins on a repeated key.
+  void metric(const std::string& key, double value);
+  /// Record a string annotation (config knobs, verdicts).
+  void note(const std::string& key, std::string value);
+
+  /// The serialized object: {"bench": <name>, notes..., metrics...}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write BENCH_<name>.json into `dir` if given, else into
+  /// $BENCH_JSON_DIR, else the working directory.  Returns false (after
+  /// printing a warning) when the file cannot be opened — a bench must
+  /// never fail its run over a missing artifact directory.
+  bool write(const std::string& dir = {}) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+}  // namespace wrht::harness

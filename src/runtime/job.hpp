@@ -125,6 +125,17 @@ struct JobRecord {
   /// private by construction; exclusive-star electrical is its own quiet
   /// network, so it reports exactly 1.0).
   double contention_slowdown = 0.0;
+  /// Cost-model routing audit (kCostModelChoice placements only, zero
+  /// otherwise): the ABSOLUTE completion time the router predicted for the
+  /// substrate it chose, frozen at the instant the decision bound
+  /// (admitted).  Compared against `completed` at run end.
+  util::Seconds predicted_completion{0.0};
+  /// |completed - predicted_completion| relative to the predicted span
+  /// (predicted_completion - admitted).  Filled at completion for audited
+  /// decisions; includes whatever the router could not see coming (later
+  /// arrivals, preemptions), which is exactly what makes it worth
+  /// reporting.
+  double routing_error = 0.0;
   /// Why the spec was rejected (empty unless state == kRejected).
   std::string reject_reason;
 

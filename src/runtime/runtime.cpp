@@ -1,6 +1,7 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -32,6 +33,16 @@ const char* hybrid_placement_policy_name(HybridPlacementPolicy policy) {
       return "electrical-overflow";
     case HybridPlacementPolicy::kCostModelChoice:
       return "cost-model-choice";
+  }
+  return "?";
+}
+
+const char* routing_cost_model_name(RoutingCostModel model) {
+  switch (model) {
+    case RoutingCostModel::kQuietAlphaBeta:
+      return "quiet-alpha-beta";
+    case RoutingCostModel::kCongestionAware:
+      return "congestion-aware";
   }
   return "?";
 }
@@ -68,6 +79,14 @@ std::string RuntimeReport::to_string() const {
            util::format_double(electrical.contention_slowdown(), 3) + "x";
   }
   out += "\n";
+  if (routing.decisions > 0) {
+    out += "routing         : " + std::to_string(routing.decisions) +
+           " cost-model decisions (" + std::to_string(routing.to_optical) +
+           " optical / " + std::to_string(routing.to_electrical) +
+           " electrical), mean |err| " +
+           util::format_double(routing.mean_error * 100.0, 1) + "%, worst " +
+           util::format_double(routing.worst_error * 100.0, 1) + "%\n";
+  }
   out += "makespan        : " + util::to_string(makespan) + "\n";
   out += "mean turnaround : " + util::to_string(mean_turnaround()) + "\n";
   return out;
@@ -206,10 +225,24 @@ void CollectiveRuntime::release_fuse_hold(JobId id) {
   if (queue_.release_hold(id)) try_admit();
 }
 
-std::int32_t CollectiveRuntime::top_suspended_priority() const {
+std::int32_t CollectiveRuntime::top_suspended_priority(
+    SubstrateKind kind) const {
   std::int32_t top = std::numeric_limits<std::int32_t>::min();
-  for (const auto& exec : suspended_) top = std::max(top, exec->priority);
+  for (const auto& exec : suspended_) {
+    if (exec->substrate->kind() == kind) top = std::max(top, exec->priority);
+  }
   return top;
+}
+
+bool CollectiveRuntime::has_suspended(SubstrateKind kind) const {
+  return std::any_of(suspended_.begin(), suspended_.end(),
+                     [kind](const std::shared_ptr<Execution>& exec) {
+                       return exec->substrate->kind() == kind;
+                     });
+}
+
+bool CollectiveRuntime::electrically_pinned(const QueueEntry& entry) {
+  return !entry.held && entry.pin == SubstratePin::kElectricalOnly;
 }
 
 void CollectiveRuntime::try_admit() {
@@ -224,19 +257,21 @@ void CollectiveRuntime::try_admit() {
     }
   }
   while (true) {
-    // Under kPriorityPreempt a suspended execution that outranks every
-    // queued job has first claim on freed spectrum, and while it cannot
-    // resume, lower-priority arrivals must not be admitted into the band it
-    // waits for — otherwise a steady trickle of small low-priority jobs
-    // starves a preempted high-priority victim forever (admission-side
-    // priority inversion).
+    // Under kPriorityPreempt a suspended OPTICAL execution that outranks
+    // every queued job has first claim on freed spectrum, and while it
+    // cannot resume, lower-priority arrivals must not be admitted into the
+    // band it waits for — otherwise a steady trickle of small low-priority
+    // jobs starves a preempted high-priority victim forever (admission-side
+    // priority inversion).  Suspended ELECTRICAL executions wait for hosts,
+    // not spectrum; they get the mirror guard inside the electrical
+    // placement path and must not hold up the optical line here.
     if (config_.policy == FairnessPolicy::kPriorityPreempt &&
-        !suspended_.empty()) {
+        has_suspended(SubstrateKind::kOptical)) {
       const std::optional<std::size_t> head = priority_head(queue_);
       const std::int32_t queued_top =
           head ? queue_.at(*head).priority
                : std::numeric_limits<std::int32_t>::min();
-      if (top_suspended_priority() > queued_top) {
+      if (top_suspended_priority(SubstrateKind::kOptical) > queued_top) {
         if (try_resume_one()) continue;
         break;  // resume blocked: hold the line, ask for preemptions below
       }
@@ -254,7 +289,15 @@ void CollectiveRuntime::try_admit() {
   // Overflow: whatever the optical loop declined spills onto free
   // electrical hosts instead of queueing for spectrum.
   if (config_.placement == HybridPlacementPolicy::kElectricalOverflow) {
-    while (try_place_one_electrical()) {
+    bool spilled = false;
+    while (try_place_one_electrical()) spilled = true;
+    // A spill drains the host-priority guard's reason to wait: the urgent
+    // pinned arrival that was holding hosts hostage is running now, so a
+    // suspended electrical execution may resume on what is left — at this
+    // very instant, not at the next completion event.
+    if (spilled) {
+      while (try_resume_one()) {
+      }
     }
   }
   if (config_.policy == FairnessPolicy::kPriorityPreempt) {
@@ -264,6 +307,13 @@ void CollectiveRuntime::try_admit() {
 
 bool CollectiveRuntime::try_place_one_electrical() {
   if (!electrical_) return false;
+  // Mirror of the optical admission guard: hosts freed for a suspended
+  // electrical execution must not leak to lower-priority queued arrivals,
+  // or a trickle of small pinned jobs starves the preempted victim.
+  const std::int32_t top_elec_suspended =
+      config_.policy == FairnessPolicy::kPriorityPreempt
+          ? top_suspended_priority(SubstrateKind::kElectrical)
+          : std::numeric_limits<std::int32_t>::min();
   // Candidate order mirrors the fairness policy's preference: priority
   // (ties on arrival) under kPriorityPreempt, arrival order otherwise.
   std::vector<std::size_t> order;
@@ -283,19 +333,36 @@ bool CollectiveRuntime::try_place_one_electrical() {
   for (const std::size_t idx : order) {
     const QueueEntry& job = queue_.at(idx);
     if (job.pin == SubstratePin::kOpticalOnly) continue;
+    if (top_elec_suspended > job.priority) continue;
     if (!electrical_->can_place(job.participants, 1)) continue;
     if (config_.placement == HybridPlacementPolicy::kCostModelChoice &&
         job.pin != SubstratePin::kElectricalOnly) {
-      // Route by predicted completion: WRHT formula time at the job's
-      // (normalized) optical request vs. the alpha-beta time of the
-      // schedule the electrical fabric would run.  A job predicted faster
-      // on the optical ring keeps waiting for spectrum.  A pinned job
-      // skips the comparison — the tenant already decided.
-      const util::Seconds elec = electrical_->predict_makespan(
-          job.participants, job.payload, 1);
-      const util::Seconds optic = optical_->predict_makespan(
-          job.participants, job.payload, job.requested_wavelengths);
-      if (elec >= optic) continue;
+      // Route by predicted completion.  Under kCongestionAware both sides
+      // answer for their CURRENT state — the electrical estimate stretches
+      // with the live residual uplink bandwidth, the optical one with the
+      // predicted wait for a free band — so a saturated fabric stops
+      // attracting spill and a backed-up ring stops holding jobs.  Under
+      // kQuietAlphaBeta the comparison is of quiet run times only (the
+      // ablation baseline).  A pinned job skips the comparison — the
+      // tenant already decided.
+      const util::Seconds now = simulator_.now();
+      util::Seconds elec_done;
+      util::Seconds optic_done;
+      if (config_.routing_cost_model == RoutingCostModel::kCongestionAware) {
+        elec_done = electrical_->predict_completion(job.participants,
+                                                    job.payload, 1, now);
+        optic_done = optical_->predict_completion(
+            job.participants, job.payload, job.requested_wavelengths, now);
+      } else {
+        elec_done =
+            now + electrical_->predict_makespan(job.participants, job.payload,
+                                                1);
+        optic_done = now + optical_->predict_makespan(
+                               job.participants, job.payload,
+                               job.requested_wavelengths);
+      }
+      if (elec_done >= optic_done) continue;
+      pending_route_prediction_ = {optic_done, elec_done};
     }
     place_execution(*electrical_, idx, /*grant=*/1);
     return true;
@@ -304,10 +371,15 @@ bool CollectiveRuntime::try_place_one_electrical() {
 }
 
 void CollectiveRuntime::request_preemptions() {
-  // The most urgent waiter: the queued admission head (the same selection
-  // the policy itself uses, so preemptions always benefit the job admission
-  // will actually pick) or a suspended execution awaiting resume, whichever
-  // outranks the other.
+  request_optical_preemptions();
+  request_electrical_preemptions();
+}
+
+void CollectiveRuntime::request_optical_preemptions() {
+  // The most urgent spectrum waiter: the queued admission head (the same
+  // selection the policy itself uses, so preemptions always benefit the job
+  // admission will actually pick) or a suspended OPTICAL execution awaiting
+  // resume, whichever outranks the other.
   std::int32_t target_priority = std::numeric_limits<std::int32_t>::min();
   std::uint32_t target_min = 0;
   if (const std::optional<std::size_t> head = priority_head(queue_)) {
@@ -315,6 +387,7 @@ void CollectiveRuntime::request_preemptions() {
     target_min = queue_.at(*head).min_wavelengths;
   }
   for (const auto& exec : suspended_) {
+    if (exec->substrate->kind() != SubstrateKind::kOptical) continue;
     if (exec->priority > target_priority) {
       target_priority = exec->priority;
       target_min = exec->min_width;
@@ -332,17 +405,20 @@ void CollectiveRuntime::request_preemptions() {
   // boundary re-check in renegotiate().
   std::uint32_t pending = optical_->largest_free_grant();
   for (const auto& exec : running_execs_) {
+    if (exec->substrate->kind() != SubstrateKind::kOptical) continue;
     if (exec->preempt_requested) pending += exec->plan->grant();
   }
   if (pending >= target_min) return;
 
-  // Victims: preemptible-substrate executions of strictly lower priority
-  // only, cheapest first (lowest priority, then widest band so one victim
-  // usually suffices, then oldest lead job for determinism).  The band is
-  // not taken here — the victim surrenders it at its next step boundary,
-  // which is what makes the handoff safe.
+  // Victims: lower-priority executions of the OPTICAL substrate only —
+  // surrendering host links would not free a wavelength — cheapest first
+  // (lowest priority, then widest band so one victim usually suffices,
+  // then oldest lead job for determinism).  The band is not taken here —
+  // the victim surrenders it at its next step boundary, which is what
+  // makes the handoff safe.
   std::vector<std::shared_ptr<Execution>> victims;
   for (const auto& exec : running_execs_) {
+    if (exec->substrate->kind() != SubstrateKind::kOptical) continue;
     if (!exec->substrate->caps().preemptible) continue;
     if (!exec->preempt_requested && exec->priority < target_priority) {
       victims.push_back(exec);
@@ -360,6 +436,146 @@ void CollectiveRuntime::request_preemptions() {
     if (pending >= target_min) break;
     victim->preempt_requested = true;
     pending += victim->plan->grant();
+  }
+}
+
+void CollectiveRuntime::request_electrical_preemptions() {
+  if (!electrical_ || !electrical_->caps().preemptible) return;
+  // The most urgent HOST waiter: the highest-priority pinned-electrical
+  // arrival (a kAny job also has the optical line working for it and never
+  // justifies evicting an electrical tenant), or a suspended electrical
+  // execution awaiting resume.  A queued waiter needs ITS OWN ring
+  // positions' hosts; a suspended one can resume on any free host set of
+  // its size (remaps_on_resume).
+  std::int32_t target_priority = std::numeric_limits<std::int32_t>::min();
+  const QueueEntry* queued_waiter = nullptr;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const QueueEntry& entry = queue_.at(i);
+    if (!electrically_pinned(entry)) continue;
+    if (!queued_waiter || entry.priority > target_priority ||
+        (entry.priority == target_priority &&
+         entry.seq < queued_waiter->seq)) {
+      queued_waiter = &entry;
+      target_priority = entry.priority;
+    }
+  }
+  std::uint32_t suspended_need = 0;
+  for (const auto& exec : suspended_) {
+    if (exec->substrate->kind() != SubstrateKind::kElectrical) continue;
+    if (exec->priority > target_priority) {
+      target_priority = exec->priority;
+      queued_waiter = nullptr;
+      suspended_need =
+          static_cast<std::uint32_t>(exec->participants.size());
+    }
+  }
+  if (!queued_waiter && suspended_need == 0) return;
+  if (queued_waiter &&
+      electrical_->can_place(queued_waiter->participants, 1)) {
+    return;  // placeable right now; the placement path will take it
+  }
+
+  // Same surrender-at-the-boundary protocol as the optical planner: mark
+  // victims, let renegotiate() re-check at their next step boundary, and
+  // retry here on the next try_admit if this round under-shot.  Host sets
+  // are snapshotted once — hosts() copies, and the scans below would
+  // otherwise re-copy per (waiter host x execution) pair.
+  struct Holder {
+    std::shared_ptr<Execution> exec;
+    std::vector<topo::NodeId> hosts;
+  };
+  std::vector<Holder> electrical_running;
+  for (const auto& exec : running_execs_) {
+    if (exec->substrate->kind() == SubstrateKind::kElectrical) {
+      electrical_running.push_back(Holder{exec, exec->plan->hosts()});
+    }
+  }
+
+  if (queued_waiter) {
+    // The waiter's hosts are busy: every holder must be preemptible and
+    // strictly lower-priority, or preemption cannot help at all.
+    bool any_busy_holder = false;
+    std::vector<std::shared_ptr<Execution>> blockers;
+    for (const topo::NodeId host : queued_waiter->participants) {
+      for (const Holder& holder : electrical_running) {
+        if (std::find(holder.hosts.begin(), holder.hosts.end(), host) ==
+            holder.hosts.end()) {
+          continue;
+        }
+        any_busy_holder = true;
+        if (holder.exec->priority >= target_priority) {
+          return;  // outranked: hopeless
+        }
+        if (!holder.exec->preempt_requested &&
+            std::find(blockers.begin(), blockers.end(), holder.exec) ==
+                blockers.end()) {
+          blockers.push_back(holder.exec);
+        }
+        break;  // hosts are exclusive; one holder per host
+      }
+    }
+    if (any_busy_holder) {
+      // Empty `blockers` with a busy holder means every holder is already
+      // surrendering — the request is in flight, waiting on their step
+      // boundaries, and marking unrelated tenants would only cascade
+      // collateral suspensions that free nothing the waiter can use.
+      for (const auto& victim : blockers) victim->preempt_requested = true;
+      return;
+    }
+    // No busy host blocks the waiter, yet can_place said no: the
+    // concurrency cap is the bottleneck.  One victim frees a slot;
+    // cheapest first (lowest priority, then fewest hosts surrendered, then
+    // oldest lead job for determinism).
+    const Holder* cheapest = nullptr;
+    for (const Holder& holder : electrical_running) {
+      if (holder.exec->preempt_requested ||
+          holder.exec->priority >= target_priority) {
+        continue;
+      }
+      const auto better = [](const Holder& a, const Holder& b) {
+        if (a.exec->priority != b.exec->priority) {
+          return a.exec->priority < b.exec->priority;
+        }
+        if (a.hosts.size() != b.hosts.size()) {
+          return a.hosts.size() < b.hosts.size();
+        }
+        return a.exec->jobs.front() < b.exec->jobs.front();
+      };
+      if (cheapest == nullptr || better(holder, *cheapest)) {
+        cheapest = &holder;
+      }
+    }
+    if (cheapest != nullptr) cheapest->exec->preempt_requested = true;
+    return;
+  }
+
+  // Suspended waiter: free hosts anywhere count, so accumulate surrendered
+  // host sets (largest first, so one victim usually suffices) until the
+  // resume could fit.
+  std::uint32_t pending = electrical_->free_grant_total();
+  std::vector<const Holder*> victims;
+  for (const Holder& holder : electrical_running) {
+    if (holder.exec->preempt_requested) {
+      pending += static_cast<std::uint32_t>(holder.hosts.size());
+    } else if (holder.exec->priority < target_priority) {
+      victims.push_back(&holder);
+    }
+  }
+  if (pending >= suspended_need) return;
+  std::sort(victims.begin(), victims.end(),
+            [](const Holder* a, const Holder* b) {
+              if (a->exec->priority != b->exec->priority) {
+                return a->exec->priority < b->exec->priority;
+              }
+              if (a->hosts.size() != b->hosts.size()) {
+                return a->hosts.size() > b->hosts.size();
+              }
+              return a->exec->jobs.front() < b->exec->jobs.front();
+            });
+  for (const Holder* victim : victims) {
+    if (pending >= suspended_need) break;
+    victim->exec->preempt_requested = true;
+    pending += static_cast<std::uint32_t>(victim->hosts.size());
   }
 }
 
@@ -432,6 +648,12 @@ void CollectiveRuntime::admit(const AdmissionDecision& decision) {
 void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
                                         std::size_t queue_index,
                                         std::uint32_t grant) {
+  // Read before the entry is popped: the width the routing audit prices
+  // the optical alternative at when the execution lands electrically, and
+  // the pin that tells it whether the router chose at all.
+  const std::uint32_t lead_request =
+      queue_.at(queue_index).requested_wavelengths;
+  const SubstratePin lead_pin = queue_.at(queue_index).pin;
   const SubstrateCaps& caps = substrate.caps();
   std::vector<std::size_t> members;
   if (caps.batchable) {
@@ -493,23 +715,94 @@ void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
   ++slice.executions;
   running_execs_.push_back(exec);
 
+  audit_route_decision(*exec, grant, lead_request, lead_pin);
   run_step(exec);
+}
+
+void CollectiveRuntime::audit_route_decision(const Execution& exec,
+                                             std::uint32_t grant,
+                                             std::uint32_t optical_request,
+                                             SubstratePin pin) {
+  // The routing verdict binds HERE, at placement — until now the
+  // comparison was re-asked on every event and carried no commitment.
+  // Record both fabrics' predictions (the decision's inputs, frozen for
+  // post-hoc audit) and stamp each carried job with the chosen one; the
+  // run-end report scores them against actual completions.  One decision
+  // per EXECUTION (the router ran once; fused peers ride the verdict),
+  // and none at all for pinned jobs — a forced placement says nothing
+  // about the router's accuracy.
+  const std::optional<std::pair<util::Seconds, util::Seconds>> precomputed =
+      std::exchange(pending_route_prediction_, std::nullopt);
+  if (config_.placement != HybridPlacementPolicy::kCostModelChoice ||
+      !electrical_ || pin != SubstratePin::kAny) {
+    return;
+  }
+  const util::Seconds now = simulator_.now();
+  const bool placed_electrical =
+      exec.substrate->kind() == SubstrateKind::kElectrical;
+  util::Seconds optic;
+  util::Seconds elec;
+  if (precomputed && exec.jobs.size() == 1) {
+    // The electrical placement path just priced both sides for exactly
+    // this work — no fusion happened, the fabric state is untouched (the
+    // execution's own flows are injected by run_step, after this audit) —
+    // so re-running the congestion probe would buy the same numbers for
+    // another FlowNetwork clone.  A FUSED execution runs batch_payload,
+    // not the lead's payload the comparison priced; it falls through to a
+    // fresh estimate so electrical and optical decisions are scored
+    // against the same (batched) work.
+    optic = precomputed->first;
+    elec = precomputed->second;
+  } else {
+    const bool aware =
+        config_.routing_cost_model == RoutingCostModel::kCongestionAware;
+    const std::uint32_t optical_grant =
+        placed_electrical ? optical_request : grant;
+    optic = aware ? optical_->predict_completion(exec.participants,
+                                                 exec.batch_payload,
+                                                 optical_grant, now)
+                  : now + optical_->predict_makespan(exec.participants,
+                                                     exec.batch_payload,
+                                                     optical_grant);
+    elec = aware ? electrical_->predict_completion(exec.participants,
+                                                   exec.batch_payload, 1, now)
+                 : now + electrical_->predict_makespan(exec.participants,
+                                                       exec.batch_payload, 1);
+  }
+  const util::Seconds chosen = placed_electrical ? elec : optic;
+  ++report_.routing.decisions;
+  ++(placed_electrical ? report_.routing.to_electrical
+                       : report_.routing.to_optical);
+  for (const JobId id : exec.jobs) {
+    records_[id].predicted_completion = chosen;
+    if (trace_.enabled()) {
+      trace_.record(now, sim::TraceKind::kRouteDecision, id,
+                    static_cast<std::int64_t>(exec.substrate->kind()),
+                    "optical=" + util::to_string(optic) +
+                        " electrical=" + util::to_string(elec));
+    }
+  }
 }
 
 bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
   const SubstrateCaps& caps = exec->substrate->caps();
   if (caps.preemptible && exec->preempt_requested) {
     exec->preempt_requested = false;
-    // Re-check at the boundary: the waiter that asked for this band — a
+    // Re-check at the boundary: the waiter that asked for this grant — a
     // queued arrival or a suspended execution trying to resume — may have
-    // been satisfied meanwhile by a completion elsewhere.
-    bool still_needed = top_suspended_priority() > exec->priority;
+    // been satisfied meanwhile by a completion elsewhere.  Eligibility is
+    // per substrate: only a waiter this fabric could actually serve
+    // justifies the suspension (an electrically-pinned arrival gains
+    // nothing from an optical band, and a kAny arrival never justified
+    // evicting an electrical tenant in the first place).
+    const SubstrateKind kind = exec->substrate->kind();
+    bool still_needed = top_suspended_priority(kind) > exec->priority;
     for (std::size_t i = 0; i < queue_.size() && !still_needed; ++i) {
-      // Only a waiter the optical admission could actually serve justifies
-      // the suspension — an electrically-pinned arrival gains nothing from
-      // this band.
-      still_needed = optically_eligible(queue_.at(i)) &&
-                     queue_.at(i).priority > exec->priority;
+      const QueueEntry& entry = queue_.at(i);
+      const bool eligible = kind == SubstrateKind::kOptical
+                                ? optically_eligible(entry)
+                                : electrically_pinned(entry);
+      still_needed = eligible && entry.priority > exec->priority;
     }
     if (still_needed) {
       // suspend_execution re-runs admission, which may legally resume THIS
@@ -522,11 +815,12 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
   }
   if (!config_.elastic_resize || !caps.resizable) return false;
   // Held (fuse-window) entries are not admissible yet, so they neither
-  // justify a shrink nor block a grow.  Suspended executions are waiting on
-  // spectrum too: growing past them would hand a runner the very band a
-  // preempted (possibly more urgent) job needs to resume — priority
-  // inversion by resize.
-  bool admissible_waiter = !suspended_.empty();
+  // justify a shrink nor block a grow.  Suspended OPTICAL executions are
+  // waiting on spectrum too: growing past them would hand a runner the
+  // very band a preempted (possibly more urgent) job needs to resume —
+  // priority inversion by resize.  (Suspended electrical executions wait
+  // for hosts; spectrum resizes neither help nor hurt them.)
+  bool admissible_waiter = has_suspended(SubstrateKind::kOptical);
   for (std::size_t i = 0; i < queue_.size() && !admissible_waiter; ++i) {
     admissible_waiter = optically_eligible(queue_.at(i));
   }
@@ -560,10 +854,6 @@ void CollectiveRuntime::suspend_execution(
 
 bool CollectiveRuntime::try_resume_one() {
   if (suspended_.empty()) return false;
-  const std::optional<std::size_t> head = priority_head(queue_);
-  const std::int32_t top_queued =
-      head ? queue_.at(*head).priority
-           : std::numeric_limits<std::int32_t>::min();
   // Highest-priority suspension first, FIFO among equals.
   std::vector<std::size_t> order(suspended_.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -573,11 +863,22 @@ bool CollectiveRuntime::try_resume_one() {
                    });
   for (const std::size_t idx : order) {
     const std::shared_ptr<Execution> exec = suspended_[idx];
-    // Never hand spectrum back to a victim while the queue still holds a
-    // strictly more urgent job — that is the band being fought over.
-    if (config_.policy == FairnessPolicy::kPriorityPreempt &&
-        top_queued > exec->priority) {
-      continue;
+    // Never hand capacity back to a victim while the queue still holds a
+    // strictly more urgent job contending for the SAME fabric — that is
+    // the resource being fought over.  Spectrum fights are between
+    // optically eligible entries, host fights between pinned-electrical
+    // ones.
+    if (config_.policy == FairnessPolicy::kPriorityPreempt) {
+      const SubstrateKind kind = exec->substrate->kind();
+      std::int32_t top_queued = std::numeric_limits<std::int32_t>::min();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const QueueEntry& entry = queue_.at(i);
+        const bool same_fabric = kind == SubstrateKind::kOptical
+                                     ? optically_eligible(entry)
+                                     : electrically_pinned(entry);
+        if (same_fabric) top_queued = std::max(top_queued, entry.priority);
+      }
+      if (top_queued > exec->priority) continue;
     }
     // The pre-suspension width is the sizing hint; the substrate may settle
     // for less (never below the floor) or need more for inherited mirrors.
@@ -639,6 +940,7 @@ void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
       return true;
     }
     for (const auto& suspended : suspended_) {
+      if (suspended->substrate->kind() != SubstrateKind::kOptical) continue;
       if (suspended->min_width <= would) return true;
     }
     return false;
@@ -734,6 +1036,24 @@ void CollectiveRuntime::finish_execution(
     record.state = JobState::kDone;
     record.completed = simulator_.now();
     record.contention_slowdown = slowdown;
+    if (record.predicted_completion.value() > 0.0) {
+      // Score the routing decision now that the truth is in: error
+      // relative to the span the router promised, both directions equally
+      // damning.  Every audited job carries its error for visibility, but
+      // the aggregate folds ONE entry per execution (fused peers share
+      // prediction and completion, so they share the error too — counting
+      // each would weight batches by their size).
+      const double span = std::max(
+          (record.predicted_completion - record.admitted).value(), 1e-12);
+      record.routing_error =
+          std::abs((record.completed - record.predicted_completion).value()) /
+          span;
+      if (id == exec->jobs.front()) {
+        routing_error_sum_ += record.routing_error;
+        report_.routing.worst_error =
+            std::max(report_.routing.worst_error, record.routing_error);
+      }
+    }
     completion_order_.push_back(id);
     ++report_.completed;
     report_.total_turnaround += record.turnaround();
@@ -785,6 +1105,13 @@ RuntimeReport CollectiveRuntime::run() {
   if (electrical_) {
     report_.replay_checked_steps += electrical_->self_check();
     report_.electrical_link_peak = electrical_->link_peak_utilization();
+  }
+  if (report_.routing.decisions > 0) {
+    // Every audited execution has completed by now — the drained-clock
+    // check above aborts on any surviving queued/suspended job — so the
+    // error sum covers exactly `decisions` entries.
+    report_.routing.mean_error =
+        routing_error_sum_ / static_cast<double>(report_.routing.decisions);
   }
   return report_;
 }

@@ -52,7 +52,9 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "optical/params.hpp"
@@ -73,19 +75,35 @@ enum class HybridPlacementPolicy : std::uint8_t {
   /// Optical first; whatever the optical admission loop declines spills
   /// onto the electrical fallback as soon as its hosts are free.
   kElectricalOverflow,
-  /// Route each arrival to whichever fabric the cost models predict runs
-  /// it sooner (WRHT formula time vs. the alpha-beta cost of the schedule
-  /// the electrical fabric would pick).  The comparison is of RUN times: a
-  /// job predicted faster on the optical ring keeps waiting for spectrum
-  /// even when the fallback is idle (queue-wait estimates are a ROADMAP
-  /// follow-on).  Routing is work-conserving, not sticky — an
-  /// electrical-predicted job whose hosts are busy still runs on free
-  /// optical spectrum rather than idle-waiting for the fallback.
+  /// Route each arrival to whichever fabric the cost models predict
+  /// FINISHES it sooner.  What "predict" means is picked by
+  /// RuntimeConfig::routing_cost_model; routing is work-conserving, not
+  /// sticky — an electrical-predicted job whose hosts are busy still runs
+  /// on free optical spectrum rather than idle-waiting for the fallback.
   kCostModelChoice,
 };
 
 [[nodiscard]] const char* hybrid_placement_policy_name(
     HybridPlacementPolicy policy);
+
+/// Cost signal kCostModelChoice compares when routing an arrival.
+enum class RoutingCostModel : std::uint8_t {
+  /// Quiet-network RUN times only: WRHT formula time vs. the alpha-beta
+  /// cost of the schedule the electrical fabric would pick, both as if the
+  /// job ran alone.  Blind to saturation on either side — kept as the
+  /// ablation baseline the congestion-aware model is measured against.
+  kQuietAlphaBeta,
+  /// Predicted COMPLETION times under the fabrics' current state: the
+  /// electrical side folds the live residual uplink bandwidth of the
+  /// shared fabric into its estimate (a saturated fabric stops attracting
+  /// over-spill), the optical side folds the predicted wait for a free
+  /// spectrum band (a backed-up ring stops holding jobs hostage).  Every
+  /// decision is traced with both predictions and scored against the
+  /// job's actual completion in the report.
+  kCongestionAware,
+};
+
+[[nodiscard]] const char* routing_cost_model_name(RoutingCostModel model);
 
 struct RuntimeConfig {
   /// Nodes on the shared ring.
@@ -109,6 +127,8 @@ struct RuntimeConfig {
   bool elastic_resize = false;
   /// Hybrid placement across substrates.
   HybridPlacementPolicy placement = HybridPlacementPolicy::kOpticalOnly;
+  /// What kCostModelChoice compares (ignored by the other placements).
+  RoutingCostModel routing_cost_model = RoutingCostModel::kCongestionAware;
   /// Electrical fallback fabric (used when placement != kOpticalOnly).
   ElectricalFallbackConfig electrical{};
 };
@@ -133,6 +153,19 @@ struct SubstrateBreakdown {
     return quiet_time.value() > 0.0 ? busy_time.value() / quiet_time.value()
                                     : 0.0;
   }
+};
+
+/// Cost-model routing audit: how often each fabric won, and how far the
+/// router's predicted completion times landed from the truth.  Errors are
+/// relative to the predicted span (|actual - predicted| / (predicted -
+/// decision time)), so a 0.25 means the job finished a quarter of its
+/// predicted duration away from the promise — in either direction.
+struct RoutingStats {
+  std::uint32_t decisions = 0;
+  std::uint32_t to_optical = 0;
+  std::uint32_t to_electrical = 0;
+  double mean_error = 0.0;
+  double worst_error = 0.0;
 };
 
 struct RuntimeReport {
@@ -177,6 +210,9 @@ struct RuntimeReport {
   /// electrical fabric.
   std::vector<double> electrical_link_peak;
   util::Seconds total_turnaround{0.0};
+  /// Per-decision routing audit under kCostModelChoice (all zero for the
+  /// other placements).
+  RoutingStats routing;
   /// Both timing models under one report: what each fabric carried.
   /// optical.jobs + electrical.jobs == completed, and likewise for
   /// executions and steps.
@@ -285,8 +321,30 @@ class CollectiveRuntime {
   [[nodiscard]] bool renegotiate(const std::shared_ptr<Execution>& exec);
   void suspend_execution(const std::shared_ptr<Execution>& exec);
   bool try_resume_one();
+  /// Ask lower-priority executions to surrender their grants at the next
+  /// step boundary, per substrate: spectrum waiters preempt optical
+  /// victims, host waiters (kElectricalOnly arrivals, suspended electrical
+  /// executions) preempt electrical victims.  Suspending across fabrics
+  /// would free nothing the waiter can use.
   void request_preemptions();
-  [[nodiscard]] std::int32_t top_suspended_priority() const;
+  void request_optical_preemptions();
+  void request_electrical_preemptions();
+  /// Highest priority among suspended executions of `kind`'s substrate —
+  /// the waiters contending for that fabric's capacity.
+  [[nodiscard]] std::int32_t top_suspended_priority(SubstrateKind kind) const;
+  [[nodiscard]] bool has_suspended(SubstrateKind kind) const;
+  /// True when `entry` could be served by the electrical fallback AND its
+  /// urgency may drive electrical preemptions / block lower-priority
+  /// electrical placements (pinned tenants only: a kAny waiter also has
+  /// the optical line working for it, and host claims it could get by
+  /// preemption are claims the optical path never needed).
+  [[nodiscard]] static bool electrically_pinned(const QueueEntry& entry);
+  /// Record + trace the cost-model verdict that just bound for `exec`.
+  /// Only genuine router choices are audited: kCostModelChoice placements
+  /// of un-pinned jobs (a pinned tenant decided for itself — its outcome
+  /// must not color the router's accuracy figures).
+  void audit_route_decision(const Execution& exec, std::uint32_t grant,
+                            std::uint32_t optical_request, SubstratePin pin);
   void try_grow(const std::shared_ptr<Execution>& exec);
   void try_shrink(const std::shared_ptr<Execution>& exec);
 
@@ -317,6 +375,16 @@ class CollectiveRuntime {
   /// drained clock can sit later (a stale fuse-window hold-release event is
   /// a legal no-op after the last completion).
   util::Seconds last_completion_{0.0};
+  /// Running sum of per-decision routing errors; becomes the report's mean
+  /// at run end.
+  double routing_error_sum_ = 0.0;
+  /// {optical, electrical} completion predictions try_place_one_electrical
+  /// already computed for the job it is placing, handed to
+  /// audit_route_decision so the congestion probe (a FlowNetwork clone +
+  /// fluid forward run) is not paid twice per placement.  Always consumed
+  /// (or discarded) by the audit of the very next placement.
+  std::optional<std::pair<util::Seconds, util::Seconds>>
+      pending_route_prediction_;
   bool started_ = false;
 };
 

@@ -26,4 +26,11 @@ std::uint32_t ExecutionSubstrate::free_grant_if_kept(const SubstrateExecution&,
   return largest_free_grant();
 }
 
+util::Seconds ExecutionSubstrate::predict_completion(
+    const std::vector<topo::NodeId>& participants, util::Bytes payload,
+    std::uint32_t grant, util::Seconds now) const {
+  // No congestion signal to fold in: the quiet run time, starting now.
+  return now + predict_makespan(participants, payload, grant);
+}
+
 }  // namespace wrht::runtime

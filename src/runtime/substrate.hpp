@@ -62,6 +62,12 @@ struct SubstrateCaps {
   /// after every time_step() and re-schedule the affected step-completion
   /// events on the sim clock.
   bool retimes_steps = false;
+  /// resume_plan may re-place a suspended execution on a DIFFERENT resource
+  /// set than it held before (electrical hosts are fungible: any free host
+  /// set of the right size carries the remainder after a schedule remap).
+  /// False for substrates whose resume merely re-acquires the same kind of
+  /// grant (an optical band is positionless spectrum either way).
+  bool remaps_on_resume = false;
 };
 
 /// Per-execution state owned by a substrate: the schedule still ahead and
@@ -82,6 +88,12 @@ class SubstrateExecution {
   /// Current grant in the substrate's capacity units (wavelengths for
   /// optical, host-link claims for electrical).
   [[nodiscard]] virtual std::uint32_t grant() const = 0;
+  /// Physical hosts backing this plan, in participant-rank order (hosts[i]
+  /// carries participants[i]'s data).  Empty for substrates whose grants
+  /// are not host-denominated (optical bands).  After a remapped resume
+  /// this differs from the participant list — the runtime's preemption
+  /// planner reads it to know which host claims a victim would surrender.
+  [[nodiscard]] virtual std::vector<topo::NodeId> hosts() const { return {}; }
 };
 
 /// Timing of one executed step on the shared clock.
@@ -175,6 +187,17 @@ class ExecutionSubstrate {
   [[nodiscard]] virtual util::Seconds predict_makespan(
       const std::vector<topo::NodeId>& participants, util::Bytes payload,
       std::uint32_t grant) const = 0;
+
+  /// Congestion-aware routing signal: the predicted ABSOLUTE completion
+  /// time of a fresh execution submitted at `now`, folding in what the
+  /// substrate knows about its current state — the live residual bandwidth
+  /// of shared fabric links (electrical), or the expected wait for a free
+  /// spectrum band (optical).  On an idle substrate this equals
+  /// now + predict_makespan, which is also the default for substrates with
+  /// no congestion signal to fold in.
+  [[nodiscard]] virtual util::Seconds predict_completion(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant, util::Seconds now) const;
 
   // ----- renegotiation mechanics (meaningful only when caps() opt in; the
   // defaults refuse).  Each returns a replacement plan that owns its grant,

@@ -3,7 +3,7 @@
 // saturates.
 //
 // Grant model — link capacity.  The fallback maps one host per ring
-// position; an execution claims its participants' hosts exclusively, so
+// position; an execution claims one host per participant exclusively, so
 // two placed executions never share a host.  What happens BETWEEN hosts
 // depends on the configured fabric:
 //
@@ -26,10 +26,28 @@
 //
 // Schedules are the classic electrical collectives the paper benchmarks
 // against: the chunked ring (bandwidth-optimal) or recursive doubling
-// (latency-optimal), picked per job by the alpha-beta cost model and
-// remapped from compact ranks onto the participants' host ids.  Per-step
-// timing is produced one step at a time so electrical steps interleave
-// with optical tenants' events on the shared clock.
+// (latency-optimal), picked per job by the alpha-beta cost model.  Every
+// execution keeps the schedule in TWO coordinate systems:
+//
+//  * the FUNCTIONAL schedule — transfers among the participants' ring ids.
+//    This is what schedule() exposes and what the runtime's composite
+//    all-reduce oracle proves; it never changes across renegotiations, so
+//    an executed prefix and a rebuilt remainder always compose.
+//  * the PHYSICAL schedule — the same steps remapped onto the host set
+//    currently claimed.  This is what the flow timers route.
+//
+// At first placement the two coincide (hosts are claimed 1:1 at the
+// participants' ring positions).  They diverge at a REMAPPED RESUME: BSP
+// step boundaries are preemption points (SubstrateCaps::preemptible), a
+// suspended execution surrenders its hosts, and resume_plan re-places the
+// remainder on whatever host set is free then — the original positions
+// when available, else any free hosts, carried over by the same schedule
+// remap placement uses.  The shared fabric's whole-horizon replay oracle
+// covers remapped resumes for free: it replays the logged physical routes,
+// which are exactly what the remapped remainder injected.
+//
+// Per-step timing is produced one step at a time so electrical steps
+// interleave with optical tenants' events on the shared clock.
 #include "runtime/substrate.hpp"
 
 #include <algorithm>
@@ -69,24 +87,54 @@ coll::Schedule remap_onto_hosts(const coll::Schedule& compact,
   return mapped;
 }
 
+/// The compact-rank steps still ahead after `steps_done` executed ones —
+/// the electrical remainder rebuild (no level restructuring to do: a BSP
+/// flow schedule's remainder is literally its tail).
+coll::Schedule schedule_tail(const coll::Schedule& compact,
+                             std::size_t steps_done) {
+  coll::Schedule tail(compact.name(), compact.num_nodes(),
+                      compact.num_chunks());
+  const std::vector<coll::Step>& steps = compact.steps();
+  for (std::size_t s = steps_done; s < steps.size(); ++s) {
+    tail.add_step();
+    for (const coll::Transfer& t : steps[s].transfers) {
+      tail.add_transfer(t);
+    }
+  }
+  return tail;
+}
+
 class ElectricalExecution final : public SubstrateExecution {
  public:
   [[nodiscard]] const coll::Schedule& schedule() const override {
-    return schedule_;
+    return functional_;
   }
   [[nodiscard]] std::size_t num_steps() const override {
-    return schedule_.num_steps();
+    return functional_.num_steps();
   }
   /// Electrical grants are host links, not spectrum; the invalid band tells
   /// records/traces "no band held".
   [[nodiscard]] WavelengthBand band() const override { return {}; }
   [[nodiscard]] std::uint32_t grant() const override {
-    return holds_hosts ? static_cast<std::uint32_t>(hosts.size()) : 0;
+    return holds_hosts ? static_cast<std::uint32_t>(hosts_.size()) : 0;
+  }
+  [[nodiscard]] std::vector<topo::NodeId> hosts() const override {
+    return hosts_;
   }
 
-  coll::Schedule schedule_;
+  /// Remaining steps in compact ranks 0..k-1 — the seed every further
+  /// resume rebuilds its tail from.
+  coll::Schedule compact_;
+  /// Remaining steps among participant ring ids — what the composite
+  /// all-reduce oracle proves; stable across host remaps.
+  coll::Schedule functional_;
+  /// Remaining steps among the claimed hosts — what the flow timers route.
+  coll::Schedule physical_;
   util::Bytes payload;
-  std::vector<topo::NodeId> hosts;
+  std::vector<topo::NodeId> participants;
+  /// hosts_[i] carries participants[i]'s data (identity at first placement,
+  /// possibly remapped after a resume).
+  std::vector<topo::NodeId> hosts_;
   bool holds_hosts = false;
   /// kTwoLevelShared: the execution's session on the shared fabric timer.
   elec::SharedFabricTimer::SessionId session = 0;
@@ -130,23 +178,28 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
   }
   [[nodiscard]] const char* name() const override { return "electrical"; }
   [[nodiscard]] const SubstrateCaps& caps() const override {
-    // No mid-flight renegotiation: a BSP flow step has no shared-spectrum
-    // boundary to renegotiate at, and host claims are all-or-nothing.
-    // Batching still applies (per-step alpha dominates small jobs here
-    // too), and a fused peer rides host links, not a wavelength band, so no
-    // grant-width floor constrains fusion.  On the shared two-level fabric
-    // step completions move with other tenants' traffic, so the runtime
-    // must expect retimings there.
-    static constexpr SubstrateCaps kStarCaps{/*preemptible=*/false,
+    // BSP step boundaries are preemption points: between two steps no flow
+    // of this execution is in flight, so the host claims can be surrendered
+    // whole and the remainder re-placed later — on different hosts if the
+    // original ones are taken (remaps_on_resume).  Resize stays off: the
+    // grant is exactly one host per participant, so there is no wider or
+    // narrower grant to rebuild toward.  Batching applies (per-step alpha
+    // dominates small jobs here too), and a fused peer rides host links,
+    // not a wavelength band, so no grant-width floor constrains fusion.  On
+    // the shared two-level fabric step completions move with other tenants'
+    // traffic, so the runtime must expect retimings there.
+    static constexpr SubstrateCaps kStarCaps{/*preemptible=*/true,
                                              /*resizable=*/false,
                                              /*batchable=*/true,
                                              /*fuse_respects_grant=*/false,
-                                             /*retimes_steps=*/false};
-    static constexpr SubstrateCaps kSharedCaps{/*preemptible=*/false,
+                                             /*retimes_steps=*/false,
+                                             /*remaps_on_resume=*/true};
+    static constexpr SubstrateCaps kSharedCaps{/*preemptible=*/true,
                                                /*resizable=*/false,
                                                /*batchable=*/true,
                                                /*fuse_respects_grant=*/false,
-                                               /*retimes_steps=*/true};
+                                               /*retimes_steps=*/true,
+                                               /*remaps_on_resume=*/true};
     return shared_ ? kSharedCaps : kStarCaps;
   }
 
@@ -183,19 +236,11 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
                    "arbitration bug\n");
       std::abort();
     }
-    auto plan = std::make_unique<ElectricalExecution>();
-    plan->schedule_ = schedule_for(participants, payload);
-    plan->payload = payload;
-    plan->hosts = participants;
-    plan->holds_hosts = true;
-    if (shared_) {
-      plan->session = shared_->open_session();
-      plan->has_session = true;
-      session_plans_[plan->session] = plan.get();
-    }
-    for (const topo::NodeId host : participants) host_busy_[host] = true;
-    ++active_;
-    return plan;
+    const coll::Schedule compact = best_compact_schedule(
+        static_cast<std::uint32_t>(participants.size()), payload);
+    // First placement claims hosts 1:1 at the participants' ring positions,
+    // so functional and physical coincide.
+    return make_plan(compact, participants, participants, payload);
   }
 
   [[nodiscard]] StepTiming time_step(SubstrateExecution& e, std::size_t step,
@@ -207,9 +252,10 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     // network (route latency included).  On the star this IS the step —
     // host exclusivity means nobody else's flows exist on its links.  On
     // the shared fabric it is the contention-free baseline the slowdown is
-    // measured against.
+    // measured against.  Timed on the PHYSICAL schedule: after a remapped
+    // resume the quiet baseline belongs to the routes actually flown.
     const std::optional<util::Seconds> quiet =
-        timer_.time_step(exec.schedule_, step, exec.payload);
+        timer_.time_step(exec.physical_, step, exec.payload);
     if (!quiet) {
       std::fprintf(stderr,
                    "ElectricalSubstrate: un-timeable step %zu — "
@@ -223,7 +269,7 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
       return out;
     }
     const std::optional<util::Seconds> end =
-        shared_->begin_step(exec.session, exec.schedule_, step, exec.payload,
+        shared_->begin_step(exec.session, exec.physical_, step, exec.payload,
                             now);
     if (!end) {
       std::fprintf(stderr,
@@ -249,9 +295,33 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
       session_plans_.erase(exec.session);
       exec.has_session = false;
     }
-    for (const topo::NodeId host : exec.hosts) host_busy_[host] = false;
+    for (const topo::NodeId host : exec.hosts_) host_busy_[host] = false;
     exec.holds_hosts = false;
     --active_;
+  }
+
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> resume_plan(
+      const SubstrateExecution& c, std::size_t steps_done, std::uint32_t,
+      std::uint32_t) override {
+    // Grant widths are meaningless here — the remainder needs exactly one
+    // host per participant.  Preference order: the original ring positions
+    // when all free (physical == functional again), else the lowest-id
+    // free hosts (deterministic), carried by the schedule remap.
+    const auto& current = static_cast<const ElectricalExecution&>(c);
+    if (!slots_available()) return nullptr;
+    const std::size_t needed = current.participants.size();
+    std::vector<topo::NodeId> hosts;
+    if (can_place(current.participants, 1)) {
+      hosts = current.participants;
+    } else {
+      for (topo::NodeId h = 0; h < host_busy_.size() && hosts.size() < needed;
+           ++h) {
+        if (!host_busy_[h]) hosts.push_back(h);
+      }
+      if (hosts.size() < needed) return nullptr;
+    }
+    return make_plan(schedule_tail(current.compact_, steps_done), hosts,
+                     current.participants, current.payload);
   }
 
   [[nodiscard]] std::vector<StepRetiming> take_retimings() override {
@@ -302,6 +372,35 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     return predicted;
   }
 
+  [[nodiscard]] util::Seconds predict_completion(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant, util::Seconds now) const override {
+    // Fold the live fabric state into the quiet alpha-beta prediction.  On
+    // the exclusive star there is nothing to fold (host exclusivity makes
+    // quiet timing exact); on the shared tree, probe the first step's flows
+    // against the residual uplink bandwidth the in-flight tenants leave
+    // behind and stretch the whole run by the observed contention ratio.
+    // The ratio is a present-tense estimate — current tenants drain and new
+    // ones arrive while this job runs, which is exactly the error the
+    // runtime's routing report tracks per decision.
+    const util::Seconds quiet = predict_makespan(participants, payload, grant);
+    if (!shared_) return now + quiet;
+    const coll::Schedule physical = remap_onto_hosts(
+        best_compact_schedule(static_cast<std::uint32_t>(participants.size()),
+                              payload),
+        participants, cluster_.num_hosts());
+    const std::optional<util::Seconds> quiet_step =
+        timer_.time_step(physical, 0, payload);
+    const std::optional<util::Seconds> busy_end =
+        shared_->predict_step_completion(physical, 0, payload, now);
+    if (!quiet_step || !busy_end || quiet_step->value() <= 0.0) {
+      return now + quiet;
+    }
+    const double ratio =
+        std::max(1.0, (*busy_end - now).value() / quiet_step->value());
+    return now + util::Seconds(quiet.value() * ratio);
+  }
+
  private:
   [[nodiscard]] bool slots_available() const {
     return config_.max_concurrent == 0 || active_ < config_.max_concurrent;
@@ -324,17 +423,35 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     return doubling_cost < ring_cost ? std::move(doubling) : std::move(ring);
   }
 
-  [[nodiscard]] coll::Schedule schedule_for(
-      const std::vector<topo::NodeId>& participants,
-      util::Bytes payload) const {
-    return remap_onto_hosts(
-        best_compact_schedule(static_cast<std::uint32_t>(participants.size()),
-                              payload),
-        participants, cluster_.num_hosts());
+  /// Claim `hosts` (which must be free) and build the plan that runs
+  /// `compact` for `participants` on them.  Shared placement tail of both
+  /// place() and resume_plan().
+  [[nodiscard]] std::unique_ptr<SubstrateExecution> make_plan(
+      const coll::Schedule& compact, const std::vector<topo::NodeId>& hosts,
+      const std::vector<topo::NodeId>& participants, util::Bytes payload) {
+    auto plan = std::make_unique<ElectricalExecution>();
+    plan->compact_ = compact;
+    plan->functional_ =
+        remap_onto_hosts(compact, participants, cluster_.num_hosts());
+    plan->physical_ = remap_onto_hosts(compact, hosts, cluster_.num_hosts());
+    plan->payload = payload;
+    plan->participants = participants;
+    plan->hosts_ = hosts;
+    plan->holds_hosts = true;
+    if (shared_) {
+      plan->session = shared_->open_session();
+      plan->has_session = true;
+      session_plans_[plan->session] = plan.get();
+    }
+    for (const topo::NodeId host : hosts) host_busy_[host] = true;
+    ++active_;
+    return plan;
   }
 
   elec::ElectricalCluster cluster_;
-  elec::StepFlowTimer timer_;
+  /// Quiet-network scratch timer (reset per step).  Mutable because the
+  /// const routing probe predict_completion also needs a quiet baseline.
+  mutable elec::StepFlowTimer timer_;
   ElectricalFallbackConfig config_;
   /// Engaged only for kTwoLevelShared.
   std::optional<elec::SharedFabricTimer> shared_;

@@ -46,6 +46,12 @@ class OpticalExecution final : public SubstrateExecution {
   std::vector<topo::NodeId> participants;
   util::Bytes payload;
   std::vector<std::vector<optical::TimedTransfer>> timed_steps;
+  /// When this band is expected back: refreshed after every timed step by
+  /// extrapolating the remaining steps at the step's own pace.  Zero until
+  /// the first step is timed (a just-placed band; treated as releasing
+  /// soonest by the queue-wait estimate).  Feeds predict_completion's
+  /// spectrum-backlog estimate.
+  util::Seconds predicted_end{0.0};
 };
 
 class OpticalSubstrate final : public ExecutionSubstrate {
@@ -150,6 +156,14 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       });
     }
     out.end = step_end + params_.sync_time;
+    // Backlog bookkeeping: the band comes back roughly `remaining steps at
+    // this step's pace` from now.  Wrht steps of one execution are close
+    // enough in duration for a queue-wait ESTIMATE, and the figure is
+    // refreshed every step, so it converges as the execution drains.
+    const double step_span = (out.end - now).value();
+    const double remaining =
+        static_cast<double>(exec.timed_steps.size() - step - 1);
+    exec.predicted_end = out.end + util::Seconds(step_span * remaining);
     return out;
   }
 
@@ -158,6 +172,7 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     if (!exec.holds_band) return;
     arbiter_.release(exec.band_);
     exec.holds_band = false;
+    forget(exec);
     // exec.band_ keeps its value: the pre-suspension width is the resume
     // path's sizing hint.
   }
@@ -171,6 +186,37 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     return core::wrht_time_formula(
         static_cast<std::uint32_t>(participants.size()), payload, params_,
         wrht);
+  }
+
+  [[nodiscard]] util::Seconds predict_completion(
+      const std::vector<topo::NodeId>& participants, util::Bytes payload,
+      std::uint32_t grant, util::Seconds now) const override {
+    // Run time plus the predicted wait for a band: with a wide-enough free
+    // run the job starts now; otherwise walk the outstanding bands by their
+    // predicted release times, crediting each width to the free pool until
+    // a `grant`-wide band could exist.  The credit ignores where the freed
+    // bands sit (contiguity is approximated by the free TOTAL — the same
+    // deliberate approximation the preemption planner makes), so this is a
+    // queue-wait ESTIMATE; the runtime's routing report tracks how far it
+    // lands from the truth per decision.
+    const util::Seconds run = predict_makespan(participants, payload, grant);
+    const std::uint32_t width = std::max(grant, 1u);
+    if (arbiter_.largest_free_block() >= width) return now + run;
+    std::vector<std::pair<util::Seconds, std::uint32_t>> releases;
+    releases.reserve(outstanding_.size());
+    for (const OpticalExecution* exec : outstanding_) {
+      releases.emplace_back(std::max(exec->predicted_end, now),
+                            exec->band_.width);
+    }
+    std::sort(releases.begin(), releases.end());
+    std::uint32_t free = arbiter_.free_total();
+    util::Seconds wait{0.0};
+    for (const auto& [end, released] : releases) {
+      wait = end - now;
+      free += released;
+      if (free >= width) break;
+    }
+    return now + wait + run;
   }
 
   [[nodiscard]] std::unique_ptr<SubstrateExecution> resume_plan(
@@ -218,6 +264,7 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       return nullptr;
     }
     current.holds_band = false;  // the grown band moves to the new plan
+    forget(current);
     return make_plan(std::move(*rebuilt), grown, current.participants,
                      current.payload);
   }
@@ -233,6 +280,7 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     const WavelengthBand kept{old.base, keep};
     arbiter_.shrink_to(old, kept);
     current.holds_band = false;  // the kept band moves to the new plan
+    forget(current);
     return make_plan(std::move(*rebuilt), kept, current.participants,
                      current.payload);
   }
@@ -272,7 +320,17 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       plan->timed_steps.push_back(
           core::timed_step(plan->build.annotated, s, payload, band.base));
     }
+    outstanding_.push_back(plan.get());
     return plan;
+  }
+
+  /// Drop an execution from the backlog registry the moment its band stops
+  /// being outstanding (release, or a resize moving the band to a successor
+  /// plan) — the plan object itself may be destroyed right after.
+  void forget(const OpticalExecution& exec) {
+    outstanding_.erase(
+        std::remove(outstanding_.begin(), outstanding_.end(), &exec),
+        outstanding_.end());
   }
 
   const topo::RingTopology& ring_;
@@ -282,6 +340,10 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   optical::SpectrumMap spectrum_;
   optical::TransceiverBank transceivers_;
   SpectrumArbiter arbiter_;
+  /// Executions whose bands are currently outstanding, for the queue-wait
+  /// backlog estimate.  Entries are non-owning and live exactly while the
+  /// plan holds its band.
+  std::vector<const OpticalExecution*> outstanding_;
 };
 
 }  // namespace

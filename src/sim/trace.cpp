@@ -34,6 +34,8 @@ const char* trace_kind_name(TraceKind kind) {
       return "job_place_optical";
     case TraceKind::kJobPlaceElectrical:
       return "job_place_electrical";
+    case TraceKind::kRouteDecision:
+      return "route_decision";
     case TraceKind::kStepRetimed:
       return "step_retimed";
     case TraceKind::kCustom:

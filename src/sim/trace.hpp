@@ -29,6 +29,12 @@ enum class TraceKind : std::uint8_t {
   /// Recorded alongside kJobAdmit so one trace tells both timing stories.
   kJobPlaceOptical,
   kJobPlaceElectrical,
+  /// A cost-model routing verdict, recorded when the decision binds (the
+  /// job is placed).  `a` is the job, `b` the chosen substrate
+  /// (SubstrateKind as int); the detail carries BOTH predicted completion
+  /// times, so routing errors are auditable post-hoc against the job's
+  /// actual completion.
+  kRouteDecision,
   /// A running step's completion event moved on the sim clock because
   /// another tenant's flows changed the shared-fabric contention.  `a` is
   /// the execution's lead job, `b` the step index; the detail carries the

@@ -1,0 +1,97 @@
+// The machine-readable bench writer: BENCH_<name>.json files CI archives
+// as the per-commit perf trajectory.  Format stability matters more than
+// features here — keys keep insertion order, numbers round-trip at full
+// precision, strings are escaped, and a bench must never fail over an
+// unwritable artifact directory.
+#include "harness/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace wrht::harness {
+namespace {
+
+TEST(BenchJson, SerializesNotesThenMetricsInInsertionOrder) {
+  BenchJson json("sample");
+  json.metric("makespan_s", 0.125);
+  json.metric("slowdown", 2.5);
+  json.note("verdict", "PASS");
+  EXPECT_EQ(json.to_json(),
+            "{\n"
+            "  \"bench\": \"sample\",\n"
+            "  \"verdict\": \"PASS\",\n"
+            "  \"makespan_s\": 0.125,\n"
+            "  \"slowdown\": 2.5\n"
+            "}\n");
+}
+
+TEST(BenchJson, RepeatedKeysOverwriteInPlace) {
+  BenchJson json("overwrite");
+  json.metric("makespan_s", 1.0);
+  json.metric("turnaround_s", 2.0);
+  json.metric("makespan_s", 3.0);
+  const std::string out = json.to_json();
+  EXPECT_NE(out.find("\"makespan_s\": 3"), std::string::npos);
+  EXPECT_EQ(out.find("\"makespan_s\": 1"), std::string::npos);
+  // Still one entry, still first.
+  EXPECT_LT(out.find("makespan_s"), out.find("turnaround_s"));
+}
+
+TEST(BenchJson, EscapesStringsAndSanitizesNames) {
+  BenchJson json("weird name/../x");
+  json.note("quote", "a\"b\\c\nd");
+  EXPECT_EQ(json.name(), "weird_name____x");
+  const std::string out = json.to_json();
+  EXPECT_NE(out.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(BenchJson, NonFiniteMetricsBecomeNull) {
+  BenchJson json("nonfinite");
+  json.metric("bad", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NE(json.to_json().find("\"bad\": null"), std::string::npos);
+}
+
+TEST(BenchJson, FullPrecisionRoundTrip) {
+  BenchJson json("precision");
+  const double value = 0.028922666666666666;
+  json.metric("makespan_s", value);
+  const std::string out = json.to_json();
+  const std::size_t at = out.find("\"makespan_s\": ");
+  ASSERT_NE(at, std::string::npos);
+  const double parsed =
+      std::strtod(out.c_str() + at + std::string("\"makespan_s\": ").size(),
+                  nullptr);
+  EXPECT_EQ(parsed, value);
+}
+
+TEST(BenchJson, WritesIntoExplicitDirectory) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string dir = ::testing::TempDir();
+  BenchJson json(std::string("write_test_") + info->name());
+  json.note("verdict", "PASS");
+  json.metric("value", 42.0);
+  ASSERT_TRUE(json.write(dir));
+
+  const std::string path = dir + "/BENCH_" + json.name() + ".json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), json.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, UnwritableDirectoryFailsSoftly) {
+  BenchJson json("nowhere");
+  EXPECT_FALSE(json.write("/nonexistent-dir-for-bench-json"));
+}
+
+}  // namespace
+}  // namespace wrht::harness

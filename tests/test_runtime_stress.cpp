@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -146,8 +147,9 @@ void audit_trace(const CollectiveRuntime& rt, const sim::Trace& trace) {
             static_cast<std::uint32_t>(event.b), parse_width(event.detail)};
         break;
       case sim::TraceKind::kJobResume:
-        // Only resumed OPTICAL jobs re-claim a band (electrical executions
-        // are never preempted; the stress audit below asserts that too).
+        // A resumed OPTICAL job re-claims a band; a resumed ELECTRICAL job
+        // records the invalid {0, 0} band (width 0, skipped by the span
+        // check below) — host claims are not spectrum.
         running_optical[job] = BandInterval{
             static_cast<std::uint32_t>(event.b), parse_width(event.detail)};
         break;
@@ -243,9 +245,14 @@ void audit_report(const CollectiveRuntime& rt, const RuntimeReport& report,
       EXPECT_EQ(record.substrate, SubstrateKind::kElectrical);
     }
     if (record.substrate == SubstrateKind::kElectrical) {
-      // Electrical executions are never preempted, and their contention
-      // slowdown has a quiet denominator: >= 1 up to fluid rounding.
-      EXPECT_EQ(record.preemptions, 0u);
+      // Electrical tenants are preemptible (suspend at a BSP boundary,
+      // resume on whatever hosts are free), but only an electrically
+      // PINNED waiter or a suspended electrical execution may evict them.
+      if (record.preemptions > 0) {
+        EXPECT_EQ(config.policy, FairnessPolicy::kPriorityPreempt);
+      }
+      // Contention slowdown has a quiet denominator: >= 1 up to fluid
+      // rounding.
       EXPECT_GE(record.contention_slowdown, 1.0 - 1e-9);
     } else {
       EXPECT_EQ(record.contention_slowdown, 0.0);
@@ -256,7 +263,8 @@ void audit_report(const CollectiveRuntime& rt, const RuntimeReport& report,
               1e-9 * std::max(1.0, turnaround_sum.value()));
 }
 
-void run_stress_seed(std::uint64_t seed, std::uint32_t num_jobs) {
+void run_stress_seed(std::uint64_t seed, std::uint32_t num_jobs,
+                     std::uint32_t min_completed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
   util::Rng rng(seed);
   const RuntimeConfig config = config_for_seed(rng);
@@ -273,8 +281,14 @@ void run_stress_seed(std::uint64_t seed, std::uint32_t num_jobs) {
   }
   const RuntimeReport report = rt.run();
   // The mix must actually exercise the machinery, not degenerate into a
-  // pile of rejections.
-  EXPECT_GT(report.completed, num_jobs * 3 / 4);
+  // pile of rejections.  The caller picks the floor: the fixed per-PR
+  // seeds are deterministic and known to clear 3/4, so they keep that
+  // tight regression bound; arbitrary nightly seeds get 5/8, since the
+  // generator's EXPECTED reject rate is ~20% (15% electrically-pinned
+  // jobs are valid rejects under optical-only placement, 5% deliberately
+  // malformed specs) and an unlucky-but-legal draw must not masquerade as
+  // a runtime bug.
+  EXPECT_GT(report.completed, min_completed);
   audit_report(rt, report, config, num_jobs);
   audit_trace(rt, rt.trace());
 }
@@ -282,7 +296,7 @@ void run_stress_seed(std::uint64_t seed, std::uint32_t num_jobs) {
 class RuntimeStress : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RuntimeStress, InvariantsHoldOnRandomizedMix) {
-  run_stress_seed(GetParam(), 200);
+  run_stress_seed(GetParam(), 200, /*min_completed=*/200 * 3 / 4);
 }
 
 // Fixed seeds, fixed job counts: every CI failure names its seed and
@@ -293,6 +307,36 @@ TEST_P(RuntimeStress, InvariantsHoldOnRandomizedMix) {
 INSTANTIATE_TEST_SUITE_P(FixedSeeds, RuntimeStress,
                          ::testing::Values(0ull, 0xC0FFEEull, 1ull, 2ull,
                                            3ull, 7ull, 42ull, 20260730ull));
+
+TEST(RuntimeStress, ExtraSeedsFromEnvironment) {
+  // The nightly workflow widens the sweep without forking the test file:
+  // WRHT_STRESS_EXTRA_SEEDS=<n> runs n additional seeds.  The base is
+  // WRHT_STRESS_SEED_BASE when set (nightly passes its run id, so each
+  // night genuinely rolls fresh seeds instead of re-proving the same 64
+  // forever) and a fixed offset far from the per-PR set otherwise.  A
+  // failure prints the exact seed, which replays deterministically:
+  //   WRHT_STRESS_EXTRA_SEEDS=1 WRHT_STRESS_SEED_BASE=<seed> ...
+  // Unset or 0 skips — the per-PR legs stay fast.
+  const char* env = std::getenv("WRHT_STRESS_EXTRA_SEEDS");
+  const unsigned long extra = env != nullptr ? std::strtoul(env, nullptr, 10)
+                                             : 0ul;
+  if (extra == 0) {
+    GTEST_SKIP() << "set WRHT_STRESS_EXTRA_SEEDS=<n> to widen the sweep";
+  }
+  const char* base_env = std::getenv("WRHT_STRESS_SEED_BASE");
+  const std::uint64_t base = base_env != nullptr
+                                 ? std::strtoull(base_env, nullptr, 10)
+                                 : 1ull;
+  for (unsigned long i = 0; i < extra; ++i) {
+    // Golden-ratio stride, not +1: consecutive nightly run ids differ by
+    // far less than 64, so unit-stride windows would mostly re-test the
+    // previous night's seeds.  i=0 is the bare base, so replaying a
+    // printed seed needs no arithmetic.
+    run_stress_seed(base + i * 0x9E3779B97F4A7C15ull, 200,
+                    /*min_completed=*/200 * 5 / 8);
+    if (::testing::Test::HasFailure()) break;  // first failing seed is enough
+  }
+}
 
 TEST(RuntimeStress, BackToBackSeedsAreIndependent) {
   // Two runs of the same seed in fresh runtimes agree event-for-event —

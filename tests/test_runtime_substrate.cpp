@@ -243,11 +243,13 @@ TEST(SubstrateRefactor, ElasticResizeStillWorksOnOpticalBehindTheInterface) {
   EXPECT_LT(elastic_makespan, fixed_makespan);
 }
 
-TEST(SubstrateRefactor, ElectricalExecutionsAreNeverPreempted) {
-  // A low-priority job runs electrically; a high-priority arrival whose
-  // hosts it occupies (so the arrival cannot spill) must preempt the
-  // OPTICAL victim only — the electrical substrate's caps say not
-  // preemptible, and surrendering host links would not free a wavelength.
+TEST(SubstrateRefactor, SpectrumPreemptionSparesElectricalTenants) {
+  // A low-priority job runs electrically; a high-priority kAny arrival
+  // whose hosts it occupies (so the arrival cannot spill) must preempt the
+  // OPTICAL victim only.  The electrical substrate is preemptible now, but
+  // surrendering host links would not free a wavelength — and a kAny
+  // waiter never justifies evicting an electrical tenant (only pinned
+  // arrivals and suspended electrical executions do).
   RuntimeConfig config = hybrid_config(
       HybridPlacementPolicy::kElectricalOverflow);
   config.policy = FairnessPolicy::kPriorityPreempt;
@@ -313,7 +315,10 @@ TEST(Substrate, ElectricalFactoryStandsAlone) {
   const std::unique_ptr<ExecutionSubstrate> sub =
       make_electrical_substrate(16, config);
   EXPECT_EQ(sub->kind(), SubstrateKind::kElectrical);
-  EXPECT_FALSE(sub->caps().preemptible);
+  // BSP step boundaries are preemption points; resize stays off (the grant
+  // is exactly one host per participant).
+  EXPECT_TRUE(sub->caps().preemptible);
+  EXPECT_TRUE(sub->caps().remaps_on_resume);
   EXPECT_FALSE(sub->caps().resizable);
   EXPECT_TRUE(sub->caps().batchable);
 
@@ -339,8 +344,9 @@ TEST(Substrate, ElectricalFactoryStandsAlone) {
   sub->release(*plan, clock);
   EXPECT_TRUE(sub->can_place({2, 5}, 1));
 
-  // Renegotiation defaults refuse without touching anything.
-  EXPECT_EQ(sub->resume_plan(*plan, 0, 1, 1), nullptr);
+  // Resize renegotiations refuse without touching anything; resume is the
+  // preemption path's job and gets its own suite
+  // (test_runtime_electrical_preempt).
   EXPECT_EQ(sub->grow_plan(*plan, 0, 4), nullptr);
   EXPECT_EQ(sub->shrink_plan(*plan, 0, 1), nullptr);
 }
