@@ -24,13 +24,17 @@
 // per-decision predicted-vs-actual routing error (now in the report) must
 // come out tighter than the quiet model's.
 //
-//   $ ./bench/congestion_routing
+//   $ ./bench/congestion_routing [--trace-out=trace.json]
+//                                [--metrics-out=metrics.json]
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "harness/bench_json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/runtime.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -74,8 +78,7 @@ struct Outcome {
   double worst_slowdown = 0.0;
 };
 
-Outcome run_model(runtime::RoutingCostModel model) {
-  runtime::CollectiveRuntime rt(routed_config(model));
+Outcome run_model(runtime::CollectiveRuntime& rt) {
   submit_burst(rt, /*waves=*/3);
   Outcome out{rt.run(), 0.0};
   for (runtime::JobId id = 0; id < rt.num_jobs(); ++id) {
@@ -96,7 +99,12 @@ void print_row(const char* model, const Outcome& o) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::CliParser cli("Congestion-aware vs quiet-alpha-beta routing bench.");
+  cli.add_flag("trace-out", "", "write a Chrome/Perfetto trace JSON here");
+  cli.add_flag("metrics-out", "", "write the metrics registry dump here");
+  if (!cli.parse(argc, argv)) return 1;
+
   std::printf(
       "cost-model routing under saturation: 48 straddling pair jobs, "
       "8-lambda ring,\ntwo-level electrical fabric (16 hosts/ToR, 8:1 "
@@ -105,16 +113,35 @@ int main() {
               "makespan", "mean turn", "opt/elec", "worst slow",
               "mean |err|", "worst |err|");
 
-  const Outcome quiet = run_model(runtime::RoutingCostModel::kQuietAlphaBeta);
-  const Outcome aware = run_model(runtime::RoutingCostModel::kCongestionAware);
+  runtime::CollectiveRuntime quiet_rt(
+      routed_config(runtime::RoutingCostModel::kQuietAlphaBeta));
+  const Outcome quiet = run_model(quiet_rt);
+
+  // The congestion-aware run carries the observability export: its trace
+  // shows the route-decision instants flipping back to optical as the
+  // stretched electrical prediction starts losing.
+  obs::MetricsRegistry registry;
+  runtime::RuntimeConfig aware_cfg =
+      routed_config(runtime::RoutingCostModel::kCongestionAware);
+  aware_cfg.metrics = &registry;
+  runtime::CollectiveRuntime aware_rt(aware_cfg);
+  aware_rt.trace().enable();
+  const Outcome aware = run_model(aware_rt);
+
   print_row("quiet-alpha-beta", quiet);
   print_row("congestion-aware", aware);
 
   const bool spreads = aware.report.routing.to_optical > 0 &&
                        aware.report.routing.to_electrical > 0;
-  const bool ok = aware.report.makespan < quiet.report.makespan &&
-                  aware.worst_slowdown < quiet.worst_slowdown && spreads &&
-                  quiet.report.completed == aware.report.completed;
+  bool ok = aware.report.makespan < quiet.report.makespan &&
+            aware.worst_slowdown < quiet.worst_slowdown && spreads &&
+            quiet.report.completed == aware.report.completed;
+  if (!obs::export_observability(cli.get_string("trace-out"),
+                                 cli.get_string("metrics-out"),
+                                 aware_rt.trace(), aware_rt.records(),
+                                 &registry)) {
+    ok = false;
+  }
   std::printf(
       "\ncongestion-aware routing beats quiet-alpha-beta on makespan "
       "(%0.2fx) and worst\njob slowdown (%.2fx -> %.2fx) by spreading the "

@@ -1,31 +1,64 @@
-// Multi-tenant serving: ten training jobs share one 64-node optical ring.
+// Multi-tenant serving: twelve training jobs share one 64-node optical ring
+// with an electrical overflow fabric behind it.
 //
 // Eight medium jobs on disjoint 8-node groups arrive together and run
 // CONCURRENTLY, each on its own wavelength band carved out of the shared
-// spectrum by the arbiter.  Two bursts of small same-group jobs arrive
-// shortly after and are fused by the batcher into single schedules.  Every
-// spectrum reservation goes through the shared per-(span, wavelength,
-// direction) map, so the run finishing at all proves zero wavelength
-// conflicts between tenants.
+// spectrum by the arbiter — together they hold every wavelength.  A burst of
+// small same-group gradient buckets arrives while the spectrum is full and
+// SPILLS onto the electrical fallback (an oversubscribed two-level tree),
+// where the batcher fuses it into a single schedule.  Every spectrum
+// reservation goes through the shared per-(span, wavelength, direction) map,
+// so the run finishing at all proves zero wavelength conflicts between
+// tenants.
 //
-//   $ ./examples/multi_tenant
+// The run is fully instrumented: a MetricsRegistry samples queue depth,
+// spectrum occupancy, and uplink utilization over simulated time, every job
+// carries a deadline the SLO block scores, and the whole timeline can be
+// exported as a Chrome/Perfetto trace.
+//
+//   $ ./examples/multi_tenant --trace-out=trace.json --metrics-out=metrics.json
+//   (load trace.json at https://ui.perfetto.dev)
 #include <cinttypes>
 #include <cstdio>
 
+#include "harness/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/runtime.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wrht;
+
+  util::CliParser cli(
+      "Multi-tenant optical-ring serving with electrical overflow and full "
+      "observability export.");
+  cli.add_flag("trace-out", "", "write a Chrome/Perfetto trace JSON here");
+  cli.add_flag("metrics-out", "", "write the metrics registry dump here");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::string trace_out = cli.get_string("trace-out");
+  const std::string metrics_out = cli.get_string("metrics-out");
+
+  obs::MetricsRegistry registry;
 
   runtime::RuntimeConfig config;
   config.ring_size = 64;
   config.optical.wdm.num_wavelengths = 64;
   config.policy = runtime::FairnessPolicy::kFifo;
   config.default_request = 8;
+  // Spectrum overflow spills onto an oversubscribed two-level electrical
+  // tree, whose shared ToR uplinks give the uplink-utilization gauge a
+  // nonzero story to tell.
+  config.placement = runtime::HybridPlacementPolicy::kElectricalOverflow;
+  config.electrical.fabric = runtime::ElectricalFabric::kTwoLevelShared;
+  config.electrical.oversubscription = 4.0;
+  config.metrics = &registry;
 
   runtime::CollectiveRuntime rt(config);
+  rt.trace().enable();
 
-  // Eight tenants, disjoint 8-node groups, all arriving at t=0.
+  // Eight tenants, disjoint 8-node groups, all arriving at t=0.  Their
+  // 8-wavelength bands fill the spectrum exactly.
   for (std::uint32_t tenant = 0; tenant < 8; ++tenant) {
     runtime::JobSpec spec;
     for (std::uint32_t i = 0; i < 8; ++i) {
@@ -33,40 +66,61 @@ int main() {
     }
     spec.payload = util::megabytes(16 + 8 * tenant);
     spec.name = "tenant" + std::to_string(tenant);
+    spec.deadline = util::milliseconds(400.0);
     rt.submit(spec);
   }
 
-  // A burst of small gradient buckets from one group: fused into one
-  // schedule, paying the per-step optical overhead once for all of them.
+  // A burst of small gradient buckets from one group, arriving while every
+  // wavelength is held: the overflow policy places them electrically, and
+  // the batcher fuses them into one schedule there (paying the per-step
+  // overhead once for all of them).
   for (std::uint32_t i = 0; i < 4; ++i) {
     runtime::JobSpec spec;
     spec.participants = {3, 9, 17, 22, 31, 44};
     spec.payload = util::kilobytes(96);
     spec.arrival = util::milliseconds(1.0);
     spec.name = "bucket" + std::to_string(i);
+    spec.deadline = util::milliseconds(50.0);
     rt.submit(spec);
   }
 
   const runtime::RuntimeReport report = rt.run();
   std::fputs(report.to_string().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(harness::render_slo_table(report.slo).c_str(), stdout);
 
-  std::printf("\n%-8s %-6s %-10s %-10s %-10s %-6s\n", "job", "band",
-              "admitted", "completed", "turnaround", "batch");
+  std::printf("\n%-8s %-10s %-6s %-10s %-10s %-10s %-6s\n", "job", "fabric",
+              "band", "admitted", "completed", "turnaround", "batch");
   for (std::size_t i = 0; i < rt.num_jobs(); ++i) {
     const runtime::JobRecord& r = rt.record(static_cast<runtime::JobId>(i));
-    std::printf("%-8s [%2u,%2u) %-10s %-10s %-10s %u\n",
-                r.spec.name.c_str(), r.band.base, r.band.base + r.band.width,
+    std::printf("%-8s %-10s [%2u,%2u) %-10s %-10s %-10s %u\n",
+                r.spec.name.c_str(), runtime::substrate_kind_name(r.substrate),
+                r.band.base, r.band.base + r.band.width,
                 util::to_string(r.admitted).c_str(),
                 util::to_string(r.completed).c_str(),
                 util::to_string(r.turnaround()).c_str(), r.batch_size);
   }
 
-  const bool ok = report.completed == report.submitted &&
-                  report.rejected == 0 && report.oracle_failures == 0 &&
-                  report.peak_concurrent_jobs >= 8 && report.batches >= 1;
+  bool ok = report.completed == report.submitted && report.rejected == 0 &&
+            report.oracle_failures == 0 &&
+            report.peak_concurrent_jobs >= 8 && report.batches >= 1 &&
+            report.electrical.jobs >= 1 && report.slo.deadline_jobs == 12;
   std::printf("\n%u jobs concurrent at peak, %" PRIu64
-              " reservations, 0 conflict aborts: %s\n",
+              " reservations, 0 conflict aborts, %u spilled electrically: "
+              "%s\n",
               report.peak_concurrent_jobs, report.spectrum_reservations,
-              ok ? "PASS" : "FAIL");
+              report.electrical.jobs, ok ? "PASS" : "FAIL");
+
+  if (!obs::export_observability(trace_out, metrics_out, rt.trace(),
+                                 rt.records(), &registry)) {
+    ok = false;
+  }
+  if (!trace_out.empty() && ok) {
+    std::printf("trace written to %s (load at https://ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty() && ok) {
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
   return ok ? 0 : 1;
 }

@@ -12,12 +12,16 @@
 // time / quiet-network time), and the whole-horizon flow replay re-proves
 // every step time at the end of the run.
 //
-//   $ ./examples/shared_fabric
+//   $ ./examples/shared_fabric [--trace-out=trace.json]
+//                              [--metrics-out=metrics.json]
 #include <cstdio>
 #include <vector>
 
 #include "harness/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/runtime.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -50,7 +54,14 @@ void submit_workload(runtime::CollectiveRuntime& rt) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::CliParser cli("Shared electrical fallback contention demo.");
+  cli.add_flag("trace-out", "", "write a Chrome/Perfetto trace JSON here");
+  cli.add_flag("metrics-out", "", "write the metrics registry dump here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  obs::MetricsRegistry registry;
+
   runtime::RuntimeConfig config;
   config.ring_size = 32;
   config.optical.wdm.num_wavelengths = 16;
@@ -59,6 +70,7 @@ int main() {
   config.electrical.fabric = runtime::ElectricalFabric::kTwoLevelShared;
   config.electrical.hosts_per_tor = 16;
   config.electrical.oversubscription = 4.0;
+  config.metrics = &registry;
 
   runtime::CollectiveRuntime rt(config);
   rt.trace().enable();
@@ -109,11 +121,16 @@ int main() {
   for (const harness::SlowdownRow& row : rows) {
     if (row.slowdown > worst) worst = row.slowdown;
   }
-  const bool ok = report.completed == 8 && report.step_retimes > 0 &&
-                  worst > 1.0 &&
-                  report.replay_checked_steps == report.electrical.steps;
+  bool ok = report.completed == 8 && report.step_retimes > 0 &&
+            worst > 1.0 &&
+            report.replay_checked_steps == report.electrical.steps;
   std::printf("\ntenants contended on the shared uplinks and every step "
               "time was replay-proven: %s\n",
               ok ? "PASS" : "FAIL");
+  if (!obs::export_observability(cli.get_string("trace-out"),
+                                 cli.get_string("metrics-out"), rt.trace(),
+                                 rt.records(), &registry)) {
+    ok = false;
+  }
   return ok ? 0 : 1;
 }

@@ -121,6 +121,7 @@ void FlowNetwork::recompute_rates() {
   for (std::size_t l = 0; l < links_.size(); ++l) {
     const double utilization =
         allocated[l] / links_[l].spec.capacity.bytes_per_second();
+    links_[l].utilization = utilization;
     links_[l].peak_utilization = std::max(links_[l].peak_utilization,
                                           utilization);
   }
@@ -228,6 +229,10 @@ double FlowNetwork::link_peak_utilization(LinkId link) const {
   return links_[link].peak_utilization;
 }
 
+double FlowNetwork::link_utilization(LinkId link) const {
+  return links_[link].utilization;
+}
+
 FlowNetwork FlowNetwork::clone_live(std::vector<FlowId>& id_map) const {
   FlowNetwork copy;
   copy.links_ = links_;
@@ -252,6 +257,7 @@ void FlowNetwork::reset() {
   for (Link& link : links_) {
     link.carried_bytes = 0.0;
     link.peak_utilization = 0.0;
+    link.utilization = 0.0;
   }
 }
 

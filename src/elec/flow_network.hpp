@@ -66,6 +66,11 @@ class FlowNetwork {
   /// those instants.
   [[nodiscard]] double link_peak_utilization(LinkId link) const;
 
+  /// CURRENT utilization of a link as of the last rate recomputation, in
+  /// [0, 1] — the live-congestion signal behind the observability layer's
+  /// uplink-utilization gauge.
+  [[nodiscard]] double link_utilization(LinkId link) const;
+
   /// A copy of this network holding only the flows still in flight.  The
   /// copy is the cheap substrate for what-if forward runs (run the copy to
   /// completion, read predicted completion times) on long-lived networks
@@ -83,6 +88,8 @@ class FlowNetwork {
     LinkSpec spec;
     double carried_bytes = 0.0;
     double peak_utilization = 0.0;
+    /// Allocated rate / capacity as of the last recompute_rates().
+    double utilization = 0.0;
   };
   struct Flow {
     std::vector<LinkId> route;

@@ -4,10 +4,28 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace wrht::elec {
 
 SharedFabricTimer::SharedFabricTimer(const ElectricalCluster& cluster)
     : cluster_(&cluster), network_(cluster.make_network()) {}
+
+void SharedFabricTimer::attach_metrics(obs::MetricsRegistry& registry) {
+  steps_timed_ = registry.counter("fabric.steps_timed");
+  retimings_emitted_ = registry.counter("fabric.retimings");
+  uplink_utilization_ = registry.sampled_gauge("electrical.uplink_utilization");
+}
+
+void SharedFabricTimer::publish_utilization() {
+  if (!uplink_utilization_) return;
+  double hottest = 0.0;
+  for (std::size_t l = 0; l < network_.num_links(); ++l) {
+    hottest = std::max(hottest,
+                       network_.link_utilization(static_cast<LinkId>(l)));
+  }
+  uplink_utilization_->set(hottest);
+}
 
 SharedFabricTimer::SessionId SharedFabricTimer::open_session() {
   sessions_.push_back(Session{});
@@ -79,6 +97,8 @@ std::optional<util::Seconds> SharedFabricTimer::begin_step(
   session.has_step = !session.inflight.empty();
   ops_.push_back(LoggedOp{now, static_cast<std::ptrdiff_t>(steps_.size())});
   steps_.push_back(std::move(logged));
+  obs::inc(steps_timed_);
+  publish_utilization();
 
   if (!session.has_step) {
     // A flow-less step (e.g. a barrier round another group participates in)
@@ -127,6 +147,7 @@ void SharedFabricTimer::repredict(SessionId started) {
       // pending boundary event will finalize it.
       session.predicted_end = end;
       retimings_.push_back(Retiming{id, end});
+      obs::inc(retimings_emitted_);
     }
   }
 }
@@ -169,6 +190,7 @@ void SharedFabricTimer::close_session(SessionId session_id,
   ops_.push_back(LoggedOp{network_.now(), -1});
   finalize_step(session);
   session.open = false;
+  publish_utilization();
 }
 
 std::vector<SharedFabricTimer::Retiming> SharedFabricTimer::take_retimings() {
@@ -183,6 +205,14 @@ std::vector<double> SharedFabricTimer::link_peak_utilization() const {
     peaks[l] = network_.link_peak_utilization(static_cast<LinkId>(l));
   }
   return peaks;
+}
+
+std::vector<double> SharedFabricTimer::link_utilization() const {
+  std::vector<double> current(network_.num_links());
+  for (std::size_t l = 0; l < current.size(); ++l) {
+    current[l] = network_.link_utilization(static_cast<LinkId>(l));
+  }
+  return current;
 }
 
 std::uint64_t SharedFabricTimer::verify_replay() const {

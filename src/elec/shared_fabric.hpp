@@ -39,6 +39,12 @@
 #include "elec/topology.hpp"
 #include "util/units.hpp"
 
+namespace wrht::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace wrht::obs
+
 namespace wrht::elec {
 
 class SharedFabricTimer {
@@ -47,6 +53,12 @@ class SharedFabricTimer {
 
   /// `cluster` must outlive the timer.
   explicit SharedFabricTimer(const ElectricalCluster& cluster);
+
+  /// Register the timer's metrics with `registry`: steps-timed and
+  /// retiming counters, plus the "electrical.uplink_utilization" sampled
+  /// gauge (utilization of the currently-hottest fabric link, refreshed on
+  /// every injection/close).  The registry must outlive the timer.
+  void attach_metrics(obs::MetricsRegistry& registry);
 
   /// Register a tenant execution.  Sessions are cheap; one per execution.
   [[nodiscard]] SessionId open_session();
@@ -95,6 +107,10 @@ class SharedFabricTimer {
   /// Peak utilization (allocated rate / capacity, in [0,1]) per link of the
   /// shared network since construction.  Indexed by the cluster's link ids.
   [[nodiscard]] std::vector<double> link_peak_utilization() const;
+
+  /// CURRENT per-link utilization (as of the shared network's last rate
+  /// recomputation).  Indexed by the cluster's link ids.
+  [[nodiscard]] std::vector<double> link_utilization() const;
 
   /// Steps logged so far (finalized or in flight).
   [[nodiscard]] std::uint64_t logged_steps() const {
@@ -148,12 +164,19 @@ class SharedFabricTimer {
   /// whose prediction moved.
   void repredict(SessionId started);
 
+  /// Refresh the uplink-utilization gauge (no-op without a registry).
+  void publish_utilization();
+
   const ElectricalCluster* cluster_;
   FlowNetwork network_;
   std::vector<Session> sessions_;
   std::vector<LoggedStep> steps_;
   std::vector<LoggedOp> ops_;
   std::vector<Retiming> retimings_;
+  /// Metric handles; nullptr (zero-overhead emission) without a registry.
+  obs::Counter* steps_timed_ = nullptr;
+  obs::Counter* retimings_emitted_ = nullptr;
+  obs::Gauge* uplink_utilization_ = nullptr;
 };
 
 }  // namespace wrht::elec

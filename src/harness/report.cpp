@@ -72,6 +72,26 @@ std::string render_slowdown_table(const std::vector<SlowdownRow>& rows) {
   return "Per-job shared-fabric contention\n" + table.render();
 }
 
+std::string render_slo_table(const obs::SloStats& slo) {
+  if (slo.jobs == 0) return "SLO: no completed jobs\n";
+  util::Table table({"metric", "p50", "p99", "p999"});
+  table.add_row({"turnaround", util::to_string(slo.p50_turnaround),
+                 util::to_string(slo.p99_turnaround),
+                 util::to_string(slo.p999_turnaround)});
+  table.add_row({"slowdown", util::format_double(slo.p50_slowdown, 3) + "x",
+                 util::format_double(slo.p99_slowdown, 3) + "x",
+                 util::format_double(slo.p999_slowdown, 3) + "x"});
+  std::string out = "SLO percentiles (" + std::to_string(slo.jobs) +
+                    " completed jobs)\n" + table.render();
+  out += "max admission wait: " + util::to_string(slo.max_wait) + "\n";
+  if (slo.deadline_jobs > 0) {
+    out += "deadline hit rate : " + std::to_string(slo.deadline_hits) + "/" +
+           std::to_string(slo.deadline_jobs) + " (" +
+           util::format_double(slo.deadline_hit_rate() * 100.0, 1) + "%)\n";
+  }
+  return out;
+}
+
 std::string render_link_utilization(const std::vector<double>& peaks,
                                     double threshold) {
   util::Table table({"link", "peak utilization"});

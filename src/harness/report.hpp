@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/fig2.hpp"
+#include "obs/slo.hpp"
 
 namespace wrht::harness {
 
@@ -44,6 +45,11 @@ struct SlowdownRow {
 /// quiet-network time, the runtime's JobRecord::contention_slowdown).
 [[nodiscard]] std::string render_slowdown_table(
     const std::vector<SlowdownRow>& rows);
+
+/// Renders the SLO block of a multi-tenant run: exact p50/p99/p999
+/// turnaround and slowdown, the worst admission wait, and — when any job
+/// carried a deadline — the deadline hit rate.
+[[nodiscard]] std::string render_slo_table(const obs::SloStats& slo);
 
 /// Renders per-link peak utilization of a shared fabric (fractions in
 /// [0, 1], indexed by link id), hiding links that never reached

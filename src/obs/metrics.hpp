@@ -1,0 +1,197 @@
+// Runtime observability: named counters, gauges, and histograms behind one
+// registry, plus a sim-clock-driven time-series sampler.
+//
+// The registry is OPTIONAL everywhere it is consumed: producers cache raw
+// handles (obs::Counter* and friends) that stay nullptr when no registry is
+// installed, and emit through the inline null-guarded helpers at the bottom
+// of this header.  That makes the uninstrumented hot path one predictable
+// branch per emission site — no allocation, no name lookup, no virtual call
+// — which bench/runtime_throughput asserts.
+//
+// Handle stability: metric objects live in std::deques, which never move
+// elements on growth, so a handle cached at construction stays valid for
+// the registry's lifetime no matter how many metrics register after it.
+//
+// Sampling: TimeSeriesSampler snapshots registered gauges at a configurable
+// cadence of SIMULATED time.  It deliberately does NOT schedule its own
+// sim::Simulator events — a self-rescheduling sampler would keep a
+// run-until-idle event queue alive forever — so producers PUMP it
+// (maybe_sample) from event handlers that already fire.  The series become
+// the counter tracks of the Chrome trace export.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "util/units.hpp"
+
+namespace wrht::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous value (queue depth, occupancy fraction, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  /// Monotone fold for high-watermark gauges (max_wait_seconds).
+  void set_max(double v) { value_ = std::max(value_, v); }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// sim::Histogram's exponential buckets (with its coarse but monotone
+/// quantile()) extended with a streaming sim::Summary, so exports carry the
+/// exact count/min/mean/max next to the bucketed percentiles.
+class Histogram {
+ public:
+  Histogram(double first_bound, double growth, std::size_t num_buckets)
+      : buckets_(first_bound, growth, num_buckets) {}
+
+  void observe(double x) {
+    buckets_.record(x);
+    summary_.record(x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return buckets_.count(); }
+  /// Bucket-upper-bound quantile — coarse (resolution is one bucket) but
+  /// monotone in q.  Exact SLO percentiles come from obs::exact_quantile
+  /// over raw samples instead.
+  [[nodiscard]] double quantile(double q) const { return buckets_.quantile(q); }
+  [[nodiscard]] const sim::Histogram& buckets() const { return buckets_; }
+  [[nodiscard]] const sim::Summary& summary() const { return summary_; }
+
+ private:
+  sim::Histogram buckets_;
+  sim::Summary summary_;
+};
+
+/// Gauge snapshots over simulated time, pumped by the producer's own event
+/// handlers (see the header comment for why it never self-schedules).
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(util::Seconds cadence) : cadence_(cadence) {}
+
+  /// Track `gauge` under `name`; every future snapshot appends its value.
+  /// The gauge must outlive the sampler (registry-owned gauges do).
+  void track(std::string name, const Gauge* gauge);
+
+  /// Snapshot every tracked gauge when at least one cadence has elapsed
+  /// since the last snapshot (the first call always samples).
+  void maybe_sample(util::Seconds now);
+
+  /// Unconditional snapshot — run start/end bookends.  Re-sampling the same
+  /// instant overwrites the previous point, keeping timestamps strictly
+  /// increasing within a series.
+  void sample_now(util::Seconds now);
+
+  struct Point {
+    double time_seconds = 0.0;
+    double value = 0.0;
+  };
+  struct Series {
+    std::string name;
+    const Gauge* gauge = nullptr;
+    std::vector<Point> points;
+  };
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+
+ private:
+  util::Seconds cadence_;
+  util::Seconds last_{0.0};
+  bool sampled_once_ = false;
+  std::vector<Series> series_;
+};
+
+class MetricsRegistry {
+ public:
+  /// `sample_cadence` is the sampler's minimum spacing between snapshots on
+  /// the simulated clock.
+  explicit MetricsRegistry(
+      util::Seconds sample_cadence = util::microseconds(50.0))
+      : sampler_(sample_cadence) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create.  Returned handles stay valid for the registry's
+  /// lifetime.
+  [[nodiscard]] Counter* counter(const std::string& name);
+  [[nodiscard]] Gauge* gauge(const std::string& name);
+  /// A gauge the sampler also snapshots (rendered as a counter track in the
+  /// Chrome trace export).  Idempotent: re-registering an existing sampled
+  /// gauge returns the same handle without a second series.
+  [[nodiscard]] Gauge* sampled_gauge(const std::string& name);
+  /// Bucket shape is fixed at creation; a later call with the same name
+  /// returns the existing histogram regardless of the shape arguments.
+  [[nodiscard]] Histogram* histogram(const std::string& name,
+                                     double first_bound = 1e-7,
+                                     double growth = 2.0,
+                                     std::size_t num_buckets = 48);
+
+  /// Lookup without creation (tests, exporters); nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] TimeSeriesSampler& sampler() { return sampler_; }
+  [[nodiscard]] const TimeSeriesSampler& sampler() const { return sampler_; }
+
+  /// Enumeration in registration order, for the exporters.
+  [[nodiscard]] const std::deque<std::pair<std::string, Counter>>& counters()
+      const {
+    return counters_;
+  }
+  [[nodiscard]] const std::deque<std::pair<std::string, Gauge>>& gauges()
+      const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::deque<std::pair<std::string, Histogram>>&
+  histograms() const {
+    return histograms_;
+  }
+
+  /// The whole registry — counters, gauges, histogram summaries +
+  /// percentiles + buckets, and the sampled time series — as one JSON
+  /// document (the metrics.json dump).
+  [[nodiscard]] std::string to_json() const;
+  /// Write to_json() to `path`; false (with a stderr note) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+  TimeSeriesSampler sampler_;
+};
+
+/// Null-safe hot-path emission helpers: producers cache handles that are
+/// nullptr without a registry, making every emission site one branch.
+inline void inc(Counter* counter, std::uint64_t by = 1) {
+  if (counter) counter->increment(by);
+}
+inline void set(Gauge* gauge, double v) {
+  if (gauge) gauge->set(v);
+}
+inline void set_max(Gauge* gauge, double v) {
+  if (gauge) gauge->set_max(v);
+}
+inline void observe(Histogram* histogram, double x) {
+  if (histogram) histogram->observe(x);
+}
+
+}  // namespace wrht::obs

@@ -1,0 +1,49 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wrht::obs {
+
+double exact_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, std::numeric_limits<double>::min(), 1.0);
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+SloStats compute_slo(const std::vector<runtime::JobRecord>& records) {
+  SloStats out;
+  std::vector<double> turnarounds;
+  std::vector<double> slowdowns;
+  turnarounds.reserve(records.size());
+  slowdowns.reserve(records.size());
+  for (const runtime::JobRecord& record : records) {
+    if (record.state != runtime::JobState::kDone) continue;
+    ++out.jobs;
+    const double turnaround = record.turnaround().value();
+    turnarounds.push_back(turnaround);
+    const double service = (record.completed - record.admitted).value();
+    // Zero-duration service (degenerate but legal in tests) pins the
+    // slowdown at 1: the job was never made to wait.
+    slowdowns.push_back(service > 0.0 ? turnaround / service : 1.0);
+    out.max_wait = std::max(out.max_wait, record.admitted -
+                                              record.spec.arrival);
+    if (record.spec.deadline > util::Seconds(0.0)) {
+      ++out.deadline_jobs;
+      if (record.turnaround() <= record.spec.deadline) ++out.deadline_hits;
+    }
+  }
+  out.p50_turnaround = util::Seconds(exact_quantile(turnarounds, 0.50));
+  out.p99_turnaround = util::Seconds(exact_quantile(turnarounds, 0.99));
+  out.p999_turnaround = util::Seconds(exact_quantile(turnarounds, 0.999));
+  out.p50_slowdown = exact_quantile(slowdowns, 0.50);
+  out.p99_slowdown = exact_quantile(slowdowns, 0.99);
+  out.p999_slowdown = exact_quantile(slowdowns, 0.999);
+  return out;
+}
+
+}  // namespace wrht::obs

@@ -3,7 +3,23 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace wrht::runtime {
+
+void SpectrumArbiter::attach_metrics(obs::MetricsRegistry& registry) {
+  allocations_ = registry.counter("spectrum.band_allocations");
+  releases_ = registry.counter("spectrum.band_releases");
+  grows_ = registry.counter("spectrum.band_grows");
+  shrinks_ = registry.counter("spectrum.band_shrinks");
+  occupancy_ = registry.sampled_gauge("optical.spectrum_occupancy");
+  publish_occupancy();
+}
+
+void SpectrumArbiter::publish_occupancy() {
+  obs::set(occupancy_, 1.0 - static_cast<double>(free_) /
+                                 static_cast<double>(total_));
+}
 
 SpectrumArbiter::SpectrumArbiter(std::uint32_t total_wavelengths)
     : total_(total_wavelengths), free_(total_wavelengths) {
@@ -37,6 +53,8 @@ std::optional<WavelengthBand> SpectrumArbiter::allocate(std::uint32_t width) {
       for (std::uint32_t i = base; i <= lambda; ++i) taken_[i] = true;
       free_ -= width;
       ++bands_;
+      obs::inc(allocations_);
+      publish_occupancy();
       return WavelengthBand{base, width};
     }
   }
@@ -59,6 +77,8 @@ void SpectrumArbiter::release(const WavelengthBand& band) {
   }
   free_ += band.width;
   --bands_;
+  obs::inc(releases_);
+  publish_occupancy();
 }
 
 WavelengthBand SpectrumArbiter::grow(const WavelengthBand& band,
@@ -90,6 +110,10 @@ WavelengthBand SpectrumArbiter::grow(const WavelengthBand& band,
     ++out.width;
     --free_;
   }
+  if (out.width != band.width) {
+    obs::inc(grows_);
+    publish_occupancy();
+  }
   return out;
 }
 
@@ -113,6 +137,10 @@ void SpectrumArbiter::shrink_to(const WavelengthBand& band,
     }
     taken_[i] = false;
     ++free_;
+  }
+  if (keep.width != band.width) {
+    obs::inc(shrinks_);
+    publish_occupancy();
   }
 }
 

@@ -19,11 +19,24 @@
 
 #include "runtime/job.hpp"
 
+namespace wrht::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace wrht::obs
+
 namespace wrht::runtime {
 
 class SpectrumArbiter {
  public:
   explicit SpectrumArbiter(std::uint32_t total_wavelengths);
+
+  /// Register the arbiter's metrics with `registry`: band grant/release/
+  /// grow/shrink counters and the "optical.spectrum_occupancy" sampled
+  /// gauge (fraction of the spectrum inside granted bands, updated on every
+  /// mutation so sampler snapshots are exact).  The registry must outlive
+  /// the arbiter.
+  void attach_metrics(obs::MetricsRegistry& registry);
 
   [[nodiscard]] std::uint32_t total() const { return total_; }
   /// Wavelengths not currently inside any granted band.
@@ -59,10 +72,20 @@ class SpectrumArbiter {
       const WavelengthBand& also_free) const;
 
  private:
+  /// Refresh the occupancy gauge after a mutation (no-op when no registry
+  /// is attached).
+  void publish_occupancy();
+
   std::uint32_t total_;
   std::uint32_t free_;
   std::uint32_t bands_ = 0;
   std::vector<bool> taken_;  // per wavelength
+  /// Metric handles; nullptr (zero-overhead emission) without a registry.
+  obs::Counter* allocations_ = nullptr;
+  obs::Counter* releases_ = nullptr;
+  obs::Counter* grows_ = nullptr;
+  obs::Counter* shrinks_ = nullptr;
+  obs::Gauge* occupancy_ = nullptr;
 };
 
 }  // namespace wrht::runtime

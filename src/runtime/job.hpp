@@ -53,6 +53,11 @@ struct JobSpec {
   std::int32_t priority = 0;
   /// Substrate the job must (or must not) run on.
   SubstratePin pin = SubstratePin::kAny;
+  /// Optional turnaround budget relative to arrival (0 = no deadline).
+  /// Purely observational: admission and placement ignore it; the report's
+  /// SloStats scores completed jobs against it (hit when
+  /// turnaround() <= deadline).
+  util::Seconds deadline{0.0};
   /// Optional label for reports and traces.
   std::string name;
 };

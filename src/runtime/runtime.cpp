@@ -100,7 +100,50 @@ CollectiveRuntime::CollectiveRuntime(RuntimeConfig config)
       electrical_(config_.placement == HybridPlacementPolicy::kOpticalOnly
                       ? nullptr
                       : make_electrical_substrate(config_.ring_size,
-                                                  config_.electrical)) {}
+                                                  config_.electrical)) {
+  init_instruments();
+}
+
+void CollectiveRuntime::init_instruments() {
+  obs::MetricsRegistry* reg = config_.metrics;
+  if (!reg) return;
+  ins_.jobs_submitted = reg->counter("runtime.jobs_submitted");
+  ins_.jobs_completed = reg->counter("runtime.jobs_completed");
+  ins_.jobs_rejected = reg->counter("runtime.jobs_rejected");
+  ins_.jobs_fused = reg->counter("runtime.jobs_fused");
+  ins_.preemptions = reg->counter("runtime.preemptions");
+  ins_.resumes = reg->counter("runtime.resumes");
+  ins_.resizes = reg->counter("runtime.resizes");
+  ins_.step_retimes = reg->counter("runtime.step_retimes");
+  ins_.queue_depth = reg->sampled_gauge("runtime.queue_depth");
+  ins_.running_jobs = reg->sampled_gauge("runtime.running_jobs");
+  ins_.suspended_jobs = reg->sampled_gauge("runtime.suspended_jobs");
+  ins_.admission_wait = reg->histogram("runtime.admission_wait_seconds");
+  ins_.batch_jobs = reg->histogram("runtime.batch_jobs", 1.0, 2.0, 8);
+  ins_.turnaround = reg->histogram("runtime.turnaround_seconds");
+  ins_.slowdown = reg->histogram("runtime.slowdown", 1.0, 1.25, 32);
+  ins_.routing_error = reg->histogram("runtime.routing_error");
+  optical_->attach_metrics(*reg);
+  if (electrical_) electrical_->attach_metrics(*reg);
+}
+
+void CollectiveRuntime::pump_metrics() {
+  if (!config_.metrics) return;
+  obs::set(ins_.queue_depth, static_cast<double>(queue_.size()));
+  obs::set(ins_.running_jobs, static_cast<double>(running_jobs_));
+  obs::set(ins_.suspended_jobs, static_cast<double>(suspended_.size()));
+  config_.metrics->sampler().maybe_sample(simulator_.now());
+}
+
+obs::Gauge* CollectiveRuntime::max_wait_gauge(std::int32_t priority) {
+  if (!config_.metrics) return nullptr;
+  const auto found = max_wait_by_priority_.find(priority);
+  if (found != max_wait_by_priority_.end()) return found->second;
+  obs::Gauge* gauge = config_.metrics->gauge(
+      "runtime.max_wait_seconds.p" + std::to_string(priority));
+  max_wait_by_priority_.emplace(priority, gauge);
+  return gauge;
+}
 
 SubstrateBreakdown& CollectiveRuntime::breakdown(SubstrateKind kind) {
   return kind == SubstrateKind::kOptical ? report_.optical
@@ -154,6 +197,7 @@ JobId CollectiveRuntime::submit(JobSpec spec) {
     record.state = JobState::kRejected;
     record.reject_reason = std::move(reject);
     ++report_.rejected;
+    obs::inc(ins_.jobs_rejected);
   } else {
     std::uint32_t request = s.requested_wavelengths != 0
                                 ? s.requested_wavelengths
@@ -167,6 +211,7 @@ JobId CollectiveRuntime::submit(JobSpec spec) {
         std::clamp(request, s.min_wavelengths, total);
   }
   ++report_.submitted;
+  obs::inc(ins_.jobs_submitted);
   records_.push_back(std::move(record));
   return id;
 }
@@ -217,6 +262,7 @@ void CollectiveRuntime::on_arrival(JobId id) {
     queue_.push(std::move(entry));
   }
   try_admit();
+  pump_metrics();
 }
 
 void CollectiveRuntime::release_fuse_hold(JobId id) {
@@ -691,10 +737,11 @@ void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
   const SubstrateKind kind = substrate.kind();
   const WavelengthBand band = exec->plan->band();
   const std::size_t num_steps = exec->plan->num_steps();
+  const util::Seconds now = simulator_.now();
   for (const JobId id : exec->jobs) {
     JobRecord& record = records_[id];
     record.state = JobState::kRunning;
-    record.admitted = simulator_.now();
+    record.admitted = now;
     record.substrate = kind;
     record.band = band;
     record.batch_size = static_cast<std::uint32_t>(exec->jobs.size());
@@ -704,6 +751,20 @@ void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
                   ? sim::TraceKind::kJobPlaceOptical
                   : sim::TraceKind::kJobPlaceElectrical,
               id, band);
+    if (id != exec->jobs.front() && trace_.enabled()) {
+      trace_.record(now, sim::TraceKind::kJobFused, id,
+                    static_cast<std::int64_t>(exec->jobs.front()));
+    }
+    // Admission wait of this job (fused peers waited too), folded into the
+    // per-priority-class starvation high-watermark.
+    const double wait = (now - record.spec.arrival).value();
+    obs::observe(ins_.admission_wait, wait);
+    obs::set_max(max_wait_gauge(record.spec.priority), wait);
+  }
+  obs::observe(ins_.batch_jobs, static_cast<double>(exec->jobs.size()));
+  if (exec->jobs.size() > 1) {
+    obs::inc(ins_.jobs_fused,
+             static_cast<std::uint64_t>(exec->jobs.size() - 1));
   }
   running_jobs_ += static_cast<std::uint32_t>(exec->jobs.size());
   report_.peak_concurrent_jobs =
@@ -843,6 +904,7 @@ void CollectiveRuntime::suspend_execution(
   }
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
   ++report_.preemptions;
+  obs::inc(ins_.preemptions);
   exec->substrate->release(*exec->plan, simulator_.now());
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
@@ -850,6 +912,7 @@ void CollectiveRuntime::suspend_execution(
   // The surrendered band is free NOW, at the boundary — the waiting
   // high-priority job starts without waiting for this execution to finish.
   try_admit();
+  pump_metrics();
 }
 
 bool CollectiveRuntime::try_resume_one() {
@@ -900,6 +963,7 @@ bool CollectiveRuntime::try_resume_one() {
     report_.peak_concurrent_jobs =
         std::max(report_.peak_concurrent_jobs, running_jobs_);
     ++report_.resumes;
+    obs::inc(ins_.resumes);
     running_execs_.push_back(exec);
     run_step(exec);
     return true;
@@ -918,6 +982,7 @@ void CollectiveRuntime::try_grow(const std::shared_ptr<Execution>& exec) {
     trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
   }
   ++report_.resizes;
+  obs::inc(ins_.resizes);
 }
 
 void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
@@ -961,10 +1026,16 @@ void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
     trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
   }
   ++report_.resizes;
+  obs::inc(ins_.resizes);
   try_admit();
 }
 
 void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
+  if (trace_.enabled()) {
+    trace_.record(simulator_.now(), sim::TraceKind::kStepBegin,
+                  exec->jobs.front(),
+                  static_cast<std::int64_t>(exec->next_step));
+  }
   const StepTiming timing = exec->substrate->time_step(
       *exec->plan, exec->next_step, simulator_.now());
   ++report_.total_steps;
@@ -977,6 +1048,7 @@ void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
   // Injecting this step's flows may have changed what every OTHER tenant on
   // a shared fabric gets; their completion events move with the contention.
   apply_retimings(*exec->substrate);
+  pump_metrics();
 }
 
 void CollectiveRuntime::schedule_step_end(
@@ -990,6 +1062,11 @@ void CollectiveRuntime::on_step_end(const std::shared_ptr<Execution>& exec) {
   // contention this is the (possibly re-scheduled) real duration, not the
   // quiet prediction, so busy_time / quiet_time is the contention slowdown.
   exec->busy_time += simulator_.now() - exec->step_started;
+  if (trace_.enabled()) {
+    trace_.record(simulator_.now(), sim::TraceKind::kStepEnd,
+                  exec->jobs.front(),
+                  static_cast<std::int64_t>(exec->next_step));
+  }
   ++exec->next_step;
   if (exec->next_step >= exec->plan->num_steps()) {
     finish_execution(exec);
@@ -1011,6 +1088,7 @@ void CollectiveRuntime::apply_retimings(ExecutionSubstrate& substrate) {
       simulator_.cancel(exec->step_event);
       schedule_step_end(exec, retiming.end);
       ++report_.step_retimes;
+      obs::inc(ins_.step_retimes);
       if (trace_.enabled()) {
         trace_.record(simulator_.now(), sim::TraceKind::kStepRetimed,
                       exec->jobs.front(),
@@ -1036,6 +1114,12 @@ void CollectiveRuntime::finish_execution(
     record.state = JobState::kDone;
     record.completed = simulator_.now();
     record.contention_slowdown = slowdown;
+    obs::observe(ins_.turnaround, record.turnaround().value());
+    // Same slowdown definition as obs::compute_slo: turnaround over service
+    // span, 1.0 for an instantaneous service.
+    const double service = (record.completed - record.admitted).value();
+    obs::observe(ins_.slowdown,
+                 service > 0.0 ? record.turnaround().value() / service : 1.0);
     if (record.predicted_completion.value() > 0.0) {
       // Score the routing decision now that the truth is in: error
       // relative to the span the router promised, both directions equally
@@ -1052,6 +1136,7 @@ void CollectiveRuntime::finish_execution(
         routing_error_sum_ += record.routing_error;
         report_.routing.worst_error =
             std::max(report_.routing.worst_error, record.routing_error);
+        obs::observe(ins_.routing_error, record.routing_error);
       }
     }
     completion_order_.push_back(id);
@@ -1065,10 +1150,13 @@ void CollectiveRuntime::finish_execution(
   slice.quiet_time += exec->quiet_time;
   last_completion_ = std::max(last_completion_, simulator_.now());
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
+  obs::inc(ins_.jobs_completed,
+           static_cast<std::uint64_t>(exec->jobs.size()));
   exec->substrate->release(*exec->plan, simulator_.now());
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   try_admit();
+  pump_metrics();
 }
 
 RuntimeReport CollectiveRuntime::run() {
@@ -1081,6 +1169,12 @@ RuntimeReport CollectiveRuntime::run() {
     if (record.state != JobState::kSubmitted) continue;  // rejected
     const JobId id = record.id;
     simulator_.schedule_at(record.spec.arrival, [this, id] { on_arrival(id); });
+  }
+  if (config_.metrics) {
+    // Run-start bookend: every counter track opens at t=0 with the idle
+    // state, so the Chrome trace's series span the whole run.
+    pump_metrics();
+    config_.metrics->sampler().sample_now(simulator_.now());
   }
   simulator_.run();
 
@@ -1113,6 +1207,16 @@ RuntimeReport CollectiveRuntime::run() {
     report_.routing.mean_error =
         routing_error_sum_ / static_cast<double>(report_.routing.decisions);
   }
+  if (config_.metrics) {
+    // Run-end bookend: a final forced snapshot so the series' last point
+    // sits at the drained clock, whatever the cadence.
+    pump_metrics();
+    config_.metrics->sampler().sample_now(simulator_.now());
+  }
+  // Exact nearest-rank SLO percentiles from the job records — computed
+  // whether or not a registry is installed, so the report's quantiles are
+  // bit-for-bit reproducible from records() by tests.
+  report_.slo = obs::compute_slo(records_);
   return report_;
 }
 

@@ -51,12 +51,15 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "optical/params.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/batcher.hpp"
@@ -131,6 +134,12 @@ struct RuntimeConfig {
   RoutingCostModel routing_cost_model = RoutingCostModel::kCongestionAware;
   /// Electrical fallback fabric (used when placement != kOpticalOnly).
   ElectricalFallbackConfig electrical{};
+  /// Observability sink.  When set, the runtime and its substrates register
+  /// counters/gauges/histograms here and the registry's time-series sampler
+  /// is pumped on every runtime event; when null, every emission site keeps
+  /// a null handle and the hot path does no observability work at all.
+  /// Must outlive the runtime.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-substrate slice of a run: how much of the workload each fabric
@@ -218,6 +227,10 @@ struct RuntimeReport {
   /// executions and steps.
   SubstrateBreakdown optical;
   SubstrateBreakdown electrical;
+  /// SLO percentiles over the completed jobs (exact nearest-rank quantiles
+  /// recomputed from the job records at run end — registry-independent, so
+  /// they are present even when RuntimeConfig::metrics is null).
+  obs::SloStats slo;
 
   [[nodiscard]] util::Seconds mean_turnaround() const {
     return completed == 0 ? util::Seconds(0.0)
@@ -241,12 +254,17 @@ class CollectiveRuntime {
 
   [[nodiscard]] const JobRecord& record(JobId id) const;
   [[nodiscard]] std::size_t num_jobs() const { return records_.size(); }
+  /// All job records, indexed by JobId — the trace exporter's input.
+  [[nodiscard]] const std::vector<JobRecord>& records() const {
+    return records_;
+  }
   /// Job ids in completion order (deterministic for a fixed submission set).
   [[nodiscard]] const std::vector<JobId>& completion_order() const {
     return completion_order_;
   }
   [[nodiscard]] const topo::RingTopology& ring() const { return ring_; }
   [[nodiscard]] sim::Trace& trace() { return trace_; }
+  [[nodiscard]] const sim::Trace& trace() const { return trace_; }
   [[nodiscard]] util::Seconds now() const { return simulator_.now(); }
 
  private:
@@ -356,6 +374,39 @@ class CollectiveRuntime {
   void trace_job(sim::TraceKind kind, JobId id, const WavelengthBand& band);
   [[nodiscard]] SubstrateBreakdown& breakdown(SubstrateKind kind);
 
+  /// Cached metric handles; all nullptr when config_.metrics is null, so
+  /// every emission site is a single null check (no lookups, no strings,
+  /// no allocation on the hot path).
+  struct Instruments {
+    obs::Counter* jobs_submitted = nullptr;
+    obs::Counter* jobs_completed = nullptr;
+    obs::Counter* jobs_rejected = nullptr;
+    obs::Counter* jobs_fused = nullptr;
+    obs::Counter* preemptions = nullptr;
+    obs::Counter* resumes = nullptr;
+    obs::Counter* resizes = nullptr;
+    obs::Counter* step_retimes = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* running_jobs = nullptr;
+    obs::Gauge* suspended_jobs = nullptr;
+    obs::Histogram* admission_wait = nullptr;
+    obs::Histogram* batch_jobs = nullptr;
+    obs::Histogram* turnaround = nullptr;
+    obs::Histogram* slowdown = nullptr;
+    obs::Histogram* routing_error = nullptr;
+  };
+  /// Register the runtime's metrics (and the substrates') with
+  /// config_.metrics; no-op when null.
+  void init_instruments();
+  /// Refresh the sampled gauges (queue depth, running/suspended jobs) and
+  /// give the registry's time-series sampler a chance to take a snapshot at
+  /// the current sim time.  Called at the end of every event handler; no-op
+  /// without a registry.
+  void pump_metrics();
+  /// Find-or-create the "runtime.max_wait_seconds.p<priority>" gauge — the
+  /// per-priority-class starvation bound (max admission wait seen so far).
+  [[nodiscard]] obs::Gauge* max_wait_gauge(std::int32_t priority);
+
   RuntimeConfig config_;
   topo::RingTopology ring_;
   sim::Simulator simulator_;
@@ -386,6 +437,10 @@ class CollectiveRuntime {
   std::optional<std::pair<util::Seconds, util::Seconds>>
       pending_route_prediction_;
   bool started_ = false;
+  Instruments ins_;
+  /// Per-priority-class max-admission-wait gauges, keyed by JobSpec
+  /// priority (created on first placement of that class).
+  std::map<std::int32_t, obs::Gauge*> max_wait_by_priority_;
 };
 
 }  // namespace wrht::runtime

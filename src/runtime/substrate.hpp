@@ -41,6 +41,10 @@
 #include "sim/simulator.hpp"
 #include "topo/ring.hpp"
 
+namespace wrht::obs {
+class MetricsRegistry;
+}  // namespace wrht::obs
+
 namespace wrht::runtime {
 
 /// What a substrate lets the runtime renegotiate at step boundaries.
@@ -172,6 +176,21 @@ class ExecutionSubstrate {
   /// the run so far.  Empty for substrates without per-link accounting.
   [[nodiscard]] virtual std::vector<double> link_peak_utilization() const {
     return {};
+  }
+
+  /// CURRENT per-link utilization — the instantaneous counterpart of
+  /// link_peak_utilization, as of the fabric's last rate recomputation.
+  /// Empty for substrates without per-link accounting.
+  [[nodiscard]] virtual std::vector<double> link_utilization() const {
+    return {};
+  }
+
+  /// Register the substrate's own metrics (grant-churn counters, occupancy
+  /// and utilization gauges) with `registry` and keep the handles for the
+  /// run.  Called at most once, before any placement; the default registers
+  /// nothing.  The registry must outlive the substrate.
+  virtual void attach_metrics(obs::MetricsRegistry& registry) {
+    (void)registry;
   }
 
   /// End-of-run self audit.  A substrate with an independent whole-horizon

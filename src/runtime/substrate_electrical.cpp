@@ -335,6 +335,14 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
                    : std::vector<double>{};
   }
 
+  [[nodiscard]] std::vector<double> link_utilization() const override {
+    return shared_ ? shared_->link_utilization() : std::vector<double>{};
+  }
+
+  void attach_metrics(obs::MetricsRegistry& registry) override {
+    if (shared_) shared_->attach_metrics(registry);
+  }
+
   [[nodiscard]] std::uint64_t self_check() const override {
     if (!shared_) return 0;
     const std::uint64_t mismatches = shared_->verify_replay();

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "optical/network.hpp"
 #include "optical/spectrum.hpp"
 #include "optical/transceiver.hpp"
@@ -77,6 +78,12 @@ class OpticalSubstrate final : public ExecutionSubstrate {
                                          /*batchable=*/true,
                                          /*fuse_respects_grant=*/true};
     return kCaps;
+  }
+
+  void attach_metrics(obs::MetricsRegistry& registry) override {
+    arbiter_.attach_metrics(registry);
+    retunes_ = registry.counter("optical.retunes");
+    reservations_ = registry.counter("optical.cell_reservations");
   }
 
   [[nodiscard]] std::uint32_t largest_free_grant() const override {
@@ -156,6 +163,8 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       });
     }
     out.end = step_end + params_.sync_time;
+    obs::inc(retunes_, out.retunes);
+    obs::inc(reservations_, out.reservations);
     // Backlog bookkeeping: the band comes back roughly `remaining steps at
     // this step's pace` from now.  Wrht steps of one execution are close
     // enough in duration for a queue-wait ESTIMATE, and the figure is
@@ -340,6 +349,9 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   optical::SpectrumMap spectrum_;
   optical::TransceiverBank transceivers_;
   SpectrumArbiter arbiter_;
+  /// Metric handles; nullptr (zero-overhead emission) without a registry.
+  obs::Counter* retunes_ = nullptr;
+  obs::Counter* reservations_ = nullptr;
   /// Executions whose bands are currently outstanding, for the queue-wait
   /// backlog estimate.  Entries are non-owning and live exactly while the
   /// plan holds its band.

@@ -38,11 +38,19 @@ const char* trace_kind_name(TraceKind kind) {
       return "route_decision";
     case TraceKind::kStepRetimed:
       return "step_retimed";
+    case TraceKind::kJobFused:
+      return "job_fused";
     case TraceKind::kCustom:
       return "custom";
   }
   return "?";
 }
+
+// Adding a kind after kCustom would silently skip the exhaustiveness test's
+// walk; this pins the convention that kCustom stays last.
+static_assert(kTraceKindCount == 18,
+              "TraceKind changed: update kTraceKindCount's expectation, keep "
+              "kCustom last, and add the name case above");
 
 void Trace::record(util::Seconds time, TraceKind kind, std::int64_t a,
                    std::int64_t b, std::string detail) {

@@ -4,6 +4,7 @@
 // disabled trace is a no-op with no allocation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,8 +41,19 @@ enum class TraceKind : std::uint8_t {
   /// the execution's lead job, `b` the step index; the detail carries the
   /// new absolute end time.
   kStepRetimed,
+  /// The Batcher fused a queued job into another execution's schedule.  `a`
+  /// is the fused peer, `b` the batch's lead job — without this event a
+  /// fused-batch timeline misattributes the whole payload to the lead.
+  kJobFused,
   kCustom,
 };
+
+/// Number of TraceKind values.  trace.cpp static_asserts this against the
+/// enum (via kCustom being last), and the exhaustiveness test in
+/// test_sim_trace walks every kind through trace_kind_name — so a new kind
+/// cannot silently render as "?".
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kCustom) + 1;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);
 

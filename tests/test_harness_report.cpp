@@ -59,6 +59,43 @@ TEST(LinkUtilization, FiltersIdleLinksAndFormatsPercent) {
   EXPECT_NE(idle.find("no link reached"), std::string::npos);
 }
 
+TEST(SloTable, RendersPercentilesWaitAndDeadlineRate) {
+  obs::SloStats slo;
+  slo.jobs = 10;
+  slo.p50_turnaround = util::milliseconds(12.0);
+  slo.p99_turnaround = util::milliseconds(48.0);
+  slo.p999_turnaround = util::milliseconds(50.0);
+  slo.p50_slowdown = 1.0;
+  slo.p99_slowdown = 2.5;
+  slo.p999_slowdown = 2.75;
+  slo.max_wait = util::milliseconds(3.0);
+  slo.deadline_jobs = 8;
+  slo.deadline_hits = 6;
+
+  const std::string table = render_slo_table(slo);
+  EXPECT_NE(table.find("10 completed jobs"), std::string::npos);
+  EXPECT_NE(table.find("turnaround"), std::string::npos);
+  EXPECT_NE(table.find("12 ms"), std::string::npos);
+  EXPECT_NE(table.find("48 ms"), std::string::npos);
+  EXPECT_NE(table.find("1.000x"), std::string::npos);
+  EXPECT_NE(table.find("2.500x"), std::string::npos);
+  EXPECT_NE(table.find("max admission wait"), std::string::npos);
+  EXPECT_NE(table.find("3 ms"), std::string::npos);
+  EXPECT_NE(table.find("6/8"), std::string::npos);
+  EXPECT_NE(table.find("75.0%"), std::string::npos);
+}
+
+TEST(SloTable, NoDeadlinesMeansNoDeadlineLine) {
+  obs::SloStats slo;
+  slo.jobs = 2;
+  const std::string table = render_slo_table(slo);
+  EXPECT_EQ(table.find("deadline"), std::string::npos);
+}
+
+TEST(SloTable, EmptyStatsSaySo) {
+  EXPECT_EQ(render_slo_table(obs::SloStats{}), "SLO: no completed jobs\n");
+}
+
 TEST(SubstrateTable, RoundTripsARealHybridReport) {
   // A saturated mix that splits across both fabrics; the breakdown slices
   // must sum to the totals and survive rendering.

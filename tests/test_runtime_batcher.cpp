@@ -278,5 +278,38 @@ TEST(FuseWindow, OffByDefault) {
   EXPECT_EQ(BatcherConfig{}.fuse_window, util::Seconds(0.0));
 }
 
+TEST(Batcher, FusionEmitsAJobFusedTraceEventPerRider) {
+  // Every non-lead job fused into a batch records a kJobFused event at the
+  // batch's admission: `a` is the rider, `b` the lead it rode into.  The
+  // Chrome trace exporter renders these as "fused" instants.
+  RuntimeConfig config;
+  config.ring_size = 16;
+  config.optical.wdm.num_wavelengths = 8;
+  config.batcher.fuse_window = util::microseconds(50.0);
+  CollectiveRuntime rt(config);
+  rt.trace().enable();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    JobSpec spec;
+    for (std::uint32_t n = 0; n < 6; ++n) spec.participants.push_back(n);
+    spec.payload = util::kilobytes(48);
+    spec.arrival = util::microseconds(static_cast<double>(i));
+    rt.submit(spec);
+  }
+  const RuntimeReport report = rt.run();
+  ASSERT_EQ(report.completed, 3u);
+  ASSERT_EQ(report.batches, 1u);
+
+  std::vector<JobId> fused_riders;
+  for (const sim::TraceEvent& e : rt.trace().events()) {
+    if (e.kind != sim::TraceKind::kJobFused) continue;
+    fused_riders.push_back(static_cast<JobId>(e.a));
+    // Every rider fused into the same lead, at the lead's admission time.
+    EXPECT_EQ(e.b, 0);
+    EXPECT_EQ(e.time, rt.record(0).admitted);
+  }
+  // Two riders (jobs 1 and 2) joined lead 0; the lead itself emits none.
+  EXPECT_EQ(fused_riders, (std::vector<JobId>{1, 2}));
+}
+
 }  // namespace
 }  // namespace wrht::runtime

@@ -1,0 +1,160 @@
+// RuntimeReport's SLO block: the published percentiles must match an
+// independent recomputation from the per-job records, the per-priority
+// max-wait gauges must agree with the records, and the block must be
+// present with or without a MetricsRegistry installed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "runtime/runtime.hpp"
+
+namespace wrht::runtime {
+namespace {
+
+using util::Seconds;
+
+/// Six full-band jobs on a saturated ring: they run back to back, so every
+/// later job queues and the waits / turnarounds spread out.
+void submit_saturating_mix(CollectiveRuntime& rt) {
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    JobSpec spec;
+    for (std::uint32_t n = 0; n < 8; ++n) spec.participants.push_back(n);
+    spec.payload = util::megabytes(4);
+    spec.min_wavelengths = 8;
+    spec.priority = static_cast<std::int32_t>(i % 2);
+    // Tight enough that the late queuers miss, generous enough that the
+    // first job hits.
+    spec.deadline = util::milliseconds(40.0);
+    spec.name = "job" + std::to_string(i);
+    rt.submit(spec);
+  }
+}
+
+RuntimeConfig saturating_config() {
+  RuntimeConfig config;
+  config.ring_size = 16;
+  config.optical.wdm.num_wavelengths = 8;
+  config.batcher.enabled = false;
+  return config;
+}
+
+TEST(RuntimeSlo, ReportMatchesRecomputationFromRecords) {
+  obs::MetricsRegistry registry;
+  RuntimeConfig config = saturating_config();
+  config.metrics = &registry;
+  CollectiveRuntime rt(config);
+  submit_saturating_mix(rt);
+  const RuntimeReport report = rt.run();
+  ASSERT_EQ(report.completed, 6u);
+
+  const obs::SloStats recomputed = obs::compute_slo(rt.records());
+  EXPECT_EQ(report.slo.jobs, recomputed.jobs);
+  EXPECT_EQ(report.slo.p50_turnaround, recomputed.p50_turnaround);
+  EXPECT_EQ(report.slo.p99_turnaround, recomputed.p99_turnaround);
+  EXPECT_EQ(report.slo.p999_turnaround, recomputed.p999_turnaround);
+  EXPECT_EQ(report.slo.p50_slowdown, recomputed.p50_slowdown);
+  EXPECT_EQ(report.slo.p99_slowdown, recomputed.p99_slowdown);
+  EXPECT_EQ(report.slo.p999_slowdown, recomputed.p999_slowdown);
+  EXPECT_EQ(report.slo.max_wait, recomputed.max_wait);
+  EXPECT_EQ(report.slo.deadline_jobs, recomputed.deadline_jobs);
+  EXPECT_EQ(report.slo.deadline_hits, recomputed.deadline_hits);
+
+  // And against a from-scratch quantile over the raw turnarounds.
+  std::vector<double> turnarounds;
+  for (const JobRecord& record : rt.records()) {
+    turnarounds.push_back(record.turnaround().value());
+  }
+  EXPECT_EQ(report.slo.p50_turnaround.value(),
+            obs::exact_quantile(turnarounds, 0.5));
+  EXPECT_EQ(report.slo.p999_turnaround.value(),
+            obs::exact_quantile(turnarounds, 0.999));
+
+  // Back-to-back service means turnarounds genuinely spread: p50 < p99.
+  EXPECT_LT(report.slo.p50_turnaround, report.slo.p99_turnaround);
+  // Every job carried a deadline; the tight budget splits them.
+  EXPECT_EQ(report.slo.deadline_jobs, 6u);
+  EXPECT_GE(report.slo.deadline_hits, 1u);
+  EXPECT_LT(report.slo.deadline_hits, 6u);
+}
+
+TEST(RuntimeSlo, PerPriorityMaxWaitGaugesMatchRecords) {
+  obs::MetricsRegistry registry;
+  RuntimeConfig config = saturating_config();
+  config.metrics = &registry;
+  CollectiveRuntime rt(config);
+  submit_saturating_mix(rt);
+  (void)rt.run();
+
+  for (std::int32_t priority = 0; priority < 2; ++priority) {
+    double expected = 0.0;
+    for (const JobRecord& record : rt.records()) {
+      if (record.spec.priority != priority) continue;
+      expected = std::max(expected,
+                          (record.admitted - record.spec.arrival).value());
+    }
+    const obs::Gauge* gauge = registry.find_gauge(
+        "runtime.max_wait_seconds.p" + std::to_string(priority));
+    ASSERT_NE(gauge, nullptr) << "priority " << priority;
+    EXPECT_DOUBLE_EQ(gauge->value(), expected) << "priority " << priority;
+  }
+  // The overall max wait is the max over the per-priority gauges.
+  EXPECT_DOUBLE_EQ(
+      std::max(
+          registry.find_gauge("runtime.max_wait_seconds.p0")->value(),
+          registry.find_gauge("runtime.max_wait_seconds.p1")->value()),
+      obs::compute_slo(rt.records()).max_wait.value());
+}
+
+TEST(RuntimeSlo, SloBlockIsComputedWithoutARegistry) {
+  CollectiveRuntime rt(saturating_config());
+  submit_saturating_mix(rt);
+  const RuntimeReport report = rt.run();
+  EXPECT_EQ(report.slo.jobs, 6u);
+  EXPECT_GT(report.slo.p50_turnaround, Seconds(0.0));
+  EXPECT_EQ(report.slo.deadline_jobs, 6u);
+}
+
+TEST(RuntimeSlo, RegistryHistogramsAgreeWithTheRunCounts) {
+  obs::MetricsRegistry registry;
+  RuntimeConfig config = saturating_config();
+  config.metrics = &registry;
+  CollectiveRuntime rt(config);
+  submit_saturating_mix(rt);
+  const RuntimeReport report = rt.run();
+
+  const obs::Histogram* turnaround =
+      registry.find_histogram("runtime.turnaround_seconds");
+  ASSERT_NE(turnaround, nullptr);
+  EXPECT_EQ(turnaround->count(), report.completed);
+  // The streaming summary's extremes bracket the exact percentiles.
+  EXPECT_LE(turnaround->summary().min(),
+            report.slo.p50_turnaround.value());
+  EXPECT_GE(turnaround->summary().max() + 1e-12,
+            report.slo.p999_turnaround.value());
+
+  EXPECT_EQ(registry.find_counter("runtime.jobs_submitted")->value(),
+            report.submitted);
+  EXPECT_EQ(registry.find_counter("runtime.jobs_completed")->value(),
+            report.completed);
+
+  // The sampler ran: queue depth was pumped and bookended.
+  const obs::TimeSeriesSampler& sampler = registry.sampler();
+  ASSERT_FALSE(sampler.series().empty());
+  for (const obs::TimeSeriesSampler::Series& series : sampler.series()) {
+    if (series.name != "runtime.queue_depth") continue;
+    ASSERT_GE(series.points.size(), 2u);
+    // Strictly increasing timestamps within the series.
+    for (std::size_t i = 1; i < series.points.size(); ++i) {
+      EXPECT_GT(series.points[i].time_seconds,
+                series.points[i - 1].time_seconds);
+    }
+    // The run ends with an empty queue.
+    EXPECT_EQ(series.points.back().value, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wrht::runtime

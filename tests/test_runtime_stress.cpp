@@ -24,11 +24,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/runtime.hpp"
 #include "util/random.hpp"
 
@@ -263,11 +267,75 @@ void audit_report(const CollectiveRuntime& rt, const RuntimeReport& report,
               1e-9 * std::max(1.0, turnaround_sum.value()));
 }
 
+/// The observability layer under stress: the report's SLO block must equal
+/// an independent recomputation from the records, the registry's counters
+/// must reconcile with the report, and the per-priority max-wait gauges
+/// must agree with the records (the starvation signal the fairness work
+/// reads — surfaced per seed below).
+void audit_slo(const CollectiveRuntime& rt, const RuntimeReport& report,
+               const obs::MetricsRegistry& registry, std::uint64_t seed) {
+  const obs::SloStats recomputed = obs::compute_slo(rt.records());
+  EXPECT_EQ(report.slo.jobs, recomputed.jobs);
+  EXPECT_EQ(report.slo.p50_turnaround, recomputed.p50_turnaround);
+  EXPECT_EQ(report.slo.p99_turnaround, recomputed.p99_turnaround);
+  EXPECT_EQ(report.slo.p999_turnaround, recomputed.p999_turnaround);
+  EXPECT_EQ(report.slo.p50_slowdown, recomputed.p50_slowdown);
+  EXPECT_EQ(report.slo.p999_slowdown, recomputed.p999_slowdown);
+  EXPECT_EQ(report.slo.max_wait, recomputed.max_wait);
+  EXPECT_EQ(report.slo.jobs, static_cast<std::uint64_t>(report.completed));
+
+  EXPECT_EQ(registry.find_counter("runtime.jobs_submitted")->value(),
+            report.submitted);
+  EXPECT_EQ(registry.find_counter("runtime.jobs_completed")->value(),
+            report.completed);
+  EXPECT_EQ(registry.find_counter("runtime.jobs_rejected")->value(),
+            report.rejected);
+  EXPECT_EQ(registry.find_counter("runtime.preemptions")->value(),
+            report.preemptions);
+
+  std::map<std::int32_t, double> expected_wait;
+  for (JobId id = 0; id < rt.num_jobs(); ++id) {
+    const JobRecord& record = rt.record(id);
+    if (record.state != JobState::kDone) continue;
+    double& wait = expected_wait[record.spec.priority];
+    wait = std::max(wait, (record.admitted - record.spec.arrival).value());
+  }
+  std::string waits;
+  for (const auto& [priority, wait] : expected_wait) {
+    const obs::Gauge* gauge = registry.find_gauge(
+        "runtime.max_wait_seconds.p" + std::to_string(priority));
+    ASSERT_NE(gauge, nullptr) << "priority " << priority;
+    EXPECT_DOUBLE_EQ(gauge->value(), wait) << "priority " << priority;
+    if (!waits.empty()) waits += ' ';
+    waits += 'p' + std::to_string(priority) + '=' +
+             util::to_string(util::Seconds(wait));
+  }
+  std::printf("[seed %llu] max admission wait by priority: %s\n",
+              static_cast<unsigned long long>(seed), waits.c_str());
+}
+
+/// Nightly trace artifact: WRHT_STRESS_TRACE_OUT=<path> exports the first
+/// audited seed's Chrome trace (with its counter tracks) for Perfetto.
+void maybe_export_trace(const CollectiveRuntime& rt,
+                        const obs::MetricsRegistry& registry,
+                        std::uint64_t seed) {
+  static bool exported = false;
+  const char* path = std::getenv("WRHT_STRESS_TRACE_OUT");
+  if (exported || path == nullptr || *path == '\0') return;
+  exported = true;
+  ASSERT_TRUE(obs::write_chrome_trace(path, rt.trace(), rt.records(),
+                                      &registry));
+  std::printf("[seed %llu] trace exported to %s\n",
+              static_cast<unsigned long long>(seed), path);
+}
+
 void run_stress_seed(std::uint64_t seed, std::uint32_t num_jobs,
                      std::uint32_t min_completed) {
   SCOPED_TRACE("seed=" + std::to_string(seed));
   util::Rng rng(seed);
-  const RuntimeConfig config = config_for_seed(rng);
+  obs::MetricsRegistry registry;
+  RuntimeConfig config = config_for_seed(rng);
+  config.metrics = &registry;
   SCOPED_TRACE(std::string("policy=") + fairness_policy_name(config.policy) +
                " placement=" +
                hybrid_placement_policy_name(config.placement) + " fabric=" +
@@ -291,6 +359,8 @@ void run_stress_seed(std::uint64_t seed, std::uint32_t num_jobs,
   EXPECT_GT(report.completed, min_completed);
   audit_report(rt, report, config, num_jobs);
   audit_trace(rt, rt.trace());
+  audit_slo(rt, report, registry, seed);
+  maybe_export_trace(rt, registry, seed);
 }
 
 class RuntimeStress : public ::testing::TestWithParam<std::uint64_t> {};

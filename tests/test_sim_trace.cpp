@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace wrht::sim {
 namespace {
 
@@ -60,6 +63,21 @@ TEST(Trace, KindNamesAreStable) {
   EXPECT_STREQ(trace_kind_name(TraceKind::kTune), "tune");
   EXPECT_STREQ(trace_kind_name(TraceKind::kFlowEnd), "flow_end");
   EXPECT_STREQ(trace_kind_name(TraceKind::kCustom), "custom");
+  EXPECT_STREQ(trace_kind_name(TraceKind::kJobFused), "job_fused");
+}
+
+TEST(Trace, EveryKindHasANameAndTheyAreUnique) {
+  // kTraceKindCount is the enum's size (trace.cpp static_asserts the name
+  // table against it); a kind added without a name would fall through to
+  // the "?" fallback and break the exporters silently.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kTraceKindCount; ++i) {
+    const char* name = trace_kind_name(static_cast<TraceKind>(i));
+    EXPECT_STRNE(name, "?") << "unnamed TraceKind " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate TraceKind name: " << name;
+  }
+  EXPECT_EQ(names.size(), kTraceKindCount);
 }
 
 }  // namespace

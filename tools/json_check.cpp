@@ -1,0 +1,73 @@
+// Strict JSON validator for the observability artifacts CI emits: every
+// --trace-out / --metrics-out / bench-JSON file is fed through obs::
+// json_parse, and any parse error fails the build with the byte offset of
+// the first problem.  Run with file arguments to validate them, or with no
+// arguments for a built-in self-test (exercised under CTest) proving the
+// checker rejects what it should.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+int check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "json_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const wrht::obs::JsonParseResult result = wrht::obs::json_parse(text);
+  if (!result.ok) {
+    std::fprintf(stderr, "json_check: %s: %s (at byte %zu)\n", path.c_str(),
+                 result.error.c_str(), result.offset);
+    return 1;
+  }
+  std::printf("json_check: %s OK (%zu bytes)\n", path.c_str(), text.size());
+  return 0;
+}
+
+int self_test() {
+  const char* good[] = {
+      "{}",
+      "[1, 2.5, -3e2, \"s\", true, false, null]",
+      "{\"traceEvents\": [{\"ph\": \"B\", \"ts\": 0.5}], \"k\": \"\\u00e9\"}",
+  };
+  const char* bad[] = {
+      "",            // empty document
+      "{",           // unterminated object
+      "[1, ]",       // trailing comma
+      "{\"a\": 1} x",  // trailing garbage
+      "\"\\q\"",     // bad escape
+      "01",          // leading zero
+  };
+  for (const char* text : good) {
+    if (!wrht::obs::json_parse(text).ok) {
+      std::fprintf(stderr, "json_check self-test: rejected valid: %s\n", text);
+      return 1;
+    }
+  }
+  for (const char* text : bad) {
+    if (wrht::obs::json_parse(text).ok) {
+      std::fprintf(stderr, "json_check self-test: accepted invalid: %s\n",
+                   text);
+      return 1;
+    }
+  }
+  std::printf("json_check: self-test OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return self_test();
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) failures += check_file(argv[i]);
+  return failures == 0 ? 0 : 1;
+}
