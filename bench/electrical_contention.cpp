@@ -30,6 +30,7 @@
 
 #include "harness/bench_json.hpp"
 #include "runtime/runtime.hpp"
+#include "util/math.hpp"
 
 namespace {
 
@@ -164,7 +165,7 @@ int main() {
     json.metric(tag + "_makespan_s", outcome.report.makespan.value());
     json.metric(tag + "_worst_slowdown", outcome.worst_slowdown);
     json.metric(tag + "_uplink_peak", peak);
-    if (oversub == 1.0) {
+    if (util::approx_eq(oversub, 1.0, 1e-12)) {
       matched_at_one = outcome.worst_slowdown < 1.0 + 1e-6;
     } else if (oversub > 2.0 && outcome.worst_slowdown > 1.05) {
       diverged = true;

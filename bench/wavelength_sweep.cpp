@@ -20,6 +20,7 @@ int main() {
   util::Table table(
       {"w", "m", "steps", "merged", "lambda used", "time", "vs w=1"});
   double base = 0.0;
+  bool have_base = false;
   for (const std::uint32_t w :
        {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
     core::WrhtParams params;
@@ -30,7 +31,10 @@ int main() {
         std::max(w, build.annotated.wavelengths_required);
     const double t =
         core::run_on_optical(build.annotated, optical, payload).total.value();
-    if (base == 0.0) base = t;
+    if (!have_base) {
+      base = t;
+      have_base = true;
+    }
     table.add_row({std::to_string(w), std::to_string(build.group_size_m),
                    std::to_string(build.annotated.schedule.num_steps()),
                    build.merged_with_all_to_all ? "yes" : "no",

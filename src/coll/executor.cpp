@@ -1,9 +1,8 @@
 #include "coll/executor.hpp"
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
+#include "util/check.hpp"
 #include "util/random.hpp"
 
 namespace wrht::coll {
@@ -28,24 +27,19 @@ ChunkRange chunk_range(const Schedule& schedule, std::size_t payload_len,
 
 void FunctionalExecutor::run(const Schedule& schedule,
                              std::vector<std::vector<double>>& node_data) {
-  if (node_data.size() != schedule.num_nodes()) {
-    std::fprintf(stderr, "FunctionalExecutor: %zu payload vectors for %u nodes\n",
-                 node_data.size(), schedule.num_nodes());
-    std::abort();
-  }
+  WRHT_REQUIRE(node_data.size() == schedule.num_nodes(),
+               "FunctionalExecutor: " << node_data.size()
+                                      << " payload vectors for "
+                                      << schedule.num_nodes() << " nodes");
   const std::size_t payload_len = node_data.empty() ? 0 : node_data[0].size();
   for (const auto& v : node_data) {
-    if (v.size() != payload_len) {
-      std::fprintf(stderr, "FunctionalExecutor: ragged payload vectors\n");
-      std::abort();
-    }
+    WRHT_REQUIRE(v.size() == payload_len,
+                 "FunctionalExecutor: ragged payload vectors");
   }
-  if (payload_len < schedule.num_chunks()) {
-    std::fprintf(stderr,
-                 "FunctionalExecutor: payload length %zu < num_chunks %u\n",
-                 payload_len, schedule.num_chunks());
-    std::abort();
-  }
+  WRHT_REQUIRE(payload_len >= schedule.num_chunks(),
+               "FunctionalExecutor: payload length "
+                   << payload_len << " < num_chunks "
+                   << schedule.num_chunks());
 
   std::vector<double> staged;  // flattened pre-step copies of sent chunks
   for (const Step& step : schedule.steps()) {

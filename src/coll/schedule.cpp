@@ -1,7 +1,6 @@
 #include "coll/schedule.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::coll {
 
@@ -12,11 +11,9 @@ const char* transfer_op_name(TransferOp op) {
 Schedule::Schedule(std::string name, std::uint32_t num_nodes,
                    std::uint32_t num_chunks)
     : name_(std::move(name)), num_nodes_(num_nodes), num_chunks_(num_chunks) {
-  if (num_nodes < 2 || num_chunks == 0) {
-    std::fprintf(stderr, "Schedule '%s': invalid shape (%u nodes, %u chunks)\n",
-                 name_.c_str(), num_nodes, num_chunks);
-    std::abort();
-  }
+  WRHT_REQUIRE(num_nodes >= 2 && num_chunks > 0,
+               "Schedule '" << name_ << "': invalid shape (" << num_nodes
+                            << " nodes, " << num_chunks << " chunks)");
 }
 
 std::size_t Schedule::total_transfers() const {
@@ -31,18 +28,13 @@ Step& Schedule::add_step() {
 }
 
 void Schedule::add_transfer(Transfer t) {
-  if (steps_.empty()) {
-    std::fprintf(stderr, "Schedule '%s': add_transfer before add_step\n",
-                 name_.c_str());
-    std::abort();
-  }
-  if (t.src >= num_nodes_ || t.dst >= num_nodes_ || t.chunk >= num_chunks_ ||
-      t.src == t.dst) {
-    std::fprintf(stderr,
-                 "Schedule '%s': invalid transfer %u->%u chunk %u (N=%u)\n",
-                 name_.c_str(), t.src, t.dst, t.chunk, num_nodes_);
-    std::abort();
-  }
+  WRHT_REQUIRE(!steps_.empty(),
+               "Schedule '" << name_ << "': add_transfer before add_step");
+  WRHT_REQUIRE(t.src < num_nodes_ && t.dst < num_nodes_ &&
+                   t.chunk < num_chunks_ && t.src != t.dst,
+               "Schedule '" << name_ << "': invalid transfer " << t.src << "->"
+                            << t.dst << " chunk " << t.chunk << " (N="
+                            << num_nodes_ << ")");
   steps_.back().transfers.push_back(t);
 }
 
@@ -79,11 +71,9 @@ std::string Schedule::to_string() const {
 
 std::uint64_t split_part_size(std::uint64_t total, std::uint32_t parts,
                               std::uint32_t index) {
-  if (parts == 0 || index >= parts) {
-    std::fprintf(stderr, "split_part_size: index %u out of %u parts\n", index,
-                 parts);
-    std::abort();
-  }
+  WRHT_REQUIRE(parts > 0 && index < parts,
+               "split_part_size: index " << index << " out of " << parts
+                                         << " parts");
   const std::uint64_t base = total / parts;
   const std::uint64_t remainder = total % parts;
   return base + (index < remainder ? 1 : 0);
@@ -91,11 +81,9 @@ std::uint64_t split_part_size(std::uint64_t total, std::uint32_t parts,
 
 std::uint64_t split_part_offset(std::uint64_t total, std::uint32_t parts,
                                 std::uint32_t index) {
-  if (parts == 0 || index >= parts) {
-    std::fprintf(stderr, "split_part_offset: index %u out of %u parts\n",
-                 index, parts);
-    std::abort();
-  }
+  WRHT_REQUIRE(parts > 0 && index < parts,
+               "split_part_offset: index " << index << " out of " << parts
+                                           << " parts");
   const std::uint64_t base = total / parts;
   const std::uint64_t remainder = total % parts;
   const std::uint64_t extra = index < remainder ? index : remainder;

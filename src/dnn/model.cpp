@@ -1,7 +1,6 @@
 #include "dnn/model.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::dnn {
 
@@ -52,11 +51,8 @@ const char* dtype_name(DType dtype) {
 
 Model::Model(std::string name, std::uint64_t declared_params)
     : name_(std::move(name)), declared_params_(declared_params) {
-  if (declared_params_ == 0) {
-    std::fprintf(stderr, "Model '%s': declared params must be positive\n",
-                 name_.c_str());
-    std::abort();
-  }
+  WRHT_REQUIRE(declared_params_ > 0,
+               "Model '" << name_ << "': declared params must be positive");
 }
 
 void Model::add_layer(Layer layer) { layers_.push_back(std::move(layer)); }

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+
+#include "util/check.hpp"
 
 namespace wrht::elec {
 namespace {
@@ -19,10 +19,9 @@ constexpr double kEpsilonBytes = 1e-3;
 }  // namespace
 
 LinkId FlowNetwork::add_link(LinkSpec spec) {
-  if (spec.capacity.bytes_per_second() <= 0.0) {
-    std::fprintf(stderr, "FlowNetwork: link capacity must be positive\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(spec.capacity.bytes_per_second() > 0.0,
+               "FlowNetwork: link capacity must be positive, got "
+                   << spec.capacity.bytes_per_second() << " B/s");
   links_.push_back(Link{spec, 0.0});
   return static_cast<LinkId>(links_.size() - 1);
 }
@@ -30,10 +29,8 @@ LinkId FlowNetwork::add_link(LinkSpec spec) {
 FlowId FlowNetwork::add_flow(std::vector<LinkId> route, util::Bytes bytes) {
   util::Seconds latency{0.0};
   for (const LinkId link : route) {
-    if (link >= links_.size()) {
-      std::fprintf(stderr, "FlowNetwork: route uses unknown link %u\n", link);
-      std::abort();
-    }
+    WRHT_REQUIRE(link < links_.size(),
+                 "FlowNetwork: route uses unknown link " << link);
     latency += links_[link].spec.latency;
   }
   Flow flow;
@@ -70,12 +67,10 @@ void FlowNetwork::recompute_rates() {
       if (crossing[l] == 0) continue;
       min_share = std::min(min_share, residual[l] / crossing[l]);
     }
-    if (!std::isfinite(min_share)) {
-      // Flows with empty routes have no constraining link; "infinitely
-      // fast" is unphysical, so forbid them instead.
-      std::fprintf(stderr, "FlowNetwork: active flow with empty route\n");
-      std::abort();
-    }
+    // Flows with empty routes have no constraining link; "infinitely
+    // fast" is unphysical, so forbid them instead.
+    WRHT_CHECK(std::isfinite(min_share),
+               "FlowNetwork: active flow with empty route");
 
     // Freeze every unfixed flow that crosses a bottleneck link.
     std::vector<FlowId> still_unfixed;
@@ -97,6 +92,8 @@ void FlowNetwork::recompute_rates() {
     // Charge frozen flows against their links.
     for (const FlowId f : unfixed) {
       const Flow& flow = flows_[f];
+      // simlint-allow(float-eq): 0.0 is an exact sentinel set by freeze(), not
+      // a computed value; an epsilon would misclassify tiny live rates.
       if (flow.rate == 0.0) continue;
       for (const LinkId link : flow.route) {
         residual[link] -= flow.rate;
@@ -104,10 +101,9 @@ void FlowNetwork::recompute_rates() {
         --crossing[link];
       }
     }
-    if (still_unfixed.size() == unfixed.size()) {
-      std::fprintf(stderr, "FlowNetwork: progressive filling stalled\n");
-      std::abort();
-    }
+    WRHT_CHECK(still_unfixed.size() != unfixed.size(),
+               "FlowNetwork: progressive filling stalled with "
+                   << unfixed.size() << " unfixed flows");
     unfixed = std::move(still_unfixed);
   }
 
@@ -185,10 +181,9 @@ util::Seconds FlowNetwork::run_until(util::Seconds horizon) {
   while (!live_.empty()) {
     recompute_rates();
     const util::Seconds when = next_event_time();
-    if (!std::isfinite(when.value())) {
-      std::fprintf(stderr, "FlowNetwork: deadlock — live flows, no events\n");
-      std::abort();
-    }
+    WRHT_CHECK(std::isfinite(when.value()),
+               "FlowNetwork: deadlock — " << live_.size()
+                                          << " live flows, no events");
     if (when > horizon) break;
     advance_to(when);
     settle();
@@ -208,10 +203,8 @@ bool FlowNetwork::completed(FlowId flow) const {
 }
 
 util::Seconds FlowNetwork::completion_time(FlowId flow) const {
-  if (!completed(flow)) {
-    std::fprintf(stderr, "FlowNetwork: flow %u has not completed\n", flow);
-    std::abort();
-  }
+  WRHT_REQUIRE(completed(flow),
+               "FlowNetwork: flow " << flow << " has not completed");
   return flows_[flow].completion;
 }
 

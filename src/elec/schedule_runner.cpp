@@ -1,7 +1,6 @@
 #include "elec/schedule_runner.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::elec {
 
@@ -26,12 +25,10 @@ std::optional<util::Seconds> StepFlowTimer::time_step(
 ElecRunResult run_on_electrical(const coll::Schedule& schedule,
                                 const ElectricalCluster& cluster,
                                 util::Bytes payload) {
-  if (schedule.num_nodes() > cluster.num_hosts()) {
-    std::fprintf(stderr,
-                 "run_on_electrical: schedule needs %u hosts, cluster has %u\n",
-                 schedule.num_nodes(), cluster.num_hosts());
-    std::abort();
-  }
+  WRHT_REQUIRE(schedule.num_nodes() <= cluster.num_hosts(),
+               "run_on_electrical: schedule needs "
+                   << schedule.num_nodes() << " hosts, cluster has "
+                   << cluster.num_hosts());
 
   ElecRunResult result;
   StepFlowTimer timer(cluster);
@@ -41,10 +38,8 @@ ElecRunResult run_on_electrical(const coll::Schedule& schedule,
     // a library bug, not a caller error.
     const std::optional<util::Seconds> step_duration =
         timer.time_step(schedule, step, payload);
-    if (!step_duration) {
-      std::fprintf(stderr, "run_on_electrical: step %zu refused\n", step);
-      std::abort();
-    }
+    WRHT_CHECK(step_duration.has_value(),
+               "run_on_electrical: step " << step << " refused");
     result.step_durations.push_back(*step_duration);
     result.total += *step_duration;
   }

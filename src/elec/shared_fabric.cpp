@@ -1,8 +1,7 @@
 #include "elec/shared_fabric.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 #include "obs/metrics.hpp"
 
@@ -44,14 +43,10 @@ void SharedFabricTimer::finalize_step(Session& session) {
   LoggedStep& logged = steps_[session.current_step];
   util::Seconds end = logged.start;
   for (const FlowId flow : session.inflight) {
-    if (!network_.completed(flow)) {
-      std::fprintf(stderr,
-                   "SharedFabricTimer: step boundary before its flows "
-                   "drained (session %u step %llu)\n",
-                   logged.session,
-                   static_cast<unsigned long long>(logged.step));
-      std::abort();
-    }
+    WRHT_CHECK(network_.completed(flow),
+               "SharedFabricTimer: step boundary before its flows drained "
+               "(session "
+                   << logged.session << " step " << logged.step << ")");
     end = std::max(end, network_.completion_time(flow));
   }
   logged.end = end;
@@ -180,11 +175,8 @@ std::optional<util::Seconds> SharedFabricTimer::predict_step_completion(
 
 void SharedFabricTimer::close_session(SessionId session_id,
                                       util::Seconds now) {
-  if (session_id >= sessions_.size() || !sessions_[session_id].open) {
-    std::fprintf(stderr, "SharedFabricTimer: close of unknown session %u\n",
-                 session_id);
-    std::abort();
-  }
+  WRHT_REQUIRE(session_id < sessions_.size() && sessions_[session_id].open,
+               "SharedFabricTimer: close of unknown session " << session_id);
   Session& session = sessions_[session_id];
   network_.run_until(std::max(now, network_.now()));
   ops_.push_back(LoggedOp{network_.now(), -1});

@@ -1,9 +1,8 @@
 #include "elec/topology.hpp"
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace wrht::elec {
@@ -20,10 +19,8 @@ void add_duplex(topo::Graph& graph, std::vector<LinkSpec>& specs,
 
 ElectricalCluster ElectricalCluster::star(std::uint32_t num_hosts,
                                           const ElectricalParams& params) {
-  if (num_hosts < 2) {
-    std::fprintf(stderr, "ElectricalCluster::star needs >= 2 hosts\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(num_hosts >= 2, "ElectricalCluster::star needs >= 2 hosts, got "
+                                   << num_hosts);
   ElectricalCluster cluster;
   cluster.host_params_ = params;
   const topo::VertexId sw = cluster.graph_.add_vertex("switch");
@@ -39,10 +36,8 @@ ElectricalCluster ElectricalCluster::star(std::uint32_t num_hosts,
 
 ElectricalCluster ElectricalCluster::ring(std::uint32_t num_hosts,
                                           const ElectricalParams& params) {
-  if (num_hosts < 2) {
-    std::fprintf(stderr, "ElectricalCluster::ring needs >= 2 hosts\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(num_hosts >= 2, "ElectricalCluster::ring needs >= 2 hosts, got "
+                                   << num_hosts);
   ElectricalCluster cluster;
   cluster.host_params_ = params;
   const LinkSpec spec{params.link_bandwidth, params.link_latency};
@@ -95,20 +90,18 @@ std::optional<ElectricalCluster> ElectricalCluster::two_level_tree(
 
 const std::vector<LinkId>& ElectricalCluster::route(
     std::uint32_t host_a, std::uint32_t host_b) const {
-  if (host_a >= num_hosts() || host_b >= num_hosts() || host_a == host_b) {
-    std::fprintf(stderr, "ElectricalCluster::route: bad hosts %u,%u\n", host_a,
-                 host_b);
-    std::abort();
-  }
+  WRHT_REQUIRE(host_a < num_hosts() && host_b < num_hosts() &&
+                   host_a != host_b,
+               "ElectricalCluster::route: bad hosts " << host_a << ","
+                                                      << host_b);
   const auto key = std::make_pair(host_a, host_b);
   const auto it = route_cache_.find(key);
   if (it != route_cache_.end()) return it->second;
 
   const auto path = graph_.shortest_path(hosts_[host_a], hosts_[host_b]);
-  if (!path.has_value()) {
-    std::fprintf(stderr, "ElectricalCluster::route: hosts unreachable\n");
-    std::abort();
-  }
+  WRHT_CHECK(path.has_value(),
+             "ElectricalCluster::route: hosts " << host_a << "," << host_b
+                                                << " unreachable");
   return route_cache_.emplace(key, *path).first->second;
 }
 

@@ -1,7 +1,6 @@
 #include "harness/fig2.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 #include "coll/algorithms.hpp"
 #include "elec/schedule_runner.hpp"
@@ -90,8 +89,8 @@ util::Seconds allreduce_time(Algo algo, std::uint32_t num_nodes,
     case Algo::kWrht:
       return time_wrht(num_nodes, payload, config);
   }
-  std::fprintf(stderr, "allreduce_time: unknown algorithm\n");
-  std::abort();
+  WRHT_CHECK(false,
+             "allreduce_time: unknown algorithm " << static_cast<int>(algo));
 }
 
 std::vector<Fig2Row> run_fig2_panel(const dnn::Model& model,

@@ -1,8 +1,7 @@
 #include "harness/report.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 #include "util/csv.hpp"
 #include "util/string_utils.hpp"
@@ -22,10 +21,7 @@ double normalization_base(const std::vector<Fig2Row>& rows) {
       base = row.time.value();
     }
   }
-  if (base <= 0.0) {
-    std::fprintf(stderr, "render_panel: no WRHT row to normalize against\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(base > 0.0, "render_panel: no WRHT row to normalize against");
   return base;
 }
 

@@ -1,10 +1,10 @@
 #include "obs/metrics.hpp"
 
-#include <cstdio>
 #include <fstream>
 #include <tuple>
 
 #include "obs/json.hpp"
+#include "util/logging.hpp"
 
 namespace wrht::obs {
 
@@ -178,8 +178,7 @@ std::string MetricsRegistry::to_json() const {
 bool MetricsRegistry::write_json(const std::string& path) const {
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "MetricsRegistry: cannot open %s for writing\n",
-                 path.c_str());
+    WRHT_ERROR() << "MetricsRegistry: cannot open " << path << " for writing";
     return false;
   }
   out << to_json();

@@ -1,12 +1,12 @@
 #include "obs/trace_export.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <map>
 #include <utility>
 
 #include "obs/json.hpp"
+#include "util/logging.hpp"
 
 namespace wrht::obs {
 
@@ -251,8 +251,8 @@ bool write_chrome_trace(const std::string& path, const sim::Trace& trace,
                         const MetricsRegistry* metrics) {
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr, "write_chrome_trace: cannot open %s for writing\n",
-                 path.c_str());
+    WRHT_ERROR() << "write_chrome_trace: cannot open " << path
+                 << " for writing";
     return false;
   }
   out << chrome_trace_json(trace, records, metrics);
@@ -272,9 +272,8 @@ bool export_observability(const std::string& trace_path,
     if (metrics) {
       ok = metrics->write_json(metrics_path) && ok;
     } else {
-      std::fprintf(stderr,
-                   "export_observability: --metrics-out given but no "
-                   "metrics registry is installed\n");
+      WRHT_ERROR() << "export_observability: --metrics-out given but no "
+                      "metrics registry is installed";
       ok = false;
     }
   }

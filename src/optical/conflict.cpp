@@ -1,8 +1,7 @@
 #include "optical/conflict.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::optical {
 
@@ -65,13 +64,10 @@ bool color_with(const ConflictGraph& graph, std::uint32_t k,
 std::uint32_t optimal_wavelength_count(const topo::RingTopology& ring,
                                        const std::vector<topo::Arc>& arcs) {
   if (arcs.empty()) return 0;
-  if (arcs.size() > 24) {
-    std::fprintf(stderr,
-                 "optimal_wavelength_count: %zu arcs is too large for exact "
-                 "coloring\n",
-                 arcs.size());
-    std::abort();
-  }
+  WRHT_REQUIRE(arcs.size() <= 24,
+               "optimal_wavelength_count: " << arcs.size()
+                                            << " arcs is too large for exact "
+                                               "coloring");
   const ConflictGraph graph(ring, arcs);
   std::vector<std::uint32_t> color(arcs.size(), 0);
   for (std::uint32_t k = std::max(1u, max_link_load(ring, arcs));; ++k) {

@@ -1,8 +1,7 @@
 #include "optical/network.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::optical {
 
@@ -43,15 +42,11 @@ StepResult OpticalRingNetwork::execute_step(
 
   // Reserve the spectrum for the whole step; conflicts are schedule bugs.
   for (const TimedTransfer& t : transfers) {
-    if (t.lambdas.empty()) {
-      std::fprintf(stderr, "OpticalRingNetwork: transfer without wavelength\n");
-      std::abort();
-    }
-    if (t.arc.length == 0 || t.src == t.dst) {
-      std::fprintf(stderr, "OpticalRingNetwork: degenerate transfer %u->%u\n",
-                   t.src, t.dst);
-      std::abort();
-    }
+    WRHT_REQUIRE(!t.lambdas.empty(),
+                 "OpticalRingNetwork: transfer without wavelength");
+    WRHT_REQUIRE(t.arc.length > 0 && t.src != t.dst,
+                 "OpticalRingNetwork: degenerate transfer " << t.src << "->"
+                                                            << t.dst);
     for (const WavelengthId lambda : t.lambdas) {
       spectrum_.reserve(t.arc, lambda);  // aborts on double-booking
     }

@@ -1,17 +1,14 @@
 #include "optical/spectrum.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::optical {
 
 SpectrumMap::SpectrumMap(const topo::RingTopology& ring,
                          std::uint32_t num_wavelengths)
     : ring_(&ring), num_wavelengths_(num_wavelengths) {
-  if (num_wavelengths == 0) {
-    std::fprintf(stderr, "SpectrumMap: need at least one wavelength\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(num_wavelengths > 0,
+               "SpectrumMap: need at least one wavelength");
   occupied_.assign(std::size_t{2} * ring.num_spans() * num_wavelengths, false);
   usage_.assign(num_wavelengths, 0);
 }
@@ -42,12 +39,10 @@ std::optional<WavelengthId> SpectrumMap::first_free(
 void SpectrumMap::reserve(const topo::Arc& arc, WavelengthId lambda) {
   for (const topo::SpanId span : ring_->spans(arc)) {
     const std::size_t c = cell(arc.direction, span, lambda);
-    if (occupied_[c]) {
-      std::fprintf(stderr,
-                   "SpectrumMap: wavelength %u already taken on span %u (%s)\n",
-                   lambda, span, topo::direction_name(arc.direction));
-      std::abort();
-    }
+    WRHT_REQUIRE(!occupied_[c],
+                 "SpectrumMap: wavelength "
+                     << lambda << " already taken on span " << span << " ("
+                     << topo::direction_name(arc.direction) << ")");
     occupied_[c] = true;
     ++usage_[lambda];
   }
@@ -62,12 +57,8 @@ bool SpectrumMap::try_reserve(const topo::Arc& arc, WavelengthId lambda) {
 void SpectrumMap::release(const topo::Arc& arc, WavelengthId lambda) {
   for (const topo::SpanId span : ring_->spans(arc)) {
     const std::size_t c = cell(arc.direction, span, lambda);
-    if (!occupied_[c]) {
-      std::fprintf(stderr,
-                   "SpectrumMap: releasing free wavelength %u on span %u\n",
-                   lambda, span);
-      std::abort();
-    }
+    WRHT_REQUIRE(occupied_[c], "SpectrumMap: releasing free wavelength "
+                                   << lambda << " on span " << span);
     occupied_[c] = false;
     --usage_[lambda];
   }

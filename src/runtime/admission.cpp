@@ -1,8 +1,7 @@
 #include "runtime/admission.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::runtime {
 
@@ -21,10 +20,8 @@ const char* fairness_policy_name(FairnessPolicy policy) {
 }
 
 QueueEntry JobQueue::take(std::size_t index) {
-  if (index >= entries_.size()) {
-    std::fprintf(stderr, "JobQueue: take(%zu) out of range\n", index);
-    std::abort();
-  }
+  WRHT_REQUIRE(index < entries_.size(),
+               "JobQueue: take(" << index << ") out of range");
   QueueEntry entry = std::move(entries_[index]);
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
   return entry;

@@ -1,9 +1,7 @@
 #include "runtime/arbiter.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 
 namespace wrht::runtime {
 
@@ -23,10 +21,8 @@ void SpectrumArbiter::publish_occupancy() {
 
 SpectrumArbiter::SpectrumArbiter(std::uint32_t total_wavelengths)
     : total_(total_wavelengths), free_(total_wavelengths) {
-  if (total_wavelengths == 0) {
-    std::fprintf(stderr, "SpectrumArbiter: need at least one wavelength\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(total_wavelengths > 0,
+               "SpectrumArbiter: need at least one wavelength");
   taken_.assign(total_wavelengths, false);
 }
 
@@ -41,10 +37,7 @@ std::uint32_t SpectrumArbiter::largest_free_block() const {
 }
 
 std::optional<WavelengthBand> SpectrumArbiter::allocate(std::uint32_t width) {
-  if (width == 0) {
-    std::fprintf(stderr, "SpectrumArbiter: zero-width band requested\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(width > 0, "SpectrumArbiter: zero-width band requested");
   std::uint32_t run = 0;
   for (std::uint32_t lambda = 0; lambda < total_; ++lambda) {
     run = taken_[lambda] ? 0 : run + 1;
@@ -62,17 +55,12 @@ std::optional<WavelengthBand> SpectrumArbiter::allocate(std::uint32_t width) {
 }
 
 void SpectrumArbiter::release(const WavelengthBand& band) {
-  if (!band.valid() || band.base + band.width > total_) {
-    std::fprintf(stderr, "SpectrumArbiter: releasing bogus band [%u, %u)\n",
-                 band.base, band.base + band.width);
-    std::abort();
-  }
+  WRHT_REQUIRE(band.valid() && band.base + band.width <= total_,
+               "SpectrumArbiter: releasing bogus band ["
+                   << band.base << ", " << band.base + band.width << ")");
   for (std::uint32_t i = band.base; i < band.base + band.width; ++i) {
-    if (!taken_[i]) {
-      std::fprintf(stderr,
-                   "SpectrumArbiter: double release of wavelength %u\n", i);
-      std::abort();
-    }
+    WRHT_CHECK(taken_[i],
+               "SpectrumArbiter: double release of wavelength " << i);
     taken_[i] = false;
   }
   free_ += band.width;
@@ -83,19 +71,14 @@ void SpectrumArbiter::release(const WavelengthBand& band) {
 
 WavelengthBand SpectrumArbiter::grow(const WavelengthBand& band,
                                      std::uint32_t max_width) {
-  if (!band.valid() || band.base + band.width > total_) {
-    std::fprintf(stderr, "SpectrumArbiter: growing bogus band [%u, %u)\n",
-                 band.base, band.base + band.width);
-    std::abort();
-  }
+  WRHT_REQUIRE(band.valid() && band.base + band.width <= total_,
+               "SpectrumArbiter: growing bogus band ["
+                   << band.base << ", " << band.base + band.width << ")");
   for (std::uint32_t i = band.base; i < band.base + band.width; ++i) {
-    if (!taken_[i]) {
-      // Same corruption guard as release()/shrink_to(): a stale band whose
-      // cells are free would silently absorb them as "adjacent" spectrum.
-      std::fprintf(stderr,
-                   "SpectrumArbiter: growing unallocated wavelength %u\n", i);
-      std::abort();
-    }
+    // Same corruption guard as release()/shrink_to(): a stale band whose
+    // cells are free would silently absorb them as "adjacent" spectrum.
+    WRHT_CHECK(taken_[i],
+               "SpectrumArbiter: growing unallocated wavelength " << i);
   }
   WavelengthBand out = band;
   while (out.width < max_width && out.base + out.width < total_ &&
@@ -119,22 +102,16 @@ WavelengthBand SpectrumArbiter::grow(const WavelengthBand& band,
 
 void SpectrumArbiter::shrink_to(const WavelengthBand& band,
                                 const WavelengthBand& keep) {
-  if (!band.valid() || !keep.valid() || keep.base < band.base ||
-      keep.base + keep.width > band.base + band.width) {
-    std::fprintf(stderr,
-                 "SpectrumArbiter: shrink keep [%u, %u) not inside [%u, %u)\n",
-                 keep.base, keep.base + keep.width, band.base,
-                 band.base + band.width);
-    std::abort();
-  }
+  WRHT_REQUIRE(band.valid() && keep.valid() && keep.base >= band.base &&
+                   keep.base + keep.width <= band.base + band.width,
+               "SpectrumArbiter: shrink keep ["
+                   << keep.base << ", " << keep.base + keep.width
+                   << ") not inside [" << band.base << ", "
+                   << band.base + band.width << ")");
   for (std::uint32_t i = band.base; i < band.base + band.width; ++i) {
     if (i >= keep.base && i < keep.base + keep.width) continue;
-    if (!taken_[i]) {
-      std::fprintf(stderr,
-                   "SpectrumArbiter: shrink of unallocated wavelength %u\n",
-                   i);
-      std::abort();
-    }
+    WRHT_CHECK(taken_[i],
+               "SpectrumArbiter: shrink of unallocated wavelength " << i);
     taken_[i] = false;
     ++free_;
   }

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <limits>
 
 #include "coll/oracle.hpp"
+#include "util/check.hpp"
 #include "util/string_utils.hpp"
 #include "wrht/builder.hpp"
 
@@ -151,10 +150,7 @@ SubstrateBreakdown& CollectiveRuntime::breakdown(SubstrateKind kind) {
 }
 
 JobId CollectiveRuntime::submit(JobSpec spec) {
-  if (started_) {
-    std::fprintf(stderr, "CollectiveRuntime: submit after run()\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(!started_, "CollectiveRuntime: submit after run()");
   const auto id = static_cast<JobId>(records_.size());
   JobRecord record;
   record.id = id;
@@ -217,10 +213,7 @@ JobId CollectiveRuntime::submit(JobSpec spec) {
 }
 
 const JobRecord& CollectiveRuntime::record(JobId id) const {
-  if (id >= records_.size()) {
-    std::fprintf(stderr, "CollectiveRuntime: unknown job %u\n", id);
-    std::abort();
-  }
+  WRHT_REQUIRE(id < records_.size(), "CollectiveRuntime: unknown job " << id);
   return records_[id];
 }
 
@@ -656,16 +649,12 @@ void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
   }
   const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
       composite, exec.participants, config_.oracle_payload_len);
-  if (!verdict.ok) {
-    // A schedule that fails the oracle must never touch its fabric; like a
-    // wavelength conflict, this is a library bug, not a tenant error.
-    ++report_.oracle_failures;
-    std::fprintf(stderr,
-                 "CollectiveRuntime: schedule failed the all-reduce oracle "
-                 "(job %u): %s\n",
-                 exec.jobs.front(), verdict.message.c_str());
-    std::abort();
-  }
+  if (!verdict.ok) ++report_.oracle_failures;
+  // A schedule that fails the oracle must never touch its fabric; like a
+  // wavelength conflict, this is a library bug, not a tenant error.
+  WRHT_CHECK(verdict.ok,
+             "CollectiveRuntime: schedule failed the all-reduce oracle (job "
+                 << exec.jobs.front() << "): " << verdict.message);
   for (const JobId id : exec.jobs) records_[id].oracle_ok = true;
 }
 
@@ -1160,10 +1149,7 @@ void CollectiveRuntime::finish_execution(
 }
 
 RuntimeReport CollectiveRuntime::run() {
-  if (started_) {
-    std::fprintf(stderr, "CollectiveRuntime: run() called twice\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(!started_, "CollectiveRuntime: run() called twice");
   started_ = true;
   for (const JobRecord& record : records_) {
     if (record.state != JobState::kSubmitted) continue;  // rejected
@@ -1178,13 +1164,10 @@ RuntimeReport CollectiveRuntime::run() {
   }
   simulator_.run();
 
-  if (!queue_.empty() || running_jobs_ != 0 || !suspended_.empty()) {
-    std::fprintf(stderr,
-                 "CollectiveRuntime: clock drained with %zu queued / %u "
-                 "running / %zu suspended jobs\n",
-                 queue_.size(), running_jobs_, suspended_.size());
-    std::abort();
-  }
+  WRHT_CHECK(queue_.empty() && running_jobs_ == 0 && suspended_.empty(),
+             "CollectiveRuntime: clock drained with "
+                 << queue_.size() << " queued / " << running_jobs_
+                 << " running / " << suspended_.size() << " suspended jobs");
   // The makespan is the last COMPLETION, not the drained clock: a
   // fuse-window hold-release timer for a job that was fused early can
   // outlive the final completion as a no-op event, and phantom idle time

@@ -51,8 +51,6 @@
 #include "runtime/substrate.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <optional>
 #include <utility>
@@ -62,6 +60,7 @@
 #include "elec/alphabeta.hpp"
 #include "elec/schedule_runner.hpp"
 #include "elec/shared_fabric.hpp"
+#include "util/check.hpp"
 
 namespace wrht::runtime {
 
@@ -150,13 +149,11 @@ elec::ElectricalCluster make_fallback_cluster(
       elec::ElectricalCluster::two_level_tree(num_hosts, config.hosts_per_tor,
                                               config.oversubscription,
                                               config.link);
-  if (!tree) {
-    std::fprintf(stderr,
-                 "make_electrical_substrate: bad two-level shape (%u hosts, "
-                 "%u per ToR, oversubscription %g)\n",
-                 num_hosts, config.hosts_per_tor, config.oversubscription);
-    std::abort();
-  }
+  WRHT_REQUIRE(tree.has_value(),
+               "make_electrical_substrate: bad two-level shape ("
+                   << num_hosts << " hosts, " << config.hosts_per_tor
+                   << " per ToR, oversubscription " << config.oversubscription
+                   << ")");
   return *std::move(tree);
 }
 
@@ -230,12 +227,9 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
   [[nodiscard]] std::unique_ptr<SubstrateExecution> place(
       const std::vector<topo::NodeId>& participants, util::Bytes payload,
       std::uint32_t) override {
-    if (!can_place(participants, 1)) {
-      std::fprintf(stderr,
-                   "ElectricalSubstrate: placement on busy hosts — "
-                   "arbitration bug\n");
-      std::abort();
-    }
+    WRHT_CHECK(can_place(participants, 1),
+               "ElectricalSubstrate: placement on busy hosts — "
+               "arbitration bug");
     const coll::Schedule compact = best_compact_schedule(
         static_cast<std::uint32_t>(participants.size()), payload);
     // First placement claims hosts 1:1 at the participants' ring positions,
@@ -256,13 +250,10 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     // resume the quiet baseline belongs to the routes actually flown.
     const std::optional<util::Seconds> quiet =
         timer_.time_step(exec.physical_, step, exec.payload);
-    if (!quiet) {
-      std::fprintf(stderr,
-                   "ElectricalSubstrate: un-timeable step %zu — "
-                   "arbitration bug\n",
-                   step);
-      std::abort();
-    }
+    WRHT_CHECK(quiet.has_value(),
+               "ElectricalSubstrate: un-timeable step " << step
+                                                        << " — arbitration "
+                                                           "bug");
     out.quiet = *quiet;
     if (!shared_) {
       out.end = now + *quiet;
@@ -271,13 +262,9 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     const std::optional<util::Seconds> end =
         shared_->begin_step(exec.session, exec.physical_, step, exec.payload,
                             now);
-    if (!end) {
-      std::fprintf(stderr,
-                   "ElectricalSubstrate: shared fabric refused step %zu — "
-                   "arbitration bug\n",
-                   step);
-      std::abort();
-    }
+    WRHT_CHECK(end.has_value(),
+               "ElectricalSubstrate: shared fabric refused step "
+                   << step << " — arbitration bug");
     out.end = *end;
     for (const elec::SharedFabricTimer::Retiming& retiming :
          shared_->take_retimings()) {
@@ -346,15 +333,11 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
   [[nodiscard]] std::uint64_t self_check() const override {
     if (!shared_) return 0;
     const std::uint64_t mismatches = shared_->verify_replay();
-    if (mismatches != 0) {
-      // The incremental shared-fabric timing and the whole-horizon flow
-      // replay disagree: a timing bug, fatal like a wavelength conflict.
-      std::fprintf(stderr,
-                   "ElectricalSubstrate: flow-replay oracle disagrees on "
-                   "%llu step(s)\n",
-                   static_cast<unsigned long long>(mismatches));
-      std::abort();
-    }
+    // The incremental shared-fabric timing and the whole-horizon flow
+    // replay disagree: a timing bug, fatal like a wavelength conflict.
+    WRHT_CHECK(mismatches == 0,
+               "ElectricalSubstrate: flow-replay oracle disagrees on "
+                   << mismatches << " step(s)");
     return shared_->logged_steps();
   }
 

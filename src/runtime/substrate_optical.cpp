@@ -11,11 +11,10 @@
 #include "runtime/substrate.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "optical/network.hpp"
 #include "optical/spectrum.hpp"
 #include "optical/transceiver.hpp"
@@ -102,24 +101,19 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       const std::vector<topo::NodeId>& participants, util::Bytes payload,
       std::uint32_t grant) override {
     const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
-    if (!band) {
-      // Admission promised a free run of this width; not finding one is an
-      // arbiter/admission disagreement.
-      std::fprintf(stderr, "OpticalSubstrate: arbiter refused a %u-band\n",
-                   grant);
-      std::abort();
-    }
+    // Admission promised a free run of this width; not finding one is an
+    // arbiter/admission disagreement.
+    WRHT_CHECK(band.has_value(),
+               "OpticalSubstrate: arbiter refused a " << grant << "-band");
     core::WrhtParams wrht;
     wrht.num_wavelengths = band->width;
     wrht.fit_policy = fit_policy_;
     core::WrhtBuild build =
         core::build_wrht_among(participants, ring_.num_nodes(), wrht);
-    if (build.annotated.wavelengths_required > band->width) {
-      std::fprintf(stderr,
-                   "OpticalSubstrate: schedule overflowed its band (%u > %u)\n",
-                   build.annotated.wavelengths_required, band->width);
-      std::abort();
-    }
+    WRHT_CHECK(build.annotated.wavelengths_required <= band->width,
+               "OpticalSubstrate: schedule overflowed its band ("
+                   << build.annotated.wavelengths_required << " > "
+                   << band->width << ")");
     return make_plan(std::move(build), *band, participants, payload);
   }
 
@@ -134,13 +128,9 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     // disjoint, so a failed claim means the arbitration above is broken.
     for (const optical::TimedTransfer& t : transfers) {
       for (const optical::WavelengthId lambda : t.lambdas) {
-        if (!spectrum_.try_reserve(t.arc, lambda)) {
-          std::fprintf(stderr,
-                       "OpticalSubstrate: wavelength conflict on lambda %u — "
-                       "arbitration bug\n",
-                       lambda);
-          std::abort();
-        }
+        WRHT_CHECK(spectrum_.try_reserve(t.arc, lambda),
+                   "OpticalSubstrate: wavelength conflict on lambda "
+                       << lambda << " — arbitration bug");
         ++out.reservations;
       }
     }
@@ -245,12 +235,8 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     }
     if (!rebuilt) return nullptr;
     const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
-    if (!band) {
-      std::fprintf(stderr,
-                   "OpticalSubstrate: arbiter refused a %u-band on resume\n",
-                   grant);
-      std::abort();
-    }
+    WRHT_CHECK(band.has_value(), "OpticalSubstrate: arbiter refused a "
+                                     << grant << "-band on resume");
     return make_plan(std::move(*rebuilt), *band, current.participants,
                      current.payload);
   }

@@ -1,7 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 #include <utility>
 
 namespace wrht::sim {
@@ -39,19 +38,13 @@ bool EventQueue::empty() const {
 
 util::Seconds EventQueue::next_time() const {
   drop_dead_entries();
-  if (heap_.empty()) {
-    std::fprintf(stderr, "EventQueue::next_time on empty queue\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(!heap_.empty(), "EventQueue::next_time on empty queue");
   return heap_.top().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_dead_entries();
-  if (heap_.empty()) {
-    std::fprintf(stderr, "EventQueue::pop on empty queue\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(!heap_.empty(), "EventQueue::pop on empty queue");
   const Entry entry = heap_.top();
   heap_.pop();
   --live_;

@@ -1,27 +1,22 @@
 #include "sim/simulator.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 #include <utility>
 
 namespace wrht::sim {
 
 std::uint64_t Simulator::schedule_in(util::Seconds delay,
                                      EventCallback callback) {
-  if (delay.value() < 0.0) {
-    std::fprintf(stderr, "Simulator: negative delay %g\n", delay.value());
-    std::abort();
-  }
+  WRHT_REQUIRE(delay.value() >= 0.0,
+               "Simulator: negative delay " << delay.value());
   return queue_.push(now_ + delay, std::move(callback));
 }
 
 std::uint64_t Simulator::schedule_at(util::Seconds when,
                                      EventCallback callback) {
-  if (when < now_) {
-    std::fprintf(stderr, "Simulator: scheduling into the past (%g < %g)\n",
-                 when.value(), now_.value());
-    std::abort();
-  }
+  WRHT_REQUIRE(when >= now_, "Simulator: scheduling into the past ("
+                                 << when.value() << " < " << now_.value()
+                                 << ")");
   return queue_.push(when, std::move(callback));
 }
 

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::sim {
 
@@ -26,10 +25,10 @@ double Summary::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram(double first_bound, double growth,
                      std::size_t num_buckets) {
-  if (first_bound <= 0.0 || growth <= 1.0 || num_buckets == 0) {
-    std::fprintf(stderr, "Histogram: invalid parameters\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(first_bound > 0.0 && growth > 1.0 && num_buckets > 0,
+               "Histogram: invalid parameters (first_bound="
+                   << first_bound << ", growth=" << growth << ", buckets="
+                   << num_buckets << ")");
   bounds_.resize(num_buckets);
   counts_.assign(num_buckets + 1, 0);  // +1 overflow bucket
   double bound = first_bound;

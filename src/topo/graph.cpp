@@ -1,8 +1,7 @@
 #include "topo/graph.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 #include <queue>
 
 namespace wrht::topo {
@@ -14,10 +13,9 @@ VertexId Graph::add_vertex(std::string label) {
 }
 
 EdgeId Graph::add_edge(VertexId from, VertexId to, double weight) {
-  if (from >= num_vertices() || to >= num_vertices()) {
-    std::fprintf(stderr, "Graph::add_edge: vertex out of range\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(from < num_vertices() && to < num_vertices(),
+               "Graph::add_edge: vertex out of range (" << from << ", " << to
+                                                        << ")");
   edges_.push_back(Edge{from, to, weight});
   const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
   adjacency_[from].push_back(id);

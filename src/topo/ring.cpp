@@ -1,7 +1,6 @@
 #include "topo/ring.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::topo {
 
@@ -10,19 +9,14 @@ const char* direction_name(Direction d) {
 }
 
 RingTopology::RingTopology(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
-  if (num_nodes < 2) {
-    std::fprintf(stderr, "RingTopology requires >= 2 nodes, got %u\n",
-                 num_nodes);
-    std::abort();
-  }
+  WRHT_REQUIRE(num_nodes >= 2,
+               "RingTopology requires >= 2 nodes, got " << num_nodes);
 }
 
 void RingTopology::check_node(NodeId node) const {
-  if (node >= num_nodes_) {
-    std::fprintf(stderr, "RingTopology: node %u out of range [0,%u)\n", node,
-                 num_nodes_);
-    std::abort();
-  }
+  WRHT_REQUIRE(node < num_nodes_, "RingTopology: node "
+                                      << node << " out of range [0,"
+                                      << num_nodes_ << ")");
 }
 
 std::uint32_t RingTopology::distance_cw(NodeId src, NodeId dst) const {
@@ -51,10 +45,7 @@ Direction RingTopology::shortest_direction(NodeId src, NodeId dst) const {
 Arc RingTopology::arc(NodeId src, NodeId dst, Direction dir) const {
   check_node(src);
   check_node(dst);
-  if (src == dst) {
-    std::fprintf(stderr, "RingTopology::arc: src == dst (%u)\n", src);
-    std::abort();
-  }
+  WRHT_REQUIRE(src != dst, "RingTopology::arc: src == dst (" << src << ")");
   const std::uint32_t length = distance(src, dst, dir);
   // Clockwise: the first span leaving src is span `src` (src -> src+1).
   // Counter-clockwise: the first span leaving src is span `src-1`

@@ -1,0 +1,21 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wrht::util {
+
+[[noreturn]] void check_fail(const char* file, int line, const char* macro,
+                             const char* condition,
+                             const std::string& message) {
+  // simlint-allow(printf-output): a failed invariant must reach stderr
+  // unconditionally, even when util/logging is filtered or broken.
+  std::fprintf(stderr, "%s failed at %s:%d: (%s)\n  %s\n", macro, file, line,
+               condition, message.c_str());
+  std::fflush(stderr);
+  // simlint-allow(assert-abort): the single sanctioned abort; every other
+  // fatal path in src/ must route here through WRHT_CHECK/WRHT_REQUIRE.
+  std::abort();
+}
+
+}  // namespace wrht::util

@@ -1,0 +1,78 @@
+// Release-safe invariant checks.
+//
+// Every correctness oracle in this repo (schedule validation, flow replay,
+// SLO recomputation) ultimately funnels into a condition that must abort the
+// process when it fails.  `assert` is compiled out under NDEBUG, which is
+// exactly the configuration the Release CI leg and the nightly stress sweep
+// run in — so raw asserts arm the tripwires only in debug builds.  These
+// macros stay active in every build type:
+//
+//   WRHT_REQUIRE(cond, msg)  — caller-facing precondition ("you passed me a
+//                              bad argument"); the message should name the
+//                              offending input.
+//   WRHT_CHECK(cond, msg)    — internal invariant ("my own state is
+//                              inconsistent"); firing one is a bug in this
+//                              repo, not in the caller.
+//
+// Both print file:line, the failed condition, and a streamed message, then
+// abort.  The message argument may chain values:
+//
+//   WRHT_REQUIRE(width > 0, "band width must be positive, got " << width);
+//
+// simlint's `assert-abort` rule bans raw assert()/std::abort() in src/, so
+// this header is the only sanctioned way to express a fatal condition.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wrht::util {
+
+/// Prints "<macro> failed at <file>:<line>: (<condition>)\n  <message>" to
+/// stderr and aborts.  Deliberately bypasses util/logging: a failed check
+/// must reach stderr even when the logger's level filter (or the logger
+/// itself) is the broken thing.
+[[noreturn]] void check_fail(const char* file, int line, const char* macro,
+                             const char* condition, const std::string& message);
+
+namespace detail {
+
+// Stream builder so check messages can interleave text and values without
+// the call site owning an ostringstream.  The macro wraps the user's
+// message expression as `CheckMessage{} << msg`, which also makes a bare
+// `"text" << value` chain well-formed.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace wrht::util
+
+#define WRHT_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::wrht::util::check_fail(                                             \
+          __FILE__, __LINE__, "WRHT_CHECK", #cond,                          \
+          (::wrht::util::detail::CheckMessage{} << msg).str());             \
+    }                                                                       \
+  } while (false)
+
+#define WRHT_REQUIRE(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::wrht::util::check_fail(                                             \
+          __FILE__, __LINE__, "WRHT_REQUIRE", #cond,                        \
+          (::wrht::util::detail::CheckMessage{} << msg).str());             \
+    }                                                                       \
+  } while (false)

@@ -1,8 +1,8 @@
 #include "util/cli.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "util/check.hpp"
 #include "util/string_utils.hpp"
 
 namespace wrht::util {
@@ -20,6 +20,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      // simlint-allow(printf-output): --help text is the program's contract
+      // with the terminal user, not simulator diagnostics.
       std::fputs(usage().c_str(), stdout);
       return false;
     }
@@ -38,6 +40,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     const auto it = flags_.find(name);
     if (it == flags_.end()) {
+      // simlint-allow(printf-output): flag errors must reach the terminal
+      // user even when logging is disabled.
       std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
                    usage().c_str());
       return false;
@@ -58,11 +62,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
 
 const CliParser::Flag& CliParser::require(const std::string& name) const {
   const auto it = flags_.find(name);
-  if (it == flags_.end()) {
-    std::fprintf(stderr, "CliParser: flag --%s was never declared\n",
-                 name.c_str());
-    std::abort();
-  }
+  WRHT_REQUIRE(it != flags_.end(),
+               "CliParser: flag --" << name << " was never declared");
   return it->second;
 }
 

@@ -1,7 +1,6 @@
 #include "util/csv.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::util {
 namespace {
@@ -22,12 +21,10 @@ void CsvWriter::write_header(const std::vector<std::string>& columns) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
-  if (columns_ != 0 && fields.size() != columns_) {
-    std::fprintf(stderr,
-                 "CsvWriter: row has %zu fields, header declared %zu\n",
-                 fields.size(), columns_);
-    std::abort();
-  }
+  WRHT_REQUIRE(columns_ == 0 || fields.size() == columns_,
+               "CsvWriter: row has " << fields.size()
+                                     << " fields, header declared "
+                                     << columns_);
   write_fields(*out_, fields);
   ++rows_;
 }

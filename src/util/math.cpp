@@ -1,34 +1,26 @@
 #include "util/math.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace wrht::util {
-namespace {
-
-[[noreturn]] void die(const char* what) {
-  std::fprintf(stderr, "wrht::util::math precondition violated: %s\n", what);
-  std::abort();
-}
-
-}  // namespace
 
 std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
-  if (b == 0) die("ceil_div divisor must be positive");
+  WRHT_REQUIRE(b != 0, "ceil_div divisor must be positive");
   if (a == 0) return 0;
   return (a - 1) / b + 1;
 }
 
 unsigned floor_log2(std::uint64_t x) {
-  if (x == 0) die("floor_log2 argument must be >= 1");
+  WRHT_REQUIRE(x != 0, "floor_log2 argument must be >= 1");
   unsigned r = 0;
   while (x >>= 1) ++r;
   return r;
 }
 
 unsigned ceil_log2(std::uint64_t x) {
-  if (x == 0) die("ceil_log2 argument must be >= 1");
+  WRHT_REQUIRE(x != 0, "ceil_log2 argument must be >= 1");
   const unsigned f = floor_log2(x);
   return (x == (std::uint64_t{1} << f)) ? f : f + 1;
 }
@@ -38,18 +30,17 @@ bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 std::uint64_t ipow(std::uint64_t base, unsigned exp) {
   std::uint64_t result = 1;
   for (unsigned i = 0; i < exp; ++i) {
-    if (base != 0 &&
-        result > std::numeric_limits<std::uint64_t>::max() / base) {
-      die("ipow overflow");
-    }
+    WRHT_REQUIRE(base == 0 ||
+                     result <= std::numeric_limits<std::uint64_t>::max() / base,
+                 "ipow overflow: " << base << "^" << exp);
     result *= base;
   }
   return result;
 }
 
 unsigned ceil_log(std::uint64_t base, std::uint64_t x) {
-  if (base < 2) die("ceil_log base must be >= 2");
-  if (x == 0) die("ceil_log argument must be >= 1");
+  WRHT_REQUIRE(base >= 2, "ceil_log base must be >= 2, got " << base);
+  WRHT_REQUIRE(x != 0, "ceil_log argument must be >= 1");
   unsigned level = 0;
   std::uint64_t reach = 1;  // base^level
   while (reach < x) {
@@ -76,9 +67,17 @@ std::uint64_t isqrt(std::uint64_t x) {
 }
 
 std::int64_t pos_mod(std::int64_t a, std::int64_t m) {
-  if (m <= 0) die("pos_mod modulus must be positive");
+  WRHT_REQUIRE(m > 0, "pos_mod modulus must be positive, got " << m);
   const std::int64_t r = a % m;
   return r < 0 ? r + m : r;
 }
+
+bool approx_eq(double a, double b, double eps) {
+  WRHT_REQUIRE(eps >= 0.0, "approx_eq epsilon must be >= 0, got " << eps);
+  const double diff = a - b;
+  return (diff < 0.0 ? -diff : diff) <= eps;
+}
+
+bool approx_zero(double x, double eps) { return approx_eq(x, 0.0, eps); }
 
 }  // namespace wrht::util

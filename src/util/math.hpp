@@ -35,4 +35,14 @@ namespace wrht::util {
 /// Positive modulo: result in [0, m) even for negative a. m > 0.
 [[nodiscard]] std::int64_t pos_mod(std::int64_t a, std::int64_t m);
 
+/// |a - b| <= eps.  The approved spelling for floating-point equality:
+/// simlint's `float-eq` rule bans raw ==/!= against floating literals, so a
+/// comparison is either epsilon-based through these helpers or carries a
+/// waiver arguing why the exact bit pattern is meaningful (e.g. a value
+/// assigned verbatim and never recomputed).  eps must be >= 0.
+[[nodiscard]] bool approx_eq(double a, double b, double eps);
+
+/// |x| <= eps, i.e. approx_eq(x, 0.0, eps).
+[[nodiscard]] bool approx_zero(double x, double eps);
+
 }  // namespace wrht::util

@@ -1,8 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::util {
 
@@ -12,18 +11,15 @@ Table::Table(std::vector<std::string> header, std::vector<Align> alignment)
     alignment_.assign(header_.size(), Align::kRight);
     if (!alignment_.empty()) alignment_[0] = Align::kLeft;
   }
-  if (alignment_.size() != header_.size()) {
-    std::fprintf(stderr, "Table: alignment/header size mismatch\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(alignment_.size() == header_.size(),
+               "Table: " << alignment_.size() << " alignments for "
+                         << header_.size() << " header fields");
 }
 
 void Table::add_row(std::vector<std::string> fields) {
-  if (fields.size() != header_.size()) {
-    std::fprintf(stderr, "Table: row has %zu fields, header has %zu\n",
-                 fields.size(), header_.size());
-    std::abort();
-  }
+  WRHT_REQUIRE(fields.size() == header_.size(),
+               "Table: row has " << fields.size() << " fields, header has "
+                                 << header_.size());
   rows_.push_back(Row{std::move(fields), pending_separator_});
   pending_separator_ = false;
 }

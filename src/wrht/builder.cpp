@@ -1,10 +1,9 @@
 #include "wrht/builder.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <numeric>
 
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace wrht::core {
@@ -45,14 +44,10 @@ void commit_step(AnnotatedSchedule& annotated, const topo::RingTopology& ring,
                  StepAssembly step, std::uint32_t max_wavelengths,
                  optical::FitPolicy policy) {
   const std::size_t arcs = step.arcs.size();
-  if (!try_commit_step(annotated, ring, std::move(step), max_wavelengths,
-                       policy)) {
-    std::fprintf(stderr,
-                 "build_wrht: internal error — feasible step failed "
-                 "wavelength assignment (%zu arcs, %u wavelengths)\n",
-                 arcs, max_wavelengths);
-    std::abort();
-  }
+  WRHT_CHECK(try_commit_step(annotated, ring, std::move(step), max_wavelengths,
+                             policy),
+             "build_wrht: feasible step failed wavelength assignment ("
+                 << arcs << " arcs, " << max_wavelengths << " wavelengths)");
 }
 
 // The mirrored broadcast step of one tree level: the representative copies
@@ -125,10 +120,10 @@ std::uint32_t predicted_steps(std::uint32_t num_nodes,
                               std::uint32_t group_size,
                               std::uint32_t num_wavelengths,
                               bool allow_merge) {
-  if (num_nodes < 2 || group_size < 2) {
-    std::fprintf(stderr, "predicted_steps: need N >= 2, m >= 2\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(num_nodes >= 2 && group_size >= 2,
+               "predicted_steps: need N >= 2, m >= 2; got N=" << num_nodes
+                                                              << " m="
+                                                              << group_size);
   const topo::RingTopology ring(num_nodes);
   std::vector<topo::NodeId> active(num_nodes);
   std::iota(active.begin(), active.end(), 0);
@@ -153,37 +148,28 @@ std::uint32_t predicted_steps(std::uint32_t num_nodes,
 
 WrhtBuild build_wrht_among(const std::vector<topo::NodeId>& participants,
                            std::uint32_t ring_size, const WrhtParams& params) {
-  if (participants.size() < 2) {
-    std::fprintf(stderr, "build_wrht: need at least 2 participants\n");
-    std::abort();
-  }
-  if (!std::is_sorted(participants.begin(), participants.end()) ||
-      std::adjacent_find(participants.begin(), participants.end()) !=
-          participants.end() ||
-      participants.back() >= ring_size) {
-    std::fprintf(stderr,
-                 "build_wrht: participants must be ascending, unique ring "
-                 "positions\n");
-    std::abort();
-  }
-  if (params.num_wavelengths == 0) {
-    std::fprintf(stderr, "build_wrht: need at least 1 wavelength\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(participants.size() >= 2,
+               "build_wrht: need at least 2 participants, got "
+                   << participants.size());
+  WRHT_REQUIRE(std::is_sorted(participants.begin(), participants.end()) &&
+                   std::adjacent_find(participants.begin(),
+                                      participants.end()) ==
+                       participants.end() &&
+               participants.back() < ring_size,
+               "build_wrht: participants must be ascending, unique ring "
+               "positions below ring size "
+                   << ring_size);
+  WRHT_REQUIRE(params.num_wavelengths > 0,
+               "build_wrht: need at least 1 wavelength");
   const std::uint32_t m = params.forced_group_size.value_or(
       default_group_size(static_cast<std::uint32_t>(participants.size()),
                          params.num_wavelengths));
-  if (m < 2) {
-    std::fprintf(stderr, "build_wrht: group size must be >= 2\n");
-    std::abort();
-  }
-  if (m / 2 > params.num_wavelengths) {
-    std::fprintf(stderr,
-                 "build_wrht: group size %u needs floor(m/2)=%u wavelengths "
-                 "but only %u available\n",
-                 m, m / 2, params.num_wavelengths);
-    std::abort();
-  }
+  WRHT_REQUIRE(m >= 2, "build_wrht: group size must be >= 2, got " << m);
+  WRHT_REQUIRE(m / 2 <= params.num_wavelengths,
+               "build_wrht: group size " << m << " needs floor(m/2)=" << m / 2
+                                         << " wavelengths but only "
+                                         << params.num_wavelengths
+                                         << " available");
 
   const topo::RingTopology ring(ring_size);
   WrhtBuild build;
@@ -254,17 +240,12 @@ std::optional<WrhtBuild> rebuild_wrht_remainder(
     const std::vector<topo::NodeId>& participants, std::uint32_t ring_size,
     const WrhtParams& params) {
   const std::size_t total_steps = build.annotated.schedule.num_steps();
-  if (steps_done >= total_steps) {
-    std::fprintf(stderr,
-                 "rebuild_wrht_remainder: %zu of %zu steps done — nothing "
-                 "left to rebuild\n",
-                 steps_done, total_steps);
-    std::abort();
-  }
-  if (params.num_wavelengths == 0) {
-    std::fprintf(stderr, "rebuild_wrht_remainder: need >= 1 wavelength\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(steps_done < total_steps,
+               "rebuild_wrht_remainder: " << steps_done << " of " << total_steps
+                                          << " steps done — nothing left to "
+                                             "rebuild");
+  WRHT_REQUIRE(params.num_wavelengths > 0,
+               "rebuild_wrht_remainder: need >= 1 wavelength");
 
   const std::size_t num_reduce = build.reduce_levels.size();
   const std::size_t reduce_steps = build.reduce_step_count();
@@ -327,10 +308,8 @@ std::optional<WrhtBuild> rebuild_wrht_remainder(
 }
 
 WrhtBuild build_wrht(std::uint32_t num_nodes, const WrhtParams& params) {
-  if (num_nodes < 2) {
-    std::fprintf(stderr, "build_wrht: need at least 2 nodes\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(num_nodes >= 2,
+               "build_wrht: need at least 2 nodes, got " << num_nodes);
   std::vector<topo::NodeId> everyone(num_nodes);
   std::iota(everyone.begin(), everyone.end(), 0);
   return build_wrht_among(everyone, num_nodes, params);

@@ -1,7 +1,6 @@
 #include "wrht/executor.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::core {
 
@@ -15,11 +14,8 @@ std::vector<optical::TimedTransfer> timed_step(
     const AnnotatedSchedule& annotated, std::size_t step, util::Bytes payload,
     optical::WavelengthId lambda_offset) {
   const coll::Step& s = annotated.schedule.steps()[step];
-  if (annotated.paths[step].size() != s.transfers.size()) {
-    std::fprintf(stderr, "timed_step: annotation out of sync at step %zu\n",
-                 step);
-    std::abort();
-  }
+  WRHT_CHECK(annotated.paths[step].size() == s.transfers.size(),
+             "timed_step: annotation out of sync at step " << step);
   std::vector<optical::TimedTransfer> out;
   out.reserve(s.transfers.size());
   for (std::size_t i = 0; i < s.transfers.size(); ++i) {
@@ -37,20 +33,16 @@ std::vector<optical::TimedTransfer> timed_step(
 optical::RunResult run_on_optical(const AnnotatedSchedule& annotated,
                                   optical::OpticalRingNetwork& network,
                                   util::Bytes payload) {
-  if (network.ring().num_nodes() != annotated.schedule.num_nodes()) {
-    std::fprintf(stderr, "run_on_optical: node count mismatch (%u vs %u)\n",
-                 network.ring().num_nodes(), annotated.schedule.num_nodes());
-    std::abort();
-  }
-  if (network.params().wdm.num_wavelengths <
-      annotated.wavelengths_required) {
-    std::fprintf(stderr,
-                 "run_on_optical: schedule needs %u wavelengths, network has "
-                 "%u\n",
-                 annotated.wavelengths_required,
-                 network.params().wdm.num_wavelengths);
-    std::abort();
-  }
+  WRHT_REQUIRE(network.ring().num_nodes() == annotated.schedule.num_nodes(),
+               "run_on_optical: node count mismatch ("
+                   << network.ring().num_nodes() << " vs "
+                   << annotated.schedule.num_nodes() << ")");
+  WRHT_REQUIRE(network.params().wdm.num_wavelengths >=
+                   annotated.wavelengths_required,
+               "run_on_optical: schedule needs "
+                   << annotated.wavelengths_required
+                   << " wavelengths, network has "
+                   << network.params().wdm.num_wavelengths);
   std::vector<std::vector<optical::TimedTransfer>> steps;
   steps.reserve(annotated.schedule.num_steps());
   for (std::size_t s = 0; s < annotated.schedule.num_steps(); ++s) {

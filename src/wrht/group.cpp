@@ -1,21 +1,17 @@
 #include "wrht/group.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::core {
 
 std::vector<Group> partition_into_groups(
     const std::vector<topo::NodeId>& active, std::uint32_t group_size) {
-  if (group_size < 2) {
-    std::fprintf(stderr, "partition_into_groups: group_size must be >= 2\n");
-    std::abort();
-  }
-  if (!std::is_sorted(active.begin(), active.end())) {
-    std::fprintf(stderr, "partition_into_groups: active nodes not ascending\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(group_size >= 2,
+               "partition_into_groups: group_size must be >= 2, got "
+                   << group_size);
+  WRHT_REQUIRE(std::is_sorted(active.begin(), active.end()),
+               "partition_into_groups: active nodes not ascending");
 
   std::vector<Group> groups;
   for (std::size_t begin = 0; begin < active.size(); begin += group_size) {

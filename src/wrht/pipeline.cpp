@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 #include <numeric>
 
 #include "util/math.hpp"
@@ -118,11 +117,11 @@ std::optional<WrhtPipelineBuild> try_build(std::uint32_t num_nodes,
 
 WrhtPipelineBuild build_wrht_pipelined(std::uint32_t num_nodes,
                                        const WrhtPipelineParams& params) {
-  if (num_nodes < 2 || params.num_segments == 0 ||
-      params.num_wavelengths == 0) {
-    std::fprintf(stderr, "build_wrht_pipelined: invalid parameters\n");
-    std::abort();
-  }
+  WRHT_REQUIRE(num_nodes >= 2 && params.num_segments > 0 &&
+                   params.num_wavelengths > 0,
+               "build_wrht_pipelined: invalid parameters (N="
+                   << num_nodes << ", segments=" << params.num_segments
+                   << ", wavelengths=" << params.num_wavelengths << ")");
   const std::uint32_t initial_m = params.initial_group_size.value_or(
       std::max(2u, std::min(num_nodes, 2 * params.num_wavelengths + 1)));
 
@@ -141,13 +140,12 @@ WrhtPipelineBuild build_wrht_pipelined(std::uint32_t num_nodes,
       if (m <= 2) break;
       m = std::max(2u, m / 2);
     }
-    if (attempt.num_segments == 1) {
-      std::fprintf(stderr,
-                   "build_wrht_pipelined: N=%u does not fit in %u "
-                   "wavelengths even unpipelined at m=2\n",
-                   num_nodes, params.num_wavelengths);
-      std::abort();
-    }
+    WRHT_REQUIRE(attempt.num_segments != 1,
+                 "build_wrht_pipelined: N=" << num_nodes
+                                            << " does not fit in "
+                                            << params.num_wavelengths
+                                            << " wavelengths even unpipelined "
+                                               "at m=2");
     attempt.num_segments = std::max(1u, attempt.num_segments / 2);
   }
 }

@@ -1,8 +1,7 @@
 #include "wrht/primitives.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+#include "util/check.hpp"
 
 namespace wrht::core {
 namespace {
@@ -37,12 +36,9 @@ WrhtReduceBuild build_wrht_reduce(std::uint32_t num_nodes,
   WrhtParams no_merge = params;
   no_merge.allow_all_to_all_merge = false;
   WrhtBuild full = build_wrht(num_nodes, no_merge);
-  if (full.reduce_levels.empty() ||
-      full.reduce_levels.back().groups.size() != 1) {
-    std::fprintf(stderr,
-                 "build_wrht_reduce: tree did not converge to one root\n");
-    std::abort();
-  }
+  WRHT_CHECK(!full.reduce_levels.empty() &&
+                 full.reduce_levels.back().groups.size() == 1,
+             "build_wrht_reduce: tree did not converge to one root");
   WrhtReduceBuild build{take_reduce_stage(full, "wrht_reduce"),
                         full.reduce_levels.back().groups[0].rep(),
                         full.group_size_m,

@@ -1,0 +1,8 @@
+// Fixture: the ambient-rng rule must fire exactly once, on the marked line.
+// Not compiled into the build; linted by test_tools_simlint.
+#include <random>
+
+unsigned roll() {
+  std::mt19937 gen(12345);  // FINDING: ambient-rng
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,10 @@
+// Fixture: the assert-abort rule must fire exactly once (logical path is
+// under src/).  static_assert is compile-time and must not match.
+// Not compiled into the build.
+#include <cassert>
+
+static_assert(sizeof(int) >= 4, "compile-time checks are fine");
+
+void check_positive(int x) {
+  assert(x > 0);  // FINDING: assert-abort
+}

@@ -1,0 +1,21 @@
+// Fixture: zero findings.  Every line below is a deliberate near-miss for
+// some rule: rule tokens inside comments and strings are scrubbed,
+// timeout(/my_clock( survive on token boundaries, static_assert is not
+// assert, snprintf is not output, and 1e-9 without ==/!= is not a
+// float-equality.  Not compiled into the build.
+#include <cstdio>
+#include <string>
+
+// a comment mentioning std::rand(), steady_clock and x == 1.0 is harmless
+int timeout(int ms) { return ms; }
+int my_clock(int ticks) { return ticks; }
+static_assert(true, "compile-time checks are fine");
+const char* kMessage = "strings saying rand() or 3.0 == noon are scrubbed";
+
+bool near_zero(double x) { return x < 1e-9 && x > -1e-9; }
+
+std::string format_rate(double rate) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", rate);
+  return buffer;
+}

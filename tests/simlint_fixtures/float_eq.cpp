@@ -1,0 +1,11 @@
+// Fixture: the float-eq rule must fire exactly once, on the marked line.
+// The epsilon comparison below it must not match: only ==/!= against a
+// floating literal is banned.  Not compiled into the build.
+bool is_unit(double x) {
+  return x == 1.0;  // FINDING: float-eq
+}
+
+bool nearly_unit(double x) {
+  const double diff = x - 1.0;
+  return diff < 1e-9 && diff > -1e-9;
+}

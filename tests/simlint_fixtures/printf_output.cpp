@@ -1,0 +1,10 @@
+// Fixture: the printf-output rule must fire exactly once (logical path is
+// under src/).  snprintf only formats into a buffer — it emits nothing — so
+// it must not match.  Not compiled into the build.
+#include <cstdio>
+
+void report(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%f", v);
+  std::printf("%s\n", buffer);  // FINDING: printf-output
+}

@@ -1,0 +1,12 @@
+// Fixture: the unordered-iter rule must fire exactly once.  This TU
+// (logically under src/) includes sim/trace.hpp, so it is in the ordered
+// output closure; the include line itself is preprocessor and exempt, the
+// use below is the finding.  Not compiled into the build.
+#include <unordered_map>
+
+#include "sim/trace.hpp"
+
+int lookup(int key) {
+  std::unordered_map<int, int> cache;  // FINDING: unordered-iter
+  return cache.count(key) ? cache[key] : -1;
+}

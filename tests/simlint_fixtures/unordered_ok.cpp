@@ -1,0 +1,10 @@
+// Fixture: zero findings.  Uses an unordered container but never includes a
+// trace/report header, so the unordered-iter rule must stay quiet — the rule
+// targets TUs whose iteration order can leak into deterministic output, not
+// unordered containers in general.  Not compiled into the build.
+#include <unordered_map>
+
+int lookup(int key) {
+  std::unordered_map<int, int> cache;
+  return cache.count(key) ? cache[key] : -1;
+}

@@ -1,0 +1,21 @@
+// Fixture: waiver mechanics.  Expected findings, in order:
+//   - one printf-output, waived by the well-formed comment above it
+//   - one bad-waiver for the reason-less waiver
+//   - one bad-waiver for the waiver naming an unknown rule
+//   - one stale-waiver for the waiver that suppresses nothing
+// Not compiled into the build.
+#include <cstdio>
+
+void emit() {
+  // simlint-allow(printf-output): fixture exercising a valid waiver
+  std::printf("waived\n");
+}
+
+// simlint-allow(printf-output)
+void missing_reason() {}
+
+// simlint-allow(no-such-rule): the rule name is not one simlint knows
+void unknown_rule() {}
+
+// simlint-allow(wallclock): nothing below uses a clock, so this is stale
+void stale() {}

@@ -1,0 +1,8 @@
+// Fixture: the wallclock rule must fire exactly once, on the marked line.
+// Not compiled into the build; linted by test_tools_simlint.
+#include <chrono>
+
+double elapsed_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // FINDING: wallclock
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range<std::size_t>(0, 6),
                        ::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 12u, 16u, 17u,
                                          31u, 32u, 33u, 64u)),
-    [](const ::testing::TestParamInfo<AllAlgorithms::ParamType>& info) {
-      return std::string(kAlgos[std::get<0>(info.param)].name) + "_n" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<AllAlgorithms::ParamType>& param_info) {
+      return std::string(kAlgos[std::get<0>(param_info.param)].name) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(RingAllReduce, StepAndChunkCounts) {
@@ -189,9 +189,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, HierarchicalSweep,
     ::testing::Combine(::testing::Values(2u, 4u, 7u, 8u, 15u, 16u, 32u, 48u),
                        ::testing::Values(1u, 2u, 4u, 7u, 8u, 64u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_g" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_g" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(Hierarchical, StepStructure) {

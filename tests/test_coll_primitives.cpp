@@ -65,9 +65,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 12u, 16u,
                                          17u, 30u, 32u, 33u),
                        ::testing::Values(0u, 1u, 5u, 31u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_root" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_root" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 class RootlessPrimitives : public ::testing::TestWithParam<std::uint32_t> {

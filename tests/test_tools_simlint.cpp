@@ -1,0 +1,195 @@
+// Tests for tools/simlint: every rule fires exactly once on its fixture,
+// near-misses stay quiet, path scoping and exemptions hold, and the waiver
+// machinery (valid / malformed / unknown / stale) behaves as documented.
+//
+// Fixtures live in tests/simlint_fixtures/ and are linted from disk under a
+// chosen *logical* path, so src/-scoped rules can be exercised without the
+// fixtures living in src/.  WRHT_REPO_ROOT / WRHT_SIMLINT_FIXTURE_DIR are
+// injected by the build so the test is location-independent.
+#include "simlint/simlint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using wrht::simlint::Finding;
+using wrht::simlint::Linter;
+
+std::string fixture(const std::string& name) {
+  return std::string(WRHT_SIMLINT_FIXTURE_DIR) + "/" + name;
+}
+
+Linter make_linter() { return Linter(WRHT_REPO_ROOT); }
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& logical_path) {
+  Linter linter = make_linter();
+  return linter.lint_file(fixture(name), logical_path);
+}
+
+TEST(SimlintRules, EveryRuleHasANameAndSummary) {
+  const auto& rules = Linter::rules();
+  ASSERT_GE(rules.size(), 6u);
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.name.empty());
+    EXPECT_FALSE(rule.summary.empty());
+  }
+  auto has = [&](const std::string& name) {
+    for (const auto& rule : rules) {
+      if (rule.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("wallclock"));
+  EXPECT_TRUE(has("ambient-rng"));
+  EXPECT_TRUE(has("unordered-iter"));
+  EXPECT_TRUE(has("float-eq"));
+  EXPECT_TRUE(has("assert-abort"));
+  EXPECT_TRUE(has("printf-output"));
+  EXPECT_TRUE(has("bad-waiver"));
+  EXPECT_TRUE(has("stale-waiver"));
+}
+
+// -- one fixture per rule, firing exactly once ------------------------------
+
+TEST(SimlintFixtures, WallclockFiresOnce) {
+  const auto findings = lint_fixture("wallclock.cpp", "examples/fixture.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wallclock");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_FALSE(findings[0].waived);
+}
+
+TEST(SimlintFixtures, AmbientRngFiresOnce) {
+  const auto findings = lint_fixture("ambient_rng.cpp", "bench/fixture.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ambient-rng");
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(SimlintFixtures, UnorderedIterFiresOnceInOrderedOutputTu) {
+  const auto findings =
+      lint_fixture("unordered_iter.cpp", "src/fixture/unordered_iter.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 10);
+}
+
+TEST(SimlintFixtures, UnorderedContainerOutsideOrderedOutputTuIsFine) {
+  const auto findings =
+      lint_fixture("unordered_ok.cpp", "src/fixture/unordered_ok.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SimlintFixtures, FloatEqFiresOnce) {
+  const auto findings =
+      lint_fixture("float_eq.cpp", "src/fixture/float_eq.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "float-eq");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(SimlintFixtures, AssertAbortFiresOnceUnderSrc) {
+  const auto findings =
+      lint_fixture("assert_abort.cpp", "src/fixture/assert_abort.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "assert-abort");
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(SimlintFixtures, PrintfOutputFiresOnceUnderSrc) {
+  const auto findings =
+      lint_fixture("printf_output.cpp", "src/fixture/printf_output.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "printf-output");
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(SimlintFixtures, CleanFixtureHasNoFindings) {
+  const auto findings = lint_fixture("clean.cpp", "src/fixture/clean.cpp");
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected findings, "
+                                << "first: "
+                                << (findings.empty() ? std::string()
+                                                     : findings[0].rule);
+}
+
+// -- path scoping and exemptions --------------------------------------------
+
+TEST(SimlintScoping, SrcOnlyRulesIgnoreBenchAndExamples) {
+  EXPECT_TRUE(lint_fixture("assert_abort.cpp", "bench/fixture.cpp").empty());
+  EXPECT_TRUE(
+      lint_fixture("printf_output.cpp", "examples/fixture.cpp").empty());
+}
+
+TEST(SimlintScoping, HarnessAndLoggingMayPrint) {
+  EXPECT_TRUE(
+      lint_fixture("printf_output.cpp", "src/harness/fixture.cpp").empty());
+  EXPECT_TRUE(
+      lint_fixture("printf_output.cpp", "src/util/logging_extra.cpp").empty());
+}
+
+TEST(SimlintScoping, RandomHeaderMaySpellEngines) {
+  Linter linter = make_linter();
+  const auto findings = linter.lint_text(
+      "inline unsigned f() { std::mt19937 g(1); return g(); }\n",
+      "src/util/random.hpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SimlintScoping, MathTuMayCompareFloatsExactly) {
+  Linter linter = make_linter();
+  const auto findings = linter.lint_text(
+      "bool approx(double a) { return a == 0.0; }\n", "src/util/math.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+// -- waivers ----------------------------------------------------------------
+
+TEST(SimlintWaivers, ValidMalformedUnknownAndStale) {
+  const auto findings = lint_fixture("waiver.cpp", "src/fixture/waiver.cpp");
+  ASSERT_EQ(findings.size(), 4u);
+
+  EXPECT_EQ(findings[0].rule, "printf-output");
+  EXPECT_EQ(findings[0].line, 11);
+  EXPECT_TRUE(findings[0].waived);
+  EXPECT_EQ(findings[0].waiver_reason,
+            "fixture exercising a valid waiver");
+
+  EXPECT_EQ(findings[1].rule, "bad-waiver");
+  EXPECT_EQ(findings[1].line, 14);
+  EXPECT_FALSE(findings[1].waived);
+
+  EXPECT_EQ(findings[2].rule, "bad-waiver");
+  EXPECT_EQ(findings[2].line, 17);
+
+  EXPECT_EQ(findings[3].rule, "stale-waiver");
+  EXPECT_EQ(findings[3].line, 20);
+}
+
+TEST(SimlintWaivers, TrailingWaiverCoversItsOwnLine) {
+  Linter linter = make_linter();
+  const auto findings = linter.lint_text(
+      "void f() {\n"
+      "  std::printf(\"x\");  // simlint-allow(printf-output): trailing\n"
+      "}\n",
+      "src/fixture/trailing.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].waived);
+  EXPECT_EQ(findings[0].waiver_reason, "trailing");
+}
+
+// -- errors -----------------------------------------------------------------
+
+TEST(SimlintErrors, MissingFileIsAnIoErrorFinding) {
+  Linter linter = make_linter();
+  const auto findings =
+      linter.lint_file(fixture("does_not_exist.cpp"), "src/missing.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+  EXPECT_FALSE(findings[0].waived);
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+// WRHT_CHECK / WRHT_REQUIRE must fire in every build type.  This TU is
+// compiled with NDEBUG forced on (tests/CMakeLists.txt), so these death
+// tests passing is proof the invariants survive Release builds — the exact
+// configuration where a plain assert() would have been compiled out.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#ifndef NDEBUG
+#error "test_util_check must be compiled with NDEBUG (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+TEST(CheckDeathTest, CheckFiresWithNdebugDefined) {
+  EXPECT_DEATH(WRHT_CHECK(1 + 1 == 3, "arithmetic broke"),
+               "WRHT_CHECK failed at .*test_util_check\\.cpp:[0-9]+");
+}
+
+TEST(CheckDeathTest, RequireFiresWithNdebugDefined) {
+  EXPECT_DEATH(WRHT_REQUIRE(false, "unconditional"),
+               "WRHT_REQUIRE failed at .*test_util_check\\.cpp:[0-9]+");
+}
+
+TEST(CheckDeathTest, MessageStreamsValuesIntoTheReport) {
+  const int got = 42;
+  EXPECT_DEATH(WRHT_CHECK(got < 0, "expected negative, got " << got),
+               "expected negative, got 42");
+}
+
+TEST(CheckDeathTest, ConditionTextAppearsInTheReport) {
+  EXPECT_DEATH(WRHT_REQUIRE(2 < 1, "ordering"), "\\(2 < 1\\)");
+}
+
+TEST(CheckTest, PassingChecksAreSilentAndSideEffectFree) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  WRHT_CHECK(count(), "never printed");
+  WRHT_REQUIRE(count(), "never printed");
+  EXPECT_EQ(evaluations, 2);
+}
+
+}  // namespace

@@ -108,6 +108,23 @@ TEST(PosMod, NegativeOperands) {
   EXPECT_EQ(pos_mod(-12, 5), 3);
 }
 
+TEST(ApproxEq, WithinAndOutsideEpsilon) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0, 0.0));
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_TRUE(approx_eq(1.0 + 1e-12, 1.0, 1e-9));
+  EXPECT_FALSE(approx_eq(1.0, 1.1, 1e-9));
+  EXPECT_FALSE(approx_eq(-1.0, 1.0, 1.0));
+  EXPECT_TRUE(approx_eq(-1.0, 1.0, 2.0));
+}
+
+TEST(ApproxZero, SymmetricAroundZero) {
+  EXPECT_TRUE(approx_zero(0.0, 0.0));
+  EXPECT_TRUE(approx_zero(1e-12, 1e-9));
+  EXPECT_TRUE(approx_zero(-1e-12, 1e-9));
+  EXPECT_FALSE(approx_zero(1e-6, 1e-9));
+  EXPECT_FALSE(approx_zero(-1e-6, 1e-9));
+}
+
 class CeilLogSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CeilLogSweep, ConsistentWithPow) {
@@ -115,7 +132,9 @@ TEST_P(CeilLogSweep, ConsistentWithPow) {
   for (std::uint64_t base = 2; base <= 20; ++base) {
     const unsigned level = ceil_log(base, x);
     EXPECT_GE(ipow(base, level), x);
-    if (level > 0) EXPECT_LT(ipow(base, level - 1), x);
+    if (level > 0) {
+      EXPECT_LT(ipow(base, level - 1), x);
+    }
   }
 }
 

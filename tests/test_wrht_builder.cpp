@@ -84,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          32u, 50u, 64u, 100u, 128u, 200u,
                                          256u),
                        ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_w" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(WrhtBuilder, PaperScalePoints) {

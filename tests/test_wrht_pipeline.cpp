@@ -84,10 +84,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(4u, 9u, 16u, 33u, 64u),
                        ::testing::Values(4u, 16u, 64u),
                        ::testing::Values(1u, 2u, 5u, 16u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_w" +
-             std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(Pipeline, SingleSegmentMatchesUnmergedWrht) {

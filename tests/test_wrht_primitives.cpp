@@ -51,9 +51,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, WrhtReduceSweep,
     ::testing::Combine(::testing::Values(2u, 5u, 16u, 33u, 64u, 128u),
                        ::testing::Values(2u, 8u, 64u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_w" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 class WrhtBroadcastSweep
@@ -78,10 +78,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2u, 5u, 16u, 33u, 64u, 128u),
                        ::testing::Values(2u, 8u, 64u),
                        ::testing::Values(0u, 1u, 7u, 100u)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_w" +
-             std::to_string(std::get<1>(info.param)) + "_r" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(std::get<1>(param_info.param)) + "_r" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(WrhtReduce, RootIsTopRepresentative) {

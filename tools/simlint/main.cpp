@@ -1,0 +1,122 @@
+// simlint CLI.  Usage:
+//
+//   simlint [--root=DIR] [--rule=NAME]... [--list-rules] <path>...
+//
+// Paths are files or directories, relative to --root (default: cwd);
+// directories are walked recursively for *.cpp / *.hpp / *.h.  Exit status
+// is 1 when any unwaived finding remains, so the same invocation serves as
+// the CTest entry and the CI gate:
+//
+//   simlint --root=/path/to/repo src bench examples
+#include "simlint/simlint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+std::string logical(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::set<std::string> only_rules;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      only_rules.insert(arg.substr(7));
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : wrht::simlint::Linter::rules()) {
+        std::printf("%-14s %s\n", rule.name.c_str(), rule.summary.c_str());
+      }
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "simlint: unknown option '%s'\n"
+                   "usage: simlint [--root=DIR] [--rule=NAME]... "
+                   "[--list-rules] <path>...\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "simlint: no paths given (try: src bench examples)\n");
+    return 2;
+  }
+
+  const fs::path root_path = fs::absolute(root);
+  std::vector<fs::path> files;
+  for (const std::string& input : inputs) {
+    const fs::path path = root_path / input;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "simlint: no such path '%s'\n",
+                   path.string().c_str());
+      return 2;
+    }
+  }
+  // Directory iteration order is unspecified; sort so output (and any diff
+  // of it in CI artifacts) is deterministic.  simlint practices what it
+  // preaches.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  wrht::simlint::Linter linter(root_path.string());
+  std::size_t unwaived = 0;
+  std::map<std::string, std::size_t> waived_by_rule;
+  for (const fs::path& file : files) {
+    for (const auto& finding :
+         linter.lint_file(file.string(), logical(file, root_path))) {
+      if (!only_rules.empty() && only_rules.count(finding.rule) == 0) continue;
+      if (finding.waived) {
+        ++waived_by_rule[finding.rule];
+        std::printf("%s:%d: [%s] waived: %s\n", finding.file.c_str(),
+                    finding.line, finding.rule.c_str(),
+                    finding.waiver_reason.c_str());
+      } else {
+        ++unwaived;
+        std::printf("%s:%d: [%s] %s\n", finding.file.c_str(), finding.line,
+                    finding.rule.c_str(), finding.message.c_str());
+      }
+    }
+  }
+
+  std::size_t waived = 0;
+  for (const auto& [rule, count] : waived_by_rule) {
+    std::printf("simlint: %zu waiver%s for [%s]\n", count,
+                count == 1 ? "" : "s", rule.c_str());
+    waived += count;
+  }
+  std::printf("simlint: %zu file%s, %zu unwaived finding%s, %zu waived\n",
+              files.size(), files.size() == 1 ? "" : "s", unwaived,
+              unwaived == 1 ? "" : "s", waived);
+  return unwaived == 0 ? 0 : 1;
+}

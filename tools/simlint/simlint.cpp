@@ -1,0 +1,459 @@
+#include "simlint/simlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <utility>
+
+namespace wrht::simlint {
+namespace {
+
+// ------------------------------------------------------------------ scrubbing
+
+struct Comment {
+  int line = 0;        // line the comment starts on (1-based)
+  std::string text;    // comment body, delimiters stripped
+  bool line_has_code;  // was there code before the comment on its own line?
+};
+
+struct Scrubbed {
+  std::vector<std::string> lines;  // string/char/comment contents blanked
+  std::vector<Comment> comments;
+};
+
+bool has_non_space(const std::string& s) {
+  return std::any_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) == 0;
+  });
+}
+
+// One pass over the file: blank out comments and string/char literals
+// (preserving line structure) and collect comment bodies for waiver parsing.
+// Rules then run on text where `"time("` inside a string can no longer
+// confuse them.
+Scrubbed scrub(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  Scrubbed out;
+  State state = State::kCode;
+  std::string cur;      // scrubbed current line
+  std::string comment;  // accumulating comment body
+  std::string raw_delim;
+  int line = 1;
+  int comment_start = 0;
+  bool comment_had_code = false;
+
+  auto flush_comment = [&] {
+    out.comments.push_back(Comment{comment_start, comment, comment_had_code});
+    comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        flush_comment();
+        state = State::kCode;
+      } else if (state == State::kBlockComment) {
+        comment.push_back('\n');
+      }
+      out.lines.push_back(cur);
+      cur.clear();
+      ++line;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_start = line;
+          comment_had_code = has_non_space(cur);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_start = line;
+          comment_had_code = has_non_space(cur);
+          ++i;
+        } else if (c == '"') {
+          const bool raw_prefix =
+              i >= 1 && text[i - 1] == 'R' &&
+              (i < 2 || (std::isalnum(static_cast<unsigned char>(text[i - 2])) ==
+                             0 &&
+                         text[i - 2] != '_'));
+          cur.push_back('"');
+          if (raw_prefix) {
+            state = State::kRaw;
+            raw_delim.clear();
+            while (i + 1 < text.size() && text[i + 1] != '(') {
+              raw_delim.push_back(text[++i]);
+            }
+            ++i;  // consume '('
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur.push_back('\'');
+        } else {
+          cur.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::kCode;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          cur.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            cur.push_back(' ');
+            ++i;
+          }
+        } else if (c == '"') {
+          cur.push_back('"');
+          state = State::kCode;
+        } else {
+          cur.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          cur.push_back(' ');
+          if (next != '\0' && next != '\n') {
+            cur.push_back(' ');
+            ++i;
+          }
+        } else if (c == '\'') {
+          cur.push_back('\'');
+          state = State::kCode;
+        } else {
+          cur.push_back(' ');
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < text.size() &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          i += 1 + raw_delim.size();
+          cur.push_back('"');
+          state = State::kCode;
+        } else {
+          cur.push_back(' ');
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    flush_comment();
+  }
+  out.lines.push_back(cur);
+  return out;
+}
+
+// -------------------------------------------------------------------- waivers
+
+struct Waiver {
+  int comment_line = 0;
+  int target_line = 0;
+  std::string rule;
+  std::string reason;
+  bool used = false;
+};
+
+// --------------------------------------------------------------------- rules
+
+enum class PathScope { kAll, kSrcOnly };
+
+struct TokenRule {
+  const char* name;
+  const char* summary;
+  std::regex re;
+  PathScope scope = PathScope::kAll;
+  std::vector<std::string> exempt_prefixes;
+  bool needs_ordered_output = false;
+};
+
+// A floating literal for the float-eq rule: 1.0, .5f, 2., 1e-6, 3.5e+2L.
+constexpr const char* kFloatLit =
+    "(([0-9]+\\.[0-9]*|\\.[0-9]+)([eE][+-]?[0-9]+)?|[0-9]+[eE][+-]?[0-9]+)"
+    "[fFlL]?";
+
+const std::vector<TokenRule>& token_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back(TokenRule{
+        "wallclock",
+        "no wall-clock time sources; simulation code advances the sim clock",
+        std::regex("\\b(system_clock|steady_clock|high_resolution_clock)\\b"
+                   "|\\b(gettimeofday|clock_gettime)\\b"
+                   "|(^|[^_A-Za-z0-9:.>])(time|clock)\\s*\\("),
+        PathScope::kAll,
+        {},
+        false});
+    r.push_back(TokenRule{
+        "ambient-rng",
+        "no ambient randomness; use util::Rng with an explicit seed",
+        std::regex("std::rand\\b|\\bsrand\\s*\\(|\\brandom_device\\b"
+                   "|\\bmt19937|\\bdefault_random_engine\\b|\\bminstd_rand"
+                   "|(^|[^_A-Za-z0-9:.>])rand\\s*\\("),
+        PathScope::kAll,
+        {"src/util/random.hpp"},
+        false});
+    r.push_back(TokenRule{
+        "unordered-iter",
+        "no unordered containers in TUs that emit trace events or report "
+        "rows (iteration order would leak into deterministic output)",
+        std::regex("\\bunordered_(map|multimap|set|multiset)\\b"),
+        PathScope::kAll,
+        {},
+        true});
+    r.push_back(TokenRule{
+        "float-eq",
+        "no floating-point ==/!= against literals; use util::approx_eq / "
+        "util::approx_zero or waive the exact sentinel comparison",
+        std::regex(std::string("(==|!=)\\s*[-+]?") + kFloatLit + "|" +
+                   kFloatLit + "\\s*(==|!=)"),
+        PathScope::kAll,
+        {"src/util/math.hpp", "src/util/math.cpp"},
+        false});
+    r.push_back(TokenRule{
+        "assert-abort",
+        "no raw assert()/abort() in src/ (compiled out under NDEBUG or "
+        "message-free); use WRHT_CHECK / WRHT_REQUIRE",
+        std::regex("(^|[^_A-Za-z0-9])assert\\s*\\(|std::abort\\b"
+                   "|(^|[^_A-Za-z0-9:.>])abort\\s*\\("),
+        PathScope::kSrcOnly,
+        {},
+        false});
+    r.push_back(TokenRule{
+        "printf-output",
+        "no printf-family output in src/ outside harness/ and util/logging",
+        std::regex("\\b(printf|fprintf|vprintf|vfprintf|puts|fputs|putchar"
+                   "|fwrite)\\s*\\("),
+        PathScope::kSrcOnly,
+        {"src/harness/", "src/util/logging"},
+        false});
+    return r;
+  }();
+  return rules;
+}
+
+bool rule_applies(const TokenRule& rule, const std::string& path) {
+  if (rule.scope == PathScope::kSrcOnly && path.rfind("src/", 0) != 0) {
+    return false;
+  }
+  for (const std::string& prefix : rule.exempt_prefixes) {
+    if (path.rfind(prefix, 0) == 0) return false;
+  }
+  return true;
+}
+
+bool known_rule(const std::string& name) {
+  for (const TokenRule& rule : token_rules()) {
+    if (name == rule.name) return true;
+  }
+  return false;
+}
+
+// Headers whose inclusion marks a TU as "emits ordered output": trace events
+// and report/bench rows are diffed byte-for-byte across runs, so any
+// iteration order feeding them must be deterministic.
+const std::vector<std::string>& ordered_output_headers() {
+  static const std::vector<std::string> headers = {
+      "sim/trace.hpp", "harness/report.hpp", "harness/bench_json.hpp"};
+  return headers;
+}
+
+std::vector<std::string> parse_includes(const std::string& text) {
+  static const std::regex include_re("^\\s*#\\s*include\\s*\"([^\"]+)\"");
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, include_re)) out.push_back(m[1]);
+  }
+  return out;
+}
+
+std::string first_non_space_prefix(const std::string& line) {
+  const std::size_t pos = line.find_first_not_of(" \t");
+  return pos == std::string::npos ? std::string() : line.substr(pos);
+}
+
+}  // namespace
+
+Linter::Linter(std::string root) : root_(std::move(root)) {
+  if (!root_.empty() && root_.back() != '/') root_.push_back('/');
+}
+
+const std::vector<RuleInfo>& Linter::rules() {
+  static const std::vector<RuleInfo> infos = [] {
+    std::vector<RuleInfo> out;
+    for (const TokenRule& rule : token_rules()) {
+      out.push_back(RuleInfo{rule.name, rule.summary});
+    }
+    out.push_back(RuleInfo{"bad-waiver",
+                           "simlint-allow waivers must name a known rule and "
+                           "give a non-empty reason"});
+    out.push_back(RuleInfo{"stale-waiver",
+                           "simlint-allow waivers that no longer suppress a "
+                           "finding must be deleted"});
+    out.push_back(RuleInfo{"io-error", "file could not be read"});
+    return out;
+  }();
+  return infos;
+}
+
+bool Linter::header_reaches_ordered_output(const std::string& include) {
+  for (const std::string& target : ordered_output_headers()) {
+    if (include == target) return true;
+  }
+  const auto cached = ordered_cache_.find(include);
+  if (cached != ordered_cache_.end()) return cached->second > 0;
+  ordered_cache_[include] = 0;  // in progress: include cycles resolve to "no"
+  bool reaches = false;
+  std::ifstream in(root_ + "src/" + include);
+  if (in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    for (const std::string& inner : parse_includes(buffer.str())) {
+      if (header_reaches_ordered_output(inner)) {
+        reaches = true;
+        break;
+      }
+    }
+  }
+  ordered_cache_[include] = reaches ? 1 : -1;
+  return reaches;
+}
+
+std::vector<Finding> Linter::lint_text(const std::string& text,
+                                       const std::string& logical_path) {
+  const Scrubbed scrubbed = scrub(text);
+  std::vector<Finding> findings;
+  std::vector<Waiver> waivers;
+
+  // -- waiver collection (and bad-waiver findings) --------------------------
+  static const std::regex allow_re(
+      "simlint-allow\\(([A-Za-z0-9_-]+)\\)\\s*:\\s*(\\S.*)");
+  static const std::regex allow_mention("simlint-allow");
+  for (const Comment& comment : scrubbed.comments) {
+    if (!std::regex_search(comment.text, allow_mention)) continue;
+    std::smatch m;
+    if (!std::regex_search(comment.text, m, allow_re)) {
+      findings.push_back(Finding{logical_path, comment.line, "bad-waiver",
+                                 "malformed waiver; expected "
+                                 "simlint-allow(<rule>): <reason>",
+                                 false,
+                                 {}});
+      continue;
+    }
+    const std::string rule = m[1];
+    if (!known_rule(rule)) {
+      findings.push_back(Finding{logical_path, comment.line, "bad-waiver",
+                                 "waiver names unknown rule '" + rule + "'",
+                                 false,
+                                 {}});
+      continue;
+    }
+    // The waiver covers its own line when it trails code, otherwise the
+    // first following line that carries code (so a waiver comment may sit
+    // above the offending statement, even with continuation comment lines
+    // in between).
+    int target = comment.line;
+    if (!comment.line_has_code) {
+      target = 0;
+      for (std::size_t l = comment.line;  // comment.line is 1-based
+           l < scrubbed.lines.size(); ++l) {
+        if (has_non_space(scrubbed.lines[l])) {
+          target = static_cast<int>(l) + 1;
+          break;
+        }
+      }
+    }
+    waivers.push_back(Waiver{comment.line, target, rule, m[2], false});
+  }
+
+  // -- token rules ----------------------------------------------------------
+  bool ordered_known = false;
+  bool ordered = false;
+  auto emits_ordered_output = [&] {
+    if (!ordered_known) {
+      ordered_known = true;
+      for (const std::string& target : ordered_output_headers()) {
+        if (logical_path == "src/" + target) ordered = true;
+      }
+      for (const std::string& include : parse_includes(text)) {
+        if (ordered) break;
+        ordered = header_reaches_ordered_output(include);
+      }
+    }
+    return ordered;
+  };
+
+  for (std::size_t i = 0; i < scrubbed.lines.size(); ++i) {
+    const std::string& line = scrubbed.lines[i];
+    // Skip preprocessor directives: `#include <unordered_map>` is not a use,
+    // and macro bodies are this linter's documented blind spot.
+    if (first_non_space_prefix(line).rfind('#', 0) == 0) continue;
+    for (const TokenRule& rule : token_rules()) {
+      if (!rule_applies(rule, logical_path)) continue;
+      if (!std::regex_search(line, rule.re)) continue;
+      if (rule.needs_ordered_output && !emits_ordered_output()) continue;
+      findings.push_back(Finding{logical_path, static_cast<int>(i) + 1,
+                                 rule.name, rule.summary, false, {}});
+    }
+  }
+
+  // -- waiver application ---------------------------------------------------
+  for (Finding& finding : findings) {
+    for (Waiver& waiver : waivers) {
+      if (waiver.rule == finding.rule && waiver.target_line == finding.line) {
+        finding.waived = true;
+        finding.waiver_reason = waiver.reason;
+        waiver.used = true;
+      }
+    }
+  }
+  for (const Waiver& waiver : waivers) {
+    if (!waiver.used) {
+      findings.push_back(
+          Finding{logical_path, waiver.comment_line, "stale-waiver",
+                  "waiver for '" + waiver.rule +
+                      "' no longer suppresses any finding; delete it",
+                  false,
+                  {}});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> Linter::lint_file(const std::string& disk_path,
+                                       const std::string& logical_path) {
+  std::ifstream in(disk_path);
+  if (!in) {
+    return {Finding{logical_path, 0, "io-error",
+                    "cannot read '" + disk_path + "'", false, {}}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_text(buffer.str(), logical_path);
+}
+
+}  // namespace wrht::simlint

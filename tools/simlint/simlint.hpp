@@ -1,0 +1,76 @@
+// simlint — the repo's determinism linter.
+//
+// Every correctness oracle in this codebase (schedule validation, flow
+// replay, bit-exact SLO recomputation) assumes a discipline the compiler
+// does not enforce: one sim clock, no ambient randomness, deterministic
+// iteration feeding traces and reports, invariants that abort in every
+// build type.  simlint checks that discipline statically, as a CTest and a
+// CI gate, so an optimization PR cannot silently break it.
+//
+// It is deliberately NOT a libclang tool: rules are token/line-level over
+// comment- and string-scrubbed source, plus an include-graph query for the
+// one rule that needs TU-level context.  That keeps the tool dependency-free
+// and fast enough to run on every build.  The cost is a known blind spot —
+// tokens smuggled through macro definitions — which code review owns.
+//
+// Escape hatch: any finding can be waived in place with
+//
+//   // simlint-allow(<rule>): <reason>
+//
+// on the offending line or on a comment line directly above it.  Waivers
+// without a reason are findings themselves (`bad-waiver`), and waivers that
+// no longer suppress anything are findings too (`stale-waiver`), so the
+// waiver list can only shrink unless someone argues a new one past review.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wrht::simlint {
+
+struct Finding {
+  std::string file;  // logical repo-relative path, e.g. "src/foo/bar.cpp"
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+  bool waived = false;
+  std::string waiver_reason;  // set when waived
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+class Linter {
+ public:
+  /// `root` is the repository root; include directives are resolved against
+  /// `<root>/src` (the project's single include directory) when the
+  /// `unordered-iter` rule walks a translation unit's include closure.
+  explicit Linter(std::string root);
+
+  /// Lint `text` as though it lived at `logical_path` (repo-relative, using
+  /// '/' separators).  Path-scoped rules key off the logical path, so test
+  /// fixtures can exercise src/-only rules from anywhere on disk.
+  [[nodiscard]] std::vector<Finding> lint_text(const std::string& text,
+                                               const std::string& logical_path);
+
+  /// Read `disk_path` and lint it under `logical_path`.  Returns a single
+  /// `io-error` finding if the file cannot be read.
+  [[nodiscard]] std::vector<Finding> lint_file(const std::string& disk_path,
+                                               const std::string& logical_path);
+
+  /// Every rule the linter knows, in reporting order.
+  [[nodiscard]] static const std::vector<RuleInfo>& rules();
+
+ private:
+  [[nodiscard]] bool header_reaches_ordered_output(const std::string& include);
+
+  std::string root_;
+  // Memoized per include path: does this header transitively include one of
+  // the trace/report headers?  (0 = in progress, guards include cycles.)
+  std::map<std::string, int> ordered_cache_;
+};
+
+}  // namespace wrht::simlint
