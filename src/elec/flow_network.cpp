@@ -38,7 +38,7 @@ FlowId FlowNetwork::add_flow(std::vector<LinkId> route, util::Bytes bytes) {
   flow.remaining = bytes.as_double();
   flow.activation = now_ + latency;
   flows_.push_back(std::move(flow));
-  const FlowId id = static_cast<FlowId>(flows_.size() - 1);
+  const FlowId id = base_ + static_cast<FlowId>(flows_.size() - 1);
   live_.push_back(id);
   return id;
 }
@@ -53,7 +53,7 @@ void FlowNetwork::recompute_rates() {
 
   std::vector<FlowId> unfixed;
   for (const FlowId f : live_) {
-    Flow& flow = flows_[f];
+    Flow& flow = flow_ref(f);
     if (flow.state != FlowState::kActive) continue;
     flow.rate = 0.0;
     unfixed.push_back(f);
@@ -75,7 +75,7 @@ void FlowNetwork::recompute_rates() {
     // Freeze every unfixed flow that crosses a bottleneck link.
     std::vector<FlowId> still_unfixed;
     for (const FlowId f : unfixed) {
-      Flow& flow = flows_[f];
+      Flow& flow = flow_ref(f);
       bool bottlenecked = false;
       for (const LinkId link : flow.route) {
         if (residual[link] / crossing[link] <= min_share * (1 + 1e-12)) {
@@ -91,7 +91,7 @@ void FlowNetwork::recompute_rates() {
     }
     // Charge frozen flows against their links.
     for (const FlowId f : unfixed) {
-      const Flow& flow = flows_[f];
+      const Flow& flow = flow_ref(f);
       // simlint-allow(float-eq): 0.0 is an exact sentinel set by freeze(), not
       // a computed value; an epsilon would misclassify tiny live rates.
       if (flow.rate == 0.0) continue;
@@ -110,7 +110,7 @@ void FlowNetwork::recompute_rates() {
   // Rates only change here, so sampling here makes the per-link peak exact.
   std::vector<double> allocated(links_.size(), 0.0);
   for (const FlowId f : live_) {
-    const Flow& flow = flows_[f];
+    const Flow& flow = flow_ref(f);
     if (flow.state != FlowState::kActive) continue;
     for (const LinkId link : flow.route) allocated[link] += flow.rate;
   }
@@ -126,7 +126,7 @@ void FlowNetwork::recompute_rates() {
 util::Seconds FlowNetwork::next_event_time() const {
   util::Seconds next{std::numeric_limits<double>::infinity()};
   for (const FlowId f : live_) {
-    const Flow& flow = flows_[f];
+    const Flow& flow = flow_ref(f);
     if (flow.state == FlowState::kWaiting) {
       next = std::min(next, flow.activation);
     } else if (flow.state == FlowState::kActive && flow.rate > 0.0) {
@@ -139,7 +139,7 @@ util::Seconds FlowNetwork::next_event_time() const {
 void FlowNetwork::advance_to(util::Seconds when) {
   const double dt = (when - now_).value();
   for (const FlowId f : live_) {
-    Flow& flow = flows_[f];
+    Flow& flow = flow_ref(f);
     if (flow.state != FlowState::kActive) continue;
     const double moved = flow.rate * dt;
     flow.remaining -= moved;
@@ -153,7 +153,7 @@ void FlowNetwork::advance_to(util::Seconds when) {
 void FlowNetwork::settle() {
   bool any_done = false;
   for (const FlowId f : live_) {
-    Flow& flow = flows_[f];
+    Flow& flow = flow_ref(f);
     if (flow.state == FlowState::kWaiting && flow.activation <= now_) {
       flow.state = FlowState::kActive;
     }
@@ -167,7 +167,7 @@ void FlowNetwork::settle() {
   if (any_done) {
     live_.erase(std::remove_if(live_.begin(), live_.end(),
                                [&](FlowId f) {
-                                 return flows_[f].state == FlowState::kDone;
+                                 return flow_ref(f).state == FlowState::kDone;
                                }),
                 live_.end());
   }
@@ -199,13 +199,15 @@ util::Seconds FlowNetwork::run_until(util::Seconds horizon) {
 }
 
 bool FlowNetwork::completed(FlowId flow) const {
-  return flows_[flow].state == FlowState::kDone;
+  WRHT_REQUIRE(flow >= base_,
+               "FlowNetwork: querying retired flow " << flow);
+  return flow_ref(flow).state == FlowState::kDone;
 }
 
 util::Seconds FlowNetwork::completion_time(FlowId flow) const {
   WRHT_REQUIRE(completed(flow),
                "FlowNetwork: flow " << flow << " has not completed");
-  return flows_[flow].completion;
+  return flow_ref(flow).completion;
 }
 
 util::Bytes FlowNetwork::link_bytes(LinkId link) const {
@@ -214,7 +216,9 @@ util::Bytes FlowNetwork::link_bytes(LinkId link) const {
 }
 
 double FlowNetwork::current_rate(FlowId flow) const {
-  const Flow& f = flows_[flow];
+  WRHT_REQUIRE(flow >= base_,
+               "FlowNetwork: querying retired flow " << flow);
+  const Flow& f = flow_ref(flow);
   return f.state == FlowState::kActive ? f.rate : 0.0;
 }
 
@@ -227,25 +231,41 @@ double FlowNetwork::link_utilization(LinkId link) const {
 }
 
 FlowNetwork FlowNetwork::clone_live(std::vector<FlowId>& id_map) const {
+  // live_ is ascending, so the copy receives the flows in the same (id)
+  // order the historical whole-table walk produced — the max-min arithmetic
+  // downstream is bit-identical.
   FlowNetwork copy;
   copy.links_ = links_;
   copy.now_ = now_;
-  id_map.reserve(id_map.size() + flows_.size());
-  for (const Flow& flow : flows_) {
-    if (flow.state == FlowState::kDone) {
-      id_map.push_back(kNoFlow);
-      continue;
-    }
-    id_map.push_back(static_cast<FlowId>(copy.flows_.size()));
+  id_map.assign(flows_.size(), kNoFlow);
+  for (const FlowId f : live_) {
+    id_map[f - base_] = static_cast<FlowId>(copy.flows_.size());
     copy.live_.push_back(static_cast<FlowId>(copy.flows_.size()));
-    copy.flows_.push_back(flow);
+    copy.flows_.push_back(flow_ref(f));
   }
   return copy;
+}
+
+void FlowNetwork::retire_done_below(FlowId floor) {
+  const FlowId oldest_live =
+      live_.empty() ? base_ + static_cast<FlowId>(flows_.size())
+                    : live_.front();
+  if (floor > oldest_live) floor = oldest_live;
+  if (floor <= base_) return;
+  const std::size_t drop = floor - base_;
+  // Erasing the vector front moves every survivor, so wait until the
+  // retired prefix is worth the move; memory stays bounded by the in-flight
+  // window plus this slack.
+  if (drop < 64 && drop * 2 < flows_.size()) return;
+  flows_.erase(flows_.begin(),
+               flows_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ = floor;
 }
 
 void FlowNetwork::reset() {
   flows_.clear();
   live_.clear();
+  base_ = 0;
   now_ = util::Seconds(0.0);
   for (Link& link : links_) {
     link.carried_bytes = 0.0;

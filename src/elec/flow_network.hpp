@@ -74,9 +74,22 @@ class FlowNetwork {
   /// A copy of this network holding only the flows still in flight.  The
   /// copy is the cheap substrate for what-if forward runs (run the copy to
   /// completion, read predicted completion times) on long-lived networks
-  /// whose completed-flow history keeps growing.  Appends one entry per
-  /// existing flow to `id_map`: its id in the copy, or kNoFlow if done.
+  /// whose completed-flow history keeps growing.  Fills `id_map` with one
+  /// entry per UNRETIRED flow, indexed by (flow - id_floor()): its id in
+  /// the copy, or kNoFlow if done.
   [[nodiscard]] FlowNetwork clone_live(std::vector<FlowId>& id_map) const;
+
+  /// Flows with ids below this have been retired (storage dropped); they
+  /// were all complete and may no longer be queried.
+  [[nodiscard]] FlowId id_floor() const { return base_; }
+
+  /// Drop the storage of completed flows with id < `floor` once the caller
+  /// guarantees it will never query them again.  Clamped to the oldest
+  /// still-live flow, so it can never retire an in-flight one; amortized so
+  /// small prefixes wait until the front-erase pays for itself.  This is
+  /// what keeps a month-long serving network's flow table sized to its
+  /// in-flight window instead of its whole history.
+  void retire_done_below(FlowId floor);
 
   /// Drop all flows (completed or not) and zero the clock; links persist.
   void reset();
@@ -105,11 +118,20 @@ class FlowNetwork {
   void advance_to(util::Seconds when);
   void settle();
 
+  [[nodiscard]] Flow& flow_ref(FlowId id) { return flows_[id - base_]; }
+  [[nodiscard]] const Flow& flow_ref(FlowId id) const {
+    return flows_[id - base_];
+  }
+
   std::vector<Link> links_;
+  /// Storage for flows with id >= base_ (flow `id` lives at
+  /// flows_[id - base_]); ids below base_ were retired.
   std::vector<Flow> flows_;
-  /// Indices of flows not yet done.  Keeps the event loop linear in the
-  /// number of *live* flows, not all flows ever added (the Figure-2 harness
-  /// pushes millions of flows through one network).
+  FlowId base_ = 0;
+  /// Ids of flows not yet done, ascending (appended in id order, erased in
+  /// place).  Keeps the event loop linear in the number of *live* flows,
+  /// not all flows ever added (the Figure-2 harness pushes millions of
+  /// flows through one network).
   std::vector<FlowId> live_;
   util::Seconds now_{0.0};
 };

@@ -7,8 +7,11 @@
 
 namespace wrht::elec {
 
-SharedFabricTimer::SharedFabricTimer(const ElectricalCluster& cluster)
-    : cluster_(&cluster), network_(cluster.make_network()) {}
+SharedFabricTimer::SharedFabricTimer(const ElectricalCluster& cluster,
+                                     bool replay_audit)
+    : cluster_(&cluster),
+      network_(cluster.make_network()),
+      audit_(replay_audit) {}
 
 void SharedFabricTimer::attach_metrics(obs::MetricsRegistry& registry) {
   steps_timed_ = registry.counter("fabric.steps_timed");
@@ -29,28 +32,31 @@ void SharedFabricTimer::publish_utilization() {
 SharedFabricTimer::SessionId SharedFabricTimer::open_session() {
   sessions_.push_back(Session{});
   sessions_.back().open = true;
-  return static_cast<SessionId>(sessions_.size() - 1);
+  const auto id = static_cast<SessionId>(sessions_.size() - 1);
+  open_sessions_.push_back(id);  // new ids are largest — stays sorted
+  return id;
 }
 
 std::size_t SharedFabricTimer::active_sessions() const {
-  std::size_t open = 0;
-  for (const Session& session : sessions_) open += session.open ? 1u : 0u;
-  return open;
+  return open_sessions_.size();
 }
 
-void SharedFabricTimer::finalize_step(Session& session) {
+void SharedFabricTimer::finalize_step(SessionId session_id) {
+  Session& session = sessions_[session_id];
   if (!session.has_step) return;
-  LoggedStep& logged = steps_[session.current_step];
-  util::Seconds end = logged.start;
+  util::Seconds end = session.step_start;
   for (const FlowId flow : session.inflight) {
     WRHT_CHECK(network_.completed(flow),
                "SharedFabricTimer: step boundary before its flows drained "
                "(session "
-                   << logged.session << " step " << logged.step << ")");
+                   << session_id << " step " << session.step_number << ")");
     end = std::max(end, network_.completion_time(flow));
   }
-  logged.end = end;
-  logged.finalized = true;
+  if (audit_) {
+    LoggedStep& logged = steps_[session.current_step];
+    logged.end = end;
+    logged.finalized = true;
+  }
   session.inflight.clear();
   session.has_step = false;
 }
@@ -70,12 +76,12 @@ std::optional<util::Seconds> SharedFabricTimer::begin_step(
   // The advance itself is logged unconditionally — the replay oracle must
   // split its advances exactly where the live network split them, even when
   // the request dies on the completion check below.
-  ops_.push_back(LoggedOp{now, -1});
+  if (audit_) ops_.push_back(LoggedOp{now, -1});
   if (session.has_step) {
     for (const FlowId flow : session.inflight) {
       if (!network_.completed(flow)) return std::nullopt;
     }
-    finalize_step(session);
+    finalize_step(session_id);
   }
 
   LoggedStep logged;
@@ -83,29 +89,37 @@ std::optional<util::Seconds> SharedFabricTimer::begin_step(
   logged.step = static_cast<std::uint64_t>(step);
   logged.start = now;
   session.current_step = steps_.size();
+  session.step_start = now;
+  session.step_number = static_cast<std::uint64_t>(step);
   for (const coll::Transfer& t : schedule.steps()[step].transfers) {
     const std::vector<LinkId>& route = cluster_->route(t.src, t.dst);
     const util::Bytes bytes = schedule.chunk_bytes(payload, t.chunk);
     session.inflight.push_back(network_.add_flow(route, bytes));
-    logged.flows.push_back(LoggedFlow{route, bytes});
+    if (audit_) logged.flows.push_back(LoggedFlow{route, bytes});
   }
   session.has_step = !session.inflight.empty();
-  ops_.push_back(LoggedOp{now, static_cast<std::ptrdiff_t>(steps_.size())});
-  steps_.push_back(std::move(logged));
+  if (audit_) {
+    ops_.push_back(LoggedOp{now, static_cast<std::ptrdiff_t>(steps_.size())});
+    steps_.push_back(std::move(logged));
+  }
   obs::inc(steps_timed_);
   publish_utilization();
 
   if (!session.has_step) {
     // A flow-less step (e.g. a barrier round another group participates in)
     // completes instantly; nobody else's sharing changed.
-    LoggedStep& empty = steps_[session.current_step];
-    empty.end = now;
-    empty.finalized = true;
+    if (audit_) {
+      LoggedStep& empty = steps_[session.current_step];
+      empty.end = now;
+      empty.finalized = true;
+    }
     session.predicted_end = now;
+    retire_drained();
     return now;
   }
   session.predicted_end = now;  // repredict overwrites with the real value
   repredict(session_id);
+  retire_drained();
   return session.predicted_end;
 }
 
@@ -118,15 +132,16 @@ void SharedFabricTimer::repredict(SessionId started) {
   std::vector<FlowId> id_map;
   FlowNetwork forward = network_.clone_live(id_map);
   forward.run();
-  for (SessionId id = 0; id < sessions_.size(); ++id) {
+  const FlowId floor = network_.id_floor();
+  for (const SessionId id : open_sessions_) {
     Session& session = sessions_[id];
-    if (!session.open || !session.has_step) continue;
-    util::Seconds end = steps_[session.current_step].start;
+    if (!session.has_step) continue;
+    util::Seconds end = session.step_start;
     bool any_live = false;
     for (const FlowId flow : session.inflight) {
       // A flow that already drained on the real network keeps its recorded
       // completion; only still-live flows take the forward prediction.
-      const FlowId mapped = id_map[flow];
+      const FlowId mapped = id_map[flow - floor];
       if (mapped == kNoFlow) {
         end = std::max(end, network_.completion_time(flow));
       } else {
@@ -179,10 +194,28 @@ void SharedFabricTimer::close_session(SessionId session_id,
                "SharedFabricTimer: close of unknown session " << session_id);
   Session& session = sessions_[session_id];
   network_.run_until(std::max(now, network_.now()));
-  ops_.push_back(LoggedOp{network_.now(), -1});
-  finalize_step(session);
+  if (audit_) ops_.push_back(LoggedOp{network_.now(), -1});
+  finalize_step(session_id);
   session.open = false;
+  const auto it = std::lower_bound(open_sessions_.begin(),
+                                   open_sessions_.end(), session_id);
+  WRHT_CHECK(it != open_sessions_.end() && *it == session_id,
+             "SharedFabricTimer: open-session index lost session "
+                 << session_id);
+  open_sessions_.erase(it);
+  retire_drained();
   publish_utilization();
+}
+
+void SharedFabricTimer::retire_drained() {
+  FlowId floor = kNoFlow;
+  for (const SessionId id : open_sessions_) {
+    const Session& session = sessions_[id];
+    if (session.has_step && !session.inflight.empty()) {
+      floor = std::min(floor, session.inflight.front());
+    }
+  }
+  network_.retire_done_below(floor);
 }
 
 std::vector<SharedFabricTimer::Retiming> SharedFabricTimer::take_retimings() {

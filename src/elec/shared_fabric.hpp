@@ -51,8 +51,14 @@ class SharedFabricTimer {
  public:
   using SessionId = std::uint32_t;
 
-  /// `cluster` must outlive the timer.
-  explicit SharedFabricTimer(const ElectricalCluster& cluster);
+  /// `cluster` must outlive the timer.  `replay_audit` keeps the
+  /// whole-horizon replay log (every advance + flow injection) that
+  /// verify_replay() re-proves the incremental timing against; the log is
+  /// O(total steps), so streaming front ends serving millions of jobs may
+  /// turn it off — verify_replay() then has nothing to check and returns 0.
+  /// Timing is bit-identical either way.
+  explicit SharedFabricTimer(const ElectricalCluster& cluster,
+                             bool replay_audit = true);
 
   /// Register the timer's metrics with `registry`: steps-timed and
   /// retiming counters, plus the "electrical.uplink_utilization" sampled
@@ -148,17 +154,21 @@ class SharedFabricTimer {
   };
   struct Session {
     bool open = false;
-    /// FlowNetwork ids of the current step's flows.
+    /// FlowNetwork ids of the current step's flows, ascending.
     std::vector<FlowId> inflight;
-    std::size_t current_step = 0;  // index into steps_ (valid iff has_step)
+    std::size_t current_step = 0;  // index into steps_ (valid iff audited)
     bool has_step = false;
+    /// Start/ordinal of the in-flight step, kept on the session itself so
+    /// reprediction never needs the (optional) replay log.
+    util::Seconds step_start{0.0};
+    std::uint64_t step_number = 0;
     util::Seconds predicted_end{0.0};
   };
 
   /// Fold the session's in-flight step into the log: every flow must have
   /// completed on the shared network (aborts otherwise — a step boundary
   /// fired before its flows drained, which the retiming contract forbids).
-  void finalize_step(Session& session);
+  void finalize_step(SessionId session_id);
   /// Recompute predicted completions for every in-flight step after an
   /// injection; queue a Retiming for each session other than `started`
   /// whose prediction moved.
@@ -167,9 +177,17 @@ class SharedFabricTimer {
   /// Refresh the uplink-utilization gauge (no-op without a registry).
   void publish_utilization();
 
+  /// Let the network retire the storage of flows below every open
+  /// session's oldest in-flight flow — nobody will query them again.
+  void retire_drained();
+
   const ElectricalCluster* cluster_;
   FlowNetwork network_;
+  bool audit_;
   std::vector<Session> sessions_;
+  /// Ids of open sessions, ascending — the working set repredict() and the
+  /// retirement floor walk instead of every session ever opened.
+  std::vector<SessionId> open_sessions_;
   std::vector<LoggedStep> steps_;
   std::vector<LoggedOp> ops_;
   std::vector<Retiming> retimings_;

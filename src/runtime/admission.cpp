@@ -20,17 +20,30 @@ const char* fairness_policy_name(FairnessPolicy policy) {
 }
 
 QueueEntry JobQueue::take(std::size_t index) {
-  WRHT_REQUIRE(index < entries_.size(),
-               "JobQueue: take(" << index << ") out of range");
-  QueueEntry entry = std::move(entries_[index]);
-  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  WRHT_REQUIRE(index < size(), "JobQueue: take(" << index << ") out of range");
+  if (flat_ && index == 0) {
+    QueueEntry entry = std::move(entries_[head_]);
+    ++head_;
+    // Amortized prefix compaction: erase the dead front only once it is
+    // both sizable and at least half the storage, so a million-job backlog
+    // pays O(1) per head take instead of O(backlog).
+    if (head_ >= 64 && head_ * 2 >= entries_.size()) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return entry;
+  }
+  const std::size_t pos = head_ + index;
+  QueueEntry entry = std::move(entries_[pos]);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
   return entry;
 }
 
 bool JobQueue::release_hold(JobId id) {
-  for (QueueEntry& entry : entries_) {
-    if (entry.id == id) {
-      entry.held = false;
+  for (std::size_t i = head_; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_[i].held = false;
       return true;
     }
   }
@@ -56,9 +69,21 @@ std::optional<AdmissionDecision> admit_fifo(const JobQueue& queue,
   // one is not asking for spectrum at all — neither admits nor blocks the
   // line).
   std::optional<std::size_t> head;
-  for (std::size_t i = 0; i < queue.size(); ++i) {
-    if (!optically_eligible(queue.at(i))) continue;
-    if (!head || queue.at(i).seq < queue.at(*head).seq) head = i;
+  if (queue.flat()) {
+    // Entries are stored in seq order (JobQueue::push invariant), so the
+    // first eligible entry IS the min-seq one — identical pick, O(prefix of
+    // held/pinned entries) instead of O(queue).
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (optically_eligible(queue.at(i))) {
+        head = i;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (!optically_eligible(queue.at(i))) continue;
+      if (!head || queue.at(i).seq < queue.at(*head).seq) head = i;
+    }
   }
   if (!head) return std::nullopt;
   const std::uint32_t grant = feasible_grant(

@@ -95,11 +95,14 @@ CollectiveRuntime::CollectiveRuntime(RuntimeConfig config)
     : config_(config),
       ring_(config.ring_size),
       optical_(make_optical_substrate(ring_, config_.optical,
-                                      config_.fit_policy, simulator_)),
+                                      config_.fit_policy, simulator_,
+                                      config_.flat_hot_path)),
       electrical_(config_.placement == HybridPlacementPolicy::kOpticalOnly
                       ? nullptr
                       : make_electrical_substrate(config_.ring_size,
                                                   config_.electrical)) {
+  simulator_.event_queue().set_recycling(config_.flat_hot_path);
+  queue_.set_flat(config_.flat_hot_path);
   init_instruments();
 }
 
@@ -151,6 +154,10 @@ SubstrateBreakdown& CollectiveRuntime::breakdown(SubstrateKind kind) {
 
 JobId CollectiveRuntime::submit(JobSpec spec) {
   WRHT_REQUIRE(!started_, "CollectiveRuntime: submit after run()");
+  return ingest(std::move(spec));
+}
+
+JobId CollectiveRuntime::ingest(JobSpec spec) {
   const auto id = static_cast<JobId>(records_.size());
   JobRecord record;
   record.id = id;
@@ -1156,6 +1163,52 @@ RuntimeReport CollectiveRuntime::run() {
     const JobId id = record.id;
     simulator_.schedule_at(record.spec.arrival, [this, id] { on_arrival(id); });
   }
+  return drive();
+}
+
+RuntimeReport CollectiveRuntime::serve(JobSource& source) {
+  WRHT_REQUIRE(!started_, "CollectiveRuntime: serve() after run()");
+  started_ = true;
+  // Jobs submitted before serve() still run (the CLI submits warm-up jobs
+  // this way); the stream chains in alongside them.
+  for (const JobRecord& record : records_) {
+    if (record.state != JobState::kSubmitted) continue;  // rejected
+    const JobId id = record.id;
+    simulator_.schedule_at(record.spec.arrival, [this, id] { on_arrival(id); });
+  }
+  source_ = &source;
+  pump_source(util::Seconds(0.0));
+  RuntimeReport report = drive();
+  source_ = nullptr;
+  return report;
+}
+
+void CollectiveRuntime::pump_source(util::Seconds floor) {
+  while (source_ != nullptr) {
+    std::optional<JobSpec> spec = source_->next();
+    if (!spec) {
+      source_ = nullptr;
+      return;
+    }
+    WRHT_REQUIRE(spec->arrival >= floor,
+                 "CollectiveRuntime: serve() source yielded arrival "
+                     << spec->arrival.value() << "s after " << floor.value()
+                     << "s — arrivals must be nondecreasing");
+    const util::Seconds arrival = spec->arrival;
+    const JobId id = ingest(std::move(*spec));
+    if (records_[id].state == JobState::kRejected) continue;  // keep pulling
+    // Chain: the arrival event itself pulls the NEXT spec, so exactly one
+    // not-yet-arrived job exists at any instant — the event queue and the
+    // source's buffering stay O(in-flight) across a million-job trace.
+    simulator_.schedule_at(arrival, [this, id, arrival] {
+      on_arrival(id);
+      pump_source(arrival);
+    });
+    return;
+  }
+}
+
+RuntimeReport CollectiveRuntime::drive() {
   if (config_.metrics) {
     // Run-start bookend: every counter track opens at t=0 with the idle
     // state, so the Chrome trace's series span the whole run.

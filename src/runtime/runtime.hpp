@@ -140,6 +140,14 @@ struct RuntimeConfig {
   /// a null handle and the hot path does no observability work at all.
   /// Must outlive the runtime.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flattened event-loop hot paths (on by default): event-queue slot
+  /// recycling + lazy heap compaction, the interval-indexed spectrum
+  /// arbiter, batched per-step spectrum releases, O(1) outstanding-registry
+  /// removal, and the admission queue's head-offset take.  Every flattened
+  /// path makes bit-identical decisions, so reports match the naive mode
+  /// exactly; false restores the original O(n)-per-event behavior as the
+  /// benchmark baseline (bench/serve_throughput measures the gap).
+  bool flat_hot_path = true;
 };
 
 /// Per-substrate slice of a run: how much of the workload each fabric
@@ -240,6 +248,20 @@ struct RuntimeReport {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Pull-based stream of job specs — the seam between the workload layer
+/// (generators, trace replay) and the runtime's streaming front end.
+/// serve() pulls the next spec only when the clock reaches the previous
+/// arrival, so a million-job trace is never materialized up front: at any
+/// instant the runtime holds one not-yet-arrived spec, not the whole tail.
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+  /// The next job spec, or nullopt when the stream is exhausted.  Specs
+  /// MUST be yielded in nondecreasing arrival order (serve() aborts
+  /// otherwise — out-of-order arrivals would silently warp the clock).
+  virtual std::optional<JobSpec> next() = 0;
+};
+
 class CollectiveRuntime {
  public:
   explicit CollectiveRuntime(RuntimeConfig config);
@@ -251,6 +273,13 @@ class CollectiveRuntime {
 
   /// Drive the shared clock until every submitted job has completed.
   RuntimeReport run();
+
+  /// Streaming variant of run(): pull specs from `source` one at a time —
+  /// each arrival event ingests the NEXT spec and chains the next arrival —
+  /// so the event queue and spec storage stay O(in-flight), not O(trace).
+  /// Jobs submit()ted beforehand run too.  Rejected specs are counted and
+  /// recorded exactly as submit() would.  `source` must outlive the call.
+  RuntimeReport serve(JobSource& source);
 
   [[nodiscard]] const JobRecord& record(JobId id) const;
   [[nodiscard]] std::size_t num_jobs() const { return records_.size(); }
@@ -304,6 +333,17 @@ class CollectiveRuntime {
     util::Seconds quiet_time{0.0};
   };
 
+  /// The body of submit(), minus the pre-run() guard: validate, record,
+  /// count.  serve() calls it mid-run for every spec its source yields.
+  JobId ingest(JobSpec spec);
+  /// Pull specs from source_ until one is accepted (rejects are recorded
+  /// and skipped), then schedule its arrival event — which ingests the
+  /// next spec in turn.  `floor` is the previous arrival time, enforcing
+  /// the source's nondecreasing-arrival contract.
+  void pump_source(util::Seconds floor);
+  /// Shared tail of run()/serve(): bookend the metrics, drain the clock,
+  /// run the end-of-run audits, and seal the report.
+  RuntimeReport drive();
   void on_arrival(JobId id);
   void release_fuse_hold(JobId id);
   void try_admit();
@@ -436,6 +476,8 @@ class CollectiveRuntime {
   /// (or discarded) by the audit of the very next placement.
   std::optional<std::pair<util::Seconds, util::Seconds>>
       pending_route_prediction_;
+  /// Live only inside serve(): the stream the arrival chain pulls from.
+  JobSource* source_ = nullptr;
   bool started_ = false;
   Instruments ins_;
   /// Per-priority-class max-admission-wait gauges, keyed by JobSpec

@@ -250,9 +250,14 @@ class ExecutionSubstrate {
 
 /// The WDM-ring substrate (spectrum arbiter + Wrht builds + shared-map
 /// per-step reservations).  `ring` and `sim` must outlive the substrate.
+/// `flat_hot_path` selects the interval-indexed arbiter, batched per-step
+/// spectrum-release events, and O(1) backlog-registry removal; false
+/// restores the original per-transfer/linear-scan behaviour (identical
+/// schedules and reports either way — it exists as a benchmark baseline).
 [[nodiscard]] std::unique_ptr<ExecutionSubstrate> make_optical_substrate(
     const topo::RingTopology& ring, const optical::OpticalParams& params,
-    optical::FitPolicy fit_policy, sim::Simulator& sim);
+    optical::FitPolicy fit_policy, sim::Simulator& sim,
+    bool flat_hot_path = true);
 
 /// Which electrical fabric backs the fallback substrate.
 enum class ElectricalFabric : std::uint8_t {
@@ -282,6 +287,14 @@ struct ElectricalFallbackConfig {
   /// bandwidth (1.0 = full bisection, 4.0 = classic 4:1 oversubscription).
   std::uint32_t hosts_per_tor = 8;
   double oversubscription = 1.0;
+  /// Keep the whole-horizon flow-replay log (every injected step + every
+  /// clock advance) so self_check() can re-prove the incremental timing
+  /// against a fresh network at end of run.  The log grows with the run —
+  /// O(total steps) — which is exactly what a million-job serving benchmark
+  /// cannot afford, so streaming front ends may turn it off; self_check()
+  /// then audits nothing and returns 0.  Timing is bit-identical either
+  /// way: the flag gates only the logging.
+  bool replay_audit = true;
 };
 
 /// The flow-simulator fallback substrate over `num_hosts` hosts (one per

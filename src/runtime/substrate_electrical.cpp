@@ -166,7 +166,7 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
         config_(config),
         host_busy_(num_hosts, false) {
     if (config_.fabric == ElectricalFabric::kTwoLevelShared) {
-      shared_.emplace(cluster_);
+      shared_.emplace(cluster_, config_.replay_audit);
     }
   }
 

@@ -52,20 +52,25 @@ class OpticalExecution final : public SubstrateExecution {
   /// soonest by the queue-wait estimate).  Feeds predict_completion's
   /// spectrum-backlog estimate.
   util::Seconds predicted_end{0.0};
+  /// Position in the substrate's outstanding_ registry, so deregistration
+  /// is a swap-remove instead of a linear scan (kept in sync by forget()).
+  std::size_t outstanding_index = 0;
 };
 
 class OpticalSubstrate final : public ExecutionSubstrate {
  public:
   OpticalSubstrate(const topo::RingTopology& ring,
                    const optical::OpticalParams& params,
-                   optical::FitPolicy fit_policy, sim::Simulator& sim)
+                   optical::FitPolicy fit_policy, sim::Simulator& sim,
+                   bool flat_hot_path)
       : ring_(ring),
         params_(params),
         fit_policy_(fit_policy),
         sim_(sim),
+        flat_(flat_hot_path),
         spectrum_(ring, params.wdm.num_wavelengths),
         transceivers_(ring.num_nodes()),
-        arbiter_(params.wdm.num_wavelengths) {}
+        arbiter_(params.wdm.num_wavelengths, flat_hot_path) {}
 
   [[nodiscard]] SubstrateKind kind() const override {
     return SubstrateKind::kOptical;
@@ -146,9 +151,29 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       const util::Seconds finish =
           now + optical::transfer_cost(params_, t, retuned);
       step_end = std::max(step_end, finish);
-      sim_.schedule_at(finish, [this, arc = t.arc, lambdas = t.lambdas] {
-        for (const optical::WavelengthId lambda : lambdas) {
-          spectrum_.release(arc, lambda);
+      if (!flat_) {
+        sim_.schedule_at(finish, [this, arc = t.arc, lambdas = t.lambdas] {
+          for (const optical::WavelengthId lambda : lambdas) {
+            spectrum_.release(arc, lambda);
+          }
+        });
+      }
+    }
+    if (flat_) {
+      // One release event for the whole step instead of one per transfer.
+      // Equivalent: the cells belong to this band alone (bands are
+      // disjoint), and the only parties that could re-reserve them — this
+      // execution's next step, or a successor band after a resize — act at
+      // the step boundary (>= step_end + sync), which pops after this
+      // event.  The captured pointer into the plan's timed_steps outlives
+      // the event: the plan is destroyed no earlier than the step-boundary
+      // event, which was scheduled after this one (so at an equal timestamp
+      // this release still fires first).
+      sim_.schedule_at(step_end, [this, step_transfers = &transfers] {
+        for (const optical::TimedTransfer& t : *step_transfers) {
+          for (const optical::WavelengthId lambda : t.lambdas) {
+            spectrum_.release(t.arc, lambda);
+          }
         }
       });
     }
@@ -315,23 +340,40 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       plan->timed_steps.push_back(
           core::timed_step(plan->build.annotated, s, payload, band.base));
     }
+    plan->outstanding_index = outstanding_.size();
     outstanding_.push_back(plan.get());
     return plan;
   }
 
   /// Drop an execution from the backlog registry the moment its band stops
   /// being outstanding (release, or a resize moving the band to a successor
-  /// plan) — the plan object itself may be destroyed right after.
-  void forget(const OpticalExecution& exec) {
-    outstanding_.erase(
-        std::remove(outstanding_.begin(), outstanding_.end(), &exec),
-        outstanding_.end());
+  /// plan) — the plan object itself may be destroyed right after.  Swap-
+  /// remove keeps this O(1); predict_completion sorts the registry before
+  /// reading it, so the order perturbation is invisible.  Naive mode keeps
+  /// the historical linear remove-erase for benchmark baselines.
+  void forget(OpticalExecution& exec) {
+    if (!flat_) {
+      outstanding_.erase(
+          std::remove(outstanding_.begin(), outstanding_.end(), &exec),
+          outstanding_.end());
+      return;
+    }
+    const std::size_t idx = exec.outstanding_index;
+    WRHT_CHECK(idx < outstanding_.size() && outstanding_[idx] == &exec,
+               "OpticalSubstrate: outstanding registry out of sync");
+    outstanding_[idx] = outstanding_.back();
+    outstanding_[idx]->outstanding_index = idx;
+    outstanding_.pop_back();
   }
 
   const topo::RingTopology& ring_;
   optical::OpticalParams params_;
   optical::FitPolicy fit_policy_;
   sim::Simulator& sim_;
+  /// Hot-path mode: interval-indexed arbiter, one spectrum-release event
+  /// per step, O(1) outstanding-registry removal.  False restores the
+  /// original per-transfer events and linear scans (benchmark baseline).
+  bool flat_;
   optical::SpectrumMap spectrum_;
   optical::TransceiverBank transceivers_;
   SpectrumArbiter arbiter_;
@@ -341,15 +383,16 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   /// Executions whose bands are currently outstanding, for the queue-wait
   /// backlog estimate.  Entries are non-owning and live exactly while the
   /// plan holds its band.
-  std::vector<const OpticalExecution*> outstanding_;
+  std::vector<OpticalExecution*> outstanding_;
 };
 
 }  // namespace
 
 std::unique_ptr<ExecutionSubstrate> make_optical_substrate(
     const topo::RingTopology& ring, const optical::OpticalParams& params,
-    optical::FitPolicy fit_policy, sim::Simulator& sim) {
-  return std::make_unique<OpticalSubstrate>(ring, params, fit_policy, sim);
+    optical::FitPolicy fit_policy, sim::Simulator& sim, bool flat_hot_path) {
+  return std::make_unique<OpticalSubstrate>(ring, params, fit_policy, sim,
+                                            flat_hot_path);
 }
 
 }  // namespace wrht::runtime

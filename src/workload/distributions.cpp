@@ -1,0 +1,54 @@
+#include "workload/distributions.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wrht::workload {
+
+double sample_exponential(util::Rng& rng, double rate) {
+  WRHT_REQUIRE(rate > 0.0, "sample_exponential: rate must be positive, got "
+                               << rate);
+  // 1 - u keeps the argument in (0, 1]: next_double() can return exactly 0
+  // but never 1, so the log never sees 0.
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+double sample_standard_normal(util::Rng& rng) {
+  const double u1 = 1.0 - rng.next_double();  // (0, 1]
+  const double u2 = rng.next_double();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double sample_lognormal(util::Rng& rng, double mu, double sigma) {
+  WRHT_REQUIRE(sigma >= 0.0, "sample_lognormal: sigma must be >= 0, got "
+                                 << sigma);
+  return std::exp(mu + sigma * sample_standard_normal(rng));
+}
+
+double sample_bounded_pareto(util::Rng& rng, double alpha, double lo,
+                             double hi) {
+  WRHT_REQUIRE(alpha > 0.0 && 0.0 < lo && lo < hi,
+               "sample_bounded_pareto: need alpha > 0 and 0 < lo < hi, got "
+                   << alpha << " on [" << lo << ", " << hi << "]");
+  const double u = rng.next_double();  // [0, 1)
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the Pareto truncated to [lo, hi]; u = 0 gives lo, and
+  // u -> 1 approaches hi from below.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double bounded_pareto_mean(double alpha, double lo, double hi) {
+  WRHT_REQUIRE(alpha > 0.0 && 0.0 < lo && lo < hi,
+               "bounded_pareto_mean: need alpha > 0 and 0 < lo < hi");
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // simlint-allow(float-eq): alpha == 1 is an exact parameter sentinel
+  if (alpha == 1.0) return lo * hi / (hi - lo) * std::log(hi / lo);
+  return la / (1.0 - la / ha) * (alpha / (alpha - 1.0)) *
+         (1.0 / std::pow(lo, alpha - 1.0) - 1.0 / std::pow(hi, alpha - 1.0));
+}
+
+}  // namespace wrht::workload

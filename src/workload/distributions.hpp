@@ -1,0 +1,38 @@
+// Deterministic sampling primitives for the workload generators.
+//
+// Serving-trace realism needs exactly three shapes: exponential gaps
+// (Poisson arrivals and their modulated variants), lognormal payloads (ML
+// gradient sizes cluster on a log scale), and bounded Pareto participant
+// counts (most collectives are small, a heavy tail spans the ring).  All of
+// them draw from util::Rng — the repo's only sanctioned RNG — through
+// inverse-CDF / Box-Muller transforms with a FIXED consumption pattern, so
+// a given seed yields the same sample stream on every platform and the
+// generator's byte-identical-trace guarantee holds.
+#pragma once
+
+#include "util/random.hpp"
+
+namespace wrht::workload {
+
+/// Exponential with rate `rate` (> 0): mean 1/rate.  Consumes one u64.
+[[nodiscard]] double sample_exponential(util::Rng& rng, double rate);
+
+/// Standard normal via Box-Muller.  Always consumes exactly two u64s and
+/// uses only the cosine branch — a cached "spare" would make the draw count
+/// depend on call history, which replay determinism cannot afford.
+[[nodiscard]] double sample_standard_normal(util::Rng& rng);
+
+/// Lognormal: exp(mu + sigma * N(0,1)).  Median exp(mu).  Consumes two
+/// u64s.
+[[nodiscard]] double sample_lognormal(util::Rng& rng, double mu, double sigma);
+
+/// Bounded Pareto on [lo, hi] with tail index `alpha` (> 0, lo < hi) via
+/// the inverse CDF.  Consumes one u64.
+[[nodiscard]] double sample_bounded_pareto(util::Rng& rng, double alpha,
+                                           double lo, double hi);
+
+/// Mean of the bounded Pareto above — what the distribution-sanity tests
+/// compare empirical averages against.
+[[nodiscard]] double bounded_pareto_mean(double alpha, double lo, double hi);
+
+}  // namespace wrht::workload

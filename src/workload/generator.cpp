@@ -1,0 +1,186 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.hpp"
+#include "workload/distributions.hpp"
+
+namespace wrht::workload {
+
+const char* arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+std::optional<ArrivalProcess> parse_arrival_process(const std::string& name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "diurnal") return ArrivalProcess::kDiurnal;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Quiet-state rate of the MMPP-2 such that the long-run average over quiet
+/// and burst states equals `mean_rate`.
+double mmpp_quiet_rate(const WorkloadConfig& c) {
+  return c.mean_rate /
+         (1.0 - c.burst_fraction + c.burst_rate_multiplier * c.burst_fraction);
+}
+
+/// Mean quiet-state sojourn that makes bursts occupy `burst_fraction` of
+/// time given their own mean length.
+double mmpp_quiet_length(const WorkloadConfig& c) {
+  return c.burst_length_s * (1.0 - c.burst_fraction) / c.burst_fraction;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  WRHT_REQUIRE(config_.ring_size >= 2,
+               "WorkloadGenerator: ring_size must be >= 2");
+  WRHT_REQUIRE(config_.mean_rate > 0.0,
+               "WorkloadGenerator: mean_rate must be positive");
+  WRHT_REQUIRE(
+      config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude < 1.0,
+      "WorkloadGenerator: diurnal_amplitude must sit in [0, 1)");
+  WRHT_REQUIRE(config_.diurnal_period_s > 0.0,
+               "WorkloadGenerator: diurnal_period_s must be positive");
+  WRHT_REQUIRE(
+      config_.burst_fraction > 0.0 && config_.burst_fraction < 1.0 &&
+          config_.burst_rate_multiplier >= 1.0 && config_.burst_length_s > 0.0,
+      "WorkloadGenerator: bursty process needs burst_fraction in (0, 1), "
+      "multiplier >= 1, positive burst length");
+  WRHT_REQUIRE(config_.min_participants >= 2 &&
+                   config_.min_participants <= config_.ring_size,
+               "WorkloadGenerator: min_participants must sit in [2, ring]");
+  WRHT_REQUIRE(config_.participant_alpha > 0.0,
+               "WorkloadGenerator: participant_alpha must be positive");
+  WRHT_REQUIRE(config_.min_payload.count() > 0 &&
+                   config_.min_payload <= config_.max_payload,
+               "WorkloadGenerator: need 0 < min_payload <= max_payload");
+  if (config_.arrivals == ArrivalProcess::kBursty) {
+    // Start in the quiet state with a full exponential sojourn ahead.
+    state_end_s_ =
+        sample_exponential(rng_, 1.0 / mmpp_quiet_length(config_));
+  }
+}
+
+double WorkloadGenerator::next_gap() {
+  switch (config_.arrivals) {
+    case ArrivalProcess::kPoisson:
+      return sample_exponential(rng_, config_.mean_rate);
+    case ArrivalProcess::kDiurnal: {
+      // Lewis-Shedler thinning against the peak rate: candidate gaps come
+      // from a homogeneous process at the peak; each candidate survives
+      // with probability rate(t)/peak.  Exact for any bounded rate curve.
+      const double peak = config_.mean_rate * (1.0 + config_.diurnal_amplitude);
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      double t = clock_s_;
+      while (true) {
+        t += sample_exponential(rng_, peak);
+        const double rate =
+            config_.mean_rate *
+            (1.0 + config_.diurnal_amplitude *
+                       std::sin(kTwoPi * t / config_.diurnal_period_s));
+        if (rng_.next_double() * peak < rate) return t - clock_s_;
+      }
+    }
+    case ArrivalProcess::kBursty: {
+      // MMPP-2: exponential arrival gaps at the current state's rate; a gap
+      // that crosses the state boundary is discarded past the boundary and
+      // redrawn there (memorylessness makes the restart exact).
+      const double quiet_rate = mmpp_quiet_rate(config_);
+      const double burst_rate = quiet_rate * config_.burst_rate_multiplier;
+      double t = clock_s_;
+      while (true) {
+        const double rate = in_burst_ ? burst_rate : quiet_rate;
+        const double candidate = t + sample_exponential(rng_, rate);
+        if (candidate <= state_end_s_) return candidate - clock_s_;
+        t = state_end_s_;
+        in_burst_ = !in_burst_;
+        const double mean_sojourn = in_burst_ ? config_.burst_length_s
+                                              : mmpp_quiet_length(config_);
+        state_end_s_ = t + sample_exponential(rng_, 1.0 / mean_sojourn);
+      }
+    }
+  }
+  WRHT_CHECK(false, "WorkloadGenerator: unknown arrival process");
+  return 0.0;
+}
+
+std::vector<topo::NodeId> WorkloadGenerator::sample_participants() {
+  const std::uint32_t lo = config_.min_participants;
+  const std::uint32_t hi = config_.max_participants == 0
+                               ? config_.ring_size
+                               : std::min(config_.max_participants,
+                                          config_.ring_size);
+  std::uint32_t count = lo;
+  if (hi > lo) {
+    // floor(BoundedPareto on [lo, hi + 1)) puts integer mass on [lo, hi]
+    // with the Pareto tail shape.
+    const double x = sample_bounded_pareto(rng_, config_.participant_alpha,
+                                           static_cast<double>(lo),
+                                           static_cast<double>(hi) + 1.0);
+    count = std::min(hi, static_cast<std::uint32_t>(x));
+  }
+  // Floyd's sampling: exactly `count` draws, no rejection, no O(ring)
+  // shuffle — participant sets stay cheap even on big rings.
+  std::vector<topo::NodeId> chosen;
+  chosen.reserve(count);
+  for (std::uint32_t j = config_.ring_size - count; j < config_.ring_size;
+       ++j) {
+    const auto pick = static_cast<topo::NodeId>(rng_.next_below(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), pick) != chosen.end()) {
+      chosen.push_back(j);
+    } else {
+      chosen.push_back(pick);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::optional<runtime::JobSpec> WorkloadGenerator::next() {
+  if (emitted_ >= config_.num_jobs) return std::nullopt;
+  ++emitted_;
+  clock_s_ += next_gap();
+
+  runtime::JobSpec spec;
+  spec.arrival = util::Seconds(clock_s_);
+  spec.participants = sample_participants();
+
+  const double raw_payload = sample_lognormal(
+      rng_, std::log(config_.payload_median.as_double()),
+      config_.payload_sigma);
+  const double clamped =
+      std::clamp(raw_payload, config_.min_payload.as_double(),
+                 config_.max_payload.as_double());
+  spec.payload = util::Bytes(static_cast<std::uint64_t>(clamped));
+
+  if (rng_.next_double() < config_.explicit_request_fraction) {
+    spec.requested_wavelengths =
+        2 + static_cast<std::uint32_t>(rng_.next_below(7));
+  }
+  if (rng_.next_double() < config_.high_priority_fraction) {
+    spec.priority = config_.high_priority;
+  }
+  if (rng_.next_double() < config_.deadline_fraction) {
+    spec.deadline = util::Seconds(config_.deadline_floor_s +
+                                  config_.deadline_slack_s *
+                                      sample_exponential(rng_, 1.0));
+  }
+  return spec;
+}
+
+}  // namespace wrht::workload

@@ -1,0 +1,121 @@
+// Deterministic arrival-process workload generator — the synthetic front
+// end of the million-job serving path.
+//
+// A WorkloadGenerator is a runtime::JobSource: CollectiveRuntime::serve()
+// pulls one JobSpec at a time, so a million-job workload is generated on
+// demand and never materialized.  Three arrival processes cover the serving
+// literature's standard shapes:
+//
+//   kPoisson  memoryless arrivals at a constant rate (the M/G/k baseline);
+//   kDiurnal  a sinusoidally modulated Poisson process (Lewis-Shedler
+//             thinning against the peak rate) — the day/night load curve
+//             compressed to a configurable period;
+//   kBursty   a two-state Markov-modulated Poisson process: quiet periods
+//             punctuated by exponentially-long bursts at a rate multiplier,
+//             the ML-inference "everyone retrains at once" pattern.
+//
+// Per-job marks are heavy-tailed the way real collective mixes are:
+// participant counts draw from a bounded Pareto (most groups small, a tail
+// spanning the ring), payloads from a clamped lognormal, and a configurable
+// fraction of jobs carries deadlines / elevated priority / explicit band
+// requests.  Every sample draws from one util::Rng in a fixed order, so a
+// seed fully determines the byte sequence of the emitted trace (tests
+// serialize two generators and compare bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "runtime/job.hpp"
+#include "runtime/runtime.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace wrht::workload {
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,
+  kDiurnal,
+  kBursty,
+};
+
+[[nodiscard]] const char* arrival_process_name(ArrivalProcess process);
+/// Parse "poisson" / "diurnal" / "bursty"; nullopt otherwise.
+[[nodiscard]] std::optional<ArrivalProcess> parse_arrival_process(
+    const std::string& name);
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  /// Jobs the generator emits before reporting exhaustion.
+  std::uint64_t num_jobs = 1000;
+  /// Ring participants are drawn from [0, ring_size).
+  std::uint32_t ring_size = 64;
+
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// Long-run average arrival rate, jobs per simulated second.  The
+  /// diurnal/bursty processes are normalized so their time-average matches
+  /// this too, which keeps offered load comparable across processes.
+  double mean_rate = 200.0;
+  /// Diurnal modulation: rate(t) = mean_rate * (1 + amplitude *
+  /// sin(2*pi*t/period)).  Amplitude must sit in [0, 1).
+  double diurnal_amplitude = 0.6;
+  double diurnal_period_s = 5.0;
+  /// Bursty (MMPP-2): bursts run at `burst_rate_multiplier` times the quiet
+  /// rate, last Exp(mean = burst_length_s), and occupy `burst_fraction` of
+  /// time; the quiet rate is derived so the long-run mean stays mean_rate.
+  double burst_rate_multiplier = 8.0;
+  double burst_fraction = 0.1;
+  double burst_length_s = 0.05;
+
+  /// Participant count ~ floor(BoundedPareto(alpha, [min, max])), sampled
+  /// without replacement from the ring and emitted ascending (the runtime's
+  /// spec contract).  max_participants == 0 means "the whole ring".
+  double participant_alpha = 1.5;
+  std::uint32_t min_participants = 2;
+  std::uint32_t max_participants = 0;
+
+  /// Payload ~ Lognormal(log(payload_median), payload_sigma) bytes, clamped
+  /// to [min_payload, max_payload].
+  util::Bytes payload_median = util::kilobytes(512);
+  double payload_sigma = 1.6;
+  util::Bytes min_payload = util::kilobytes(4);
+  util::Bytes max_payload = util::megabytes(256);
+
+  /// Fraction of jobs asking for an explicit band (uniform in [2, 8]
+  /// wavelengths); the rest leave requested_wavelengths 0 (runtime default).
+  double explicit_request_fraction = 0.25;
+  /// Fraction of jobs carrying elevated priority `high_priority`.
+  double high_priority_fraction = 0.1;
+  std::int32_t high_priority = 5;
+  /// Fraction of jobs carrying a deadline: turnaround budget =
+  /// deadline_slack * Exp(mean = 1) + deadline_floor_s seconds.
+  double deadline_fraction = 0.5;
+  double deadline_slack_s = 0.5;
+  double deadline_floor_s = 0.05;
+};
+
+class WorkloadGenerator : public runtime::JobSource {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// The next spec (arrivals nondecreasing), or nullopt after num_jobs.
+  std::optional<runtime::JobSpec> next() override;
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  [[nodiscard]] double next_gap();
+  [[nodiscard]] std::vector<topo::NodeId> sample_participants();
+
+  WorkloadConfig config_;
+  util::Rng rng_;
+  std::uint64_t emitted_ = 0;
+  double clock_s_ = 0.0;
+  /// MMPP state (kBursty only): whether the process sits in a burst, and
+  /// when the current state ends.
+  bool in_burst_ = false;
+  double state_end_s_ = 0.0;
+};
+
+}  // namespace wrht::workload

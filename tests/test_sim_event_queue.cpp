@@ -90,6 +90,76 @@ TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
   EXPECT_EQ(queue.size(), 1u);
 }
 
+// The memory contract behind million-job serving: with recycling on (the
+// default), slots and heap entries track the OUTSTANDING window, not the
+// lifetime push count.  A cancel-heavy million-event run must end with both
+// tables holding only a small multiple of the ~64-event steady-state window.
+TEST(EventQueue, CancelHeavyMillionEventRunHoldsMemoryFlat) {
+  EventQueue queue;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  for (std::uint64_t i = 0; i < 1000000; ++i) {
+    queue.push(Seconds(static_cast<double>(i)), [&fired] { ++fired; });
+    // Every second event is cancelled immediately — the cancel-heavy
+    // pattern that used to leave dead heap entries behind forever.
+    const std::uint64_t doomed =
+        queue.push(Seconds(static_cast<double>(i) + 0.5), [] {});
+    ASSERT_TRUE(queue.cancel(doomed));
+    ++cancelled;
+    if (queue.size() > 64) {
+      queue.pop().callback();
+    }
+  }
+  // 2e6 pushes went through; the tables must reflect the ~64-live window.
+  EXPECT_LE(queue.slot_count(), 1024u);
+  EXPECT_LE(queue.heap_entry_count(), 1024u);
+  while (!queue.empty()) {
+    queue.pop().callback();
+  }
+  EXPECT_EQ(fired + cancelled, 2000000u);
+}
+
+// The naive mode the serve_throughput bench measures against: recycling off
+// reproduces the historical append-only slot table.
+TEST(EventQueue, RecyclingOffGrowsSlotsPerPush) {
+  EventQueue queue;
+  queue.set_recycling(false);
+  for (int i = 0; i < 1000; ++i) {
+    queue.push(Seconds(static_cast<double>(i)), [] {});
+    queue.pop();
+  }
+  EXPECT_EQ(queue.slot_count(), 1000u);
+
+  EventQueue recycled;
+  for (int i = 0; i < 1000; ++i) {
+    recycled.push(Seconds(static_cast<double>(i)), [] {});
+    recycled.pop();
+  }
+  EXPECT_LE(recycled.slot_count(), 2u);
+}
+
+// Pop order is the determinism contract: recycling must not perturb it even
+// under interleaved pushes and cancels at tied timestamps.
+TEST(EventQueue, RecyclingPreservesPopOrder) {
+  const auto run = [](bool recycling) {
+    EventQueue queue;
+    queue.set_recycling(recycling);
+    std::vector<int> fired;
+    std::vector<std::uint64_t> handles;
+    for (int i = 0; i < 500; ++i) {
+      handles.push_back(queue.push(Seconds(static_cast<double>(i % 7)),
+                                   [&fired, i] { fired.push_back(i); }));
+      if (i % 3 == 2) queue.cancel(handles[static_cast<std::size_t>(i) - 1]);
+      if (i % 5 == 4) queue.pop().callback();
+    }
+    while (!queue.empty()) {
+      queue.pop().callback();
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
 TEST(EventQueue, ManyInterleavedOperations) {
   EventQueue queue;
   int fired = 0;

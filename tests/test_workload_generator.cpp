@@ -1,0 +1,214 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/random.hpp"
+#include "workload/distributions.hpp"
+#include "workload/trace_io.hpp"
+
+namespace wrht::workload {
+namespace {
+
+std::string serialize(const WorkloadConfig& config, TraceFormat format) {
+  WorkloadGenerator gen(config);
+  std::ostringstream out;
+  record_trace(gen, out, format);
+  return out.str();
+}
+
+// The byte-identical guarantee the whole trace-driven pipeline rests on:
+// one seed, one byte sequence, in both formats.
+TEST(WorkloadGenerator, SameSeedProducesByteIdenticalTrace) {
+  WorkloadConfig config;
+  config.seed = 42;
+  config.num_jobs = 500;
+  config.arrivals = ArrivalProcess::kBursty;
+  EXPECT_EQ(serialize(config, TraceFormat::kJsonl),
+            serialize(config, TraceFormat::kJsonl));
+  EXPECT_EQ(serialize(config, TraceFormat::kCsv),
+            serialize(config, TraceFormat::kCsv));
+}
+
+TEST(WorkloadGenerator, DifferentSeedsDiverge) {
+  WorkloadConfig a;
+  a.num_jobs = 50;
+  WorkloadConfig b = a;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(serialize(a, TraceFormat::kJsonl),
+            serialize(b, TraceFormat::kJsonl));
+}
+
+TEST(WorkloadGenerator, SpecsAreWellFormed) {
+  WorkloadConfig config;
+  config.seed = 7;
+  config.num_jobs = 2000;
+  config.ring_size = 32;
+  config.min_participants = 2;
+  config.max_participants = 12;
+  WorkloadGenerator gen(config);
+  double last_arrival = 0.0;
+  std::uint64_t emitted = 0;
+  while (std::optional<runtime::JobSpec> spec = gen.next()) {
+    ++emitted;
+    EXPECT_GE(spec->arrival.value(), last_arrival);
+    last_arrival = spec->arrival.value();
+    ASSERT_GE(spec->participants.size(), 2u);
+    ASSERT_LE(spec->participants.size(), 12u);
+    // Sorted ascending, unique, on the ring — the runtime's spec contract.
+    EXPECT_TRUE(std::is_sorted(spec->participants.begin(),
+                               spec->participants.end()));
+    EXPECT_EQ(std::adjacent_find(spec->participants.begin(),
+                                 spec->participants.end()),
+              spec->participants.end());
+    EXPECT_LT(spec->participants.back(), config.ring_size);
+    EXPECT_GE(spec->payload, config.min_payload);
+    EXPECT_LE(spec->payload, config.max_payload);
+  }
+  EXPECT_EQ(emitted, config.num_jobs);
+  EXPECT_FALSE(gen.next().has_value());
+}
+
+// ---------------------------------------------------------- arrival rates
+//
+// Each process claims the same long-run mean rate; over tens of thousands
+// of arrivals the realized rate must land within a few percent.
+
+double realized_rate(WorkloadConfig config) {
+  config.num_jobs = 30000;
+  WorkloadGenerator gen(config);
+  double last = 0.0;
+  while (std::optional<runtime::JobSpec> spec = gen.next()) {
+    last = spec->arrival.value();
+  }
+  return static_cast<double>(config.num_jobs) / last;
+}
+
+TEST(WorkloadGenerator, PoissonRealizedRateMatchesMean) {
+  WorkloadConfig config;
+  config.seed = 11;
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.mean_rate = 250.0;
+  EXPECT_NEAR(realized_rate(config), 250.0, 250.0 * 0.03);
+}
+
+TEST(WorkloadGenerator, DiurnalRealizedRateMatchesMean) {
+  WorkloadConfig config;
+  config.seed = 12;
+  config.arrivals = ArrivalProcess::kDiurnal;
+  config.mean_rate = 200.0;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_period_s = 3.0;
+  EXPECT_NEAR(realized_rate(config), 200.0, 200.0 * 0.05);
+}
+
+TEST(WorkloadGenerator, BurstyRealizedRateMatchesMean) {
+  WorkloadConfig config;
+  config.seed = 13;
+  config.arrivals = ArrivalProcess::kBursty;
+  config.mean_rate = 200.0;
+  config.burst_rate_multiplier = 10.0;
+  config.burst_fraction = 0.2;
+  config.burst_length_s = 0.1;
+  EXPECT_NEAR(realized_rate(config), 200.0, 200.0 * 0.08);
+}
+
+// ------------------------------------------------------- sampling shapes
+
+TEST(Distributions, ExponentialMeanIsOneOverRate) {
+  util::Rng rng(101);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += sample_exponential(rng, 4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.25 * 0.02);
+}
+
+TEST(Distributions, LognormalMedianIsExpMu) {
+  util::Rng rng(102);
+  const double mu = std::log(1000.0);
+  const int n = 100001;
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(sample_lognormal(rng, mu, 1.5));
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], 1000.0, 1000.0 * 0.05);
+}
+
+TEST(Distributions, BoundedParetoMeanMatchesClosedForm) {
+  util::Rng rng(103);
+  const double alpha = 1.5, lo = 2.0, hi = 64.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_bounded_pareto(rng, alpha, lo, hi);
+    ASSERT_GE(x, lo);
+    ASSERT_LE(x, hi);
+    sum += x;
+  }
+  const double expected = bounded_pareto_mean(alpha, lo, hi);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(Distributions, BoundedParetoTailQuantileMatchesInverseCdf) {
+  util::Rng rng(104);
+  const double alpha = 1.2, lo = 2.0, hi = 64.0;
+  const int n = 200001;
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(sample_bounded_pareto(rng, alpha, lo, hi));
+  }
+  // Analytic quantile: F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a).
+  const double q = 0.99;
+  const double norm = 1.0 - std::pow(lo / hi, alpha);
+  const double x_q = lo * std::pow(1.0 - q * norm, -1.0 / alpha);
+  const auto rank = static_cast<std::ptrdiff_t>(q * n);
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  EXPECT_NEAR(samples[static_cast<std::size_t>(rank)], x_q, x_q * 0.05);
+}
+
+TEST(Distributions, BoundedParetoMeanAlphaOneSpecialCase) {
+  // alpha == 1 takes the logarithmic branch of the closed form; sanity-check
+  // it against samples too.
+  util::Rng rng(105);
+  const double lo = 2.0, hi = 64.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += sample_bounded_pareto(rng, 1.0, lo, hi);
+  const double expected = bounded_pareto_mean(1.0, lo, hi);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(WorkloadGenerator, MarkFractionsLandNearConfig) {
+  WorkloadConfig config;
+  config.seed = 21;
+  config.num_jobs = 20000;
+  config.explicit_request_fraction = 0.25;
+  config.high_priority_fraction = 0.1;
+  config.deadline_fraction = 0.5;
+  WorkloadGenerator gen(config);
+  double requests = 0, priorities = 0, deadlines = 0;
+  while (std::optional<runtime::JobSpec> spec = gen.next()) {
+    if (spec->requested_wavelengths != 0) ++requests;
+    if (spec->priority != 0) ++priorities;
+    if (spec->deadline.value() != 0.0) ++deadlines;
+  }
+  const auto n = static_cast<double>(config.num_jobs);
+  EXPECT_NEAR(requests / n, 0.25, 0.02);
+  EXPECT_NEAR(priorities / n, 0.1, 0.02);
+  EXPECT_NEAR(deadlines / n, 0.5, 0.02);
+}
+
+TEST(WorkloadGenerator, RejectsBadConfig) {
+  WorkloadConfig config;
+  config.mean_rate = 0.0;
+  EXPECT_DEATH(WorkloadGenerator{config}, "mean_rate");
+}
+
+}  // namespace
+}  // namespace wrht::workload
