@@ -162,6 +162,16 @@ void SharedFabricTimer::repredict(SessionId started) {
   }
 }
 
+std::vector<util::Seconds> SharedFabricTimer::inflight_predicted_ends() const {
+  std::vector<util::Seconds> ends;
+  ends.reserve(open_sessions_.size());
+  for (const SessionId id : open_sessions_) {
+    const Session& session = sessions_[id];
+    if (session.has_step) ends.push_back(session.predicted_end);
+  }
+  return ends;
+}
+
 std::optional<util::Seconds> SharedFabricTimer::predict_step_completion(
     const coll::Schedule& schedule, std::size_t step, util::Bytes payload,
     util::Seconds now) const {

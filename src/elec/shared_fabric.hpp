@@ -99,6 +99,14 @@ class SharedFabricTimer {
       const coll::Schedule& schedule, std::size_t step, util::Bytes payload,
       util::Seconds now) const;
 
+  /// Predicted completion times of every in-flight step, one entry per open
+  /// session currently running one (order follows the ascending session-id
+  /// working set).  These are the instants the fabric's current contention
+  /// is predicted to DRAIN at — the congestion-aware router decays its
+  /// clone-probe stretch by them, so a fabric full of nearly-done tenants
+  /// stops repelling arrivals it could actually serve.
+  [[nodiscard]] std::vector<util::Seconds> inflight_predicted_ends() const;
+
   /// A step whose predicted completion moved because a later arrival
   /// changed the max-min sharing.  Entries are in detection order; for a
   /// session appearing twice, the later entry supersedes.

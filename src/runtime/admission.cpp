@@ -1,6 +1,9 @@
 #include "runtime/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "util/check.hpp"
 
 namespace wrht::runtime {
@@ -94,11 +97,13 @@ std::optional<AdmissionDecision> admit_fifo(const JobQueue& queue,
 }
 
 std::optional<AdmissionDecision> admit_priority(
-    const JobQueue& queue, std::uint32_t largest_free_block) {
+    const JobQueue& queue, std::uint32_t largest_free_block,
+    util::Seconds now, util::Seconds aging_half_life) {
   // Highest priority (ties on arrival) owns the line, exactly like FIFO's
   // head — lower-priority jobs never slip past it into a band the runtime
   // is preempting for it.
-  const std::optional<std::size_t> head = priority_head(queue);
+  const std::optional<std::size_t> head =
+      priority_head(queue, now, aging_half_life);
   if (!head) return std::nullopt;
   const std::uint32_t grant = feasible_grant(
       queue.at(*head), queue.at(*head).requested_wavelengths,
@@ -168,15 +173,35 @@ std::optional<AdmissionDecision> admit_weighted(
 
 }  // namespace
 
-std::optional<std::size_t> priority_head(const JobQueue& queue) {
+std::int32_t aged_priority(std::int32_t priority, util::Seconds waiting_since,
+                           util::Seconds now, util::Seconds half_life) {
+  if (half_life.value() <= 0.0) return priority;
+  const double wait = (now - waiting_since).value();
+  if (wait <= 0.0) return priority;
+  // One class per half-life of wait, capped: the boost must eventually top
+  // out (so a forgotten tenant cannot overflow the type), but 64 classes is
+  // far above any real priority spread in the system.
+  const double classes = std::min(std::floor(wait / half_life.value()), 64.0);
+  const std::int64_t aged = static_cast<std::int64_t>(priority) +
+                            static_cast<std::int64_t>(classes);
+  return static_cast<std::int32_t>(
+      std::min<std::int64_t>(aged, std::numeric_limits<std::int32_t>::max()));
+}
+
+std::optional<std::size_t> priority_head(const JobQueue& queue,
+                                         util::Seconds now,
+                                         util::Seconds aging_half_life) {
   std::optional<std::size_t> head;
+  std::int32_t head_priority = 0;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const QueueEntry& job = queue.at(i);
     if (!optically_eligible(job)) continue;
-    if (!head || job.priority > queue.at(*head).priority ||
-        (job.priority == queue.at(*head).priority &&
-         job.seq < queue.at(*head).seq)) {
+    const std::int32_t effective =
+        aged_priority(job.priority, job.arrival, now, aging_half_life);
+    if (!head || effective > head_priority ||
+        (effective == head_priority && job.seq < queue.at(*head).seq)) {
       head = i;
+      head_priority = effective;
     }
   }
   return head;
@@ -184,7 +209,8 @@ std::optional<std::size_t> priority_head(const JobQueue& queue) {
 
 std::optional<AdmissionDecision> next_admission(
     const JobQueue& queue, FairnessPolicy policy,
-    std::uint32_t largest_free_block, std::uint32_t free_total) {
+    std::uint32_t largest_free_block, std::uint32_t free_total,
+    util::Seconds now, util::Seconds aging_half_life) {
   if (queue.empty() || largest_free_block == 0) return std::nullopt;
   switch (policy) {
     case FairnessPolicy::kFifo:
@@ -194,7 +220,7 @@ std::optional<AdmissionDecision> next_admission(
     case FairnessPolicy::kWeightedFair:
       return admit_weighted(queue, largest_free_block, free_total);
     case FairnessPolicy::kPriorityPreempt:
-      return admit_priority(queue, largest_free_block);
+      return admit_priority(queue, largest_free_block, now, aging_half_life);
   }
   return std::nullopt;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "runtime/job.hpp"
+#include "util/units.hpp"
 
 namespace wrht::runtime {
 
@@ -54,6 +55,8 @@ struct QueueEntry {
   util::Bytes payload;
   std::vector<topo::NodeId> participants;
   std::int32_t priority = 0;
+  /// When the job arrived — the clock priority aging runs against.
+  util::Seconds arrival{0.0};
   /// Substrate the tenant pinned the job to.  These policies arbitrate the
   /// OPTICAL spectrum, so an electrically-pinned entry is invisible to them
   /// (it neither admits nor blocks the line) the same way a held one is;
@@ -120,17 +123,33 @@ struct AdmissionDecision {
   std::uint32_t grant = 0;
 };
 
+/// A waiting job's effective priority under priority aging: the raw
+/// priority plus one class per `half_life` of sim-clock wait since
+/// `waiting_since`, capped at +64 classes (still strictly monotone in wait
+/// up to the cap, and immune to int overflow).  half_life <= 0 disables
+/// aging and returns the raw priority — the historical behavior.
+[[nodiscard]] std::int32_t aged_priority(std::int32_t priority,
+                                         util::Seconds waiting_since,
+                                         util::Seconds now,
+                                         util::Seconds half_life);
+
 /// Ask `policy` for the next job to admit given the current spectrum state.
-/// Returns nullopt when nothing in the queue should start now.
+/// Returns nullopt when nothing in the queue should start now.  `now` and
+/// `aging_half_life` feed priority aging (kPriorityPreempt only; the
+/// defaults keep aging off).
 [[nodiscard]] std::optional<AdmissionDecision> next_admission(
     const JobQueue& queue, FairnessPolicy policy,
-    std::uint32_t largest_free_block, std::uint32_t free_total);
+    std::uint32_t largest_free_block, std::uint32_t free_total,
+    util::Seconds now = util::Seconds(0.0),
+    util::Seconds aging_half_life = util::Seconds(0.0));
 
-/// Index of the entry kPriorityPreempt would admit next: highest priority,
-/// oldest among equals; nullopt on an empty (or all-held) queue.  Shared by
-/// the admission policy and the runtime's preemption planner so the job
-/// that triggers preemptions is always the job admission will actually
-/// pick — and a held job triggers none.
-[[nodiscard]] std::optional<std::size_t> priority_head(const JobQueue& queue);
+/// Index of the entry kPriorityPreempt would admit next: highest EFFECTIVE
+/// (aged) priority, oldest among equals; nullopt on an empty (or all-held)
+/// queue.  Shared by the admission policy and the runtime's preemption
+/// planner so the job that triggers preemptions is always the job admission
+/// will actually pick — and a held job triggers none.
+[[nodiscard]] std::optional<std::size_t> priority_head(
+    const JobQueue& queue, util::Seconds now = util::Seconds(0.0),
+    util::Seconds aging_half_life = util::Seconds(0.0));
 
 }  // namespace wrht::runtime

@@ -136,6 +136,42 @@ std::optional<WavelengthBand> SpectrumArbiter::allocate(std::uint32_t width) {
   return WavelengthBand{base, width};
 }
 
+std::optional<WavelengthBand> SpectrumArbiter::allocate_at(
+    std::uint32_t base, std::uint32_t width) {
+  WRHT_REQUIRE(width > 0, "SpectrumArbiter: zero-width band requested");
+  if (base + width > total_) return std::nullopt;
+  for (std::uint32_t i = base; i < base + width; ++i) {
+    if (taken_[i]) return std::nullopt;
+  }
+  for (std::uint32_t i = base; i < base + width; ++i) taken_[i] = true;
+  if (indexed_) index_take(base, width);
+  free_ -= width;
+  ++bands_;
+  obs::inc(allocations_);
+  publish_occupancy();
+  return WavelengthBand{base, width};
+}
+
+std::vector<SpectrumArbiter::FreeInterval> SpectrumArbiter::free_intervals()
+    const {
+  if (indexed_) return free_intervals_;
+  // Naive mode keeps no index; rebuild the maximal runs from the bitmap.
+  // Same sorted/disjoint/never-adjacent shape as the indexed list, so both
+  // modes hand the planner identical inputs.
+  std::vector<FreeInterval> out;
+  std::uint32_t run = 0;
+  for (std::uint32_t lambda = 0; lambda < total_; ++lambda) {
+    if (taken_[lambda]) {
+      if (run > 0) out.push_back(FreeInterval{lambda - run, run});
+      run = 0;
+    } else {
+      ++run;
+    }
+  }
+  if (run > 0) out.push_back(FreeInterval{total_ - run, run});
+  return out;
+}
+
 void SpectrumArbiter::release(const WavelengthBand& band) {
   WRHT_REQUIRE(band.valid() && band.base + band.width <= total_,
                "SpectrumArbiter: releasing bogus band ["

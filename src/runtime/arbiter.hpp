@@ -35,6 +35,16 @@ namespace wrht::runtime {
 
 class SpectrumArbiter {
  public:
+  /// A maximal free run [base, base + width); the interval list is sorted
+  /// by base, disjoint, and never adjacent (merged eagerly on release).
+  struct FreeInterval {
+    std::uint32_t base;
+    std::uint32_t width;
+
+    friend bool operator==(const FreeInterval&, const FreeInterval&) =
+        default;
+  };
+
   explicit SpectrumArbiter(std::uint32_t total_wavelengths,
                            bool interval_index = true);
 
@@ -55,6 +65,19 @@ class SpectrumArbiter {
   /// First-fit allocation of a contiguous band of `width` wavelengths.
   /// Returns nullopt when no free run is wide enough.  width must be >= 1.
   [[nodiscard]] std::optional<WavelengthBand> allocate(std::uint32_t width);
+
+  /// Placed allocation: claim exactly [base, base + width).  Returns
+  /// nullopt when any wavelength of the range is taken (the caller's
+  /// placement went stale) — the planner's chosen placements land here, and
+  /// first-fit remains the policy default through allocate().
+  [[nodiscard]] std::optional<WavelengthBand> allocate_at(std::uint32_t base,
+                                                          std::uint32_t width);
+
+  /// Snapshot of the maximal free runs, sorted by base.  In indexed mode
+  /// this is the interval list itself; in naive mode it is recomputed from
+  /// the occupancy bitmap — both report identical intervals, so planner
+  /// decisions are bit-identical across the flat_hot_path toggle.
+  [[nodiscard]] std::vector<FreeInterval> free_intervals() const;
 
   /// Return a band obtained from allocate().  Aborts on a band that is not
   /// currently allocated exactly as given (double-free / corruption guard).
@@ -79,13 +102,6 @@ class SpectrumArbiter {
       const WavelengthBand& also_free) const;
 
  private:
-  /// A maximal free run [base, base + width); the interval list is sorted
-  /// by base, disjoint, and never adjacent (merged eagerly on release).
-  struct FreeInterval {
-    std::uint32_t base;
-    std::uint32_t width;
-  };
-
   /// Refresh the occupancy gauge after a mutation (no-op when no registry
   /// is attached).
   void publish_occupancy();

@@ -96,7 +96,8 @@ CollectiveRuntime::CollectiveRuntime(RuntimeConfig config)
       ring_(config.ring_size),
       optical_(make_optical_substrate(ring_, config_.optical,
                                       config_.fit_policy, simulator_,
-                                      config_.flat_hot_path)),
+                                      config_.flat_hot_path,
+                                      config_.spectrum_policy)),
       electrical_(config_.placement == HybridPlacementPolicy::kOpticalOnly
                       ? nullptr
                       : make_electrical_substrate(config_.ring_size,
@@ -242,7 +243,8 @@ void CollectiveRuntime::on_arrival(JobId id) {
   QueueEntry entry{id, next_seq_++, record.spec.min_wavelengths,
                    record.effective_request, record.spec.weight,
                    record.spec.payload, record.spec.participants,
-                   record.spec.priority, record.spec.pin};
+                   record.spec.priority, record.spec.arrival,
+                   record.spec.pin};
   // Time-windowed batching: hold a fusable arrival out of admission for the
   // fuse window, so a burst landing on an idle ring still fuses instead of
   // its first job sprinting ahead alone.  Held entries stay visible to the
@@ -275,9 +277,47 @@ std::int32_t CollectiveRuntime::top_suspended_priority(
     SubstrateKind kind) const {
   std::int32_t top = std::numeric_limits<std::int32_t>::min();
   for (const auto& exec : suspended_) {
-    if (exec->substrate->kind() == kind) top = std::max(top, exec->priority);
+    if (exec->substrate->kind() == kind) {
+      top = std::max(top, effective_priority(*exec));
+    }
   }
   return top;
+}
+
+std::int32_t CollectiveRuntime::effective_priority(
+    const Execution& exec) const {
+  // Running executions keep their raw priority; only WAITING work ages.
+  if (!exec.suspended) return exec.priority;
+  return aged_priority(exec.priority, exec.suspended_since, simulator_.now(),
+                       config_.aging_half_life);
+}
+
+void CollectiveRuntime::publish_optical_demand(const Execution* excluding) {
+  // Advisory planner input only — recomputed immediately before each
+  // planner placement, so the snapshot is exact at decision time.  Skipped
+  // entirely under the first-fit ablation (the substrate would ignore it).
+  //
+  // The scan is bounded to a head-of-queue window: the head is what
+  // admission considers next, and the planner's blocked/sliver terms only
+  // discriminate on the near-term demand — an unbounded walk would make
+  // every placement O(queue depth) and melt the streaming hot path (a
+  // 100k-job serve keeps tens of thousands of jobs queued at once).
+  if (config_.spectrum_policy != SpectrumPolicy::kPlanner) return;
+  constexpr std::size_t kDemandWindow = 32;
+  std::vector<std::uint32_t> widths;
+  widths.reserve(kDemandWindow + suspended_.size());
+  const std::size_t scan = std::min(queue_.size(), kDemandWindow);
+  for (std::size_t i = 0; i < scan; ++i) {
+    const QueueEntry& entry = queue_.at(i);
+    if (optically_eligible(entry)) widths.push_back(entry.min_wavelengths);
+  }
+  for (const auto& exec : suspended_) {
+    if (exec.get() == excluding) continue;
+    if (exec->substrate->kind() == SubstrateKind::kOptical) {
+      widths.push_back(exec->min_width);
+    }
+  }
+  optical_->note_pending_demand(widths);
 }
 
 bool CollectiveRuntime::has_suspended(SubstrateKind kind) const {
@@ -313,9 +353,13 @@ void CollectiveRuntime::try_admit() {
     // placement path and must not hold up the optical line here.
     if (config_.policy == FairnessPolicy::kPriorityPreempt &&
         has_suspended(SubstrateKind::kOptical)) {
-      const std::optional<std::size_t> head = priority_head(queue_);
+      const util::Seconds now = simulator_.now();
+      const std::optional<std::size_t> head =
+          priority_head(queue_, now, config_.aging_half_life);
       const std::int32_t queued_top =
-          head ? queue_.at(*head).priority
+          head ? aged_priority(queue_.at(*head).priority,
+                               queue_.at(*head).arrival, now,
+                               config_.aging_half_life)
                : std::numeric_limits<std::int32_t>::min();
       if (top_suspended_priority(SubstrateKind::kOptical) > queued_top) {
         if (try_resume_one()) continue;
@@ -324,7 +368,8 @@ void CollectiveRuntime::try_admit() {
     }
     const std::optional<AdmissionDecision> decision =
         next_admission(queue_, config_.policy, optical_->largest_free_grant(),
-                       optical_->free_grant_total());
+                       optical_->free_grant_total(), simulator_.now(),
+                       config_.aging_half_life);
     if (decision) {
       admit(*decision);
       continue;
@@ -366,20 +411,27 @@ bool CollectiveRuntime::try_place_one_electrical() {
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     if (!queue_.at(i).held) order.push_back(i);
   }
+  const util::Seconds age_now = simulator_.now();
   std::sort(order.begin(), order.end(),
-            [this](std::size_t a, std::size_t b) {
+            [this, age_now](std::size_t a, std::size_t b) {
               const QueueEntry& ja = queue_.at(a);
               const QueueEntry& jb = queue_.at(b);
-              if (config_.policy == FairnessPolicy::kPriorityPreempt &&
-                  ja.priority != jb.priority) {
-                return ja.priority > jb.priority;
+              if (config_.policy == FairnessPolicy::kPriorityPreempt) {
+                const std::int32_t pa = aged_priority(
+                    ja.priority, ja.arrival, age_now, config_.aging_half_life);
+                const std::int32_t pb = aged_priority(
+                    jb.priority, jb.arrival, age_now, config_.aging_half_life);
+                if (pa != pb) return pa > pb;
               }
               return ja.seq < jb.seq;
             });
   for (const std::size_t idx : order) {
     const QueueEntry& job = queue_.at(idx);
     if (job.pin == SubstratePin::kOpticalOnly) continue;
-    if (top_elec_suspended > job.priority) continue;
+    if (top_elec_suspended > aged_priority(job.priority, job.arrival, age_now,
+                                           config_.aging_half_life)) {
+      continue;
+    }
     if (!electrical_->can_place(job.participants, 1)) continue;
     if (config_.placement == HybridPlacementPolicy::kCostModelChoice &&
         job.pin != SubstratePin::kElectricalOnly) {
@@ -428,14 +480,19 @@ void CollectiveRuntime::request_optical_preemptions() {
   // resume, whichever outranks the other.
   std::int32_t target_priority = std::numeric_limits<std::int32_t>::min();
   std::uint32_t target_min = 0;
-  if (const std::optional<std::size_t> head = priority_head(queue_)) {
-    target_priority = queue_.at(*head).priority;
+  const util::Seconds now = simulator_.now();
+  if (const std::optional<std::size_t> head =
+          priority_head(queue_, now, config_.aging_half_life)) {
+    target_priority = aged_priority(queue_.at(*head).priority,
+                                    queue_.at(*head).arrival, now,
+                                    config_.aging_half_life);
     target_min = queue_.at(*head).min_wavelengths;
   }
   for (const auto& exec : suspended_) {
     if (exec->substrate->kind() != SubstrateKind::kOptical) continue;
-    if (exec->priority > target_priority) {
-      target_priority = exec->priority;
+    const std::int32_t effective = effective_priority(*exec);
+    if (effective > target_priority) {
+      target_priority = effective;
       target_min = exec->min_width;
     }
   }
@@ -494,22 +551,25 @@ void CollectiveRuntime::request_electrical_preemptions() {
   // positions' hosts; a suspended one can resume on any free host set of
   // its size (remaps_on_resume).
   std::int32_t target_priority = std::numeric_limits<std::int32_t>::min();
+  const util::Seconds now = simulator_.now();
   const QueueEntry* queued_waiter = nullptr;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const QueueEntry& entry = queue_.at(i);
     if (!electrically_pinned(entry)) continue;
-    if (!queued_waiter || entry.priority > target_priority ||
-        (entry.priority == target_priority &&
-         entry.seq < queued_waiter->seq)) {
+    const std::int32_t effective = aged_priority(
+        entry.priority, entry.arrival, now, config_.aging_half_life);
+    if (!queued_waiter || effective > target_priority ||
+        (effective == target_priority && entry.seq < queued_waiter->seq)) {
       queued_waiter = &entry;
-      target_priority = entry.priority;
+      target_priority = effective;
     }
   }
   std::uint32_t suspended_need = 0;
   for (const auto& exec : suspended_) {
     if (exec->substrate->kind() != SubstrateKind::kElectrical) continue;
-    if (exec->priority > target_priority) {
-      target_priority = exec->priority;
+    const std::int32_t effective = effective_priority(*exec);
+    if (effective > target_priority) {
+      target_priority = effective;
       queued_waiter = nullptr;
       suspended_need =
           static_cast<std::uint32_t>(exec->participants.size());
@@ -726,6 +786,11 @@ void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
   std::reverse(exec->jobs.begin(), exec->jobs.end());  // oldest first
   exec->useful_cap = useful_wavelength_cap(exec->participants.size());
 
+  if (substrate.kind() == SubstrateKind::kOptical) {
+    // The members just left the queue, so the snapshot is exactly the
+    // demand this placement must not strand.
+    publish_optical_demand(nullptr);
+  }
   exec->plan =
       substrate.place(exec->participants, exec->batch_payload, grant);
   verify_composite_or_die(*exec);
@@ -859,7 +924,10 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
       const bool eligible = kind == SubstrateKind::kOptical
                                 ? optically_eligible(entry)
                                 : electrically_pinned(entry);
-      still_needed = eligible && entry.priority > exec->priority;
+      still_needed =
+          eligible && aged_priority(entry.priority, entry.arrival,
+                                    simulator_.now(),
+                                    config_.aging_half_life) > exec->priority;
     }
     if (still_needed) {
       // suspend_execution re-runs admission, which may legally resume THIS
@@ -892,6 +960,7 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
 void CollectiveRuntime::suspend_execution(
     const std::shared_ptr<Execution>& exec) {
   exec->suspended = true;
+  exec->suspended_since = simulator_.now();
   for (const JobId id : exec->jobs) {
     JobRecord& record = records_[id];
     record.state = JobState::kPreempted;
@@ -913,12 +982,13 @@ void CollectiveRuntime::suspend_execution(
 
 bool CollectiveRuntime::try_resume_one() {
   if (suspended_.empty()) return false;
-  // Highest-priority suspension first, FIFO among equals.
+  // Highest EFFECTIVE (aged) priority first, FIFO among equals.
   std::vector<std::size_t> order(suspended_.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [this](std::size_t a, std::size_t b) {
-                     return suspended_[a]->priority > suspended_[b]->priority;
+                     return effective_priority(*suspended_[a]) >
+                            effective_priority(*suspended_[b]);
                    });
   for (const std::size_t idx : order) {
     const std::shared_ptr<Execution> exec = suspended_[idx];
@@ -929,20 +999,28 @@ bool CollectiveRuntime::try_resume_one() {
     // ones.
     if (config_.policy == FairnessPolicy::kPriorityPreempt) {
       const SubstrateKind kind = exec->substrate->kind();
+      const util::Seconds now = simulator_.now();
       std::int32_t top_queued = std::numeric_limits<std::int32_t>::min();
       for (std::size_t i = 0; i < queue_.size(); ++i) {
         const QueueEntry& entry = queue_.at(i);
         const bool same_fabric = kind == SubstrateKind::kOptical
                                      ? optically_eligible(entry)
                                      : electrically_pinned(entry);
-        if (same_fabric) top_queued = std::max(top_queued, entry.priority);
+        if (same_fabric) {
+          top_queued = std::max(
+              top_queued, aged_priority(entry.priority, entry.arrival, now,
+                                        config_.aging_half_life));
+        }
       }
-      if (top_queued > exec->priority) continue;
+      if (top_queued > effective_priority(*exec)) continue;
     }
     // The pre-suspension width is the sizing hint; the substrate may settle
     // for less (never below the floor) or need more for inherited mirrors.
     const std::uint32_t desired = std::clamp(
         exec->plan->band().width, exec->min_width, exec->useful_cap);
+    if (exec->substrate->kind() == SubstrateKind::kOptical) {
+      publish_optical_demand(exec.get());
+    }
     std::unique_ptr<SubstrateExecution> next = exec->substrate->resume_plan(
         *exec->plan, exec->next_step, desired, exec->min_width);
     if (!next) continue;

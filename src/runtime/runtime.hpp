@@ -128,6 +128,19 @@ struct RuntimeConfig {
   /// shrink a band toward its jobs' floor when the shrink would unblock a
   /// starved queued job.
   bool elastic_resize = false;
+  /// Who places spectrum bands on the optical substrate: the global
+  /// SpectrumPlanner (default — joint placement against queued + suspended
+  /// demand and outstanding bands' predicted frees, see runtime/planner.hpp)
+  /// or the historical greedy first-fit, kept as the ablation baseline.
+  SpectrumPolicy spectrum_policy = SpectrumPolicy::kPlanner;
+  /// Priority aging half-life for starvation control (0 = aging off, the
+  /// historical behavior).  While a job waits — queued, or suspended after a
+  /// preemption — its EFFECTIVE priority rises by one class per
+  /// aging_half_life of sim-clock wait, so a repeatedly-preempted tenant
+  /// eventually outranks the traffic that keeps displacing it.  Running
+  /// executions keep their raw priority; aging applies at admission,
+  /// preemption-target, and resume comparisons.
+  util::Seconds aging_half_life{0.0};
   /// Hybrid placement across substrates.
   HybridPlacementPolicy placement = HybridPlacementPolicy::kOpticalOnly;
   /// What kCostModelChoice compares (ignored by the other placements).
@@ -323,6 +336,9 @@ class CollectiveRuntime {
     /// the next step boundary.
     bool preempt_requested = false;
     bool suspended = false;
+    /// When the execution last suspended (valid while `suspended`) — the
+    /// clock priority aging runs against.
+    util::Seconds suspended_since{0.0};
     /// Sim-clock handle of the in-flight step's completion event — the
     /// thing a shared-fabric retiming cancels and re-schedules.
     std::uint64_t step_event = 0;
@@ -388,8 +404,16 @@ class CollectiveRuntime {
   void request_optical_preemptions();
   void request_electrical_preemptions();
   /// Highest priority among suspended executions of `kind`'s substrate —
-  /// the waiters contending for that fabric's capacity.
+  /// the waiters contending for that fabric's capacity.  Aged: a suspended
+  /// execution's priority rises with its wait under aging_half_life.
   [[nodiscard]] std::int32_t top_suspended_priority(SubstrateKind kind) const;
+  /// `exec`'s effective priority right now: raw while running, aged by the
+  /// suspension wait while suspended.
+  [[nodiscard]] std::int32_t effective_priority(const Execution& exec) const;
+  /// Refresh the optical substrate's advisory pending-demand snapshot
+  /// (minimum widths of queued optically-eligible jobs + suspended optical
+  /// executions, minus `excluding`) ahead of a planner placement.
+  void publish_optical_demand(const Execution* excluding);
   [[nodiscard]] bool has_suspended(SubstrateKind kind) const;
   /// True when `entry` could be served by the electrical fallback AND its
   /// urgency may drive electrical preemptions / block lower-priority

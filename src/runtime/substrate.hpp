@@ -38,6 +38,7 @@
 #include "optical/assign.hpp"
 #include "optical/params.hpp"
 #include "runtime/job.hpp"
+#include "runtime/planner.hpp"
 #include "sim/simulator.hpp"
 #include "topo/ring.hpp"
 
@@ -185,6 +186,17 @@ class ExecutionSubstrate {
     return {};
   }
 
+  /// Advisory snapshot of the demand still waiting for THIS substrate's
+  /// capacity: the minimum grants (in this substrate's units) of queued
+  /// jobs and suspended executions, excluding whatever the runtime is about
+  /// to place.  Placement-planning substrates (the optical planner policy)
+  /// score candidate placements jointly against this demand; the default
+  /// ignores it.  The runtime refreshes it immediately before each place/
+  /// resume_plan call, so a substrate may treat it as current.
+  virtual void note_pending_demand(const std::vector<std::uint32_t>& min_grants) {
+    (void)min_grants;
+  }
+
   /// Register the substrate's own metrics (grant-churn counters, occupancy
   /// and utilization gauges) with `registry` and keep the handles for the
   /// run.  Called at most once, before any placement; the default registers
@@ -254,10 +266,13 @@ class ExecutionSubstrate {
 /// spectrum-release events, and O(1) backlog-registry removal; false
 /// restores the original per-transfer/linear-scan behaviour (identical
 /// schedules and reports either way — it exists as a benchmark baseline).
+/// `spectrum_policy` picks who places bands: the SpectrumPlanner (default)
+/// or the historical greedy first-fit (ablation baseline).
 [[nodiscard]] std::unique_ptr<ExecutionSubstrate> make_optical_substrate(
     const topo::RingTopology& ring, const optical::OpticalParams& params,
     optical::FitPolicy fit_policy, sim::Simulator& sim,
-    bool flat_hot_path = true);
+    bool flat_hot_path = true,
+    SpectrumPolicy spectrum_policy = SpectrumPolicy::kPlanner);
 
 /// Which electrical fabric backs the fallback substrate.
 enum class ElectricalFabric : std::uint8_t {

@@ -19,6 +19,7 @@
 #include "optical/spectrum.hpp"
 #include "optical/transceiver.hpp"
 #include "runtime/arbiter.hpp"
+#include "runtime/planner.hpp"
 #include "wrht/builder.hpp"
 #include "wrht/executor.hpp"
 #include "wrht/time_model.hpp"
@@ -62,12 +63,13 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   OpticalSubstrate(const topo::RingTopology& ring,
                    const optical::OpticalParams& params,
                    optical::FitPolicy fit_policy, sim::Simulator& sim,
-                   bool flat_hot_path)
+                   bool flat_hot_path, SpectrumPolicy spectrum_policy)
       : ring_(ring),
         params_(params),
         fit_policy_(fit_policy),
         sim_(sim),
         flat_(flat_hot_path),
+        policy_(spectrum_policy),
         spectrum_(ring, params.wdm.num_wavelengths),
         transceivers_(ring.num_nodes()),
         arbiter_(params.wdm.num_wavelengths, flat_hot_path) {}
@@ -102,10 +104,15 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     return arbiter_.largest_free_block() >= min_grant;
   }
 
+  void note_pending_demand(
+      const std::vector<std::uint32_t>& min_grants) override {
+    pending_widths_ = min_grants;
+  }
+
   [[nodiscard]] std::unique_ptr<SubstrateExecution> place(
       const std::vector<topo::NodeId>& participants, util::Bytes payload,
       std::uint32_t grant) override {
-    const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
+    const std::optional<WavelengthBand> band = acquire_band(grant);
     // Admission promised a free run of this width; not finding one is an
     // arbiter/admission disagreement.
     WRHT_CHECK(band.has_value(),
@@ -215,16 +222,21 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   [[nodiscard]] util::Seconds predict_completion(
       const std::vector<topo::NodeId>& participants, util::Bytes payload,
       std::uint32_t grant, util::Seconds now) const override {
-    // Run time plus the predicted wait for a band: with a wide-enough free
-    // run the job starts now; otherwise walk the outstanding bands by their
-    // predicted release times, crediting each width to the free pool until
-    // a `grant`-wide band could exist.  The credit ignores where the freed
-    // bands sit (contiguity is approximated by the free TOTAL — the same
-    // deliberate approximation the preemption planner makes), so this is a
-    // queue-wait ESTIMATE; the runtime's routing report tracks how far it
-    // lands from the truth per decision.
+    // Run time plus the predicted wait for a band.  Under the planner
+    // policy the wait is SpectrumPlanner::earliest_fit — the first instant
+    // a CONTIGUOUS run of the width exists when outstanding bands release
+    // at their predicted ends — so a fragmented pool whose free TOTAL
+    // covers the request no longer reads as "available now".  The first-fit
+    // ablation keeps the historical estimate (largest-free-block point
+    // check, then a contiguity-blind credit walk over the free total) so
+    // its measured routing error stays the documented baseline.
     const util::Seconds run = predict_makespan(participants, payload, grant);
     const std::uint32_t width = std::max(grant, 1u);
+    if (policy_ == SpectrumPolicy::kPlanner) {
+      const util::Seconds start =
+          SpectrumPlanner::earliest_fit(width, planner_context(now));
+      return start + run;
+    }
     if (arbiter_.largest_free_block() >= width) return now + run;
     std::vector<std::pair<util::Seconds, std::uint32_t>> releases;
     releases.reserve(outstanding_.size());
@@ -259,7 +271,7 @@ class OpticalSubstrate final : public ExecutionSubstrate {
       rebuilt = rebuild_remainder(current, steps_done, grant);
     }
     if (!rebuilt) return nullptr;
-    const std::optional<WavelengthBand> band = arbiter_.allocate(grant);
+    const std::optional<WavelengthBand> band = acquire_band(grant);
     WRHT_CHECK(band.has_value(), "OpticalSubstrate: arbiter refused a "
                                      << grant << "-band on resume");
     return make_plan(std::move(*rebuilt), *band, current.participants,
@@ -314,6 +326,41 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   }
 
  private:
+  /// Snapshot of the spectrum the planner scores placements/forecasts
+  /// against, as of `now`.
+  [[nodiscard]] PlannerContext planner_context(util::Seconds now) const {
+    PlannerContext ctx;
+    ctx.free_intervals = arbiter_.free_intervals();
+    ctx.outstanding.reserve(outstanding_.size());
+    for (const OpticalExecution* exec : outstanding_) {
+      ctx.outstanding.push_back(
+          OutstandingBand{exec->band_, exec->predicted_end});
+    }
+    ctx.pending_min_widths = pending_widths_;
+    ctx.total_wavelengths = arbiter_.total();
+    ctx.now = now;
+    return ctx;
+  }
+
+  /// Claim a `width`-wide band under the active spectrum policy.  The
+  /// planner proposes a base scored against outstanding bands and pending
+  /// demand; the arbiter still occupancy-checks the exact range (a
+  /// collision would be a planner/arbiter disagreement and aborts), so a
+  /// planned placement is proven before it exists.
+  [[nodiscard]] std::optional<WavelengthBand> acquire_band(
+      std::uint32_t width) {
+    if (policy_ == SpectrumPolicy::kFirstFit) return arbiter_.allocate(width);
+    const std::optional<std::uint32_t> base =
+        SpectrumPlanner::choose_base(width, planner_context(sim_.now()));
+    if (!base) return std::nullopt;
+    const std::optional<WavelengthBand> band =
+        arbiter_.allocate_at(*base, width);
+    WRHT_CHECK(band.has_value(),
+               "OpticalSubstrate: planner placement [" << *base << ", "
+                   << *base + width << ") collided with a granted band");
+    return band;
+  }
+
   [[nodiscard]] std::optional<core::WrhtBuild> rebuild_remainder(
       const OpticalExecution& exec, std::size_t steps_done,
       std::uint32_t width) const {
@@ -374,6 +421,8 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   /// per step, O(1) outstanding-registry removal.  False restores the
   /// original per-transfer events and linear scans (benchmark baseline).
   bool flat_;
+  /// Who places bands: the SpectrumPlanner or greedy first-fit (ablation).
+  SpectrumPolicy policy_;
   optical::SpectrumMap spectrum_;
   optical::TransceiverBank transceivers_;
   SpectrumArbiter arbiter_;
@@ -384,15 +433,20 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   /// backlog estimate.  Entries are non-owning and live exactly while the
   /// plan holds its band.
   std::vector<OpticalExecution*> outstanding_;
+  /// Latest note_pending_demand snapshot: minimum widths of queued +
+  /// suspended demand, excluding the job being placed.  Read only by the
+  /// planner policy's placement cost.
+  std::vector<std::uint32_t> pending_widths_;
 };
 
 }  // namespace
 
 std::unique_ptr<ExecutionSubstrate> make_optical_substrate(
     const topo::RingTopology& ring, const optical::OpticalParams& params,
-    optical::FitPolicy fit_policy, sim::Simulator& sim, bool flat_hot_path) {
+    optical::FitPolicy fit_policy, sim::Simulator& sim, bool flat_hot_path,
+    SpectrumPolicy spectrum_policy) {
   return std::make_unique<OpticalSubstrate>(ring, params, fit_policy, sim,
-                                            flat_hot_path);
+                                            flat_hot_path, spectrum_policy);
 }
 
 }  // namespace wrht::runtime

@@ -118,6 +118,56 @@ TEST(CongestionAwareRouting, SaturatedUplinksRepelOverspill) {
   EXPECT_LT(aware.routing.mean_error, quiet.routing.mean_error);
 }
 
+TEST(CongestionAwareRouting, DrainForecastCutsErrorOnADrainingFabric) {
+  // Two waves of ToR-straddling pairs.  The first saturates the uplinks at
+  // t=0; the second lands while those flows are still in flight but
+  // predicted to drain within the arrivals' own spans.  The clone probe
+  // alone would stretch the second wave's electrical predictions as if the
+  // contention it sees were permanent; the drain forecast decays the
+  // stretch by the in-flight steps' predicted ends, so the aware model's
+  // promises track the actual (draining) fabric where the quiet model's
+  // contention-blind ones overshoot.
+  auto wave = [](CollectiveRuntime& rt, std::uint32_t first,
+                 std::uint32_t count, util::Seconds arrival) {
+    for (std::uint32_t j = first; j < first + count; ++j) {
+      JobSpec spec;
+      spec.participants = {j, 16 + j};
+      spec.payload = util::megabytes(4);
+      spec.requested_wavelengths = 1;
+      spec.arrival = arrival;
+      rt.submit(spec);
+    }
+  };
+
+  // Self-calibrate: time the first wave alone, then land the second wave
+  // at 80% of that makespan — busy uplinks, predictably nearly drained.
+  util::Seconds drain{0.0};
+  {
+    CollectiveRuntime alone(
+        saturated_shared_config(RoutingCostModel::kQuietAlphaBeta));
+    wave(alone, 0, 8, util::Seconds(0.0));
+    drain = alone.run().makespan;
+  }
+  const util::Seconds second_wave = util::Seconds(drain.value() * 0.8);
+
+  auto run_model = [&](RoutingCostModel model) {
+    CollectiveRuntime rt(saturated_shared_config(model));
+    wave(rt, 0, 8, util::Seconds(0.0));
+    wave(rt, 8, 8, second_wave);
+    const RuntimeReport report = rt.run();
+    EXPECT_EQ(report.completed, 16u);
+    return report;
+  };
+  const RuntimeReport quiet = run_model(RoutingCostModel::kQuietAlphaBeta);
+  const RuntimeReport aware = run_model(RoutingCostModel::kCongestionAware);
+
+  // The draining fabric must not repel the whole second wave — nearly-done
+  // tenants free the uplinks within the arrivals' spans.
+  EXPECT_GT(aware.routing.to_electrical, 0u);
+  // And the decayed promises are kept better than the blind ones.
+  EXPECT_LT(aware.routing.mean_error, quiet.routing.mean_error);
+}
+
 TEST(CongestionAwareRouting, SpectrumBacklogRoutesAroundTheRing) {
   // A hog pins the whole spectrum for tens of milliseconds.  The straddler
   // that arrives next is quietly predicted faster on the optical ring — so

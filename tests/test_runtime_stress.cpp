@@ -408,6 +408,102 @@ TEST(RuntimeStress, ExtraSeedsFromEnvironment) {
   }
 }
 
+TEST(PriorityAging, AgedWaiterIsAdmittedWithinAHardBound) {
+  // Deterministic starvation scenario: a lone low-priority job (p=-2,
+  // seq 0) against a stream of FRESH full-spectrum high-priority arrivals
+  // (p=+2), spaced just under one service time so the ring never idles but
+  // every admission boundary sees a young rival.  Without aging the fresh
+  // +2 beats the stale -2 at every boundary and the low job waits out the
+  // ENTIRE stream.  With aging_half_life=H its effective priority gains
+  // one class per half-life of sim-clock wait: after 4H it ties the fresh
+  // stream at +2 and wins the seq tie-break at the next boundary (the
+  // rivals are young — their own boost is still zero).  That bounds the
+  // admission wait — asserted against the runtime.max_wait_seconds.p<prio>
+  // gauges the SLO layer publishes.  (A burst-submitted stream would NOT
+  // starve anyone under aging-for-all: jobs that arrived together age
+  // together, preserving relative order — the starvation aging breaks is
+  // specifically old-vs-fresh.)
+  //
+  // 16 participants keep the full-spectrum minimum under the useful cap
+  // (ceil(16^2/8) = 32 >= 16), so every job genuinely needs the whole ring.
+  auto hot_job = [](std::uint32_t i, util::Seconds spacing) {
+    JobSpec spec;
+    for (std::uint32_t n = 0; n < 16; ++n) spec.participants.push_back(n);
+    spec.payload = util::megabytes(1);
+    spec.requested_wavelengths = 16;
+    spec.min_wavelengths = 16;
+    spec.priority = 2;
+    spec.arrival = util::Seconds(spacing.value() * i);
+    return spec;
+  };
+
+  // Self-calibrate the per-job service time S: one hot job, empty ring.
+  util::Seconds service{0.0};
+  {
+    RuntimeConfig config;
+    config.ring_size = kRingSize;
+    config.optical.wdm.num_wavelengths = 16;
+    config.placement = HybridPlacementPolicy::kOpticalOnly;
+    config.batcher.enabled = false;
+    CollectiveRuntime alone(config);
+    alone.submit(hot_job(0, util::Seconds(0.0)));
+    service = alone.run().makespan;
+  }
+  // 90% of S: a small backlog accrues, the ring never goes idle.
+  const util::Seconds spacing = util::Seconds(service.value() * 0.9);
+
+  auto low_priority_wait = [&](util::Seconds half_life) {
+    obs::MetricsRegistry registry;
+    RuntimeConfig config;
+    config.ring_size = kRingSize;
+    config.optical.wdm.num_wavelengths = 16;
+    config.policy = FairnessPolicy::kPriorityPreempt;
+    config.placement = HybridPlacementPolicy::kOpticalOnly;
+    config.batcher.enabled = false;
+    config.aging_half_life = half_life;
+    config.metrics = &registry;
+    CollectiveRuntime rt(config);
+
+    JobSpec starved;
+    for (std::uint32_t n = 16; n < 32; ++n) starved.participants.push_back(n);
+    starved.payload = util::megabytes(1);
+    starved.requested_wavelengths = 16;
+    starved.min_wavelengths = 16;
+    starved.priority = -2;
+    // Lands AFTER the first hot job has grabbed the spectrum (but before
+    // the rest of the stream) — an arrival at t=0 would be admitted onto
+    // the still-empty ring before any high-priority rival shows up.
+    starved.arrival = util::microseconds(5.0);
+    rt.submit(starved);
+    for (std::uint32_t i = 0; i < 40; ++i) rt.submit(hot_job(i, spacing));
+
+    const RuntimeReport report = rt.run();
+    EXPECT_EQ(report.completed, 41u);
+    const obs::Gauge* gauge =
+        registry.find_gauge("runtime.max_wait_seconds.p-2");
+    EXPECT_NE(gauge, nullptr);
+    return gauge != nullptr ? gauge->value() : 0.0;
+  };
+
+  const util::Seconds half_life = util::milliseconds(1.0);
+  const double starved_wait = low_priority_wait(util::Seconds(0.0));
+  const double aged_wait = low_priority_wait(half_life);
+
+  // THE hard bound: 5 half-lives to outrank the stream's running job, plus
+  // one full service for the job holding the spectrum when the threshold
+  // is crossed, plus one more of boundary slack.
+  const double bound = 5.0 * half_life.value() + 2.0 * service.value();
+  std::printf("[aging] p-2 max wait: unaged=%s aged=%s bound=%s\n",
+              util::to_string(util::Seconds(starved_wait)).c_str(),
+              util::to_string(util::Seconds(aged_wait)).c_str(),
+              util::to_string(util::Seconds(bound)).c_str());
+  EXPECT_LT(aged_wait, bound);
+  // And the bound is the AGING's doing: without it the same job waits out
+  // the whole stream, far past the bound.
+  EXPECT_GT(starved_wait, bound);
+  EXPECT_GT(starved_wait, 2.0 * aged_wait);
+}
+
 TEST(RuntimeStress, BackToBackSeedsAreIndependent) {
   // Two runs of the same seed in fresh runtimes agree event-for-event —
   // the reproducibility claim the fixed seeds depend on.
