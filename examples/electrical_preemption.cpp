@@ -2,9 +2,9 @@
 //
 // Part 1 drives the electrical substrate directly to show the mechanics:
 // a tenant is placed on its participants' hosts, suspended at a step
-// boundary (hosts surrendered), a blocker takes some of those hosts, and
-// resume_plan re-places the remainder on a DIFFERENT host set — the
-// schedule remap that carries a compact collective onto any free hosts.
+// boundary (hosts surrendered), a blocker takes some of those hosts, and a
+// kResume renegotiation re-places the remainder on a DIFFERENT host set —
+// the schedule remap that carries a compact collective onto any free hosts.
 //
 // Part 2 runs the same story end-to-end through the multi-tenant runtime
 // on the shared two-level fabric: a background electrically-pinned tenant
@@ -60,12 +60,14 @@ int main() {
   print_hosts("urgent tenant on", *urgent);
 
   // ...so the resume remaps the remainder onto the lowest free hosts.
-  std::unique_ptr<runtime::SubstrateExecution> resumed =
-      sub->resume_plan(*tenant, 1, 1, 1);
-  if (resumed == nullptr) {
+  runtime::RenegotiationOutcome outcome = sub->renegotiate(
+      tenant.get(), runtime::RenegotiationRequest::resume(1, 1, 1));
+  if (!outcome.accepted()) {
     std::printf("resume unexpectedly refused\n");
     return 1;
   }
+  const std::unique_ptr<runtime::SubstrateExecution> resumed =
+      std::move(outcome.plan);
   print_hosts("resumed remapped on", *resumed);
   std::printf("%-22s %zu of %zu steps remain\n\n", "remainder",
               resumed->num_steps(), tenant->num_steps());

@@ -184,4 +184,39 @@ OracleResult Oracle::verify_allreduce_among(
   return OracleResult{};
 }
 
+OracleResult Oracle::verify_allreduce_among(
+    const Schedule& schedule, const std::vector<NodeId>& contributors,
+    const std::vector<NodeId>& recipients, std::size_t payload_len,
+    std::uint64_t seed) {
+  auto data = random_payloads(schedule.num_nodes(), payload_len, seed);
+  const auto initial = data;
+  std::vector<double> expected(payload_len, 0.0);
+  std::vector<bool> is_contributor(schedule.num_nodes(), false);
+  std::vector<bool> is_recipient(schedule.num_nodes(), false);
+  for (const NodeId node : contributors) {
+    is_contributor[node] = true;
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      expected[e] += data[node][e];
+    }
+  }
+  for (const NodeId node : recipients) {
+    is_recipient[node] = true;
+  }
+  FunctionalExecutor::run(schedule, data);
+  for (NodeId node = 0; node < schedule.num_nodes(); ++node) {
+    for (std::size_t e = 0; e < payload_len; ++e) {
+      if (is_recipient[node]) {
+        if (data[node][e] != expected[e]) {
+          return mismatch(schedule, "survivor all-reduce mismatch", node, e);
+        }
+      } else if (!is_contributor[node] &&
+                 data[node][e] != initial[node][e]) {
+        return mismatch(schedule, "non-participant was written", node, e);
+      }
+      // Evicted contributors (contributor, not recipient): unspecified.
+    }
+  }
+  return OracleResult{};
+}
+
 }  // namespace wrht::coll

@@ -56,6 +56,16 @@ class Oracle {
   static OracleResult verify_allreduce_among(
       const Schedule& schedule, const std::vector<NodeId>& participants,
       std::size_t payload_len, std::uint64_t seed = 7);
+
+  /// Fault variant: the sum is taken over `contributors`, but only
+  /// `recipients` (a subset of the contributors — the survivors of a
+  /// mid-flight eviction) must end holding it.  Nodes outside the
+  /// contributor set must be untouched; evicted contributors' final state
+  /// is unspecified (their hardware is gone).
+  static OracleResult verify_allreduce_among(
+      const Schedule& schedule, const std::vector<NodeId>& contributors,
+      const std::vector<NodeId>& recipients, std::size_t payload_len,
+      std::uint64_t seed = 7);
 };
 
 }  // namespace wrht::coll

@@ -211,6 +211,15 @@ std::string chrome_trace_json(const sim::Trace& trace,
                 "}");
         break;
       }
+      case sim::TraceKind::kJobMigrate:
+        writer.instant(pid, job, ts, "migrate",
+                       "{\"band_base\": " + std::to_string(event.b) +
+                           ", \"grant\": " + json_quote(event.detail) + "}");
+        break;
+      case sim::TraceKind::kJobKilled:
+        // Terminal: close the job's open span (admit or suspension).
+        writer.end(pid, job, ts);
+        break;
       case sim::TraceKind::kJobPlaceOptical:
       case sim::TraceKind::kJobPlaceElectrical:
         // The placement verdict is already encoded in the job's pid.

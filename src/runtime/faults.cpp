@@ -1,0 +1,105 @@
+#include "runtime/faults.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "workload/distributions.hpp"
+
+namespace wrht::runtime {
+
+const char* fault_domain_name(FaultDomain domain) {
+  switch (domain) {
+    case FaultDomain::kTransceiver:
+      return "transceiver";
+    case FaultDomain::kNode:
+      return "node";
+    case FaultDomain::kTor:
+      return "tor";
+    case FaultDomain::kWavelength:
+      return "wavelength";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Derived per-domain seed: decorrelates the domains' Rngs while keeping
+/// each a pure function of (seed, domain).  The odd multiplier is the
+/// splitmix64 increment, reused here only as a mixing constant.
+std::uint64_t domain_seed(std::uint64_t seed, FaultDomain domain) {
+  return seed + 0x9E3779B97F4A7C15ULL *
+                    (static_cast<std::uint64_t>(domain) + 1);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : horizon_(config.horizon), mttr_(config.mttr) {
+  const auto add = [&](FaultDomain domain, util::Seconds mtbf,
+                       std::uint32_t subjects) {
+    if (mtbf.value() <= 0.0 || subjects == 0) return;
+    processes_.push_back(Process{domain, 1.0 / mtbf.value(), subjects,
+                                 util::Rng(domain_seed(config.seed, domain)),
+                                 std::nullopt});
+    advance(processes_.back());
+  };
+  // Fixed registration order = fixed tie-break order in next().
+  add(FaultDomain::kTransceiver, config.transceiver_mtbf, config.ring_size);
+  add(FaultDomain::kNode, config.node_mtbf, config.ring_size);
+  add(FaultDomain::kTor, config.tor_mtbf, config.num_tors);
+  add(FaultDomain::kWavelength, config.wavelength_mtbf,
+      config.num_wavelengths);
+}
+
+void FaultInjector::advance(Process& process) {
+  // Fixed consumption pattern per fault — gap, subject, repair — so the
+  // domain's stream never depends on whether repairs are enabled elsewhere.
+  const util::Seconds previous =
+      process.pending ? process.pending->at : util::Seconds(0.0);
+  FaultSpec spec;
+  spec.domain = process.domain;
+  spec.at = previous + util::Seconds(workload::sample_exponential(
+                           process.rng, process.rate));
+  spec.subject = static_cast<std::uint32_t>(
+      process.rng.next_below(process.subjects));
+  spec.repair_after =
+      mttr_.value() > 0.0
+          ? util::Seconds(workload::sample_exponential(process.rng,
+                                                       1.0 / mttr_.value()))
+          : util::Seconds(0.0);
+  process.pending =
+      spec.at < horizon_ ? std::optional<FaultSpec>(spec) : std::nullopt;
+}
+
+std::optional<FaultSpec> FaultInjector::next() {
+  Process* soonest = nullptr;
+  for (Process& process : processes_) {
+    if (!process.pending) continue;
+    if (soonest == nullptr ||
+        process.pending->at < soonest->pending->at) {
+      soonest = &process;
+    }
+  }
+  if (soonest == nullptr) return std::nullopt;
+  const FaultSpec out = *soonest->pending;
+  advance(*soonest);
+  return out;
+}
+
+ScriptedFaultSource::ScriptedFaultSource(std::vector<FaultSpec> faults)
+    : faults_(std::move(faults)) {
+  for (std::size_t i = 1; i < faults_.size(); ++i) {
+    WRHT_REQUIRE(!(faults_[i].at < faults_[i - 1].at),
+                 "ScriptedFaultSource: faults must be in nondecreasing time "
+                 "order (fault "
+                     << i << " at " << faults_[i].at.value() << "s after "
+                     << faults_[i - 1].at.value() << "s)");
+  }
+}
+
+std::optional<FaultSpec> ScriptedFaultSource::next() {
+  if (cursor_ >= faults_.size()) return std::nullopt;
+  return faults_[cursor_++];
+}
+
+}  // namespace wrht::runtime

@@ -16,6 +16,8 @@ const char* job_state_name(JobState state) {
       return "done";
     case JobState::kRejected:
       return "rejected";
+    case JobState::kFailed:
+      return "failed";
   }
   return "?";
 }

@@ -69,6 +69,7 @@ enum class JobState : std::uint8_t {
   kPreempted,  // suspended at a step boundary, band surrendered, will resume
   kDone,       // all-reduce complete
   kRejected,   // can never run (bad or inconsistent spec)
+  kFailed,     // killed mid-run: faults left fewer than 2 live participants
 };
 
 [[nodiscard]] const char* job_state_name(JobState state);

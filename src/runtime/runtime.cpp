@@ -86,6 +86,22 @@ std::string RuntimeReport::to_string() const {
            util::format_double(routing.mean_error * 100.0, 1) + "%, worst " +
            util::format_double(routing.worst_error * 100.0, 1) + "%\n";
   }
+  if (faults.injected > 0) {
+    out += "faults          : " + std::to_string(faults.injected) +
+           " injected (" + std::to_string(faults.transceiver_faults) +
+           " transceiver, " + std::to_string(faults.node_faults) + " node, " +
+           std::to_string(faults.tor_faults) + " tor, " +
+           std::to_string(faults.wavelength_faults) + " wavelength), " +
+           std::to_string(faults.repairs) + " repaired\n";
+    out += "fault recovery  : " + std::to_string(faults.evictions) +
+           " evictions, " + std::to_string(faults.restarts) + " restarts, " +
+           std::to_string(faults.migrations) + " migrations, " +
+           std::to_string(faults.fault_preemptions) +
+           " fault-preemptions, " + std::to_string(faults.killed_jobs) +
+           " jobs killed\n";
+    out += "mttr / goodput  : " + util::to_string(faults.mttr()) + " / " +
+           util::format_double(goodput() * 100.0, 1) + "%\n";
+  }
   out += "makespan        : " + util::to_string(makespan) + "\n";
   out += "mean turnaround : " + util::to_string(mean_turnaround()) + "\n";
   return out;
@@ -104,6 +120,11 @@ CollectiveRuntime::CollectiveRuntime(RuntimeConfig config)
                                                   config_.electrical)) {
   simulator_.event_queue().set_recycling(config_.flat_hot_path);
   queue_.set_flat(config_.flat_hot_path);
+  optical_node_down_.assign(config_.ring_size, 0);
+  host_down_.assign(config_.ring_size, 0);
+  wavelength_down_.assign(config_.optical.wdm.num_wavelengths, 0);
+  wavelength_quarantined_.assign(config_.optical.wdm.num_wavelengths, false);
+  host_quarantined_.assign(config_.ring_size, false);
   init_instruments();
 }
 
@@ -126,6 +147,10 @@ void CollectiveRuntime::init_instruments() {
   ins_.turnaround = reg->histogram("runtime.turnaround_seconds");
   ins_.slowdown = reg->histogram("runtime.slowdown", 1.0, 1.25, 32);
   ins_.routing_error = reg->histogram("runtime.routing_error");
+  ins_.faults_injected = reg->counter("runtime.faults_injected");
+  ins_.fault_repairs = reg->counter("runtime.fault_repairs");
+  ins_.fault_recoveries = reg->counter("runtime.fault_recoveries");
+  ins_.jobs_killed = reg->counter("runtime.jobs_killed");
   optical_->attach_metrics(*reg);
   if (electrical_) electrical_->attach_metrics(*reg);
 }
@@ -714,8 +739,26 @@ void CollectiveRuntime::verify_composite_or_die(const Execution& exec) {
       composite.add_transfer(t);
     }
   }
-  const coll::OracleResult verdict = coll::Oracle::verify_allreduce_among(
-      composite, exec.participants, config_.oracle_payload_len);
+  // Faults change the delivery contract, not the sum: once nodes were
+  // evicted mid-flight, every ORIGINAL participant contributed but only
+  // the survivors must end holding the total (the evicted nodes' hardware
+  // is gone — their final state is unspecified).
+  coll::OracleResult verdict;
+  if (exec.evicted.empty()) {
+    verdict = coll::Oracle::verify_allreduce_among(
+        composite, exec.participants, config_.oracle_payload_len);
+  } else {
+    std::vector<topo::NodeId> recipients;
+    recipients.reserve(exec.participants.size());
+    for (const topo::NodeId node : exec.participants) {
+      if (std::find(exec.evicted.begin(), exec.evicted.end(), node) ==
+          exec.evicted.end()) {
+        recipients.push_back(node);
+      }
+    }
+    verdict = coll::Oracle::verify_allreduce_among(
+        composite, exec.participants, recipients, config_.oracle_payload_len);
+  }
   if (!verdict.ok) ++report_.oracle_failures;
   // A schedule that fails the oracle must never touch its fabric; like a
   // wavelength conflict, this is a library bug, not a tenant error.
@@ -837,6 +880,19 @@ void CollectiveRuntime::place_execution(ExecutionSubstrate& substrate,
   ++slice.executions;
   running_execs_.push_back(exec);
 
+  // Admission does not filter on node liveness (a down TRANSCEIVER's job
+  // may still have been queued before the fault): a fresh optical placement
+  // over dead participants runs its first step and reconciles at the first
+  // boundary, exactly like a running execution the fault caught.
+  if (any_fault_ever_ && kind == SubstrateKind::kOptical) {
+    for (const topo::NodeId node : exec->participants) {
+      if (optical_node_down_[node] != 0) {
+        exec->fault_pending = true;
+        break;
+      }
+    }
+  }
+
   audit_route_decision(*exec, grant, lead_request, lead_pin);
   run_step(exec);
 }
@@ -907,6 +963,12 @@ void CollectiveRuntime::audit_route_decision(const Execution& exec,
 }
 
 bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
+  // Faults outrank every voluntary renegotiation: dead hardware cannot
+  // carry the next step, so reconcile against the down sets before the
+  // preempt/resize logic gets a say.
+  if (exec->fault_pending || exec->migrate_pending) {
+    if (handle_fault_at_boundary(exec)) return true;
+  }
   const SubstrateCaps& caps = exec->substrate->caps();
   if (caps.preemptible && exec->preempt_requested) {
     exec->preempt_requested = false;
@@ -958,7 +1020,13 @@ bool CollectiveRuntime::renegotiate(const std::shared_ptr<Execution>& exec) {
 }
 
 void CollectiveRuntime::suspend_execution(
-    const std::shared_ptr<Execution>& exec) {
+    const std::shared_ptr<Execution>& exec, bool fault) {
+  exec->substrate->release(*exec->plan, simulator_.now());
+  suspend_released(exec, fault);
+}
+
+void CollectiveRuntime::suspend_released(
+    const std::shared_ptr<Execution>& exec, bool fault) {
   exec->suspended = true;
   exec->suspended_since = simulator_.now();
   for (const JobId id : exec->jobs) {
@@ -970,10 +1038,14 @@ void CollectiveRuntime::suspend_execution(
   running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
   ++report_.preemptions;
   obs::inc(ins_.preemptions);
-  exec->substrate->release(*exec->plan, simulator_.now());
+  if (fault) ++report_.faults.fault_preemptions;
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   suspended_.push_back(exec);
+  // A fault suspension just surrendered the DEAD units along with the live
+  // ones; quarantine them before the admission re-run below can hand them
+  // to a queued tenant.
+  if (fault) quarantine_downed_units();
   // The surrendered band is free NOW, at the boundary — the waiting
   // high-priority job starts without waiting for this execution to finish.
   try_admit();
@@ -1014,6 +1086,25 @@ bool CollectiveRuntime::try_resume_one() {
       }
       if (top_queued > effective_priority(*exec)) continue;
     }
+    // Fault reconciliation first: participants that died while this
+    // execution waited must be dropped before (or instead of) resuming.
+    std::vector<topo::NodeId> dead;
+    if (any_fault_ever_ &&
+        exec->substrate->kind() == SubstrateKind::kOptical) {
+      dead = newly_dead(*exec);
+      if (!dead.empty() &&
+          exec->participants.size() - exec->evicted.size() - dead.size() <
+              2) {
+        kill_execution(exec);
+        return true;  // state changed; the caller's loop re-enters
+      }
+      if (exec->fresh_restart && !dead.empty()) {
+        // Nothing executed survives anyway — just shrink the restart set.
+        exec->participants = live_participants(*exec);
+        exec->useful_cap = useful_wavelength_cap(exec->participants.size());
+        dead.clear();
+      }
+    }
     // The pre-suspension width is the sizing hint; the substrate may settle
     // for less (never below the floor) or need more for inherited mirrors.
     const std::uint32_t desired = std::clamp(
@@ -1021,14 +1112,54 @@ bool CollectiveRuntime::try_resume_one() {
     if (exec->substrate->kind() == SubstrateKind::kOptical) {
       publish_optical_demand(exec.get());
     }
-    std::unique_ptr<SubstrateExecution> next = exec->substrate->resume_plan(
-        *exec->plan, exec->next_step, desired, exec->min_width);
-    if (!next) continue;
+    bool restarted = exec->fresh_restart;
+    RenegotiationOutcome outcome;
+    if (exec->fresh_restart) {
+      outcome = exec->substrate->renegotiate(
+          nullptr,
+          RenegotiationRequest::restart(exec->participants,
+                                        exec->batch_payload, desired,
+                                        exec->min_width));
+    } else {
+      outcome = exec->substrate->renegotiate(
+          exec->plan.get(),
+          RenegotiationRequest::resume(exec->next_step, desired,
+                                       exec->min_width, dead));
+      if (!outcome.accepted() && !dead.empty()) {
+        // The remainder cannot absorb the eviction (a dead node still
+        // carries state it needs): discard the prefix and restart fresh
+        // among the survivors.
+        report_.faults.wasted_step_time += exec->busy_time;
+        exec->busy_time = util::Seconds(0.0);
+        exec->quiet_time = util::Seconds(0.0);
+        exec->participants = live_participants(*exec);
+        exec->useful_cap = useful_wavelength_cap(exec->participants.size());
+        exec->executed.clear();
+        exec->evicted.clear();
+        exec->next_step = 0;
+        exec->fresh_restart = true;
+        restarted = true;
+        outcome = exec->substrate->renegotiate(
+            nullptr,
+            RenegotiationRequest::restart(exec->participants,
+                                          exec->batch_payload, desired,
+                                          exec->min_width));
+      }
+    }
+    if (!outcome.accepted()) continue;
 
     suspended_.erase(suspended_.begin() +
                      static_cast<std::ptrdiff_t>(idx));
     exec->suspended = false;
-    adopt_plan(*exec, std::move(next));
+    if (restarted) {
+      exec->fresh_restart = false;
+      ++report_.faults.restarts;
+    } else if (!dead.empty()) {
+      exec->evicted.insert(exec->evicted.end(), dead.begin(), dead.end());
+      ++report_.faults.evictions;
+    }
+    adopt_plan(*exec, std::move(outcome.plan));
+    note_recovery(*exec);
     for (const JobId id : exec->jobs) {
       records_[id].state = JobState::kRunning;
       trace_job(sim::TraceKind::kJobResume, id, exec->plan->band());
@@ -1047,10 +1178,11 @@ bool CollectiveRuntime::try_resume_one() {
 
 void CollectiveRuntime::try_grow(const std::shared_ptr<Execution>& exec) {
   if (exec->plan->grant() >= exec->useful_cap) return;
-  std::unique_ptr<SubstrateExecution> next = exec->substrate->grow_plan(
-      *exec->plan, exec->next_step, exec->useful_cap);
-  if (!next) return;
-  adopt_plan(*exec, std::move(next));
+  RenegotiationOutcome outcome = exec->substrate->renegotiate(
+      exec->plan.get(),
+      RenegotiationRequest::grow(exec->next_step, exec->useful_cap));
+  if (!outcome.accepted()) return;
+  adopt_plan(*exec, std::move(outcome.plan));
   for (const JobId id : exec->jobs) {
     ++records_[id].resizes;
     trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
@@ -1091,10 +1223,11 @@ void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
   // Deeper cuts only make the remainder rebuild harder (the owed mirrors
   // need their level widths), so if the gentlest helping cut cannot
   // rebuild, no helping cut can.
-  std::unique_ptr<SubstrateExecution> next =
-      exec->substrate->shrink_plan(*exec->plan, exec->next_step, target);
-  if (!next) return;
-  adopt_plan(*exec, std::move(next));
+  RenegotiationOutcome outcome = exec->substrate->renegotiate(
+      exec->plan.get(),
+      RenegotiationRequest::shrink(exec->next_step, target));
+  if (!outcome.accepted()) return;
+  adopt_plan(*exec, std::move(outcome.plan));
   for (const JobId id : exec->jobs) {
     ++records_[id].resizes;
     trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
@@ -1102,6 +1235,474 @@ void CollectiveRuntime::try_shrink(const std::shared_ptr<Execution>& exec) {
   ++report_.resizes;
   obs::inc(ins_.resizes);
   try_admit();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery.
+
+void CollectiveRuntime::pump_faults() {
+  if (fault_source_ == nullptr) return;
+  std::optional<FaultSpec> spec = fault_source_->next();
+  if (!spec) {
+    fault_source_ = nullptr;
+    return;
+  }
+  WRHT_REQUIRE(spec->at >= last_fault_at_,
+               "CollectiveRuntime: fault source yielded injection at "
+                   << spec->at.value() << "s after " << last_fault_at_.value()
+                   << "s — faults must be in nondecreasing time order");
+  last_fault_at_ = spec->at;
+  // Chain exactly like pump_source: the injection event pulls the NEXT
+  // fault, so one not-yet-injected fault exists at any instant.
+  const FaultSpec fault = *spec;
+  simulator_.schedule_at(fault.at, [this, fault] {
+    on_fault(fault);
+    pump_faults();
+  });
+}
+
+void CollectiveRuntime::on_fault(const FaultSpec& fault) {
+  any_fault_ever_ = true;
+  ++report_.faults.injected;
+  obs::inc(ins_.faults_injected);
+  const util::Seconds now = simulator_.now();
+  const std::uint32_t hpt = std::max(1u, config_.electrical.hosts_per_tor);
+  switch (fault.domain) {
+    case FaultDomain::kTransceiver:
+      WRHT_REQUIRE(fault.subject < config_.ring_size,
+                   "on_fault: transceiver subject " << fault.subject
+                                                    << " off the ring");
+      ++report_.faults.transceiver_faults;
+      ++optical_node_down_[fault.subject];
+      break;
+    case FaultDomain::kNode:
+      WRHT_REQUIRE(fault.subject < config_.ring_size,
+                   "on_fault: node subject " << fault.subject
+                                             << " off the ring");
+      ++report_.faults.node_faults;
+      ++optical_node_down_[fault.subject];
+      ++host_down_[fault.subject];
+      break;
+    case FaultDomain::kTor:
+      ++report_.faults.tor_faults;
+      for (std::uint32_t h = fault.subject * hpt;
+           h < (fault.subject + 1) * hpt && h < config_.ring_size; ++h) {
+        ++host_down_[h];
+      }
+      break;
+    case FaultDomain::kWavelength:
+      WRHT_REQUIRE(fault.subject < config_.optical.wdm.num_wavelengths,
+                   "on_fault: wavelength subject " << fault.subject
+                                                   << " off the spectrum");
+      ++report_.faults.wavelength_faults;
+      ++wavelength_down_[fault.subject];
+      break;
+  }
+  if (trace_.enabled()) {
+    trace_.record(now,
+                  fault.domain == FaultDomain::kWavelength
+                      ? sim::TraceKind::kWavelengthDegrade
+                      : sim::TraceKind::kNodeFail,
+                  fault.subject, static_cast<std::int64_t>(fault.domain),
+                  fault_domain_name(fault.domain));
+  }
+  // Free down units leave service immediately; units inside live grants are
+  // quarantined when their holders release.
+  quarantine_downed_units();
+
+  // Mark every running execution the fault touches for reconciliation at
+  // its next BSP step boundary — the in-flight step finishes first (its
+  // transfers were committed when the step was dispatched).
+  for (const auto& exec : running_execs_) {
+    bool hit = false;
+    bool migrate = false;
+    if (exec->substrate->kind() == SubstrateKind::kOptical) {
+      if (fault.domain == FaultDomain::kTransceiver ||
+          fault.domain == FaultDomain::kNode) {
+        hit = std::find(exec->participants.begin(), exec->participants.end(),
+                        fault.subject) != exec->participants.end() &&
+              std::find(exec->evicted.begin(), exec->evicted.end(),
+                        fault.subject) == exec->evicted.end();
+      } else if (fault.domain == FaultDomain::kWavelength) {
+        const WavelengthBand band = exec->plan->band();
+        hit = fault.subject >= band.base &&
+              fault.subject < band.base + band.width;
+      }
+    } else {
+      if (fault.domain == FaultDomain::kNode ||
+          fault.domain == FaultDomain::kTor) {
+        const std::vector<topo::NodeId> hosts = exec->plan->hosts();
+        for (const topo::NodeId host : hosts) {
+          if (host_down_[host] != 0) {
+            hit = true;
+            migrate = fault.domain == FaultDomain::kTor;
+            break;
+          }
+        }
+      }
+    }
+    if (!hit) continue;
+    const bool first = !exec->fault_pending && !exec->migrate_pending;
+    if (migrate) {
+      exec->migrate_pending = true;
+    } else {
+      exec->fault_pending = true;
+    }
+    if (first) ++report_.faults.disrupted_executions;
+    if (exec->fault_since.value() <= 0.0) exec->fault_since = now;
+  }
+
+  // Suspended optical work whose survivor set this fault just shrank below
+  // two can never resume — kill it now rather than strand it (and the
+  // drained-clock invariant) behind a resume that will refuse forever.
+  if (fault.domain == FaultDomain::kTransceiver ||
+      fault.domain == FaultDomain::kNode) {
+    const std::vector<std::shared_ptr<Execution>> snapshot = suspended_;
+    for (const auto& exec : snapshot) {
+      if (exec->substrate->kind() != SubstrateKind::kOptical) continue;
+      if (std::find(suspended_.begin(), suspended_.end(), exec) ==
+          suspended_.end()) {
+        continue;  // a kill's admission re-run already moved it
+      }
+      if (live_participants(*exec).size() < 2) kill_execution(exec);
+    }
+  }
+
+  if (fault.repair_after.value() > 0.0) {
+    const FaultSpec copy = fault;
+    simulator_.schedule_at(now + fault.repair_after,
+                           [this, copy] { on_fault_repair(copy); });
+  }
+  pump_metrics();
+}
+
+void CollectiveRuntime::on_fault_repair(const FaultSpec& fault) {
+  ++report_.faults.repairs;
+  obs::inc(ins_.fault_repairs);
+  const std::uint32_t hpt = std::max(1u, config_.electrical.hosts_per_tor);
+  // Refcounted un-down: overlapping faults on one subject must not
+  // resurrect it on the FIRST repair.
+  const auto lower = [](std::uint8_t& count) {
+    WRHT_CHECK(count > 0, "on_fault_repair: repair without a fault");
+    --count;
+  };
+  switch (fault.domain) {
+    case FaultDomain::kTransceiver:
+      lower(optical_node_down_[fault.subject]);
+      break;
+    case FaultDomain::kNode:
+      lower(optical_node_down_[fault.subject]);
+      lower(host_down_[fault.subject]);
+      break;
+    case FaultDomain::kTor:
+      for (std::uint32_t h = fault.subject * hpt;
+           h < (fault.subject + 1) * hpt && h < config_.ring_size; ++h) {
+        lower(host_down_[h]);
+      }
+      break;
+    case FaultDomain::kWavelength:
+      lower(wavelength_down_[fault.subject]);
+      break;
+  }
+  if (trace_.enabled()) {
+    trace_.record(simulator_.now(), sim::TraceKind::kFaultRepair,
+                  fault.subject, static_cast<std::int64_t>(fault.domain),
+                  fault_domain_name(fault.domain));
+  }
+  restore_repaired_units();
+  // Restored capacity is free capacity: suspended work may resume and
+  // queued work may admit at this very instant.
+  try_admit();
+  pump_metrics();
+}
+
+void CollectiveRuntime::quarantine_downed_units() {
+  for (std::uint32_t w = 0;
+       w < static_cast<std::uint32_t>(wavelength_down_.size()); ++w) {
+    if (wavelength_down_[w] == 0 || wavelength_quarantined_[w]) continue;
+    if (optical_->quarantine_unit(w)) wavelength_quarantined_[w] = true;
+  }
+  if (!electrical_) return;
+  for (std::uint32_t h = 0;
+       h < static_cast<std::uint32_t>(host_down_.size()); ++h) {
+    if (host_down_[h] == 0 || host_quarantined_[h]) continue;
+    if (electrical_->quarantine_unit(h)) host_quarantined_[h] = true;
+  }
+}
+
+void CollectiveRuntime::restore_repaired_units() {
+  for (std::uint32_t w = 0;
+       w < static_cast<std::uint32_t>(wavelength_down_.size()); ++w) {
+    if (!wavelength_quarantined_[w] || wavelength_down_[w] != 0) continue;
+    optical_->restore_unit(w);
+    wavelength_quarantined_[w] = false;
+  }
+  if (!electrical_) return;
+  for (std::uint32_t h = 0;
+       h < static_cast<std::uint32_t>(host_down_.size()); ++h) {
+    if (!host_quarantined_[h] || host_down_[h] != 0) continue;
+    electrical_->restore_unit(h);
+    host_quarantined_[h] = false;
+  }
+}
+
+std::vector<topo::NodeId> CollectiveRuntime::newly_dead(
+    const Execution& exec) const {
+  std::vector<topo::NodeId> dead;
+  for (const topo::NodeId node : exec.participants) {
+    if (optical_node_down_[node] == 0) continue;
+    if (std::find(exec.evicted.begin(), exec.evicted.end(), node) !=
+        exec.evicted.end()) {
+      continue;
+    }
+    dead.push_back(node);
+  }
+  return dead;
+}
+
+std::vector<topo::NodeId> CollectiveRuntime::live_participants(
+    const Execution& exec) const {
+  std::vector<topo::NodeId> live;
+  live.reserve(exec.participants.size());
+  for (const topo::NodeId node : exec.participants) {
+    if (optical_node_down_[node] != 0) continue;
+    if (std::find(exec.evicted.begin(), exec.evicted.end(), node) !=
+        exec.evicted.end()) {
+      continue;
+    }
+    live.push_back(node);
+  }
+  return live;
+}
+
+void CollectiveRuntime::note_recovery(Execution& exec) {
+  if (exec.fault_since.value() <= 0.0) return;
+  report_.faults.total_recovery += simulator_.now() - exec.fault_since;
+  ++report_.faults.recoveries;
+  exec.fault_since = util::Seconds(0.0);
+  obs::inc(ins_.fault_recoveries);
+}
+
+void CollectiveRuntime::kill_execution(
+    const std::shared_ptr<Execution>& exec) {
+  for (const JobId id : exec->jobs) {
+    JobRecord& record = records_[id];
+    record.state = JobState::kFailed;
+    trace_job(sim::TraceKind::kJobKilled, id, record.band);
+  }
+  report_.faults.killed_jobs +=
+      static_cast<std::uint32_t>(exec->jobs.size());
+  obs::inc(ins_.jobs_killed, exec->jobs.size());
+  report_.faults.wasted_step_time += exec->busy_time;
+  // The breakdown counted these jobs at placement; a killed job never
+  // completes, so the slice must forget it for optical.jobs +
+  // electrical.jobs == completed to keep closing.
+  breakdown(exec->substrate->kind()).jobs -=
+      static_cast<std::uint32_t>(exec->jobs.size());
+  if (exec->suspended) {
+    suspended_.erase(std::find(suspended_.begin(), suspended_.end(), exec));
+  } else {
+    running_jobs_ -= static_cast<std::uint32_t>(exec->jobs.size());
+    exec->substrate->release(*exec->plan, simulator_.now());
+    quarantine_downed_units();
+    running_execs_.erase(
+        std::find(running_execs_.begin(), running_execs_.end(), exec));
+  }
+  exec->fault_since = util::Seconds(0.0);  // killed, not recovered
+  try_admit();
+  pump_metrics();
+}
+
+bool CollectiveRuntime::handle_fault_at_boundary(
+    const std::shared_ptr<Execution>& exec) {
+  return exec->substrate->kind() == SubstrateKind::kOptical
+             ? handle_optical_fault(exec)
+             : handle_electrical_fault(exec);
+}
+
+bool CollectiveRuntime::handle_optical_fault(
+    const std::shared_ptr<Execution>& exec) {
+  exec->fault_pending = false;
+  const std::vector<topo::NodeId> dead = newly_dead(*exec);
+  const WavelengthBand band = exec->plan->band();
+  std::uint32_t first_degraded = band.width;  // band-relative index
+  for (std::uint32_t i = 0; i < band.width; ++i) {
+    if (wavelength_down_[band.base + i] != 0) {
+      first_degraded = i;
+      break;
+    }
+  }
+  if (dead.empty() && first_degraded == band.width) {
+    // Stale marker: the repair beat this boundary.  The execution never
+    // actually stopped — close the recovery window and carry on.
+    note_recovery(*exec);
+    return false;
+  }
+
+  if (!dead.empty()) {
+    if (exec->participants.size() - exec->evicted.size() - dead.size() < 2) {
+      kill_execution(exec);
+      return true;
+    }
+    if (first_degraded == band.width) {
+      // Survivor rebuild in place: same band, remainder re-proven with the
+      // dead nodes stripped from its delivery set.
+      RenegotiationOutcome outcome = exec->substrate->renegotiate(
+          exec->plan.get(),
+          RenegotiationRequest::evict(exec->next_step, dead));
+      if (outcome.accepted()) {
+        exec->evicted.insert(exec->evicted.end(), dead.begin(), dead.end());
+        ++report_.faults.evictions;
+        adopt_plan(*exec, std::move(outcome.plan));
+        note_recovery(*exec);
+        return false;  // still running; the caller dispatches the next step
+      }
+    }
+    // The remainder cannot absorb the eviction (a dead node still carries
+    // live state), or the band itself is degraded: discard the prefix and
+    // restart fresh among the survivors on freshly-allocated spectrum.
+    report_.faults.wasted_step_time += exec->busy_time;
+    exec->busy_time = util::Seconds(0.0);
+    exec->quiet_time = util::Seconds(0.0);
+    exec->participants = live_participants(*exec);
+    exec->useful_cap = useful_wavelength_cap(exec->participants.size());
+    exec->executed.clear();
+    exec->evicted.clear();
+    exec->next_step = 0;
+    exec->substrate->release(*exec->plan, simulator_.now());
+    quarantine_downed_units();
+    const std::uint32_t desired =
+        std::clamp(band.width, exec->min_width, exec->useful_cap);
+    publish_optical_demand(exec.get());
+    RenegotiationOutcome restart = exec->substrate->renegotiate(
+        nullptr,
+        RenegotiationRequest::restart(exec->participants,
+                                      exec->batch_payload, desired,
+                                      exec->min_width));
+    if (restart.accepted()) {
+      ++report_.faults.restarts;
+      adopt_plan(*exec, std::move(restart.plan));
+      note_recovery(*exec);
+      // The band moved: record the new claim so band-disjointness audits
+      // can follow the execution across the restart.
+      for (const JobId id : exec->jobs) {
+        trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
+      }
+      return false;
+    }
+    exec->fresh_restart = true;
+    suspend_released(exec, /*fault=*/true);
+    return true;
+  }
+
+  // Pure wavelength degradation on the held band: keep the healthy prefix
+  // when the floor allows, surrender the band otherwise.
+  if (first_degraded >= exec->min_width) {
+    RenegotiationOutcome outcome = exec->substrate->renegotiate(
+        exec->plan.get(),
+        RenegotiationRequest::shrink(exec->next_step, first_degraded));
+    if (outcome.accepted()) {
+      adopt_plan(*exec, std::move(outcome.plan));
+      for (const JobId id : exec->jobs) {
+        ++records_[id].resizes;
+        trace_job(sim::TraceKind::kJobResize, id, exec->plan->band());
+      }
+      ++report_.resizes;
+      obs::inc(ins_.resizes);
+      // The shrink just freed the degraded tail; take it out of service.
+      quarantine_downed_units();
+      note_recovery(*exec);
+      return false;
+    }
+  }
+  suspend_execution(exec, /*fault=*/true);
+  return true;
+}
+
+bool CollectiveRuntime::handle_electrical_fault(
+    const std::shared_ptr<Execution>& exec) {
+  const bool migrate = exec->migrate_pending;
+  exec->fault_pending = false;
+  exec->migrate_pending = false;
+  const std::vector<topo::NodeId> hosts = exec->plan->hosts();
+  bool any_down = false;
+  for (const topo::NodeId host : hosts) {
+    if (host_down_[host] != 0) {
+      any_down = true;
+      break;
+    }
+  }
+  if (!any_down) {
+    note_recovery(*exec);
+    return false;  // stale marker: the repair beat this boundary
+  }
+
+  if (migrate) {
+    // A ToR loss took the whole host group down at once, but the optical
+    // ring is untouched — try a cross-substrate restart FIRST, before any
+    // electrical state is mutated, so a refusal degrades cleanly into the
+    // ordinary fault-suspend below.  Only migratable work qualifies: no
+    // job pinned to the electrical fabric, and every participant's ring
+    // position optically alive (the restart re-runs the all-reduce from
+    // the participants' initial gradients).
+    bool migratable = true;
+    for (const JobId id : exec->jobs) {
+      if (records_[id].spec.pin == SubstratePin::kElectricalOnly) {
+        migratable = false;
+        break;
+      }
+    }
+    for (const topo::NodeId node : exec->participants) {
+      if (optical_node_down_[node] != 0) {
+        migratable = false;
+        break;
+      }
+    }
+    if (migratable) {
+      const std::uint32_t desired = std::clamp(
+          config_.default_request, exec->min_width, exec->useful_cap);
+      publish_optical_demand(exec.get());
+      RenegotiationOutcome outcome = optical_->renegotiate(
+          nullptr,
+          RenegotiationRequest::restart(exec->participants,
+                                        exec->batch_payload, desired,
+                                        exec->min_width));
+      if (outcome.accepted()) {
+        report_.faults.wasted_step_time += exec->busy_time;
+        exec->busy_time = util::Seconds(0.0);
+        exec->quiet_time = util::Seconds(0.0);
+        exec->substrate->release(*exec->plan, simulator_.now());
+        quarantine_downed_units();
+        // The jobs change fabric mid-flight; move their breakdown slice so
+        // per-substrate job counts keep closing against completions.
+        const auto moved = static_cast<std::uint32_t>(exec->jobs.size());
+        report_.electrical.jobs -= moved;
+        report_.optical.jobs += moved;
+        --report_.electrical.executions;
+        ++report_.optical.executions;
+        exec->substrate = optical_.get();
+        exec->executed.clear();
+        exec->evicted.clear();
+        exec->next_step = 0;
+        adopt_plan(*exec, std::move(outcome.plan));
+        ++report_.faults.migrations;
+        note_recovery(*exec);
+        for (const JobId id : exec->jobs) {
+          records_[id].substrate = SubstrateKind::kOptical;
+          trace_job(sim::TraceKind::kJobMigrate, id, exec->plan->band());
+        }
+        return false;  // still running; the caller dispatches step 0
+      }
+    }
+  }
+
+  // A node fault on a held host, or a migration that could not happen:
+  // fault-suspend.  Hosts checkpoint at BSP boundaries, so a dead host
+  // costs a remap at resume, not data — the resume simply picks a live
+  // host set (the dead ones are quarantined the moment this release
+  // frees them).
+  suspend_execution(exec, /*fault=*/true);
+  return true;
 }
 
 void CollectiveRuntime::run_step(const std::shared_ptr<Execution>& exec) {
@@ -1136,6 +1737,7 @@ void CollectiveRuntime::on_step_end(const std::shared_ptr<Execution>& exec) {
   // contention this is the (possibly re-scheduled) real duration, not the
   // quiet prediction, so busy_time / quiet_time is the contention slowdown.
   exec->busy_time += simulator_.now() - exec->step_started;
+  report_.step_time_total += simulator_.now() - exec->step_started;
   if (trace_.enabled()) {
     trace_.record(simulator_.now(), sim::TraceKind::kStepEnd,
                   exec->jobs.front(),
@@ -1227,6 +1829,9 @@ void CollectiveRuntime::finish_execution(
   obs::inc(ins_.jobs_completed,
            static_cast<std::uint64_t>(exec->jobs.size()));
   exec->substrate->release(*exec->plan, simulator_.now());
+  // The finished execution may have been holding down units hostage (a
+  // fault landed mid-grant); they only become quarantinable now.
+  if (any_fault_ever_) quarantine_downed_units();
   running_execs_.erase(
       std::find(running_execs_.begin(), running_execs_.end(), exec));
   try_admit();
@@ -1293,6 +1898,10 @@ RuntimeReport CollectiveRuntime::drive() {
     pump_metrics();
     config_.metrics->sampler().sample_now(simulator_.now());
   }
+  // The fault stream chains in exactly like the job stream: one
+  // not-yet-injected fault in the event queue at any instant.
+  fault_source_ = config_.faults;
+  pump_faults();
   simulator_.run();
 
   WRHT_CHECK(queue_.empty() && running_jobs_ == 0 && suspended_.empty(),

@@ -63,6 +63,7 @@
 #include "optical/params.hpp"
 #include "runtime/admission.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/job.hpp"
 #include "runtime/substrate.hpp"
 #include "sim/simulator.hpp"
@@ -153,6 +154,12 @@ struct RuntimeConfig {
   /// a null handle and the hot path does no observability work at all.
   /// Must outlive the runtime.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Fault stream injected alongside the workload (null = no faults, the
+  /// default).  Each fault and its repair become ordinary events on the
+  /// shared clock; disruptions are detected at the affected executions'
+  /// next BSP step boundaries and resolved through the same renegotiate()
+  /// entry point preemption and resize use.  Must outlive the runtime.
+  FaultSource* faults = nullptr;
   /// Flattened event-loop hot paths (on by default): event-queue slot
   /// recycling + lazy heap compaction, the interval-indexed spectrum
   /// arbiter, batched per-step spectrum releases, O(1) outstanding-registry
@@ -196,6 +203,47 @@ struct RoutingStats {
   std::uint32_t to_electrical = 0;
   double mean_error = 0.0;
   double worst_error = 0.0;
+};
+
+/// What the fault stream did to the run, and what the recovery machinery
+/// did about it.  All zero when RuntimeConfig::faults is null.
+struct FaultStats {
+  std::uint32_t injected = 0;
+  std::uint32_t transceiver_faults = 0;
+  std::uint32_t node_faults = 0;
+  std::uint32_t tor_faults = 0;
+  std::uint32_t wavelength_faults = 0;
+  std::uint32_t repairs = 0;
+  /// Running executions a fault forced into a boundary renegotiation.
+  std::uint32_t disrupted_executions = 0;
+  /// In-place survivor rebuilds: the remainder re-proven with the failed
+  /// nodes stripped from its delivery set (kEvict accepted).
+  std::uint32_t evictions = 0;
+  /// Fresh plans among the survivors after the remainder could not absorb
+  /// the eviction (kRestart accepted, executed prefix discarded).
+  std::uint32_t restarts = 0;
+  /// Cross-substrate moves: ToR-orphaned electrical executions restarted
+  /// on the optical ring.
+  std::uint32_t migrations = 0;
+  /// Fault-triggered suspensions (a subset of the report's preemptions):
+  /// the execution waits for repair or free capacity, then resumes.
+  std::uint32_t fault_preemptions = 0;
+  /// Jobs whose live participant count fell below 2 (JobState::kFailed).
+  std::uint32_t killed_jobs = 0;
+  /// Completed recoveries: from a fault first disrupting a RUNNING
+  /// execution to that execution running again (evicted, restarted,
+  /// migrated, or resumed).
+  std::uint32_t recoveries = 0;
+  util::Seconds total_recovery{0.0};
+  /// Step wall-clock discarded by restarts, migrations, and kills — the
+  /// executed work the fault threw away.
+  util::Seconds wasted_step_time{0.0};
+
+  [[nodiscard]] util::Seconds mttr() const {
+    return recoveries == 0 ? util::Seconds(0.0)
+                           : util::Seconds(total_recovery.value() /
+                                           static_cast<double>(recoveries));
+  }
 };
 
 struct RuntimeReport {
@@ -252,11 +300,26 @@ struct RuntimeReport {
   /// recomputed from the job records at run end — registry-independent, so
   /// they are present even when RuntimeConfig::metrics is null).
   obs::SloStats slo;
+  /// Chaos accounting (all zero without a fault stream).  The job ledger
+  /// under faults closes as completed + rejected + faults.killed_jobs ==
+  /// submitted.
+  FaultStats faults;
+  /// Total step wall-clock across both fabrics — the goodput denominator.
+  util::Seconds step_time_total{0.0};
 
   [[nodiscard]] util::Seconds mean_turnaround() const {
     return completed == 0 ? util::Seconds(0.0)
                           : util::Seconds(total_turnaround.value() /
                                           static_cast<double>(completed));
+  }
+  /// Fraction of step time that contributed to a completed job: 1 minus
+  /// the share restarts/migrations/kills threw away.  1.0 on a fault-free
+  /// run (or before any step ran).
+  [[nodiscard]] double goodput() const {
+    return step_time_total.value() > 0.0
+               ? 1.0 - faults.wasted_step_time.value() /
+                           step_time_total.value()
+               : 1.0;
   }
   [[nodiscard]] std::string to_string() const;
 };
@@ -332,9 +395,28 @@ class CollectiveRuntime {
     util::Bytes batch_payload;
     std::vector<coll::Step> executed;
     std::size_t next_step = 0;
+    /// Failed participants already stripped from the remainder's delivery
+    /// set (their contributions are merged; their hardware is gone).  The
+    /// composite oracle proves the sum over ALL of `participants` reaches
+    /// every participant EXCEPT these.
+    std::vector<topo::NodeId> evicted;
     /// A queued higher-priority job asked for this band; surrender it at
     /// the next step boundary.
     bool preempt_requested = false;
+    /// A fault touched this execution's resources; reconcile against the
+    /// down sets at the next step boundary.
+    bool fault_pending = false;
+    /// A ToR fault orphaned this electrical execution; attempt a
+    /// cross-substrate restart at the next step boundary.
+    bool migrate_pending = false;
+    /// The executed prefix was discarded (the remainder could not absorb
+    /// an eviction): the next resume issues kRestart among `participants`
+    /// (already shrunk to the survivors) instead of kResume.
+    bool fresh_restart = false;
+    /// When a fault first disrupted this RUNNING execution (0 = not
+    /// disrupted) — the recovery-time (MTTR) anchor, cleared when the
+    /// execution runs again.
+    util::Seconds fault_since{0.0};
     bool suspended = false;
     /// When the execution last suspended (valid while `suspended`) — the
     /// clock priority aging runs against.
@@ -393,8 +475,56 @@ class CollectiveRuntime {
   /// same-instant resume already restarted the execution (the resume
   /// dispatched it).
   [[nodiscard]] bool renegotiate(const std::shared_ptr<Execution>& exec);
-  void suspend_execution(const std::shared_ptr<Execution>& exec);
+  /// `fault` marks a fault-triggered suspension: counted separately, and
+  /// the units the release just freed are quarantined BEFORE the re-run of
+  /// admission can hand them to anyone else.
+  void suspend_execution(const std::shared_ptr<Execution>& exec,
+                         bool fault = false);
+  /// suspend_execution minus the release — for paths that already
+  /// surrendered the grant (a refused in-place restart attempt).
+  void suspend_released(const std::shared_ptr<Execution>& exec, bool fault);
   bool try_resume_one();
+
+  /// Pull the next fault from the stream and schedule its injection event
+  /// (which chains the next pull) — the chaos mirror of pump_source.
+  void pump_faults();
+  /// The injection event body: update the down sets, quarantine free
+  /// units, mark affected executions for boundary reconciliation, kill
+  /// unrecoverable suspended work, and schedule the repair.
+  void on_fault(const FaultSpec& fault);
+  void on_fault_repair(const FaultSpec& fault);
+  /// Boundary reconciliation of a fault-marked execution against the
+  /// CURRENT down sets (a repair may have landed first — then this is a
+  /// no-op recovery).  Returns true when the caller must not dispatch the
+  /// next step (killed, suspended, or the execution now runs a plan whose
+  /// dispatch happened elsewhere).
+  [[nodiscard]] bool handle_fault_at_boundary(
+      const std::shared_ptr<Execution>& exec);
+  [[nodiscard]] bool handle_optical_fault(
+      const std::shared_ptr<Execution>& exec);
+  [[nodiscard]] bool handle_electrical_fault(
+      const std::shared_ptr<Execution>& exec);
+  /// Faults left fewer than 2 live participants: mark every carried job
+  /// JobState::kFailed, release the grant, and drop the execution.
+  void kill_execution(const std::shared_ptr<Execution>& exec);
+  /// Close the MTTR window opened when a fault disrupted this running
+  /// execution (no-op when none is open).
+  void note_recovery(Execution& exec);
+  /// Take every currently-down FREE unit out of service (degraded
+  /// wavelengths on the optical substrate, down hosts on the electrical
+  /// one).  Called after every release on a faulty run, so freed dead
+  /// capacity is never re-granted.
+  void quarantine_downed_units();
+  /// Return every quarantined unit whose down refcount dropped to zero.
+  void restore_repaired_units();
+  /// Participants currently down and not yet evicted — the nodes the next
+  /// renegotiation must drop.
+  [[nodiscard]] std::vector<topo::NodeId> newly_dead(
+      const Execution& exec) const;
+  /// participants − evicted − newly dead: the survivor set a restart runs
+  /// among.
+  [[nodiscard]] std::vector<topo::NodeId> live_participants(
+      const Execution& exec) const;
   /// Ask lower-priority executions to surrender their grants at the next
   /// step boundary, per substrate: spectrum waiters preempt optical
   /// victims, host waiters (kElectricalOnly arrivals, suspended electrical
@@ -458,6 +588,10 @@ class CollectiveRuntime {
     obs::Histogram* turnaround = nullptr;
     obs::Histogram* slowdown = nullptr;
     obs::Histogram* routing_error = nullptr;
+    obs::Counter* faults_injected = nullptr;
+    obs::Counter* fault_repairs = nullptr;
+    obs::Counter* fault_recoveries = nullptr;
+    obs::Counter* jobs_killed = nullptr;
   };
   /// Register the runtime's metrics (and the substrates') with
   /// config_.metrics; no-op when null.
@@ -502,6 +636,24 @@ class CollectiveRuntime {
       pending_route_prediction_;
   /// Live only inside serve(): the stream the arrival chain pulls from.
   JobSource* source_ = nullptr;
+  /// Live while the fault chain still pulls (null = exhausted or never
+  /// configured); the floor enforces the stream's nondecreasing contract.
+  FaultSource* fault_source_ = nullptr;
+  util::Seconds last_fault_at_{0.0};
+  /// Down refcounts (overlapping faults on one subject must not resurrect
+  /// it on the first repair): ring positions out of OPTICAL service, hosts
+  /// out of electrical service, degraded wavelengths.
+  std::vector<std::uint8_t> optical_node_down_;
+  std::vector<std::uint8_t> host_down_;
+  std::vector<std::uint8_t> wavelength_down_;
+  /// Which down units this runtime currently holds a substrate quarantine
+  /// for (a unit granted to a tenant at fault time is quarantined only
+  /// once its holder releases).
+  std::vector<bool> wavelength_quarantined_;
+  std::vector<bool> host_quarantined_;
+  /// Any fault ever injected — gates the fault-path scans so a fault-free
+  /// run pays nothing on the hot path.
+  bool any_fault_ever_ = false;
   bool started_ = false;
   Instruments ins_;
   /// Per-priority-class max-admission-wait gauges, keyed by JobSpec

@@ -2,29 +2,40 @@
 
 namespace wrht::runtime {
 
+const char* renegotiation_kind_name(RenegotiationRequest::Kind kind) {
+  switch (kind) {
+    case RenegotiationRequest::Kind::kResume:
+      return "resume";
+    case RenegotiationRequest::Kind::kGrow:
+      return "grow";
+    case RenegotiationRequest::Kind::kShrink:
+      return "shrink";
+    case RenegotiationRequest::Kind::kEvict:
+      return "evict";
+    case RenegotiationRequest::Kind::kRestart:
+      return "restart";
+  }
+  return "?";
+}
+
 // Renegotiation defaults: a substrate that does not opt in through caps()
-// simply declines every renegotiation, and the what-if probe reports the
-// plain free capacity (releasing nothing frees nothing extra).
+// simply declines every request kind, the what-if probe reports the plain
+// free capacity (releasing nothing frees nothing extra), and quarantine
+// refuses because there is no per-unit capacity to take out of service.
 
-std::unique_ptr<SubstrateExecution> ExecutionSubstrate::resume_plan(
-    const SubstrateExecution&, std::size_t, std::uint32_t, std::uint32_t) {
-  return nullptr;
-}
-
-std::unique_ptr<SubstrateExecution> ExecutionSubstrate::grow_plan(
-    SubstrateExecution&, std::size_t, std::uint32_t) {
-  return nullptr;
-}
-
-std::unique_ptr<SubstrateExecution> ExecutionSubstrate::shrink_plan(
-    SubstrateExecution&, std::size_t, std::uint32_t) {
-  return nullptr;
+RenegotiationOutcome ExecutionSubstrate::renegotiate(
+    SubstrateExecution*, const RenegotiationRequest&) {
+  return {};
 }
 
 std::uint32_t ExecutionSubstrate::free_grant_if_kept(const SubstrateExecution&,
                                                      std::uint32_t) const {
   return largest_free_grant();
 }
+
+bool ExecutionSubstrate::quarantine_unit(std::uint32_t) { return false; }
+
+void ExecutionSubstrate::restore_unit(std::uint32_t) {}
 
 util::Seconds ExecutionSubstrate::predict_completion(
     const std::vector<topo::NodeId>& participants, util::Bytes payload,

@@ -67,11 +67,12 @@ struct SubstrateCaps {
   /// after every time_step() and re-schedule the affected step-completion
   /// events on the sim clock.
   bool retimes_steps = false;
-  /// resume_plan may re-place a suspended execution on a DIFFERENT resource
-  /// set than it held before (electrical hosts are fungible: any free host
-  /// set of the right size carries the remainder after a schedule remap).
-  /// False for substrates whose resume merely re-acquires the same kind of
-  /// grant (an optical band is positionless spectrum either way).
+  /// A kResume renegotiation may re-place a suspended execution on a
+  /// DIFFERENT resource set than it held before (electrical hosts are
+  /// fungible: any free host set of the right size carries the remainder
+  /// after a schedule remap).  False for substrates whose resume merely
+  /// re-acquires the same kind of grant (an optical band is positionless
+  /// spectrum either way).
   bool remaps_on_resume = false;
 };
 
@@ -126,6 +127,93 @@ struct StepRetiming {
   util::Seconds end{0.0};
 };
 
+/// One typed entry point for every way an execution's contract can change
+/// at a step boundary.  Historically resume / grow / shrink were separate
+/// virtuals on ExecutionSubstrate; faults (node loss, wavelength
+/// degradation, cross-substrate migration) would each have needed yet
+/// another copy of the suspend-rebuild-resume dance, so the verbs collapsed
+/// into one request type and kEvict / kRestart became new kinds instead of
+/// new methods.
+struct RenegotiationRequest {
+  enum class Kind : std::uint8_t {
+    /// Re-place a suspended execution: allocate a fresh grant of at most
+    /// `width` units (refuse below `min_grant`) and rebuild the remainder
+    /// after `steps_done` executed steps.  `nodes` may name failed
+    /// participants to drop from the remainder's delivery set.
+    kResume,
+    /// Grow the current grant in place toward `width` when the rebuilt
+    /// remainder gets strictly shorter; roll the grant back otherwise.
+    kGrow,
+    /// Shrink the current grant in place to exactly `width` units.
+    kShrink,
+    /// Rebuild the remainder after `steps_done` with the failed `nodes`
+    /// dropped from its delivery set, on the SAME grant (survivor rebuild).
+    /// Refused when a failed node still carries state the remainder needs —
+    /// the caller must then fall back to kRestart among the survivors.
+    kEvict,
+    /// Brand-new plan for `nodes` / `payload` on a fresh grant of at most
+    /// `width` units (refuse below `min_grant`), discarding any executed
+    /// prefix.  Reads nothing from `current` — it may be null, or a plan
+    /// owned by a different substrate (cross-substrate migration).
+    kRestart,
+  };
+
+  Kind kind = Kind::kResume;
+  /// Steps of the current plan already executed (the prefix the runtime
+  /// folds into its composite-oracle checkpoint).
+  std::size_t steps_done = 0;
+  /// Grant-width operand; meaning depends on kind (desired ceiling for
+  /// kResume/kRestart, growth ceiling for kGrow, exact keep for kShrink;
+  /// ignored by kEvict, which keeps the current grant).
+  std::uint32_t width = 0;
+  /// Floor below which kResume / kRestart refuse rather than thrash.
+  std::uint32_t min_grant = 1;
+  /// kResume / kEvict: failed nodes to drop from the remainder's delivery
+  /// set.  kRestart: the (surviving) participant set of the fresh plan.
+  std::vector<topo::NodeId> nodes;
+  /// kRestart only: payload of the fresh plan.
+  util::Bytes payload{0};
+
+  [[nodiscard]] static RenegotiationRequest resume(
+      std::size_t steps_done, std::uint32_t desired, std::uint32_t min_grant,
+      std::vector<topo::NodeId> evict = {}) {
+    return {Kind::kResume, steps_done, desired, min_grant, std::move(evict),
+            util::Bytes(0)};
+  }
+  [[nodiscard]] static RenegotiationRequest grow(std::size_t steps_done,
+                                                std::uint32_t max_grant) {
+    return {Kind::kGrow, steps_done, max_grant, 1, {}, util::Bytes(0)};
+  }
+  [[nodiscard]] static RenegotiationRequest shrink(std::size_t steps_done,
+                                                  std::uint32_t keep) {
+    return {Kind::kShrink, steps_done, keep, 1, {}, util::Bytes(0)};
+  }
+  [[nodiscard]] static RenegotiationRequest evict(
+      std::size_t steps_done, std::vector<topo::NodeId> failed) {
+    return {Kind::kEvict, steps_done, 0, 1, std::move(failed),
+            util::Bytes(0)};
+  }
+  [[nodiscard]] static RenegotiationRequest restart(
+      std::vector<topo::NodeId> participants, util::Bytes payload,
+      std::uint32_t desired, std::uint32_t min_grant) {
+    return {Kind::kRestart, 0,      desired, min_grant, std::move(participants),
+            payload};
+  }
+};
+
+[[nodiscard]] const char* renegotiation_kind_name(
+    RenegotiationRequest::Kind kind);
+
+/// Result of a renegotiation: the replacement plan (owning its grant), or
+/// nothing — a refusal leaves `current` untouched.  On acceptance the old
+/// plan's grant has been consumed in place (kGrow / kShrink / kEvict) or
+/// must already have been released (kResume / kRestart); the runtime folds
+/// the executed prefix and re-proves the composite schedule.
+struct RenegotiationOutcome {
+  std::unique_ptr<SubstrateExecution> plan;
+  [[nodiscard]] bool accepted() const { return plan != nullptr; }
+};
+
 class ExecutionSubstrate {
  public:
   virtual ~ExecutionSubstrate() = default;
@@ -162,8 +250,8 @@ class ExecutionSubstrate {
 
   /// Release exec's standing grant (band / host links) at time `now` on the
   /// shared clock.  Idempotent; the plan itself survives for a later
-  /// resume_plan.  Retiming substrates need the clock to settle the
-  /// execution's last flows out of the shared fabric.
+  /// kResume renegotiation.  Retiming substrates need the clock to settle
+  /// the execution's last flows out of the shared fabric.
   virtual void release(SubstrateExecution& exec, util::Seconds now) = 0;
 
   /// Step-completion corrections accumulated since the last drain (see
@@ -191,8 +279,8 @@ class ExecutionSubstrate {
   /// jobs and suspended executions, excluding whatever the runtime is about
   /// to place.  Placement-planning substrates (the optical planner policy)
   /// score candidate placements jointly against this demand; the default
-  /// ignores it.  The runtime refreshes it immediately before each place/
-  /// resume_plan call, so a substrate may treat it as current.
+  /// ignores it.  The runtime refreshes it immediately before each place()
+  /// or renegotiate() call, so a substrate may treat it as current.
   virtual void note_pending_demand(const std::vector<std::uint32_t>& min_grants) {
     (void)min_grants;
   }
@@ -230,34 +318,27 @@ class ExecutionSubstrate {
       const std::vector<topo::NodeId>& participants, util::Bytes payload,
       std::uint32_t grant, util::Seconds now) const;
 
-  // ----- renegotiation mechanics (meaningful only when caps() opt in; the
-  // defaults refuse).  Each returns a replacement plan that owns its grant,
-  // or nullptr leaving `current` untouched.  On success the old plan's
-  // grant has been consumed (resize) or must already be released (resume);
-  // the runtime folds the executed prefix and re-proves the composite.
-
-  /// Re-place a suspended execution: allocate a fresh grant of at most
-  /// `desired` units (never below `min_grant`) and rebuild the remainder
-  /// after `steps_done` executed steps.
-  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> resume_plan(
-      const SubstrateExecution& current, std::size_t steps_done,
-      std::uint32_t desired, std::uint32_t min_grant);
-
-  /// Grow `current`'s grant in place toward `max_grant` when the rebuilt
-  /// remainder gets strictly shorter; rolls the grant back otherwise.
-  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> grow_plan(
-      SubstrateExecution& current, std::size_t steps_done,
-      std::uint32_t max_grant);
-
-  /// Shrink `current`'s grant in place to exactly `keep` units.
-  [[nodiscard]] virtual std::unique_ptr<SubstrateExecution> shrink_plan(
-      SubstrateExecution& current, std::size_t steps_done,
-      std::uint32_t keep);
+  /// THE step-boundary renegotiation entry point (meaningful only when
+  /// caps() opt in; the default refuses every kind).  `current` is the plan
+  /// being renegotiated — null allowed only for kRestart, which reads
+  /// nothing from it.  See RenegotiationRequest for per-kind semantics.
+  [[nodiscard]] virtual RenegotiationOutcome renegotiate(
+      SubstrateExecution* current, const RenegotiationRequest& request);
 
   /// What-if probe: largest free grant if `exec` kept only `keep` units of
   /// its current grant (the shrink-under-pressure decision signal).
   [[nodiscard]] virtual std::uint32_t free_grant_if_kept(
       const SubstrateExecution& exec, std::uint32_t keep) const;
+
+  /// Take one grant unit (a wavelength index for optical substrates, a host
+  /// id for electrical ones) out of service — the fault injector's
+  /// quarantine hook.  Succeeds only when the unit is currently free: a
+  /// granted unit must first be renegotiated away from its holder.  The
+  /// default has no per-unit capacity and refuses.
+  [[nodiscard]] virtual bool quarantine_unit(std::uint32_t unit);
+  /// Return a quarantined unit to service (repair).  No-op when `unit` is
+  /// not quarantined.
+  virtual void restore_unit(std::uint32_t unit);
 };
 
 /// The WDM-ring substrate (spectrum arbiter + Wrht builds + shared-map

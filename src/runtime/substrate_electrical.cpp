@@ -39,12 +39,15 @@
 // At first placement the two coincide (hosts are claimed 1:1 at the
 // participants' ring positions).  They diverge at a REMAPPED RESUME: BSP
 // step boundaries are preemption points (SubstrateCaps::preemptible), a
-// suspended execution surrenders its hosts, and resume_plan re-places the
-// remainder on whatever host set is free then — the original positions
-// when available, else any free hosts, carried over by the same schedule
-// remap placement uses.  The shared fabric's whole-horizon replay oracle
-// covers remapped resumes for free: it replays the logged physical routes,
-// which are exactly what the remapped remainder injected.
+// suspended execution surrenders its hosts, and a kResume renegotiation
+// re-places the remainder on whatever host set is free then — the original
+// positions when available, else any free hosts, carried over by the same
+// schedule remap placement uses.  Host fungibility is also the fault story:
+// a dead host gets quarantined (quarantine_unit) and the resume simply
+// remaps around it, so electrical node faults cost a suspension, never
+// data.  The shared fabric's whole-horizon replay oracle covers remapped
+// resumes for free: it replays the logged physical routes, which are
+// exactly what the remapped remainder injected.
 //
 // Per-step timing is produced one step at a time so electrical steps
 // interleave with optical tenants' events on the shared clock.
@@ -287,28 +290,43 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     --active_;
   }
 
-  [[nodiscard]] std::unique_ptr<SubstrateExecution> resume_plan(
-      const SubstrateExecution& c, std::size_t steps_done, std::uint32_t,
-      std::uint32_t) override {
-    // Grant widths are meaningless here — the remainder needs exactly one
-    // host per participant.  Preference order: the original ring positions
-    // when all free (physical == functional again), else the lowest-id
-    // free hosts (deterministic), carried by the schedule remap.
-    const auto& current = static_cast<const ElectricalExecution&>(c);
-    if (!slots_available()) return nullptr;
-    const std::size_t needed = current.participants.size();
-    std::vector<topo::NodeId> hosts;
-    if (can_place(current.participants, 1)) {
-      hosts = current.participants;
-    } else {
-      for (topo::NodeId h = 0; h < host_busy_.size() && hosts.size() < needed;
-           ++h) {
-        if (!host_busy_[h]) hosts.push_back(h);
-      }
-      if (hosts.size() < needed) return nullptr;
+  [[nodiscard]] RenegotiationOutcome renegotiate(
+      SubstrateExecution* current,
+      const RenegotiationRequest& request) override {
+    switch (request.kind) {
+      case RenegotiationRequest::Kind::kResume:
+        return resume(static_cast<const ElectricalExecution&>(*current),
+                      request);
+      case RenegotiationRequest::Kind::kRestart:
+        return restart(request);
+      case RenegotiationRequest::Kind::kGrow:
+      case RenegotiationRequest::Kind::kShrink:
+      case RenegotiationRequest::Kind::kEvict:
+        // Grants are exactly one host per participant (resizable is off),
+        // and an evicted participant's partial sums live in its host's
+        // memory — there is no narrower remainder to rebuild in place.  The
+        // runtime falls back to kRestart among the survivors.
+        return {};
     }
-    return make_plan(schedule_tail(current.compact_, steps_done), hosts,
-                     current.participants, current.payload);
+    return {};
+  }
+
+  [[nodiscard]] bool quarantine_unit(std::uint32_t unit) override {
+    // A busy host cannot be pulled out from under its tenant — the runtime
+    // must first renegotiate the holder away (fault-suspend), release its
+    // claims, and retry.
+    if (unit >= host_busy_.size() || host_busy_[unit]) return false;
+    host_busy_[unit] = true;
+    quarantined_hosts_.push_back(unit);
+    return true;
+  }
+
+  void restore_unit(std::uint32_t unit) override {
+    const auto it = std::find(quarantined_hosts_.begin(),
+                              quarantined_hosts_.end(), unit);
+    if (it == quarantined_hosts_.end()) return;
+    quarantined_hosts_.erase(it);
+    host_busy_[unit] = false;
   }
 
   [[nodiscard]] std::vector<StepRetiming> take_retimings() override {
@@ -434,9 +452,58 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
     return doubling_cost < ring_cost ? std::move(doubling) : std::move(ring);
   }
 
+  /// kResume: re-place a suspended remainder.  Grant widths are meaningless
+  /// here — the remainder needs exactly one host per participant — and the
+  /// participant set never shrinks (hosts checkpoint at BSP boundaries, so
+  /// a node fault costs a remap, not data; request.nodes is ignored).
+  /// Preference order: the original ring positions when all free (physical
+  /// == functional again), else the lowest-id free hosts (deterministic),
+  /// carried by the schedule remap.
+  [[nodiscard]] RenegotiationOutcome resume(
+      const ElectricalExecution& current,
+      const RenegotiationRequest& request) {
+    if (!slots_available()) return {};
+    const std::optional<std::vector<topo::NodeId>> hosts =
+        pick_hosts(current.participants);
+    if (!hosts) return {};
+    return {make_plan(schedule_tail(current.compact_, request.steps_done),
+                      *hosts, current.participants, current.payload)};
+  }
+
+  /// kRestart: a brand-new plan among request.nodes carrying
+  /// request.payload — the landing half of a cross-substrate migration, or
+  /// a survivor restart after an eviction the remainder could not absorb.
+  [[nodiscard]] RenegotiationOutcome restart(
+      const RenegotiationRequest& request) {
+    if (!slots_available() || request.nodes.size() < 2) return {};
+    const std::optional<std::vector<topo::NodeId>> hosts =
+        pick_hosts(request.nodes);
+    if (!hosts) return {};
+    return {make_plan(
+        best_compact_schedule(static_cast<std::uint32_t>(request.nodes.size()),
+                              request.payload),
+        *hosts, request.nodes, request.payload)};
+  }
+
+  /// One free host per participant: the participants' own ring positions
+  /// when all free, else the lowest-id free hosts; nullopt when the fabric
+  /// cannot seat them all.
+  [[nodiscard]] std::optional<std::vector<topo::NodeId>> pick_hosts(
+      const std::vector<topo::NodeId>& participants) const {
+    if (can_place(participants, 1)) return participants;
+    std::vector<topo::NodeId> hosts;
+    const std::size_t needed = participants.size();
+    for (topo::NodeId h = 0; h < host_busy_.size() && hosts.size() < needed;
+         ++h) {
+      if (!host_busy_[h]) hosts.push_back(h);
+    }
+    if (hosts.size() < needed) return std::nullopt;
+    return hosts;
+  }
+
   /// Claim `hosts` (which must be free) and build the plan that runs
   /// `compact` for `participants` on them.  Shared placement tail of both
-  /// place() and resume_plan().
+  /// place() and renegotiate().
   [[nodiscard]] std::unique_ptr<SubstrateExecution> make_plan(
       const coll::Schedule& compact, const std::vector<topo::NodeId>& hosts,
       const std::vector<topo::NodeId>& participants, util::Bytes payload) {
@@ -470,6 +537,8 @@ class ElectricalSubstrate final : public ExecutionSubstrate {
       session_plans_;
   std::vector<StepRetiming> pending_retimings_;
   std::vector<bool> host_busy_;
+  /// Hosts held down by quarantine_unit (fault injection), not by a tenant.
+  std::vector<topo::NodeId> quarantined_hosts_;
   std::uint32_t active_ = 0;
   mutable std::map<std::pair<std::uint32_t, std::uint64_t>, util::Seconds>
       prediction_cache_;

@@ -4,13 +4,17 @@
 // and shifted into place; per-step timing claims every (span, wavelength,
 // direction) cell on the shared SpectrumMap (a failed claim is an
 // arbitration bug and aborts, same fatal semantics as the single-job DES)
-// and schedules the release events on the shared clock.  Renegotiation
-// (resume / grow / shrink) rebuilds the not-yet-run remainder through
-// core::rebuild_wrht_remainder and transacts the band on the arbiter, with
-// rollback when a rebuild does not pay off.
+// and schedules the release events on the shared clock.  Renegotiation — one
+// typed renegotiate() entry point covering resume, grow, shrink, fault
+// eviction, and restart — rebuilds the not-yet-run remainder through
+// core::rebuild_wrht_remainder_evicting and transacts the band on the
+// arbiter, with rollback when a rebuild does not pay off.  Degraded
+// wavelengths are quarantined as width-1 arbiter allocations, so neither the
+// planner nor first-fit can grant them until repair.
 #include "runtime/substrate.hpp"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -255,66 +259,23 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     return now + wait + run;
   }
 
-  [[nodiscard]] std::unique_ptr<SubstrateExecution> resume_plan(
-      const SubstrateExecution& c, std::size_t steps_done,
-      std::uint32_t desired, std::uint32_t min_grant) override {
-    const auto& current = static_cast<const OpticalExecution&>(c);
-    const std::uint32_t budget = arbiter_.largest_free_block();
-    if (budget < min_grant) return nullptr;
-    std::uint32_t grant = std::min(desired, budget);
-    std::optional<core::WrhtBuild> rebuilt =
-        rebuild_remainder(current, steps_done, grant);
-    if (!rebuilt && budget > grant) {
-      // The remainder's inherited mirrors can need more than the job's
-      // admission minimum; retry with everything contiguous on offer.
-      grant = budget;
-      rebuilt = rebuild_remainder(current, steps_done, grant);
+  [[nodiscard]] RenegotiationOutcome renegotiate(
+      SubstrateExecution* c, const RenegotiationRequest& request) override {
+    switch (request.kind) {
+      case RenegotiationRequest::Kind::kResume:
+        return resume(static_cast<OpticalExecution&>(*c), request);
+      case RenegotiationRequest::Kind::kGrow:
+        return grow(static_cast<OpticalExecution&>(*c), request);
+      case RenegotiationRequest::Kind::kShrink:
+        return shrink(static_cast<OpticalExecution&>(*c), request);
+      case RenegotiationRequest::Kind::kEvict:
+        return evict(static_cast<OpticalExecution&>(*c), request);
+      case RenegotiationRequest::Kind::kRestart:
+        // Reads nothing from `c` — the fresh plan may replace one owned by
+        // another substrate (cross-substrate migration).
+        return restart(request);
     }
-    if (!rebuilt) return nullptr;
-    const std::optional<WavelengthBand> band = acquire_band(grant);
-    WRHT_CHECK(band.has_value(), "OpticalSubstrate: arbiter refused a "
-                                     << grant << "-band on resume");
-    return make_plan(std::move(*rebuilt), *band, current.participants,
-                     current.payload);
-  }
-
-  [[nodiscard]] std::unique_ptr<SubstrateExecution> grow_plan(
-      SubstrateExecution& c, std::size_t steps_done,
-      std::uint32_t max_grant) override {
-    auto& current = static_cast<OpticalExecution&>(c);
-    const WavelengthBand old = current.band_;
-    const WavelengthBand grown = arbiter_.grow(old, max_grant);
-    if (grown == old) return nullptr;
-    const std::size_t remaining = current.num_steps() - steps_done;
-    std::optional<core::WrhtBuild> rebuilt =
-        rebuild_remainder(current, steps_done, grown.width);
-    // A wider band only pays off by collapsing remaining tree levels (each
-    // transfer still rides one wavelength, so same-depth schedules run at
-    // the same speed); otherwise give the spectrum straight back.
-    if (!rebuilt || rebuilt->annotated.schedule.num_steps() >= remaining) {
-      arbiter_.shrink_to(grown, old);
-      return nullptr;
-    }
-    current.holds_band = false;  // the grown band moves to the new plan
-    forget(current);
-    return make_plan(std::move(*rebuilt), grown, current.participants,
-                     current.payload);
-  }
-
-  [[nodiscard]] std::unique_ptr<SubstrateExecution> shrink_plan(
-      SubstrateExecution& c, std::size_t steps_done,
-      std::uint32_t keep) override {
-    auto& current = static_cast<OpticalExecution&>(c);
-    const WavelengthBand old = current.band_;
-    std::optional<core::WrhtBuild> rebuilt =
-        rebuild_remainder(current, steps_done, keep);
-    if (!rebuilt) return nullptr;
-    const WavelengthBand kept{old.base, keep};
-    arbiter_.shrink_to(old, kept);
-    current.holds_band = false;  // the kept band moves to the new plan
-    forget(current);
-    return make_plan(std::move(*rebuilt), kept, current.participants,
-                     current.payload);
+    return {};
   }
 
   [[nodiscard]] std::uint32_t free_grant_if_kept(
@@ -325,7 +286,135 @@ class OpticalSubstrate final : public ExecutionSubstrate {
     return arbiter_.largest_free_block_assuming(freed);
   }
 
+  [[nodiscard]] bool quarantine_unit(std::uint32_t unit) override {
+    if (quarantined_.count(unit) != 0) return false;
+    // A width-1 allocation at the degraded wavelength: the arbiter refuses
+    // while any granted band covers it, and neither the planner nor
+    // first-fit can hand it out until restore_unit releases it.
+    const std::optional<WavelengthBand> band = arbiter_.allocate_at(unit, 1);
+    if (!band) return false;
+    quarantined_.emplace(unit, *band);
+    return true;
+  }
+
+  void restore_unit(std::uint32_t unit) override {
+    const auto it = quarantined_.find(unit);
+    if (it == quarantined_.end()) return;
+    arbiter_.release(it->second);
+    quarantined_.erase(it);
+  }
+
  private:
+  [[nodiscard]] RenegotiationOutcome resume(
+      const OpticalExecution& current, const RenegotiationRequest& request) {
+    const std::uint32_t budget = arbiter_.largest_free_block();
+    if (budget < request.min_grant) return {};
+    std::uint32_t grant = std::min(request.width, budget);
+    std::optional<core::WrhtBuild> rebuilt =
+        rebuild_remainder(current, request.steps_done, grant, request.nodes);
+    if (!rebuilt && budget > grant) {
+      // The remainder's inherited mirrors can need more than the job's
+      // admission minimum; retry with everything contiguous on offer.
+      grant = budget;
+      rebuilt = rebuild_remainder(current, request.steps_done, grant,
+                                  request.nodes);
+    }
+    if (!rebuilt) return {};
+    const std::optional<WavelengthBand> band = acquire_band(grant);
+    WRHT_CHECK(band.has_value(), "OpticalSubstrate: arbiter refused a "
+                                     << grant << "-band on resume");
+    return {make_plan(std::move(*rebuilt), *band,
+                      without(current.participants, request.nodes),
+                      current.payload)};
+  }
+
+  [[nodiscard]] RenegotiationOutcome grow(OpticalExecution& current,
+                                          const RenegotiationRequest& request) {
+    const WavelengthBand old = current.band_;
+    const WavelengthBand grown = arbiter_.grow(old, request.width);
+    if (grown == old) return {};
+    const std::size_t remaining = current.num_steps() - request.steps_done;
+    std::optional<core::WrhtBuild> rebuilt =
+        rebuild_remainder(current, request.steps_done, grown.width);
+    // A wider band only pays off by collapsing remaining tree levels (each
+    // transfer still rides one wavelength, so same-depth schedules run at
+    // the same speed); otherwise give the spectrum straight back.
+    if (!rebuilt || rebuilt->annotated.schedule.num_steps() >= remaining) {
+      arbiter_.shrink_to(grown, old);
+      return {};
+    }
+    current.holds_band = false;  // the grown band moves to the new plan
+    forget(current);
+    return {make_plan(std::move(*rebuilt), grown, current.participants,
+                      current.payload)};
+  }
+
+  [[nodiscard]] RenegotiationOutcome shrink(
+      OpticalExecution& current, const RenegotiationRequest& request) {
+    const WavelengthBand old = current.band_;
+    std::optional<core::WrhtBuild> rebuilt =
+        rebuild_remainder(current, request.steps_done, request.width);
+    if (!rebuilt) return {};
+    const WavelengthBand kept{old.base, request.width};
+    arbiter_.shrink_to(old, kept);
+    current.holds_band = false;  // the kept band moves to the new plan
+    forget(current);
+    return {make_plan(std::move(*rebuilt), kept, current.participants,
+                      current.payload)};
+  }
+
+  /// Survivor rebuild on the SAME band: the remainder is rebuilt with the
+  /// failed nodes stripped from its delivery set.  Refused when a failed
+  /// node still carries live state (rebuild_wrht_remainder_evicting's
+  /// contract) — the caller then restarts among the survivors.
+  [[nodiscard]] RenegotiationOutcome evict(
+      OpticalExecution& current, const RenegotiationRequest& request) {
+    std::optional<core::WrhtBuild> rebuilt = rebuild_remainder(
+        current, request.steps_done, current.band_.width, request.nodes);
+    if (!rebuilt) return {};
+    const WavelengthBand band = current.band_;
+    current.holds_band = false;  // the band moves unchanged to the new plan
+    forget(current);
+    return {make_plan(std::move(*rebuilt), band,
+                      without(current.participants, request.nodes),
+                      current.payload)};
+  }
+
+  /// Brand-new plan among request.nodes on a fresh band — the from-scratch
+  /// path for survivor restarts and cross-substrate migrations.
+  [[nodiscard]] RenegotiationOutcome restart(
+      const RenegotiationRequest& request) {
+    const std::uint32_t budget = arbiter_.largest_free_block();
+    if (budget < request.min_grant) return {};
+    const std::uint32_t grant = std::min(std::max(request.width, 1u), budget);
+    const std::optional<WavelengthBand> band = acquire_band(grant);
+    if (!band) return {};
+    core::WrhtParams wrht;
+    wrht.num_wavelengths = band->width;
+    wrht.fit_policy = fit_policy_;
+    core::WrhtBuild build =
+        core::build_wrht_among(request.nodes, ring_.num_nodes(), wrht);
+    WRHT_CHECK(build.annotated.wavelengths_required <= band->width,
+               "OpticalSubstrate: restart schedule overflowed its band ("
+                   << build.annotated.wavelengths_required << " > "
+                   << band->width << ")");
+    return {make_plan(std::move(build), *band, request.nodes,
+                      request.payload)};
+  }
+
+  [[nodiscard]] static std::vector<topo::NodeId> without(
+      const std::vector<topo::NodeId>& all,
+      const std::vector<topo::NodeId>& removed) {
+    std::vector<topo::NodeId> kept;
+    kept.reserve(all.size());
+    for (const topo::NodeId node : all) {
+      if (std::find(removed.begin(), removed.end(), node) == removed.end()) {
+        kept.push_back(node);
+      }
+    }
+    return kept;
+  }
+
   /// Snapshot of the spectrum the planner scores placements/forecasts
   /// against, as of `now`.
   [[nodiscard]] PlannerContext planner_context(util::Seconds now) const {
@@ -363,13 +452,14 @@ class OpticalSubstrate final : public ExecutionSubstrate {
 
   [[nodiscard]] std::optional<core::WrhtBuild> rebuild_remainder(
       const OpticalExecution& exec, std::size_t steps_done,
-      std::uint32_t width) const {
+      std::uint32_t width,
+      const std::vector<topo::NodeId>& evicted = {}) const {
     core::WrhtParams wrht;
     wrht.num_wavelengths = width;
     wrht.fit_policy = fit_policy_;
-    return core::rebuild_wrht_remainder(exec.build, steps_done,
-                                        exec.participants, ring_.num_nodes(),
-                                        wrht);
+    return core::rebuild_wrht_remainder_evicting(
+        exec.build, steps_done, exec.participants, evicted, ring_.num_nodes(),
+        wrht);
   }
 
   [[nodiscard]] std::unique_ptr<SubstrateExecution> make_plan(
@@ -437,6 +527,10 @@ class OpticalSubstrate final : public ExecutionSubstrate {
   /// suspended demand, excluding the job being placed.  Read only by the
   /// planner policy's placement cost.
   std::vector<std::uint32_t> pending_widths_;
+  /// Degraded wavelengths held out of service as width-1 arbiter
+  /// allocations, keyed by wavelength index (ordered map: substrate state
+  /// feeds deterministic reports).
+  std::map<std::uint32_t, WavelengthBand> quarantined_;
 };
 
 }  // namespace

@@ -40,6 +40,16 @@ const char* trace_kind_name(TraceKind kind) {
       return "step_retimed";
     case TraceKind::kJobFused:
       return "job_fused";
+    case TraceKind::kNodeFail:
+      return "node_fail";
+    case TraceKind::kWavelengthDegrade:
+      return "wavelength_degrade";
+    case TraceKind::kFaultRepair:
+      return "fault_repair";
+    case TraceKind::kJobMigrate:
+      return "job_migrate";
+    case TraceKind::kJobKilled:
+      return "job_killed";
     case TraceKind::kCustom:
       return "custom";
   }
@@ -48,7 +58,7 @@ const char* trace_kind_name(TraceKind kind) {
 
 // Adding a kind after kCustom would silently skip the exhaustiveness test's
 // walk; this pins the convention that kCustom stays last.
-static_assert(kTraceKindCount == 18,
+static_assert(kTraceKindCount == 23,
               "TraceKind changed: update kTraceKindCount's expectation, keep "
               "kCustom last, and add the name case above");
 

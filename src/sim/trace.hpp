@@ -45,6 +45,22 @@ enum class TraceKind : std::uint8_t {
   /// is the fused peer, `b` the batch's lead job — without this event a
   /// fused-batch timeline misattributes the whole payload to the lead.
   kJobFused,
+  /// A fault took hardware out of service.  `a` is the failed subject
+  /// (node/host id, or ToR id), `b` the FaultDomain as int; the detail
+  /// names the domain.
+  kNodeFail,
+  /// A wavelength degraded out of service.  `a` is the wavelength index.
+  kWavelengthDegrade,
+  /// A fault healed and its subject returned to service.  `a`/`b` mirror
+  /// the injection event.
+  kFaultRepair,
+  /// A ToR fault migrated a job across substrates mid-run.  `a` is the
+  /// job, `b` the landing band base (or -1 for a host landing); the detail
+  /// carries "width=N" like every other band-claiming event.
+  kJobMigrate,
+  /// Faults shrank a job's participant set below the minimum; the job is
+  /// dead (JobState::kFailed).  `a` is the job.
+  kJobKilled,
   kCustom,
 };
 

@@ -151,6 +151,28 @@ std::vector<topo::NodeId> WorkloadGenerator::sample_participants() {
   return chosen;
 }
 
+runtime::FaultInjectorConfig WorkloadGenerator::fault_injector_config() const {
+  runtime::FaultInjectorConfig fc;
+  // Fixed odd-constant derivation keeps the chaos seed stream disjoint from
+  // the job stream (rng_ is seeded with config_.seed itself) while staying a
+  // pure function of the workload seed.
+  fc.seed = config_.seed * 0xC2B2AE3D27D4EB4FULL + 0x165667B19E3779F9ULL;
+  fc.horizon = config_.fault_horizon;
+  fc.transceiver_mtbf = config_.transceiver_mtbf;
+  fc.node_mtbf = config_.node_mtbf;
+  fc.tor_mtbf = config_.tor_mtbf;
+  fc.wavelength_mtbf = config_.wavelength_mtbf;
+  fc.mttr = config_.fault_mttr;
+  fc.ring_size = config_.ring_size;
+  fc.num_wavelengths = config_.fault_num_wavelengths;
+  fc.num_tors = config_.fault_num_tors;
+  return fc;
+}
+
+runtime::FaultInjector WorkloadGenerator::make_fault_injector() const {
+  return runtime::FaultInjector(fault_injector_config());
+}
+
 std::optional<runtime::JobSpec> WorkloadGenerator::next() {
   if (emitted_ >= config_.num_jobs) return std::nullopt;
   ++emitted_;

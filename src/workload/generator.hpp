@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "runtime/faults.hpp"
 #include "runtime/job.hpp"
 #include "runtime/runtime.hpp"
 #include "util/random.hpp"
@@ -92,6 +93,25 @@ struct WorkloadConfig {
   double deadline_fraction = 0.5;
   double deadline_slack_s = 0.5;
   double deadline_floor_s = 0.05;
+
+  /// Fault process riding alongside the job stream (chaos mode).  All
+  /// MTBFs are fleet-wide, exactly as runtime::FaultInjectorConfig reads
+  /// them; fault_horizon 0 (the default) disables faults entirely.  The
+  /// injector is minted by make_fault_injector() from its OWN derived
+  /// seed — enabling or tuning faults never draws from the job stream's
+  /// Rng, so the emitted job trace is byte-identical with chaos on or off.
+  util::Seconds fault_horizon{0.0};
+  util::Seconds transceiver_mtbf{0.0};
+  util::Seconds node_mtbf{0.0};
+  util::Seconds tor_mtbf{0.0};
+  util::Seconds wavelength_mtbf{0.0};
+  /// Mean repair time (0 = permanent faults; chaos runs should keep this
+  /// positive so suspended work can always resume).
+  util::Seconds fault_mttr{0.0};
+  /// Subject spaces the ring itself cannot tell the injector: degradable
+  /// wavelengths and ToR switches (ring positions come from ring_size).
+  std::uint32_t fault_num_wavelengths = 0;
+  std::uint32_t fault_num_tors = 0;
 };
 
 class WorkloadGenerator : public runtime::JobSource {
@@ -103,6 +123,14 @@ class WorkloadGenerator : public runtime::JobSource {
 
   [[nodiscard]] const WorkloadConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+  /// The injector config this workload's fault fields describe — seeded
+  /// from a fixed derivation of the workload seed, independent of the job
+  /// stream's Rng state.
+  [[nodiscard]] runtime::FaultInjectorConfig fault_injector_config() const;
+  /// Mint the matching chaos source.  Pull-compatible with
+  /// RuntimeConfig::faults; deterministic per workload seed.
+  [[nodiscard]] runtime::FaultInjector make_fault_injector() const;
 
  private:
   [[nodiscard]] double next_gap();

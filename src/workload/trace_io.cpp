@@ -183,6 +183,15 @@ runtime::JobSpec spec_from_csv(const std::string& line,
   return spec;
 }
 
+std::optional<runtime::FaultDomain> parse_fault_domain(
+    const std::string& name) {
+  if (name == "transceiver") return runtime::FaultDomain::kTransceiver;
+  if (name == "node") return runtime::FaultDomain::kNode;
+  if (name == "tor") return runtime::FaultDomain::kTor;
+  if (name == "wavelength") return runtime::FaultDomain::kWavelength;
+  return std::nullopt;
+}
+
 }  // namespace
 
 TraceWriter::TraceWriter(std::ostream& out, TraceFormat format)
@@ -279,6 +288,77 @@ std::uint64_t record_trace(runtime::JobSource& source, std::ostream& out,
   TraceWriter writer(out, format);
   while (std::optional<runtime::JobSpec> spec = source.next()) {
     writer.write(*spec);
+  }
+  return writer.written();
+}
+
+FaultTraceWriter::FaultTraceWriter(std::ostream& out) : out_(&out) {}
+
+void FaultTraceWriter::write(const runtime::FaultSpec& fault) {
+  std::string line = "{\"at\":" + format_double_exact(fault.at.value());
+  line += ",\"domain\":";
+  line += obs::json_quote(runtime::fault_domain_name(fault.domain));
+  if (fault.subject != 0) {
+    line += ",\"subject\":" + std::to_string(fault.subject);
+  }
+  // simlint-allow(float-eq): omission keys on the exact default bits
+  if (fault.repair_after.value() != 0.0) {
+    line += ",\"repair\":" + format_double_exact(fault.repair_after.value());
+  }
+  line += "}\n";
+  *out_ << line;
+  ++written_;
+}
+
+FaultTraceReader::FaultTraceReader(std::istream& in) : in_(&in) {}
+
+std::optional<runtime::FaultSpec> FaultTraceReader::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const obs::JsonParseResult parsed = obs::json_parse(line);
+    WRHT_REQUIRE(
+        parsed.ok && parsed.value.kind == obs::JsonValue::Kind::kObject,
+        "FaultTraceReader: line " << line_number_
+                                  << " is not a JSON object: "
+                                  << parsed.error);
+    const obs::JsonValue& v = parsed.value;
+    const obs::JsonValue* at = v.find("at");
+    const obs::JsonValue* domain = v.find("domain");
+    WRHT_REQUIRE(at && domain,
+                 "FaultTraceReader: line " << line_number_
+                                           << " is missing at / domain");
+    runtime::FaultSpec fault;
+    fault.at = util::Seconds(at->number);
+    WRHT_REQUIRE(at->number >= last_at_,
+                 "FaultTraceReader: line " << line_number_
+                                           << " goes back in time");
+    last_at_ = at->number;
+    const std::optional<runtime::FaultDomain> parsed_domain =
+        parse_fault_domain(domain->string);
+    WRHT_REQUIRE(parsed_domain, "FaultTraceReader: line "
+                                    << line_number_ << " names unknown domain '"
+                                    << domain->string << "'");
+    fault.domain = *parsed_domain;
+    if (const obs::JsonValue* f = v.find("subject")) {
+      fault.subject = static_cast<std::uint32_t>(f->number);
+    }
+    if (const obs::JsonValue* f = v.find("repair")) {
+      fault.repair_after = util::Seconds(f->number);
+    }
+    ++read_;
+    return fault;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t record_fault_trace(runtime::FaultSource& source,
+                                 std::ostream& out) {
+  FaultTraceWriter writer(out);
+  while (std::optional<runtime::FaultSpec> fault = source.next()) {
+    writer.write(*fault);
   }
   return writer.written();
 }

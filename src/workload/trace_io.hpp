@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "runtime/faults.hpp"
 #include "runtime/job.hpp"
 #include "runtime/runtime.hpp"
 #include "util/csv.hpp"
@@ -81,5 +82,43 @@ class TraceReader : public runtime::JobSource {
 /// recorded.  The trace-then-replay path of examples/trace_serve.
 std::uint64_t record_trace(runtime::JobSource& source, std::ostream& out,
                            TraceFormat format);
+
+/// Streams FaultSpecs out as JSONL — the durable form of a chaos schedule,
+/// the fault counterpart of TraceWriter.  One object per line:
+///   {"at":0.0125,"domain":"node","subject":7,"repair":0.003}
+/// with the same discipline as job traces: shortest-round-trip doubles and
+/// defaulted fields (subject 0, permanent faults) omitted on write and
+/// re-defaulted on read, so record-then-replay is byte-stable.
+class FaultTraceWriter {
+ public:
+  explicit FaultTraceWriter(std::ostream& out);
+  void write(const runtime::FaultSpec& fault);
+  [[nodiscard]] std::uint64_t written() const { return written_; }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t written_ = 0;
+};
+
+/// Streams FaultSpecs back in; a runtime::FaultSource that
+/// RuntimeConfig::faults can point at directly, so a recorded chaos run
+/// replays through the same pull interface the injector fills.  Malformed
+/// or time-warped (decreasing `at`) lines abort with the line number.
+class FaultTraceReader : public runtime::FaultSource {
+ public:
+  explicit FaultTraceReader(std::istream& in);
+  std::optional<runtime::FaultSpec> next() override;
+  [[nodiscard]] std::uint64_t read() const { return read_; }
+
+ private:
+  std::istream* in_;
+  std::uint64_t read_ = 0;
+  std::uint64_t line_number_ = 0;
+  double last_at_ = 0.0;
+};
+
+/// Drain a fault source to JSONL; returns the number of faults recorded.
+std::uint64_t record_fault_trace(runtime::FaultSource& source,
+                                 std::ostream& out);
 
 }  // namespace wrht::workload

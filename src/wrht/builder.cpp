@@ -239,6 +239,15 @@ std::optional<WrhtBuild> rebuild_wrht_remainder(
     const WrhtBuild& build, std::size_t steps_done,
     const std::vector<topo::NodeId>& participants, std::uint32_t ring_size,
     const WrhtParams& params) {
+  return rebuild_wrht_remainder_evicting(build, steps_done, participants, {},
+                                         ring_size, params);
+}
+
+std::optional<WrhtBuild> rebuild_wrht_remainder_evicting(
+    const WrhtBuild& build, std::size_t steps_done,
+    const std::vector<topo::NodeId>& participants,
+    const std::vector<topo::NodeId>& evicted, std::uint32_t ring_size,
+    const WrhtParams& params) {
   const std::size_t total_steps = build.annotated.schedule.num_steps();
   WRHT_REQUIRE(steps_done < total_steps,
                "rebuild_wrht_remainder: " << steps_done << " of " << total_steps
@@ -266,6 +275,10 @@ std::optional<WrhtBuild> rebuild_wrht_remainder(
     first_owed_mirror = steps_done - reduce_steps;
   }
 
+  const auto is_evicted = [&evicted](topo::NodeId node) {
+    return std::find(evicted.begin(), evicted.end(), node) != evicted.end();
+  };
+
   WrhtBuild out;
   out.annotated =
       AnnotatedSchedule{coll::Schedule("wrht", ring_size, 1), {}, 0, {}};
@@ -285,24 +298,57 @@ std::optional<WrhtBuild> rebuild_wrht_remainder(
         active.push_back(group.rep());
       }
     }
+    // An evicted node still holding a live subtree partial takes those
+    // contributions down with it — the remainder cannot complete the sum
+    // over all participants, so the caller must restart among survivors.
+    for (const topo::NodeId node : active) {
+      if (is_evicted(node)) return std::nullopt;
+    }
     WrhtParams sub_params = params;
     sub_params.forced_group_size.reset();
     out = build_wrht_among(active, ring_size, sub_params);
   }
 
-  // Recolor the owed mirrors of the original tree for the new budget.  Each
-  // needs floor(group/2) wavelengths with spatial reuse, so a band narrower
-  // than an already-executed level's demand cannot carry them — report that
+  // Recolor the owed mirrors of the original tree for the new budget,
+  // stripping evicted nodes from their delivery sets.  Each mirror needs
+  // floor(group/2) wavelengths with spatial reuse, so a band narrower than
+  // an already-executed level's demand cannot carry them — report that
   // instead of committing a half-usable schedule.
   for (std::size_t i = first_owed_mirror; i < build.broadcast_levels.size();
        ++i) {
     const WrhtLevel& level = build.broadcast_levels[i];
+    WrhtLevel kept;
+    for (const Group& group : level.groups) {
+      if (is_evicted(group.rep())) {
+        // A dead representative with surviving members would orphan their
+        // delivery; refuse so the caller restarts among survivors.  A group
+        // whose membership died entirely is simply dropped.
+        for (const topo::NodeId member : group.members) {
+          if (!is_evicted(member)) return std::nullopt;
+        }
+        continue;
+      }
+      Group survivor_group;
+      for (const topo::NodeId member : group.members) {
+        if (member != group.rep() && is_evicted(member)) continue;
+        if (member == group.rep()) {
+          survivor_group.rep_index = survivor_group.members.size();
+        }
+        survivor_group.members.push_back(member);
+      }
+      kept.groups.push_back(std::move(survivor_group));
+    }
+    bool has_transfers = false;
+    for (const Group& group : kept.groups) {
+      if (group.size() > 1) has_transfers = true;
+    }
+    if (!has_transfers) continue;  // every recipient of this mirror is gone
     if (!try_commit_step(out.annotated, ring,
-                         broadcast_step_for_level(ring, level),
+                         broadcast_step_for_level(ring, kept),
                          params.num_wavelengths, params.fit_policy)) {
       return std::nullopt;
     }
-    out.broadcast_levels.push_back(level);
+    out.broadcast_levels.push_back(std::move(kept));
   }
   return out;
 }

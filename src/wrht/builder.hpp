@@ -129,4 +129,28 @@ struct WrhtBuild {
     const std::vector<topo::NodeId>& participants, std::uint32_t ring_size,
     const WrhtParams& params);
 
+/// Fault variant of rebuild_wrht_remainder: the nodes in `evicted` have
+/// FAILED and must be dropped from the remainder's delivery set.  Succeeds
+/// only when every evicted node's contribution is already merged and no
+/// survivor depends on it for delivery:
+///
+///  * an evicted node still holding a live subtree partial (it is among the
+///    surviving representatives at this boundary) loses those contributions
+///    with it — refused, the caller must restart among the survivors;
+///  * an evicted node that is the representative of an owed mirror group
+///    with surviving members would orphan their delivery — refused likewise.
+///
+/// Otherwise evicted nodes are stripped from the owed mirror levels (groups
+/// whose membership dies entirely are dropped, levels left with no transfers
+/// are skipped).  Executing the first steps_done steps of `build` and then
+/// the returned build delivers the sum over ALL original participants to
+/// every participant EXCEPT the evicted ones, whose final state is
+/// unspecified — exactly what the contributors/recipients all-reduce oracle
+/// checks.  With `evicted` empty this is rebuild_wrht_remainder.
+[[nodiscard]] std::optional<WrhtBuild> rebuild_wrht_remainder_evicting(
+    const WrhtBuild& build, std::size_t steps_done,
+    const std::vector<topo::NodeId>& participants,
+    const std::vector<topo::NodeId>& evicted, std::uint32_t ring_size,
+    const WrhtParams& params);
+
 }  // namespace wrht::core

@@ -31,6 +31,16 @@ std::unique_ptr<ExecutionSubstrate> star_substrate(
   return make_electrical_substrate(hosts, config);
 }
 
+/// kResume renegotiation with the test's defaults (desired width 1, floor
+/// 1), unwrapped to the plan for terse assertions.
+std::unique_ptr<SubstrateExecution> resume(ExecutionSubstrate& sub,
+                                           SubstrateExecution& plan,
+                                           std::size_t steps_done) {
+  return sub
+      .renegotiate(&plan, RenegotiationRequest::resume(steps_done, 1, 1))
+      .plan;
+}
+
 /// Drive `plan` through steps [first, last) on `sub`, returning the clock.
 util::Seconds run_steps(ExecutionSubstrate& sub, SubstrateExecution& plan,
                         std::size_t first, std::size_t last,
@@ -51,8 +61,7 @@ TEST(ElectricalResume, PrefersOriginalHostsWhenFree) {
   util::Seconds clock = run_steps(*sub, *plan, 0, 2, util::Seconds(0.0));
   sub->release(*plan, clock);
 
-  std::unique_ptr<SubstrateExecution> resumed =
-      sub->resume_plan(*plan, 2, 1, 1);
+  std::unique_ptr<SubstrateExecution> resumed = resume(*sub, *plan, 2);
   ASSERT_NE(resumed, nullptr);
   // Nothing took the hosts meanwhile: identity placement again.
   EXPECT_EQ(resumed->hosts(), (std::vector<topo::NodeId>{4, 5, 6, 7}));
@@ -69,8 +78,7 @@ TEST(ElectricalResume, RemapsOntoFreeHostsWhenBlocked) {
   // A blocker takes two of the original hosts, so identity is impossible.
   std::unique_ptr<SubstrateExecution> blocker =
       sub->place({2, 3, 8, 9}, util::megabytes(1), 1);
-  std::unique_ptr<SubstrateExecution> resumed =
-      sub->resume_plan(*plan, 1, 1, 1);
+  std::unique_ptr<SubstrateExecution> resumed = resume(*sub, *plan, 1);
   ASSERT_NE(resumed, nullptr);
   // Lowest-id free hosts, deterministically: 0 and 1 survive, 4 and 5
   // substitute for the taken 2 and 3.
@@ -93,7 +101,7 @@ TEST(ElectricalResume, FinalStepBoundaryLeavesOneStepRemainder) {
   sub->release(*plan, clock);
 
   std::unique_ptr<SubstrateExecution> resumed =
-      sub->resume_plan(*plan, total - 1, 1, 1);
+      resume(*sub, *plan, total - 1);
   ASSERT_NE(resumed, nullptr);
   EXPECT_EQ(resumed->num_steps(), 1u);
   const util::Seconds end =
@@ -113,10 +121,10 @@ TEST(ElectricalResume, RefusesWithoutEnoughFreeHosts) {
   // Six of the eight hosts taken: only two remain for a four-host resume.
   std::unique_ptr<SubstrateExecution> blocker =
       sub->place({0, 1, 2, 5, 6, 7}, util::megabytes(1), 1);
-  EXPECT_EQ(sub->resume_plan(*plan, 1, 1, 1), nullptr);
+  EXPECT_EQ(resume(*sub, *plan, 1), nullptr);
   // The refusal touched nothing: freeing the blocker re-enables resume.
   sub->release(*blocker, clock);
-  EXPECT_NE(sub->resume_plan(*plan, 1, 1, 1), nullptr);
+  EXPECT_NE(resume(*sub, *plan, 1), nullptr);
 }
 
 TEST(ElectricalResume, RefusesWithoutAConcurrencySlot) {
@@ -129,9 +137,9 @@ TEST(ElectricalResume, RefusesWithoutAConcurrencySlot) {
 
   std::unique_ptr<SubstrateExecution> other =
       sub->place({4, 5}, util::megabytes(1), 1);
-  EXPECT_EQ(sub->resume_plan(*plan, 1, 1, 1), nullptr);
+  EXPECT_EQ(resume(*sub, *plan, 1), nullptr);
   sub->release(*other, clock);
-  EXPECT_NE(sub->resume_plan(*plan, 1, 1, 1), nullptr);
+  EXPECT_NE(resume(*sub, *plan, 1), nullptr);
 }
 
 RuntimeConfig shared_preempt_config() {

@@ -347,8 +347,12 @@ TEST(Substrate, ElectricalFactoryStandsAlone) {
   // Resize renegotiations refuse without touching anything; resume is the
   // preemption path's job and gets its own suite
   // (test_runtime_electrical_preempt).
-  EXPECT_EQ(sub->grow_plan(*plan, 0, 4), nullptr);
-  EXPECT_EQ(sub->shrink_plan(*plan, 0, 1), nullptr);
+  EXPECT_FALSE(
+      sub->renegotiate(plan.get(), RenegotiationRequest::grow(0, 4))
+          .accepted());
+  EXPECT_FALSE(
+      sub->renegotiate(plan.get(), RenegotiationRequest::shrink(0, 1))
+          .accepted());
 }
 
 RuntimeConfig shared_fabric_config(double oversubscription,
